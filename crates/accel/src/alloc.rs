@@ -1,0 +1,210 @@
+//! PE-array allocation between the sensitivity predictor and the result
+//! executor (Sec. 4.2, Table 1).
+//!
+//! Throughput balance: with `P` predictor arrays and `E` executor arrays,
+//! the predictor produces one output's partial per `col_len` INT2 MACs
+//! (1 cycle each), while the executor spends `3 · col_len` cycles on each
+//! *sensitive* output. In steady state the pipeline has no bubbles iff
+//!
+//! ```text
+//! executor_time ≤ predictor_time  ⇔  3·s·W/E ≤ W/P  ⇔  s ≤ E / (3·P)
+//! ```
+//!
+//! which reproduces Table 1 exactly: (9,18)→66%, (12,15)→41%, (15,12)→26%,
+//! (18,9)→16%, (21,6)→9%.
+
+use serde::Serialize;
+
+use crate::config::{
+    ARRAYS_PER_SLICE, FIXED_EXECUTOR_ARRAYS, FIXED_PREDICTOR_ARRAYS, RECONFIGURABLE_ARRAYS,
+};
+
+/// A predictor/executor split of the 27 PE arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct Allocation {
+    /// Arrays assigned to the sensitivity predictor.
+    pub predictor_arrays: usize,
+    /// Arrays assigned to the result executor.
+    pub executor_arrays: usize,
+}
+
+impl Allocation {
+    /// Construct and validate a split (must use all 27 arrays and respect
+    /// the fixed minimums).
+    pub fn new(predictor_arrays: usize, executor_arrays: usize) -> Self {
+        assert_eq!(
+            predictor_arrays + executor_arrays,
+            ARRAYS_PER_SLICE,
+            "allocation must use all {ARRAYS_PER_SLICE} arrays"
+        );
+        assert!(
+            predictor_arrays >= FIXED_PREDICTOR_ARRAYS,
+            "at least {FIXED_PREDICTOR_ARRAYS} predictor arrays are hard-wired"
+        );
+        assert!(
+            executor_arrays >= FIXED_EXECUTOR_ARRAYS,
+            "at least {FIXED_EXECUTOR_ARRAYS} executor arrays are hard-wired"
+        );
+        Self { predictor_arrays, executor_arrays }
+    }
+
+    /// The five reconfiguration steps of Table 1 (reconfigurable arrays
+    /// move in groups of 3).
+    pub fn table1() -> Vec<Self> {
+        (0..=RECONFIGURABLE_ARRAYS / 3)
+            .map(|i| {
+                Self::new(FIXED_PREDICTOR_ARRAYS + 3 * i, ARRAYS_PER_SLICE - FIXED_PREDICTOR_ARRAYS - 3 * i)
+            })
+            .collect()
+    }
+}
+
+/// Maximum sensitive-output fraction this split sustains without pipeline
+/// bubbles (Table 1's right column): `E / (3 P)`.
+pub fn max_sensitive_fraction(alloc: Allocation) -> f64 {
+    alloc.executor_arrays as f64 / (3.0 * alloc.predictor_arrays as f64)
+}
+
+/// Choose the allocation for a measured sensitive fraction `s`: the split
+/// with the **most predictor arrays** (fastest prediction) among those
+/// whose no-bubble bound still covers `s`. Above 66% nothing avoids
+/// bubbles; the executor-heaviest split is returned.
+pub fn choose_allocation(s: f64) -> Allocation {
+    let mut best = Allocation::new(FIXED_PREDICTOR_ARRAYS, ARRAYS_PER_SLICE - FIXED_PREDICTOR_ARRAYS);
+    for a in Allocation::table1() {
+        if s <= max_sensitive_fraction(a) && a.predictor_arrays > best.predictor_arrays {
+            best = a;
+        }
+    }
+    best
+}
+
+/// Idle-PE accounting for one layer under a given allocation.
+///
+/// The predictor must process all `work` output-taps; the executor
+/// re-processes the sensitive fraction at 3 cycles per tap. Whichever side
+/// finishes early idles for the difference (Figs. 11/20 plot the idle
+/// share of all PEs).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct IdleStats {
+    /// Layer makespan in array-normalized cycles.
+    pub makespan: f64,
+    /// Idle fraction of predictor PEs.
+    pub predictor_idle: f64,
+    /// Idle fraction of executor PEs.
+    pub executor_idle: f64,
+    /// Idle fraction over all 27 arrays (what the figures report).
+    pub total_idle: f64,
+}
+
+/// Compute idle statistics for a layer with `s` sensitive fraction.
+pub fn idle_stats(alloc: Allocation, s: f64) -> IdleStats {
+    // Per-unit work: predictor 1, executor 3s, normalized by array counts.
+    let t_pred = 1.0 / alloc.predictor_arrays as f64;
+    let t_exec = 3.0 * s / alloc.executor_arrays as f64;
+    let makespan = t_pred.max(t_exec);
+    let predictor_idle = (makespan - t_pred) / makespan;
+    let executor_idle = (makespan - t_exec) / makespan;
+    let total_idle = (alloc.predictor_arrays as f64 * (makespan - t_pred)
+        + alloc.executor_arrays as f64 * (makespan - t_exec))
+        / (ARRAYS_PER_SLICE as f64 * makespan);
+    IdleStats { makespan, predictor_idle, executor_idle, total_idle }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduced_exactly() {
+        // Paper's Table 1: (#pred, #exec) -> max sensitive %.
+        let expect = [(9, 18, 66), (12, 15, 41), (15, 12, 26), (18, 9, 16), (21, 6, 9)];
+        for (p, e, pct) in expect {
+            let a = Allocation::new(p, e);
+            let s = max_sensitive_fraction(a);
+            assert_eq!((s * 100.0).floor() as i64, pct, "alloc ({p},{e})");
+        }
+    }
+
+    #[test]
+    fn table1_has_five_configs() {
+        let t = Allocation::table1();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[0], Allocation::new(9, 18));
+        assert_eq!(t[4], Allocation::new(21, 6));
+    }
+
+    #[test]
+    fn chooser_picks_most_predictors_without_bubbles() {
+        assert_eq!(choose_allocation(0.08), Allocation::new(21, 6));
+        assert_eq!(choose_allocation(0.15), Allocation::new(18, 9));
+        assert_eq!(choose_allocation(0.25), Allocation::new(15, 12));
+        assert_eq!(choose_allocation(0.40), Allocation::new(12, 15));
+        assert_eq!(choose_allocation(0.60), Allocation::new(9, 18));
+        // Paper's Fig. 17 walkthrough: 15% sensitive -> 18 predictor / 9
+        // executor arrays.
+        assert_eq!(choose_allocation(0.15), Allocation::new(18, 9));
+        // Beyond the 66% bound: executor-heaviest split, bubbles accepted.
+        assert_eq!(choose_allocation(0.9), Allocation::new(9, 18));
+    }
+
+    #[test]
+    fn idle_is_zero_at_exact_balance() {
+        let a = Allocation::new(12, 15);
+        let s = max_sensitive_fraction(a);
+        let stats = idle_stats(a, s);
+        assert!(stats.total_idle.abs() < 1e-12);
+        assert!(stats.predictor_idle.abs() < 1e-12);
+        assert!(stats.executor_idle.abs() < 1e-12);
+    }
+
+    #[test]
+    fn executor_idles_when_few_outputs_sensitive() {
+        let a = Allocation::new(12, 15);
+        let stats = idle_stats(a, 0.05);
+        assert!(stats.executor_idle > 0.5, "executor mostly idle at 5% sensitive");
+        assert!(stats.predictor_idle.abs() < 1e-12);
+        assert!(stats.total_idle > 0.0 && stats.total_idle < 1.0);
+    }
+
+    #[test]
+    fn predictor_idles_when_most_outputs_sensitive() {
+        let a = Allocation::new(18, 9);
+        let stats = idle_stats(a, 0.6);
+        assert!(stats.predictor_idle > 0.4);
+        assert!(stats.executor_idle.abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_allocation_beats_any_fixed_split_on_average() {
+        // Per-layer sensitive fractions vary widely (Figs. 9/10), so a
+        // single fixed split must be wrong for most layers. Averaged over
+        // a realistic spread, the per-layer dynamic choice idles less than
+        // every fixed allocation.
+        let spread = [0.08, 0.12, 0.2, 0.3, 0.45, 0.6];
+        let dyn_mean: f64 = spread
+            .iter()
+            .map(|&s| idle_stats(choose_allocation(s), s).total_idle)
+            .sum::<f64>()
+            / spread.len() as f64;
+        for static_alloc in Allocation::table1() {
+            let st_mean: f64 = spread
+                .iter()
+                .map(|&s| idle_stats(static_alloc, s).total_idle)
+                .sum::<f64>()
+                / spread.len() as f64;
+            assert!(
+                dyn_mean < st_mean + 1e-12,
+                "dynamic mean idle {dyn_mean:.3} vs static({static_alloc:?}) {st_mean:.3}"
+            );
+        }
+        // And the dynamic policy keeps idle below Fig. 20's ~18% on average.
+        assert!(dyn_mean < 0.18, "dynamic mean idle {dyn_mean:.3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "hard-wired")]
+    fn allocation_respects_fixed_minimums() {
+        Allocation::new(23, 4);
+    }
+}

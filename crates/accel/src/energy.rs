@@ -1,0 +1,140 @@
+//! CACTI-style energy model (45 nm-class constants).
+//!
+//! The paper measures power with CACTI [14] on a 45 nm library; we use
+//! representative per-operation energies from the same technology class
+//! (Horowitz-style numbers). Absolute joules are *not* the claim — the
+//! experiments (Fig. 21) compare normalized energy, which depends only on
+//! the ratios, and those are set by bit widths and access counts.
+
+use serde::Serialize;
+
+/// Per-operation energy constants.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct EnergyModel {
+    /// Energy of one INT8 MAC in pJ; other widths scale quadratically
+    /// (multiplier area/energy ∝ bits²).
+    pub mac_pj_int8: f64,
+    /// On-chip SRAM access energy per byte (pJ/B).
+    pub sram_pj_per_byte: f64,
+    /// Off-chip DRAM access energy per byte (pJ/B).
+    pub dram_pj_per_byte: f64,
+    /// Static (leakage + clock) power of the whole accelerator in mW.
+    /// All Table 2 configs occupy the same area (same PE budget, same
+    /// 0.17 MB buffer), so static power is configuration-independent;
+    /// static *energy* then scales with execution time, which is exactly
+    /// how the paper attributes its static-energy savings (Sec. 6.3).
+    pub static_mw: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            mac_pj_int8: 0.2,
+            sram_pj_per_byte: 1.2,
+            dram_pj_per_byte: 20.0,
+            static_mw: 150.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Energy of one MAC at the given operand width, in pJ.
+    pub fn mac_pj(&self, bits: u8) -> f64 {
+        self.mac_pj_int8 * (bits as f64 / 8.0).powi(2)
+    }
+
+    /// Full energy accounting for one run.
+    ///
+    /// * `macs_by_bits` — `(operand_bits, count)` pairs;
+    /// * `sram_bytes` / `dram_bytes` — access volumes;
+    /// * `time_s` — execution time (for static energy).
+    pub fn breakdown(
+        &self,
+        macs_by_bits: &[(u8, u64)],
+        sram_bytes: f64,
+        dram_bytes: f64,
+        time_s: f64,
+    ) -> EnergyBreakdown {
+        let mac_pj: f64 =
+            macs_by_bits.iter().map(|&(b, n)| self.mac_pj(b) * n as f64).sum();
+        let static_w = self.static_mw * 1e-3;
+        // Static energy charged to the cores bucket (PE leakage dominates).
+        let cores_nj = mac_pj * 1e-3 + static_w * time_s * 1e9 * 0.7;
+        let buffer_nj = sram_bytes * self.sram_pj_per_byte * 1e-3
+            + static_w * time_s * 1e9 * 0.3;
+        let dram_nj = dram_bytes * self.dram_pj_per_byte * 1e-3;
+        EnergyBreakdown { dram_nj, buffer_nj, cores_nj }
+    }
+}
+
+/// Energy split into the paper's three components (Fig. 21).
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct EnergyBreakdown {
+    /// Off-chip DRAM energy (nJ).
+    pub dram_nj: f64,
+    /// On-chip buffer energy (nJ), including its share of static power.
+    pub buffer_nj: f64,
+    /// PE-slice ("Cores") energy (nJ), including its share of static power.
+    pub cores_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nJ.
+    pub fn total_nj(&self) -> f64 {
+        self.dram_nj + self.buffer_nj + self.cores_nj
+    }
+
+    /// Elementwise accumulation.
+    pub fn add(&mut self, other: &EnergyBreakdown) {
+        self.dram_nj += other.dram_nj;
+        self.buffer_nj += other.buffer_nj;
+        self.cores_nj += other.cores_nj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_energy_scales_quadratically() {
+        let m = EnergyModel::default();
+        assert!((m.mac_pj(8) - 0.2).abs() < 1e-12);
+        assert!((m.mac_pj(16) / m.mac_pj(8) - 4.0).abs() < 1e-9);
+        assert!((m.mac_pj(4) / m.mac_pj(2) - 4.0).abs() < 1e-9);
+        assert!((m.mac_pj(8) / m.mac_pj(2) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_sums_components() {
+        let m = EnergyModel::default();
+        let b = m.breakdown(&[(8, 1_000_000)], 1e6, 1e5, 1e-6);
+        assert!(b.dram_nj > 0.0 && b.buffer_nj > 0.0 && b.cores_nj > 0.0);
+        assert!(
+            (b.total_nj() - (b.dram_nj + b.buffer_nj + b.cores_nj)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn lower_bitwidth_costs_less_compute_energy() {
+        let m = EnergyModel::default();
+        let hi = m.breakdown(&[(16, 1_000_000)], 0.0, 0.0, 0.0);
+        let lo = m.breakdown(&[(2, 1_000_000)], 0.0, 0.0, 0.0);
+        assert!(lo.cores_nj < hi.cores_nj / 30.0);
+    }
+
+    #[test]
+    fn longer_time_more_static_energy() {
+        let m = EnergyModel::default();
+        let short = m.breakdown(&[], 0.0, 0.0, 1e-6);
+        let long = m.breakdown(&[], 0.0, 0.0, 1e-3);
+        assert!(long.total_nj() > 100.0 * short.total_nj());
+    }
+
+    #[test]
+    fn accumulation() {
+        let mut a = EnergyBreakdown { dram_nj: 1.0, buffer_nj: 2.0, cores_nj: 3.0 };
+        a.add(&EnergyBreakdown { dram_nj: 0.5, buffer_nj: 0.5, cores_nj: 0.5 });
+        assert!((a.total_nj() - 7.5).abs() < 1e-12);
+    }
+}

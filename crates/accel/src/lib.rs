@@ -1,0 +1,47 @@
+//! # odq-accel
+//!
+//! Cycle-level simulator of the paper's reconfigurable ODQ accelerator
+//! (Sec. 4) and its comparison baselines (Table 2). The paper's Verilog /
+//! Vivado / Design Compiler / CACTI toolchain is replaced by analytical and
+//! event-driven models (DESIGN.md, substitution 3); all experiments
+//! compare *normalized* time/energy, which these models preserve.
+//!
+//! Components:
+//!
+//! * [`config`] — accelerator configurations: INT16/INT8 DoReFa baselines,
+//!   DRQ, and ODQ (27 PE arrays × 180 PEs = 4860 PEs per slice; 9 fixed
+//!   predictor arrays, 6 fixed executor arrays, 12 reconfigurable ones).
+//! * [`alloc`] — PE-array allocation: the Table 1 no-bubble condition
+//!   (`s_max = E / 3P`), the dynamic allocation chooser, and idle-PE
+//!   accounting for static vs dynamic schemes (Figs. 11/20).
+//! * [`sched`] — the executor's 3-cluster dynamic workload schedule
+//!   (Figs. 14–16): per-OFM queues, longest-queue-first arbitration,
+//!   static vs dynamic comparison.
+//! * [`energy`] — CACTI-style energy model: per-MAC energy quadratic in
+//!   bit width, SRAM/DRAM per-byte access energies, static power
+//!   (Fig. 21's DRAM/Buffer/Cores breakdown).
+//! * [`sim`] — analytical layer/network simulation producing cycles,
+//!   idle-PE fractions, memory traffic and energy for each accelerator
+//!   configuration (Figs. 19–21).
+//! * [`pipeline`] — event-driven simulation of the Fig. 17 workflow
+//!   (predictor waves, output-buffer backlog, mid-layer reconfiguration);
+//!   cross-validated against the analytical model.
+//! * [`memory`] — line-buffer / global-buffer / DRAM subsystem with exact
+//!   per-layer reuse accounting (Fig. 12's Im2col/Pack engine + buffers).
+//! * [`workload`] — layer workload descriptions (geometry + sensitivity),
+//!   constructed either from measured ODQ masks or synthetically.
+
+pub mod alloc;
+pub mod config;
+pub mod energy;
+pub mod memory;
+pub mod pipeline;
+pub mod sched;
+pub mod sim;
+pub mod workload;
+
+pub use alloc::{choose_allocation, max_sensitive_fraction, Allocation};
+pub use config::{AccelConfig, AccelKind};
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use sim::{simulate_layer, simulate_network, LayerResult, NetworkResult};
+pub use workload::LayerWorkload;

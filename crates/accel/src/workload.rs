@@ -1,0 +1,215 @@
+//! Layer workload descriptions consumed by the simulator.
+
+use odq_tensor::ConvGeom;
+use serde::Serialize;
+
+/// One conv layer's workload: geometry plus the dynamic-quantization
+/// sensitivity profile that determines how much work each engine performs.
+#[derive(Clone, Debug, Serialize)]
+pub struct LayerWorkload {
+    /// Layer name.
+    pub name: String,
+    /// Convolution geometry.
+    pub geom: ConvGeomSer,
+    /// Fraction of output features ODQ predicts sensitive (drives the
+    /// executor's workload and the PE-array allocation).
+    pub odq_sensitive_fraction: f64,
+    /// Fraction of MACs DRQ executes at high precision (input-directed).
+    pub drq_hi_fraction: f64,
+    /// Per-output-channel sensitive-output counts (averaged over images),
+    /// for the executor's cluster-scheduling simulation. When empty, the
+    /// simulators fall back to uniform counts derived from
+    /// `odq_sensitive_fraction` (see
+    /// [`LayerWorkload::effective_channel_counts`]).
+    pub channel_counts: Vec<u32>,
+}
+
+/// Serializable mirror of [`ConvGeom`] (kept structurally identical).
+#[derive(Clone, Copy, Debug, Serialize)]
+#[allow(missing_docs)]
+pub struct ConvGeomSer {
+    pub in_channels: usize,
+    pub out_channels: usize,
+    pub in_h: usize,
+    pub in_w: usize,
+    pub kernel: usize,
+    pub stride: usize,
+    pub padding: usize,
+}
+
+impl From<ConvGeom> for ConvGeomSer {
+    fn from(g: ConvGeom) -> Self {
+        Self {
+            in_channels: g.in_channels,
+            out_channels: g.out_channels,
+            in_h: g.in_h,
+            in_w: g.in_w,
+            kernel: g.kernel,
+            stride: g.stride,
+            padding: g.padding,
+        }
+    }
+}
+
+impl ConvGeomSer {
+    /// Back to the tensor-crate geometry.
+    pub fn geom(&self) -> ConvGeom {
+        ConvGeom::new(
+            self.in_channels,
+            self.out_channels,
+            self.in_h,
+            self.in_w,
+            self.kernel,
+            self.stride,
+            self.padding,
+        )
+    }
+}
+
+impl LayerWorkload {
+    /// Workload with a uniform sensitive fraction; per-channel counts are
+    /// synthesized with deterministic jitter (channels differ, as in real
+    /// masks — Figs. 9/10 show strong per-layer/channel variation).
+    pub fn uniform(name: impl Into<String>, geom: ConvGeom, sensitive_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&sensitive_fraction), "fraction out of range");
+        let spatial = geom.out_spatial() as f64;
+        let co = geom.out_channels;
+        let mut counts = Vec::with_capacity(co);
+        let mut state = 0x9E3779B9u64;
+        let mut total = 0f64;
+        for _ in 0..co {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // jitter in [0.5, 1.5) around the mean fraction
+            let jitter = 0.5 + (state >> 40) as f64 / (1u64 << 24) as f64;
+            let c = (sensitive_fraction * spatial * jitter).round().min(spatial);
+            counts.push(c as u32);
+            total += c;
+        }
+        // Renormalize so the aggregate matches the requested fraction.
+        let want = sensitive_fraction * spatial * co as f64;
+        if total > 0.0 {
+            let k = want / total;
+            for c in &mut counts {
+                *c = ((*c as f64 * k).round() as u32).min(spatial as u32);
+            }
+        }
+        Self {
+            name: name.into(),
+            geom: geom.into(),
+            odq_sensitive_fraction: sensitive_fraction,
+            drq_hi_fraction: sensitive_fraction,
+            channel_counts: counts,
+        }
+    }
+
+    /// Workload from measured per-(image, channel) sensitive counts (the
+    /// `odq-core` engine's `LayerStats::channel_counts`).
+    pub fn from_channel_counts(
+        name: impl Into<String>,
+        geom: ConvGeom,
+        per_image_counts: &[Vec<u32>],
+    ) -> Self {
+        let co = geom.out_channels;
+        let spatial = geom.out_spatial() as u64;
+        let mut mean = vec![0u64; co];
+        for img in per_image_counts {
+            assert_eq!(img.len(), co, "channel count length mismatch");
+            for (m, &c) in mean.iter_mut().zip(img) {
+                *m += c as u64;
+            }
+        }
+        let n = per_image_counts.len().max(1) as u64;
+        let counts: Vec<u32> =
+            mean.iter().map(|&m| (m as f64 / n as f64).round() as u32).collect();
+        let total: u64 = mean.iter().sum();
+        let frac = total as f64 / (n * co as u64 * spatial) as f64;
+        Self {
+            name: name.into(),
+            geom: geom.into(),
+            odq_sensitive_fraction: frac,
+            drq_hi_fraction: frac,
+            channel_counts: counts,
+        }
+    }
+
+    /// Total MACs per image.
+    pub fn macs(&self) -> u64 {
+        self.geom.geom().macs()
+    }
+
+    /// Per-channel sensitive counts, synthesizing uniform counts from
+    /// `odq_sensitive_fraction` when `channel_counts` is empty (so manually
+    /// constructed workloads simulate sensibly).
+    pub fn effective_channel_counts(&self) -> Vec<u32> {
+        if !self.channel_counts.is_empty() {
+            return self.channel_counts.clone();
+        }
+        let g = self.geom.geom();
+        let per = (self.odq_sensitive_fraction * g.out_spatial() as f64).round() as u32;
+        vec![per; g.out_channels]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> ConvGeom {
+        ConvGeom::new(16, 32, 16, 16, 3, 1, 1)
+    }
+
+    #[test]
+    fn uniform_matches_requested_fraction() {
+        let w = LayerWorkload::uniform("C1", geom(), 0.25);
+        let spatial = geom().out_spatial() as f64;
+        let total: u64 = w.channel_counts.iter().map(|&c| c as u64).sum();
+        let frac = total as f64 / (spatial * 32.0);
+        assert!((frac - 0.25).abs() < 0.03, "got {frac}");
+        // Channels vary (jitter).
+        let min = w.channel_counts.iter().min().unwrap();
+        let max = w.channel_counts.iter().max().unwrap();
+        assert!(max > min, "channel workloads should differ");
+    }
+
+    #[test]
+    fn uniform_extremes() {
+        let w0 = LayerWorkload::uniform("C1", geom(), 0.0);
+        assert!(w0.channel_counts.iter().all(|&c| c == 0));
+        let w1 = LayerWorkload::uniform("C1", geom(), 1.0);
+        let spatial = geom().out_spatial() as u32;
+        // everything capped at spatial
+        assert!(w1.channel_counts.iter().all(|&c| c <= spatial));
+        let total: u64 = w1.channel_counts.iter().map(|&c| c as u64).sum();
+        assert!(total as f64 > 0.9 * (spatial as f64 * 32.0));
+    }
+
+    #[test]
+    fn from_channel_counts_averages_images() {
+        let g = ConvGeom::new(1, 2, 4, 4, 3, 1, 1);
+        let per_img = vec![vec![4u32, 8], vec![6, 10]];
+        let w = LayerWorkload::from_channel_counts("C1", g, &per_img);
+        assert_eq!(w.channel_counts, vec![5, 9]);
+        let expect = (4 + 8 + 6 + 10) as f64 / (2.0 * 2.0 * 16.0);
+        assert!((w.odq_sensitive_fraction - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_channel_counts_with_no_images_is_zero_fraction() {
+        let g = ConvGeom::new(1, 2, 4, 4, 3, 1, 1);
+        let w = LayerWorkload::from_channel_counts("C1", g, &[]);
+        assert_eq!(w.odq_sensitive_fraction, 0.0);
+        assert!(w.channel_counts.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction out of range")]
+    fn uniform_rejects_bad_fraction() {
+        let _ = LayerWorkload::uniform("C1", geom(), 1.5);
+    }
+
+    #[test]
+    fn macs_delegates_to_geometry() {
+        let w = LayerWorkload::uniform("C1", geom(), 0.5);
+        assert_eq!(w.macs(), geom().macs());
+    }
+}

@@ -1,0 +1,43 @@
+//! Microbenchmarks for the compute kernels underlying every experiment:
+//! float/integer GEMM, im2col lowering, and quantization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odq_tensor::gemm::{gemm_f32, gemm_i16_i32};
+use odq_tensor::im2col::im2col;
+use odq_tensor::{ConvGeom, Tensor};
+
+fn bench_gemm(c: &mut Criterion) {
+    let (m, k, n) = (64, 144, 256);
+    let a_f: Vec<f32> = (0..m * k).map(|i| (i % 17) as f32 - 8.0).collect();
+    let b_f: Vec<f32> = (0..k * n).map(|i| (i % 13) as f32 - 6.0).collect();
+    let mut c_f = vec![0.0f32; m * n];
+    c.bench_function("gemm_f32 64x144x256", |bch| {
+        bch.iter(|| gemm_f32(&a_f, &b_f, &mut c_f, m, k, n))
+    });
+
+    let a_i: Vec<i16> = (0..m * k).map(|i| (i % 15) as i16).collect();
+    let b_i: Vec<i16> = (0..k * n).map(|i| (i % 15) as i16).collect();
+    let mut c_i = vec![0i32; m * n];
+    c.bench_function("gemm_i16_i32 64x144x256", |bch| {
+        bch.iter(|| gemm_i16_i32(&a_i, &b_i, &mut c_i, m, k, n))
+    });
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let g = ConvGeom::new(16, 16, 32, 32, 3, 1, 1);
+    let x: Vec<f32> = (0..16 * 32 * 32).map(|i| (i % 100) as f32 / 100.0).collect();
+    c.bench_function("im2col 16x32x32 k3", |bch| bch.iter(|| im2col(&x, &g)));
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let x = Tensor::from_vec([16, 32, 32], (0..16 * 1024).map(|i| (i % 256) as f32 / 255.0).collect::<Vec<_>>());
+    c.bench_function("quantize_activation int4 16k", |bch| {
+        bch.iter(|| odq_quant::quantize_activation(&x, 4, 1.0))
+    });
+    c.bench_function("quantize_weights offset int4 16k", |bch| {
+        bch.iter(|| odq_quant::quantize_weights(&x, 4))
+    });
+}
+
+criterion_group!(benches, bench_gemm, bench_im2col, bench_quantize);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Accelerator-simulator throughput: simulating a full ResNet-20 workload
+//! on each Table 2 configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odq_accel::sim::simulate_network;
+use odq_accel::{AccelConfig, EnergyModel, LayerWorkload};
+use odq_nn::Arch;
+
+fn bench_pipeline(c: &mut Criterion) {
+    use odq_accel::pipeline::simulate_network_pipeline;
+    let workloads: Vec<LayerWorkload> = Arch::ResNet20
+        .conv_geometries(32)
+        .iter()
+        .enumerate()
+        .map(|(i, nc)| {
+            LayerWorkload::uniform(nc.name.clone(), nc.geom, 0.1 + 0.03 * (i % 10) as f64)
+        })
+        .collect();
+    c.bench_function("pipeline_event_driven_resnet20", |b| {
+        b.iter(|| simulate_network_pipeline(&workloads))
+    });
+}
+
+fn bench_memory(c: &mut Criterion) {
+    use odq_accel::memory::{network_traffic, MemoryCfg};
+    let workloads: Vec<LayerWorkload> = Arch::Vgg16
+        .conv_geometries(32)
+        .iter()
+        .map(|nc| LayerWorkload::uniform(nc.name.clone(), nc.geom, 0.3))
+        .collect();
+    let cfg = MemoryCfg::default();
+    c.bench_function("memory_traffic_vgg16", |b| b.iter(|| network_traffic(&workloads, &cfg)));
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let workloads: Vec<LayerWorkload> = Arch::ResNet20
+        .conv_geometries(32)
+        .iter()
+        .enumerate()
+        .map(|(i, nc)| {
+            LayerWorkload::uniform(nc.name.clone(), nc.geom, 0.1 + 0.03 * (i % 10) as f64)
+        })
+        .collect();
+    let em = EnergyModel::default();
+    let mut group = c.benchmark_group("simulate_resnet20");
+    for cfg in AccelConfig::table2() {
+        group.bench_with_input(BenchmarkId::from_parameter(&cfg.name), &cfg, |b, cfg| {
+            b.iter(|| simulate_network(cfg, &workloads, &em))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim, bench_pipeline, bench_memory);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Ablation: executor cluster count and line buffers — on-chip traffic
+//! through the exact memory model (Sec. 4.3: 3 clusters amortize each
+//! sparse fetch; Fig. 12: line buffers give dense reuse).
+
+use odq_accel::memory::{layer_traffic, network_traffic, MemoryCfg};
+use odq_bench::{print_table, uniform_workloads, write_json};
+use odq_nn::Arch;
+
+fn main() {
+    println!("Ablation: memory-system features (line buffers, cluster sharing)");
+    let ws = uniform_workloads(Arch::ResNet20, 32, 0.3);
+    // Dense-only view (no executor gathers) isolates the line buffers'
+    // receptive-field reuse.
+    let ws_dense = uniform_workloads(Arch::ResNet20, 32, 0.0);
+    let dense_with = network_traffic(&ws_dense, &MemoryCfg::default());
+    let dense_without = network_traffic(
+        &ws_dense,
+        &MemoryCfg { line_buffers: false, ..MemoryCfg::default() },
+    );
+
+    let base = MemoryCfg::default();
+    let no_lb = MemoryCfg { line_buffers: false, ..base };
+    let with = network_traffic(&ws, &base);
+    let without = network_traffic(&ws, &no_lb);
+
+    let mut rows = vec![
+        vec![
+            "with line buffers".to_string(),
+            format!("{:.2}", with.onchip_total() / 1e6),
+            format!("{:.2}", with.dram_total() / 1e6),
+        ],
+        vec![
+            "without line buffers".to_string(),
+            format!("{:.2}", without.onchip_total() / 1e6),
+            format!("{:.2}", without.dram_total() / 1e6),
+        ],
+    ];
+
+    // Cluster sharing: the memory model divides sparse gathers by the
+    // cluster count; emulate 1 cluster by scaling that term back up.
+    let mut one_cluster_extra = 0.0;
+    for w in &ws {
+        let t3 = layer_traffic(w, &base);
+        // sparse term = gbuf_read - dense part; recompute dense via s=0.
+        let mut w0 = w.clone();
+        w0.odq_sensitive_fraction = 0.0;
+        let dense = layer_traffic(&w0, &base);
+        let sparse3 = t3.gbuf_read - dense.gbuf_read;
+        one_cluster_extra += sparse3 * 2.0; // 3x the sparse traffic total
+    }
+    rows.push(vec![
+        "1 executor cluster (no fetch sharing)".to_string(),
+        format!("{:.2}", (with.onchip_total() + one_cluster_extra) / 1e6),
+        format!("{:.2}", with.dram_total() / 1e6),
+    ]);
+
+    print_table(
+        "ResNet-20 @ 30% sensitive, per image",
+        &["configuration", "on-chip traffic (MB)", "DRAM traffic (MB)"],
+        &rows,
+    );
+    println!(
+        "\nDense (predictor) stream alone: {:.2} MB with line buffers vs {:.2} MB \
+         without ({:.1}x reuse — approaching K^2 for 3x3 kernels). At 30% sensitive \
+         the executor's sparse gathers dominate on-chip traffic, which is exactly \
+         why Sec. 4.3's 3-cluster fetch sharing matters (3x on that component).",
+        dense_with.onchip_total() / 1e6,
+        dense_without.onchip_total() / 1e6,
+        dense_without.gbuf_read / dense_with.gbuf_read.max(1.0),
+    );
+    write_json(
+        "ablate_clusters",
+        &serde_json::json!({
+            "with_lb_mb": with.onchip_total() / 1e6,
+            "without_lb_mb": without.onchip_total() / 1e6,
+            "one_cluster_mb": (with.onchip_total() + one_cluster_extra) / 1e6,
+        }),
+    );
+}

@@ -1,0 +1,84 @@
+//! Ablation: offset-binary (DoReFa-faithful) vs signed-symmetric weight
+//! coding at low bit widths.
+//!
+//! The symmetric max-abs grid maps most of a Gaussian weight distribution
+//! onto the zero code at ≤4 bits, collapsing the model; the offset grid
+//! (no zero level) keeps every weight informative. This choice is what
+//! makes the paper's INT4/INT2 arithmetic viable (DESIGN.md, "ablations").
+
+use odq_bench::{print_table, trained_model, write_json, ExpScale};
+use odq_nn::executor::{ConvCtx, ConvExecutor, FloatConvExecutor};
+use odq_nn::train::evaluate;
+use odq_nn::Arch;
+use odq_quant::{quantize_activation, quantize_weights, quantize_weights_symmetric};
+use odq_tensor::Tensor;
+
+struct Exec {
+    bits: u8,
+    symmetric: bool,
+}
+
+impl ConvExecutor for Exec {
+    fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
+        let qx = quantize_activation(x, self.bits, 1.0);
+        let qw = if self.symmetric {
+            quantize_weights_symmetric(ctx.weights, self.bits)
+        } else {
+            quantize_weights(ctx.weights, self.bits)
+        };
+        let mut y = odq_quant::qconv::qconv2d(&qx, &qw, &ctx.geom);
+        if let Some(b) = ctx.bias {
+            odq_nn::executor::add_bias(&mut y, b, &ctx.geom);
+        }
+        y
+    }
+}
+
+fn main() {
+    let scale = ExpScale::from_args();
+    println!("Ablation: weight coding (offset-binary vs signed-symmetric)");
+    let (mut model, _train, test) = trained_model(Arch::ResNet20, 10, scale, 0xAB1);
+    let t = (&test.images, test.labels.as_slice());
+    let float = evaluate(&model, t.0, t.1, scale.batch, &mut FloatConvExecutor);
+    // SQNR of each coding over the model's own first-layer weights (the
+    // MSE view; note SQNR and accuracy *disagree* at low bits — see
+    // odq_quant::sqnr's docs).
+    let mut w0 = None;
+    {
+        let mut m = model;
+        use odq_nn::Layer as _;
+        m.net.visit_convs_mut(&mut |c| {
+            if w0.is_none() {
+                w0 = Some(c.weight.value.clone());
+            }
+        });
+        model = m;
+    }
+    let w0 = w0.expect("model has conv layers");
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for bits in [8u8, 4, 3, 2] {
+        let off = evaluate(&model, t.0, t.1, scale.batch, &mut Exec { bits, symmetric: false });
+        let sym = evaluate(&model, t.0, t.1, scale.batch, &mut Exec { bits, symmetric: true });
+        let sq_off = odq_quant::sqnr::weight_sqnr_db(&w0, bits);
+        let sq_sym = odq_quant::sqnr::weight_symmetric_sqnr_db(&w0, bits);
+        rows.push(vec![
+            format!("INT{bits}"),
+            format!("{:.1}", 100.0 * off),
+            format!("{:.1}", 100.0 * sym),
+            format!("{sq_off:.1}"),
+            format!("{sq_sym:.1}"),
+        ]);
+        json.push(serde_json::json!({
+            "bits": bits, "offset": off, "symmetric": sym,
+            "sqnr_offset_db": sq_off, "sqnr_symmetric_db": sq_sym,
+        }));
+    }
+    print_table(
+        &format!("Top-1 accuracy (%) and weight SQNR (dB), float baseline {:.1}%", 100.0 * float),
+        &["scheme", "acc offset", "acc symmetric", "SQNR offset", "SQNR symmetric"],
+        &rows,
+    );
+    println!("\nExpected: the codings converge at 8 bits and diverge sharply at 2-3 bits.");
+    write_json("ablate_weight_coding", &json);
+}

@@ -1,0 +1,87 @@
+//! Extension experiment (paper Sec. 5.1: "ODQ is not limited to 4-bit and
+//! 2-bit quantization and can be easily extended to support other types of
+//! precision, e.g., INT8"): run ODQ with 8-bit operands split into 4-bit
+//! planes (predictor = INT4 MACs) and compare against the 4/2-bit default.
+
+use odq_bench::{print_table, trained_model, write_json, ExpScale};
+use odq_core::engine::ThresholdPolicy;
+use odq_core::{OdqCfg, OdqEngine};
+use odq_nn::executor::StaticQuantExecutor;
+use odq_nn::train::evaluate;
+use odq_nn::Arch;
+
+fn engine_with_cfg(cfg: OdqCfg) -> OdqEngine {
+    let mut e = OdqEngine::new(cfg.threshold);
+    e.cfg = cfg;
+    e.policy = ThresholdPolicy::Global(cfg.threshold);
+    e
+}
+
+fn main() {
+    let scale = ExpScale::from_args();
+    println!("Extension: ODQ at 8/4-bit precision (vs the paper's 4/2-bit)");
+    let (model, _train, test) = trained_model(Arch::ResNet20, 10, scale, 0xE18);
+    let t = (&test.images, test.labels.as_slice());
+
+    let mut int8 = StaticQuantExecutor::int(8);
+    let acc8 = evaluate(&model, t.0, t.1, scale.batch, &mut int8);
+    let mut int4 = StaticQuantExecutor::int(4);
+    let acc4 = evaluate(&model, t.0, t.1, scale.batch, &mut int4);
+
+    // Calibrate separately per precision pair (8-bit predictor partials
+    // live on a different scale).
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (name, a_bits, low_bits) in [("ODQ 8/4", 8u8, 4u8), ("ODQ 4/2 (paper)", 4, 2)] {
+        // Quantile calibration against this precision's predictor.
+        let mut probe = engine_with_cfg(OdqCfg {
+            a_bits,
+            w_bits: a_bits,
+            a_clip: 1.0,
+            low_bits,
+            threshold: 0.0,
+        });
+        let _ = model.forward_eval(&test.images, &mut probe);
+        // threshold from reference magnitudes at the 65th percentile:
+        // reuse layer stats? Simpler: sweep a few thresholds and report the
+        // one closest to ~35% sensitive.
+        let mut best = (0.0f32, 1.0f64, 0.0f32);
+        for thr in [0.05f32, 0.1, 0.2, 0.4, 0.8, 1.6] {
+            let mut e = engine_with_cfg(OdqCfg {
+                a_bits,
+                w_bits: a_bits,
+                a_clip: 1.0,
+                low_bits,
+                threshold: thr,
+            });
+            let acc = evaluate(&model, t.0, t.1, scale.batch, &mut e);
+            let sens = e.stats.overall_sensitive_fraction();
+            if (sens - 0.35).abs() < (best.1 - 0.35).abs() {
+                best = (thr, sens, acc);
+            }
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", best.0),
+            format!("{:.1}", 100.0 * best.1),
+            format!("{:.1}", 100.0 * best.2),
+        ]);
+        json.push(serde_json::json!({
+            "mode": name, "threshold": best.0, "sensitive": best.1, "accuracy": best.2,
+        }));
+    }
+    print_table(
+        &format!(
+            "ODQ precision extension (INT8 static {:.1}%, INT4 static {:.1}%)",
+            100.0 * acc8,
+            100.0 * acc4
+        ),
+        &["mode", "threshold", "sensitive %", "Top-1 acc % (no retrain)"],
+        &rows,
+    );
+    println!(
+        "\nThe 8/4 split needs no code changes: OdqCfg {{ a_bits: 8, low_bits: 4 }} — \
+         Eq. 3 and the predictor generalize over the plane width."
+    );
+    write_json("ext_int8_odq", &json);
+}

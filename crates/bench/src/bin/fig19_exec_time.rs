@@ -1,0 +1,63 @@
+//! Figure 19 — normalized execution time of the four DNNs on the four
+//! accelerators (INT16 / INT8 / DRQ / ODQ). Workloads use each network's
+//! full-size layer geometry with per-layer sensitive fractions measured on
+//! the trained scaled models.
+
+use odq_accel::sim::simulate_network;
+use odq_accel::{AccelConfig, EnergyModel};
+use odq_bench::{measured_workloads, print_table, write_json, ExpScale};
+use odq_nn::Arch;
+
+fn main() {
+    let scale = ExpScale::from_args();
+    println!("Fig. 19: normalized execution time per accelerator");
+    let em = EnergyModel::default();
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut improv_drq = Vec::new();
+    let mut improv_int16 = Vec::new();
+    let mut improv_int8 = Vec::new();
+    for arch in Arch::EVAL_MODELS {
+        // Quantiles echo Table 3's relative thresholds: DenseNet's tiny
+        // threshold (0.05) keeps more outputs sensitive.
+        let q = match arch {
+            Arch::DenseNet => 0.55,
+            Arch::Vgg16 => 0.65,
+            _ => 0.7,
+        };
+        let ws = measured_workloads(arch, scale, 0xF19, q);
+        let times: Vec<f64> = AccelConfig::table2()
+            .iter()
+            .map(|c| simulate_network(c, &ws, &em).total_cycles)
+            .collect();
+        let base = times[0]; // normalize to INT16
+        rows.push(vec![
+            arch.name().to_string(),
+            "1.000".into(),
+            format!("{:.3}", times[1] / base),
+            format!("{:.3}", times[2] / base),
+            format!("{:.3}", times[3] / base),
+        ]);
+        improv_int16.push(1.0 - times[3] / times[0]);
+        improv_int8.push(1.0 - times[3] / times[1]);
+        improv_drq.push(1.0 - times[3] / times[2]);
+        json.push(serde_json::json!({
+            "model": arch.name(),
+            "int16": 1.0, "int8": times[1]/base, "drq": times[2]/base, "odq": times[3]/base,
+        }));
+    }
+    print_table(
+        "execution time normalized to INT16",
+        &["model", "INT16", "INT8", "DRQ", "ODQ"],
+        &rows,
+    );
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\nODQ mean improvement: vs INT16 {:.1}% (paper 97.8%), vs INT8 {:.1}% \
+         (paper 95.8%), vs DRQ {:.1}% (paper 67.6%).",
+        100.0 * mean(&improv_int16),
+        100.0 * mean(&improv_int8),
+        100.0 * mean(&improv_drq)
+    );
+    write_json("fig19_exec_time", &json);
+}

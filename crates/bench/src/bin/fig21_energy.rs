@@ -1,0 +1,65 @@
+//! Figure 21 — normalized energy consumption of the four DNNs on the four
+//! accelerators, with the DRAM / Buffer / Cores breakdown.
+
+use odq_accel::sim::simulate_network;
+use odq_accel::{AccelConfig, EnergyModel};
+use odq_bench::{measured_workloads, print_table, write_json, ExpScale};
+use odq_nn::Arch;
+
+fn main() {
+    let scale = ExpScale::from_args();
+    println!("Fig. 21: normalized energy per accelerator (DRAM/Buffer/Cores)");
+    let em = EnergyModel::default();
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut sav16 = Vec::new();
+    let mut sav8 = Vec::new();
+    let mut savdrq = Vec::new();
+    for arch in Arch::EVAL_MODELS {
+        // Quantiles echo Table 3's relative thresholds: DenseNet's tiny
+        // threshold (0.05) keeps more outputs sensitive.
+        let q = match arch {
+            Arch::DenseNet => 0.55,
+            Arch::Vgg16 => 0.65,
+            _ => 0.7,
+        };
+        let ws = measured_workloads(arch, scale, 0xF21, q);
+        let results: Vec<_> = AccelConfig::table2()
+            .iter()
+            .map(|c| simulate_network(c, &ws, &em))
+            .collect();
+        let base = results[0].energy.total_nj();
+        for r in &results {
+            let e = &r.energy;
+            rows.push(vec![
+                format!("{} / {}", arch.name(), r.config),
+                format!("{:.3}", e.total_nj() / base),
+                format!("{:.3}", e.dram_nj / base),
+                format!("{:.3}", e.buffer_nj / base),
+                format!("{:.3}", e.cores_nj / base),
+            ]);
+            json.push(serde_json::json!({
+                "model": arch.name(), "config": r.config,
+                "total": e.total_nj()/base, "dram": e.dram_nj/base,
+                "buffer": e.buffer_nj/base, "cores": e.cores_nj/base,
+            }));
+        }
+        sav16.push(1.0 - results[3].energy.total_nj() / results[0].energy.total_nj());
+        sav8.push(1.0 - results[3].energy.total_nj() / results[1].energy.total_nj());
+        savdrq.push(1.0 - results[3].energy.total_nj() / results[2].energy.total_nj());
+    }
+    print_table(
+        "energy normalized to INT16 (per model)",
+        &["model / config", "total", "DRAM", "Buffer", "Cores"],
+        &rows,
+    );
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\nODQ mean energy saving: vs INT16 {:.1}% (paper 97.6%), vs INT8 {:.1}% \
+         (paper 93.5%), vs DRQ {:.1}% (paper 66.9%).",
+        100.0 * mean(&sav16),
+        100.0 * mean(&sav8),
+        100.0 * mean(&savdrq)
+    );
+    write_json("fig21_energy", &json);
+}

@@ -1,0 +1,122 @@
+//! Aggregate `results/*.json` into a terminal report with ASCII versions of
+//! the paper's headline figures. Run after `./run_experiments.sh`.
+
+use odq_bench::chart::{bar_chart, grouped_bar_chart};
+
+fn load(name: &str) -> Option<serde_json::Value> {
+    let path = format!("results/{name}.json");
+    let s = std::fs::read_to_string(&path).ok()?;
+    serde_json::from_str(&s).ok()
+}
+
+fn main() {
+    println!("ODQ reproduction report (from results/*.json)");
+    println!("==============================================");
+
+    if let Some(v) = load("fig19_exec_time") {
+        let rows: Vec<(String, Vec<f64>)> = v
+            .as_array()
+            .map(|a| {
+                a.iter()
+                    .map(|r| {
+                        (
+                            r["model"].as_str().unwrap_or("?").to_string(),
+                            vec![
+                                r["int16"].as_f64().unwrap_or(0.0),
+                                r["int8"].as_f64().unwrap_or(0.0),
+                                r["drq"].as_f64().unwrap_or(0.0),
+                                r["odq"].as_f64().unwrap_or(0.0),
+                            ],
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        println!(
+            "{}",
+            grouped_bar_chart(
+                "Fig. 19 — normalized execution time (lower is better)",
+                &["INT16", "INT8", "DRQ", "ODQ"],
+                &rows,
+                40,
+            )
+        );
+    } else {
+        println!("(fig19 results missing — run ./run_experiments.sh)");
+    }
+
+    if let Some(v) = load("fig18_accuracy") {
+        if let Some(rows) = v.as_array() {
+            let chart_rows: Vec<(String, Vec<f64>)> = rows
+                .iter()
+                .filter(|r| r["dataset"].as_str() == Some("SynthCIFAR-10"))
+                .map(|r| {
+                    (
+                        r["model"].as_str().unwrap_or("?").to_string(),
+                        vec![
+                            r["int16"].as_f64().unwrap_or(0.0) * 100.0,
+                            r["drq_8_4"].as_f64().unwrap_or(0.0) * 100.0,
+                            r["drq_4_2"].as_f64().unwrap_or(0.0) * 100.0,
+                            r["odq"].as_f64().unwrap_or(0.0) * 100.0,
+                        ],
+                    )
+                })
+                .collect();
+            println!(
+                "{}",
+                grouped_bar_chart(
+                    "Fig. 18 — Top-1 accuracy %, SynthCIFAR-10",
+                    &["INT16", "DRQ 8-4", "DRQ 4-2", "ODQ"],
+                    &chart_rows,
+                    40,
+                )
+            );
+        }
+    }
+
+    if let Some(v) = load("fig22_threshold") {
+        if let Some(rows) = v.as_array() {
+            let acc: Vec<(String, f64)> = rows
+                .iter()
+                .map(|r| {
+                    (
+                        format!("thr {:.2}", r["threshold"].as_f64().unwrap_or(0.0)),
+                        r["accuracy"].as_f64().unwrap_or(0.0) * 100.0,
+                    )
+                })
+                .collect();
+            println!("{}", bar_chart("Fig. 22 — accuracy vs threshold (%)", &acc, 40, "%"));
+            let ins: Vec<(String, f64)> = rows
+                .iter()
+                .map(|r| {
+                    (
+                        format!("thr {:.2}", r["threshold"].as_f64().unwrap_or(0.0)),
+                        r["insensitive"].as_f64().unwrap_or(0.0) * 100.0,
+                    )
+                })
+                .collect();
+            println!(
+                "{}",
+                bar_chart("Fig. 22 — insensitive (INT2) share vs threshold (%)", &ins, 40, "%")
+            );
+        }
+    }
+
+    if let Some(v) = load("fig10_insensitive_r20") {
+        if let Some(rows) = v.as_array() {
+            let r: Vec<(String, f64)> = rows
+                .iter()
+                .filter_map(|e| {
+                    let pair = e.as_array()?;
+                    Some((pair[0].as_str()?.to_string(), pair[1].as_f64()?))
+                })
+                .collect();
+            println!(
+                "{}",
+                bar_chart("Fig. 10 — insensitive outputs per layer, ResNet-20 (%)", &r, 40, "%")
+            );
+        }
+    }
+
+    println!("\nSee EXPERIMENTS.md for the full paper-vs-measured record.");
+}

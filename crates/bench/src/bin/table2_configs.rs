@@ -1,0 +1,27 @@
+//! Table 2 — the four accelerator configurations (PE counts, bit widths,
+//! on-chip memory, area check).
+
+use odq_accel::AccelConfig;
+use odq_bench::{print_table, write_json};
+
+fn main() {
+    println!("Table 2: accelerator configurations");
+    let paper_pes = [120usize, 1692, 1692, 4860];
+    let mut rows = Vec::new();
+    for (c, &p) in AccelConfig::table2().iter().zip(&paper_pes) {
+        rows.push(vec![
+            c.name.clone(),
+            c.total_pes.to_string(),
+            p.to_string(),
+            format!("INT{}", c.pe_bits),
+            format!("{:.2}", c.onchip_bytes as f64 / (1024.0 * 1024.0)),
+            format!("{:.3}", c.pe_area_mm2()),
+        ]);
+    }
+    print_table(
+        "Table 2 (ours vs paper PE counts)",
+        &["config", "#PEs", "paper #PEs", "PE bitwidth", "on-chip (MB)", "PE area (mm^2)"],
+        &rows,
+    );
+    write_json("table2_configs", &AccelConfig::table2());
+}

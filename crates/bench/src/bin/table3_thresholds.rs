@@ -1,0 +1,59 @@
+//! Table 3 — the sensitivity threshold selected per model by the adaptive
+//! search (Sec. 3): calibrate from the predictor-output distribution,
+//! retrain with the threshold in the loop, halve until the accuracy
+//! expectation is met.
+
+use odq_bench::{print_table, trained_model, write_json, ExpScale};
+use odq_core::{search_threshold, SearchCfg};
+use odq_nn::param::init_rng;
+use odq_nn::Arch;
+
+fn main() {
+    let scale = ExpScale::from_args();
+    println!("Table 3: per-model thresholds from the adaptive search");
+    let paper = [("ResNet-56", 0.5f32), ("ResNet-20", 0.5), ("VGG-16", 0.3), ("DenseNet", 0.05)];
+    let cfg = SearchCfg {
+        retrain_epochs: 1,
+        max_halvings: 5,
+        acc_tolerance: 0.03,
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (arch, (pname, pthr)) in Arch::EVAL_MODELS.iter().zip(&paper) {
+        let (mut model, train, test) = trained_model(*arch, 10, scale, 0x7A3);
+        let mut rng = init_rng(0x7A3);
+        let r = search_threshold(
+            &mut model,
+            (&train.images, &train.labels),
+            (&test.images, &test.labels),
+            &cfg,
+            &mut rng,
+        );
+        rows.push(vec![
+            pname.to_string(),
+            format!("{:.3}", r.threshold),
+            format!("{pthr}"),
+            r.trials.len().to_string(),
+            format!("{}", r.converged),
+            format!("{:.1}", 100.0 * r.baseline_accuracy),
+            format!("{:.1}", 100.0 * r.trials.last().map(|t| t.accuracy).unwrap_or(0.0)),
+        ]);
+        json.push(serde_json::json!({
+            "model": pname, "threshold": r.threshold, "paper": pthr,
+            "trials": r.trials.len(), "converged": r.converged,
+        }));
+    }
+    print_table(
+        "selected thresholds (ours vs paper)",
+        &["model", "threshold (ours)", "paper", "#trials", "converged", "INT4 baseline acc %", "ODQ acc %"],
+        &rows,
+    );
+    println!(
+        "\nAbsolute thresholds depend on weight/activation scales, which differ on \
+         synthetic data; the reproduced property is that the search converges in a \
+         few halvings to a threshold preserving accuracy (paper: 3-4 retraining \
+         rounds per model)."
+    );
+    write_json("table3_thresholds", &json);
+}

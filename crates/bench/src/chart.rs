@@ -1,0 +1,95 @@
+//! Terminal "figures": ASCII bar charts for experiment outputs, so the
+//! per-figure binaries can render the paper's plots directly in the
+//! terminal and the `report` binary can summarize a results directory.
+
+/// Render a horizontal bar chart. `rows` are `(label, value)`; bars are
+/// scaled to `width` characters against the maximum value.
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize, unit: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n{title}\n"));
+    if rows.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let max = rows.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max).max(1e-12);
+    for (label, value) in rows {
+        let filled = ((value / max) * width as f64).round().max(0.0) as usize;
+        let bar: String = std::iter::repeat_n('█', filled.min(width)).collect();
+        out.push_str(&format!(
+            "  {label:<label_w$} |{bar:<width$}| {value:.3}{unit}\n"
+        ));
+    }
+    out
+}
+
+/// Render grouped bars (one group per row, one bar per series) — the shape
+/// of the paper's Figs. 18/19/21.
+pub fn grouped_bar_chart(
+    title: &str,
+    series: &[&str],
+    rows: &[(String, Vec<f64>)],
+    width: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n{title}\n"));
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .chain(series.iter().map(|s| s.len()))
+        .max()
+        .unwrap_or(0);
+    let max = rows
+        .iter()
+        .flat_map(|(_, vs)| vs.iter().copied())
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
+    for (label, values) in rows {
+        out.push_str(&format!("  {label}\n"));
+        for (s, v) in series.iter().zip(values) {
+            let filled = ((*v / max) * width as f64).round().max(0.0) as usize;
+            let bar: String = std::iter::repeat_n('▒', filled.min(width)).collect();
+            out.push_str(&format!("    {s:<label_w$} |{bar:<width$}| {v:.3}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![("a".to_string(), 1.0), ("bb".to_string(), 2.0)];
+        let s = bar_chart("t", &rows, 10, "x");
+        // The max row fills the width.
+        assert!(s.contains(&"█".repeat(10)));
+        // Labels are padded to equal width.
+        assert!(s.contains("a  |") || s.contains("a |"));
+        assert!(s.contains("2.000x"));
+    }
+
+    #[test]
+    fn empty_chart() {
+        let s = bar_chart("t", &[], 10, "");
+        assert!(s.contains("(no data)"));
+    }
+
+    #[test]
+    fn grouped_chart_contains_all_series() {
+        let rows = vec![("ResNet-20".to_string(), vec![1.0, 0.25])];
+        let s = grouped_bar_chart("fig", &["INT16", "ODQ"], &rows, 20);
+        assert!(s.contains("INT16"));
+        assert!(s.contains("ODQ"));
+        assert!(s.contains("ResNet-20"));
+        assert!(s.contains("0.250"));
+    }
+
+    #[test]
+    fn zero_values_render() {
+        let rows = vec![("z".to_string(), 0.0)];
+        let s = bar_chart("t", &rows, 8, "");
+        assert!(s.contains("0.000"));
+    }
+}

@@ -1,0 +1,347 @@
+//! # odq-bench
+//!
+//! Experiment harness for the ODQ reproduction. Each binary in `src/bin/`
+//! regenerates one table or figure of the paper (see DESIGN.md's
+//! per-experiment index); this library holds the shared machinery:
+//!
+//! * [`trained_model`] — build and train a width-scaled model on the
+//!   synthetic dataset (DESIGN.md substitutions 1–2);
+//! * [`measured_fractions`] / [`full_size_workloads`] — measure per-layer
+//!   ODQ sensitive fractions on the trained model and map them onto the
+//!   *full-size* network geometries for the accelerator simulator;
+//! * table-printing and JSON-result helpers.
+
+pub mod chart;
+
+use odq_accel::LayerWorkload;
+use odq_core::OdqEngine;
+use odq_data::{Dataset, SynthSpec};
+use odq_nn::models::{Model, ModelCfg};
+use odq_nn::param::init_rng;
+use odq_nn::train::{train_epoch, SgdCfg};
+use odq_nn::Arch;
+
+/// Standard experiment scale: kept small enough that every binary runs in
+/// seconds-to-minutes on one CPU core while exercising the full pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpScale {
+    /// Image size for the scaled models.
+    pub hw: usize,
+    /// Training images.
+    pub n_train: usize,
+    /// Test images.
+    pub n_test: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+}
+
+impl Default for ExpScale {
+    fn default() -> Self {
+        Self { hw: 12, n_train: 280, n_test: 120, epochs: 7, batch: 28 }
+    }
+}
+
+impl ExpScale {
+    /// A faster scale for smoke runs (`--quick`).
+    pub fn quick() -> Self {
+        Self { hw: 8, n_train: 96, n_test: 48, epochs: 2, batch: 24 }
+    }
+
+    /// Select from CLI args: `--quick` anywhere selects the quick scale.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            Self::quick()
+        } else {
+            Self::default()
+        }
+    }
+}
+
+/// Bump when the training recipe changes (invalidates cached models).
+const TRAIN_RECIPE_VERSION: u32 = 1;
+
+fn model_cache_path(arch: Arch, num_classes: usize, scale: ExpScale, seed: u64) -> std::path::PathBuf {
+    std::path::Path::new("results").join(".model-cache").join(format!(
+        "v{TRAIN_RECIPE_VERSION}_{}_{num_classes}c_{}px_{}n_{}e_{seed:x}.f32",
+        arch.name().replace('-', ""),
+        scale.hw,
+        scale.n_train,
+        scale.epochs
+    ))
+}
+
+fn save_state(path: &std::path::Path, state: &[f32]) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let bytes: Vec<u8> = state.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let _ = std::fs::write(path, bytes);
+}
+
+fn load_state(path: &std::path::Path, expected_len: usize) -> Option<Vec<f32>> {
+    let bytes = std::fs::read(path).ok()?;
+    if bytes.len() != expected_len * 4 {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect(),
+    )
+}
+
+/// Build a width-scaled model of `arch` and train it on the synthetic
+/// dataset: float epochs followed by INT4 quantization-aware fine-tuning
+/// (the paper's models are DoReFa-trained at 4 bits before ODQ is applied,
+/// Sec. 3). Returns the model and the train/test split.
+///
+/// Trained weights are cached under `results/.model-cache/` keyed by the
+/// full training configuration, so repeated experiment runs skip training.
+/// Delete that directory (or set `ODQ_NO_CACHE=1`) to force retraining.
+pub fn trained_model(
+    arch: Arch,
+    num_classes: usize,
+    scale: ExpScale,
+    seed: u64,
+) -> (Model, Dataset, Dataset) {
+    let mut cfg = ModelCfg::small(arch, num_classes);
+    cfg.input_hw = scale.hw;
+    cfg.seed = seed;
+    let mut model = Model::build(cfg);
+
+    let mut spec =
+        if num_classes > 10 { SynthSpec::cifar100(scale.hw) } else { SynthSpec::cifar10(scale.hw) };
+    spec.num_classes = num_classes;
+    let (train, test) = spec.generate_split(scale.n_train, scale.n_test);
+
+    let use_cache = std::env::var_os("ODQ_NO_CACHE").is_none();
+    let cache = model_cache_path(arch, num_classes, scale, seed);
+    if use_cache {
+        let want = model.snapshot_state().len();
+        if let Some(state) = load_state(&cache, want) {
+            model.restore_state(&state);
+            model.set_qat(Some(odq_nn::layers::QatCfg::int4()));
+            return (model, train, test);
+        }
+    }
+
+    let mut rng = init_rng(seed ^ 0x5EED);
+    let sgd = SgdCfg { lr: 0.06, momentum: 0.9, weight_decay: 1e-4, grad_clip: 5.0 };
+    for _ in 0..scale.epochs {
+        train_epoch(&mut model, &train.images, &train.labels, scale.batch, &sgd, &mut rng);
+    }
+    // 4-bit quantization-aware fine-tuning (straight-through estimator).
+    model.set_qat(Some(odq_nn::layers::QatCfg::int4()));
+    let ft = SgdCfg { lr: 0.02, momentum: 0.9, weight_decay: 1e-4, grad_clip: 5.0 };
+    for _ in 0..scale.epochs.div_ceil(2).max(2) {
+        train_epoch(&mut model, &train.images, &train.labels, scale.batch, &ft, &mut rng);
+    }
+    if use_cache {
+        save_state(&cache, &model.snapshot_state());
+    }
+    (model, train, test)
+}
+
+/// ODQ threshold-in-the-loop retraining (the paper's "weights are
+/// retrained after introducing the threshold", Sec. 3).
+///
+/// The threshold is annealed up to its target over the epochs — jumping
+/// straight to a large threshold replaces most outputs with predictor
+/// estimates at once and regularly diverges on small models; ramping lets
+/// the network adapt gradually (the paper reports 3–4 retraining rounds
+/// per model, consistent with a staged schedule).
+pub fn odq_retrain(model: &mut Model, train: &Dataset, threshold: f32, scale: ExpScale, seed: u64) {
+    let mut rng = init_rng(seed ^ 0x0D12);
+    let sgd = SgdCfg { lr: 0.01, momentum: 0.9, weight_decay: 1e-4, grad_clip: 5.0 };
+
+    // Retrain AT the target threshold: adaptation to the emulated ODQ
+    // noise does not transfer from smaller thresholds, so annealing wastes
+    // epochs (empirically the real-ODQ accuracy only recovers after 2-3
+    // epochs at the final threshold). Small-model retraining is not
+    // monotone, so keep the best checkpoint by real-ODQ training accuracy
+    // (including the pre-retraining state — retraining can only help).
+    let eval_odq = |m: &Model| {
+        let mut engine = odq_core::OdqEngine::new(threshold);
+        engine.record = false;
+        odq_nn::train::evaluate(m, &train.images, &train.labels, scale.batch, &mut engine)
+    };
+    let mut best_acc = eval_odq(model);
+    let mut best_state = model.snapshot_state();
+    for _ in 0..8 {
+        model.set_odq_emu(Some(odq_nn::layers::OdqEmuCfg { threshold }));
+        train_epoch(model, &train.images, &train.labels, scale.batch, &sgd, &mut rng);
+        model.set_odq_emu(None);
+        let acc = eval_odq(model);
+        if acc >= best_acc {
+            best_acc = acc;
+            best_state = model.snapshot_state();
+        }
+    }
+    model.restore_state(&best_state);
+}
+
+/// Measure per-layer ODQ sensitive fractions on a trained model.
+///
+/// Returns `(layer_name, sensitive_fraction)` in layer order.
+pub fn measured_fractions(
+    model: &Model,
+    images: &odq_tensor::Tensor,
+    threshold: f32,
+) -> Vec<(String, f64)> {
+    let mut engine = OdqEngine::new(threshold);
+    let _ = model.forward_eval(images, &mut engine);
+    engine
+        .stats
+        .layers
+        .iter()
+        .map(|l| (l.name.clone(), l.sensitive_fraction()))
+        .collect()
+}
+
+/// Map measured per-layer sensitive fractions onto the **full-size**
+/// network's conv geometries by relative depth (the scaled model has fewer
+/// layers than the full architecture; fraction profiles are stretched
+/// proportionally, preserving the early-vs-late layer trend).
+pub fn full_size_workloads(arch: Arch, input_hw: usize, fractions: &[f64]) -> Vec<LayerWorkload> {
+    let geoms = arch.conv_geometries(input_hw);
+    assert!(!fractions.is_empty(), "need at least one measured fraction");
+    geoms
+        .iter()
+        .enumerate()
+        .map(|(i, nc)| {
+            let pos = i as f64 / geoms.len().max(1) as f64;
+            let j = ((pos * fractions.len() as f64).floor() as usize).min(fractions.len() - 1);
+            LayerWorkload::uniform(nc.name.clone(), nc.geom, fractions[j].clamp(0.0, 1.0))
+        })
+        .collect()
+}
+
+/// The common experiment pipeline for accelerator figures: train (cached),
+/// calibrate a threshold at quantile `q`, measure per-layer sensitive
+/// fractions, and map them onto the full-size geometry.
+pub fn measured_workloads(
+    arch: Arch,
+    scale: ExpScale,
+    seed: u64,
+    q: f32,
+) -> Vec<LayerWorkload> {
+    let (model, _train, test) = trained_model(arch, 10, scale, seed);
+    let thr = calibrated_threshold(&model, &test.images, q);
+    let fr: Vec<f64> =
+        measured_fractions(&model, &test.images, thr).into_iter().map(|(_, s)| s).collect();
+    full_size_workloads(arch, 32, &fr)
+}
+
+/// Full-size workloads with one uniform sensitive fraction (for sweeps).
+pub fn uniform_workloads(arch: Arch, input_hw: usize, s: f64) -> Vec<LayerWorkload> {
+    arch.conv_geometries(input_hw)
+        .iter()
+        .map(|nc| LayerWorkload::uniform(nc.name.clone(), nc.geom, s))
+        .collect()
+}
+
+/// Calibrate a sensitivity threshold at quantile `q` of the model's
+/// |predictor output| distribution (the paper's threshold-initialization
+/// procedure, Sec. 3). `q = 0.7` marks roughly the top 30% of outputs
+/// sensitive — the middle of the paper's observed 8–50% range.
+pub fn calibrated_threshold(model: &Model, images: &odq_tensor::Tensor, q: f32) -> f32 {
+    odq_core::threshold::calibrate_initial_threshold(model, images, 8, q)
+}
+
+/// Run the Sec.-2 motivation study: DRQ on a trained (width-scaled)
+/// ResNet-20 over SynthCIFAR-10, collecting the Figs. 2–5 instrumentation.
+///
+/// We instrument the INT4-INT2 configuration: our DRQ implementation
+/// requantizes onto an exactly-embedded coarse grid (smaller error than
+/// plain bit truncation), so the paper's "noise on sensitive outputs"
+/// effect — which it already demonstrates at INT8-INT4 — shows at the
+/// 4/2-bit pair here (the same pair whose accuracy collapse Fig. 18
+/// demonstrates).
+pub fn motivation_run(scale: ExpScale) -> odq_drq::MotivationStats {
+    let (model, _train, test) = trained_model(Arch::ResNet20, 10, scale, 0xF16);
+    let mut exec =
+        odq_drq::MotivationExecutor::new(odq_drq::DrqCfg::int4_int2(0.4), 0.75);
+    let _ = model.forward_eval(&test.images, &mut exec);
+    exec.stats
+}
+
+/// Print a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let head: Vec<String> =
+        headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
+    println!("{}", head.join("  "));
+    println!("{}", "-".repeat(head.join("  ").len()));
+    for row in rows {
+        let line: Vec<String> =
+            row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Write a JSON result file under `results/` (created on demand).
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_size_workloads_stretch_profile() {
+        let fr = [0.1, 0.5];
+        let ws = full_size_workloads(Arch::ResNet20, 32, &fr);
+        assert_eq!(ws.len(), Arch::ResNet20.conv_geometries(32).len());
+        // First half ≈ 0.1, second half ≈ 0.5.
+        assert!((ws[0].odq_sensitive_fraction - 0.1).abs() < 1e-9);
+        assert!((ws.last().unwrap().odq_sensitive_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_workloads_all_same_fraction() {
+        let ws = uniform_workloads(Arch::Vgg16, 32, 0.3);
+        assert_eq!(ws.len(), 13);
+        assert!(ws.iter().all(|w| (w.odq_sensitive_fraction - 0.3).abs() < 1e-9));
+    }
+
+    #[test]
+    fn quick_scale_smaller() {
+        let q = ExpScale::quick();
+        let d = ExpScale::default();
+        assert!(q.n_train < d.n_train && q.hw < d.hw);
+    }
+
+    #[test]
+    fn trained_model_learns_something() {
+        use odq_nn::executor::FloatConvExecutor;
+        use odq_nn::train::evaluate;
+        let scale = ExpScale { hw: 8, n_train: 96, n_test: 32, epochs: 7, batch: 16 };
+        let (m, _train, test) = trained_model(Arch::ResNet20, 4, scale, 7);
+        let acc = evaluate(&m, &test.images, &test.labels, 16, &mut FloatConvExecutor);
+        assert!(acc > 0.3, "model should beat 4-class chance: {acc}");
+    }
+}

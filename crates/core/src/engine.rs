@@ -1,0 +1,291 @@
+//! [`OdqEngine`] — run whole models under ODQ.
+
+use std::collections::HashMap;
+
+use odq_nn::executor::{ConvCtx, ConvExecutor};
+use odq_quant::{quantize_weights, QTensor};
+use odq_tensor::Tensor;
+
+use crate::odq_conv::{odq_conv2d_quantized, OdqCfg};
+use crate::stats::{LayerStats, OdqStats};
+
+/// Threshold policy: one global value (the paper's choice — "we use the
+/// same threshold across all layers", Sec. 6.4) or per-layer overrides
+/// (exposed for the threshold-granularity ablation).
+#[derive(Clone, Debug)]
+pub enum ThresholdPolicy {
+    /// One threshold for every layer.
+    Global(f32),
+    /// Per-layer thresholds by layer name, with a fallback default.
+    PerLayer {
+        /// Name → threshold map.
+        map: HashMap<String, f32>,
+        /// Fallback for unlisted layers.
+        default: f32,
+    },
+}
+
+impl ThresholdPolicy {
+    fn for_layer(&self, name: &str) -> f32 {
+        match self {
+            ThresholdPolicy::Global(t) => *t,
+            ThresholdPolicy::PerLayer { map, default } => *map.get(name).unwrap_or(default),
+        }
+    }
+}
+
+/// A [`ConvExecutor`] that executes every conv layer with output-directed
+/// dynamic quantization and records per-layer statistics.
+pub struct OdqEngine {
+    /// Base ODQ configuration (bits, clip, low-plane width). The
+    /// per-layer threshold comes from `policy`.
+    pub cfg: OdqCfg,
+    /// Threshold policy.
+    pub policy: ThresholdPolicy,
+    /// Whether to record statistics (mask fractions, precision loss,
+    /// per-channel workloads). Recording costs memory per pass.
+    pub record: bool,
+    /// Execute with the genuinely sparse executor path
+    /// ([`crate::odq_conv::odq_conv2d_sparse`]): insensitive outputs are
+    /// never computed at full precision, so the work actually performed is
+    /// proportional to the sensitive fraction — what the accelerator does.
+    /// The dense path computes everything and masks afterwards (identical
+    /// outputs; cheaper on CPU via GEMM, and required for precision-loss
+    /// statistics). Ignored while `record` is set.
+    pub sparse: bool,
+    /// Accumulated statistics.
+    pub stats: OdqStats,
+    weight_cache: HashMap<String, (u64, QTensor)>,
+}
+
+impl OdqEngine {
+    /// Engine with a global threshold and the 4/2-bit configuration.
+    pub fn new(threshold: f32) -> Self {
+        Self {
+            cfg: OdqCfg::int4(threshold),
+            policy: ThresholdPolicy::Global(threshold),
+            record: true,
+            sparse: false,
+            stats: OdqStats::default(),
+            weight_cache: HashMap::new(),
+        }
+    }
+
+    /// Engine with per-layer thresholds.
+    pub fn with_per_layer(map: HashMap<String, f32>, default: f32) -> Self {
+        Self {
+            cfg: OdqCfg::int4(default),
+            policy: ThresholdPolicy::PerLayer { map, default },
+            record: true,
+            sparse: false,
+            stats: OdqStats::default(),
+            weight_cache: HashMap::new(),
+        }
+    }
+
+    /// Drop cached quantized weights (call if model weights changed).
+    pub fn invalidate_weights(&mut self) {
+        self.weight_cache.clear();
+    }
+
+    /// Clear accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn stats_entry(&mut self, ctx: &ConvCtx<'_>) -> &mut LayerStats {
+        if let Some(pos) = self.stats.layers.iter().position(|l| l.name == ctx.name) {
+            &mut self.stats.layers[pos]
+        } else {
+            self.stats.layers.push(LayerStats::new(ctx.name, ctx.geom));
+            self.stats.layers.last_mut().expect("just pushed")
+        }
+    }
+}
+
+/// Cheap weight fingerprint: length plus the bit patterns of a few sampled
+/// elements and a strided partial sum. Any gradient step perturbs it.
+fn weight_fingerprint(w: &Tensor) -> u64 {
+    let s = w.as_slice();
+    let mut h = s.len() as u64;
+    let mix = |h: u64, v: f32| {
+        (h ^ v.to_bits() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    };
+    if let Some(&v) = s.first() {
+        h = mix(h, v);
+    }
+    if let Some(&v) = s.get(s.len() / 2) {
+        h = mix(h, v);
+    }
+    if let Some(&v) = s.last() {
+        h = mix(h, v);
+    }
+    let mut acc = 0.0f32;
+    for &v in s.iter().step_by((s.len() / 16).max(1)) {
+        acc += v;
+    }
+    mix(h, acc)
+}
+
+impl ConvExecutor for OdqEngine {
+    fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
+        let threshold = self.policy.for_layer(ctx.name);
+        let cfg = OdqCfg { threshold, ..self.cfg };
+
+        if self.sparse && !self.record {
+            let r = crate::odq_conv::odq_conv2d_sparse(x, ctx.weights, ctx.bias, &ctx.geom, &cfg);
+            return r.output;
+        }
+
+        // Cache quantized weights per layer, fingerprinted against the raw
+        // weights so retraining between passes cannot serve stale codes
+        // (sampling a few elements is enough to catch any SGD update).
+        // Refresh the entry if stale, then borrow it — no per-call clone of
+        // the code tensor.
+        let fp = weight_fingerprint(ctx.weights);
+        let stale = !matches!(self.weight_cache.get(ctx.name), Some((f, _)) if *f == fp);
+        if stale {
+            let qw = quantize_weights(ctx.weights, cfg.w_bits);
+            self.weight_cache.insert(ctx.name.to_string(), (fp, qw));
+        }
+        let qw = &self.weight_cache.get(ctx.name).expect("just ensured").1;
+        let qx = odq_quant::quantize_activation(x, cfg.a_bits, cfg.a_clip);
+        let r = odq_conv2d_quantized(&qx, qw, ctx.bias, &ctx.geom, &cfg);
+
+        if self.record {
+            let spatial = ctx.geom.out_spatial();
+            let co = ctx.geom.out_channels;
+            let entry = self.stats_entry(ctx);
+            entry.total_outputs += r.mask.len() as u64;
+            entry.sensitive_outputs += r.mask.sensitive_count() as u64;
+            entry.channel_counts.extend(r.mask.channel_counts());
+            // Precision loss over reference-sensitive outputs. The mask is
+            // thresholded on *pre-bias* predictor estimates, so classify
+            // the reference pre-bias too (subtract the channel bias).
+            let out = r.output.as_slice();
+            let rf = r.reference.as_slice();
+            for (i, (&o, &f)) in out.iter().zip(rf).enumerate() {
+                let b = ctx
+                    .bias
+                    .map_or(0.0, |bs| bs[(i / spatial) % co]);
+                if (f - b).abs() >= threshold {
+                    entry.reference_sensitive += 1;
+                    entry.precision_loss_sum += (o - f).abs() as f64;
+                }
+            }
+        }
+        r.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odq_data::SynthSpec;
+    use odq_nn::executor::FloatConvExecutor;
+    use odq_nn::models::{Model, ModelCfg};
+    use odq_nn::train::evaluate;
+    use odq_nn::Arch;
+
+    fn small_model() -> Model {
+        let mut cfg = ModelCfg::small(Arch::ResNet20, 10);
+        cfg.input_hw = 8;
+        Model::build(cfg)
+    }
+
+    #[test]
+    fn engine_runs_model_and_records_stats() {
+        let m = small_model();
+        let data = SynthSpec::cifar10(8).generate(4);
+        let mut engine = OdqEngine::new(0.3);
+        let y = m.forward_eval(&data.images, &mut engine);
+        assert_eq!(y.dims(), &[4, 10]);
+        assert!(!engine.stats.layers.is_empty());
+        for l in &engine.stats.layers {
+            assert!(l.total_outputs > 0, "{} recorded no outputs", l.name);
+            assert!(!l.channel_counts.is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_threshold_matches_static_int4() {
+        // At threshold 0 everything is sensitive and ODQ degenerates to a
+        // plain INT4 static quantization — model outputs must agree with
+        // the StaticQuantExecutor's.
+        let m = small_model();
+        let data = SynthSpec::cifar10(8).generate(2);
+        let mut odq = OdqEngine::new(0.0);
+        let y_odq = m.forward_eval(&data.images, &mut odq);
+        let mut int4 = odq_nn::executor::StaticQuantExecutor::int(4);
+        let y_int4 = m.forward_eval(&data.images, &mut int4);
+        assert!(y_odq.max_abs_diff(&y_int4) < 1e-3);
+    }
+
+    #[test]
+    fn threshold_controls_sensitive_fraction() {
+        let m = small_model();
+        let data = SynthSpec::cifar10(8).generate(4);
+        let mut lo = OdqEngine::new(0.05);
+        let _ = m.forward_eval(&data.images, &mut lo);
+        let mut hi = OdqEngine::new(0.8);
+        let _ = m.forward_eval(&data.images, &mut hi);
+        assert!(
+            lo.stats.overall_sensitive_fraction() > hi.stats.overall_sensitive_fraction(),
+            "lower threshold must mark more outputs sensitive"
+        );
+    }
+
+    #[test]
+    fn per_layer_policy_overrides() {
+        let mut map = HashMap::new();
+        map.insert("C1".to_string(), f32::INFINITY);
+        let m = small_model();
+        let data = SynthSpec::cifar10(8).generate(2);
+        let mut engine = OdqEngine::with_per_layer(map, 0.0);
+        let _ = m.forward_eval(&data.images, &mut engine);
+        let c1 = engine.stats.layer("C1").expect("C1 present");
+        assert_eq!(c1.sensitive_outputs, 0, "C1 forced all-insensitive");
+        let c2 = engine.stats.layer("C2").expect("C2 present");
+        assert_eq!(c2.sensitive_outputs, c2.total_outputs, "C2 all-sensitive at thr 0");
+    }
+
+    #[test]
+    fn sparse_engine_matches_dense_engine() {
+        let m = small_model();
+        let data = SynthSpec::cifar10(8).generate(3);
+        let mut dense = OdqEngine::new(0.3);
+        dense.record = false;
+        let yd = m.forward_eval(&data.images, &mut dense);
+        let mut sparse = OdqEngine::new(0.3);
+        sparse.record = false;
+        sparse.sparse = true;
+        let ys = m.forward_eval(&data.images, &mut sparse);
+        assert!(yd.max_abs_diff(&ys) < 1e-3, "diff {}", yd.max_abs_diff(&ys));
+    }
+
+    #[test]
+    fn odq_accuracy_close_to_float_on_trained_toyset() {
+        // Train briefly on synthetic data; ODQ at a modest threshold should
+        // lose little accuracy vs the float evaluation.
+        use odq_nn::train::{train_epoch, SgdCfg};
+        let mut cfg = ModelCfg::small(Arch::ResNet20, 4);
+        cfg.input_hw = 8;
+        let mut m = Model::build(cfg);
+        let mut spec = SynthSpec::cifar10(8);
+        spec.num_classes = 4;
+        let (train, test) = spec.generate_split(64, 32);
+        let mut rng = odq_nn::param::init_rng(3);
+        let sgd = SgdCfg { lr: 0.08, momentum: 0.9, weight_decay: 1e-4, grad_clip: 5.0 };
+        for _ in 0..6 {
+            train_epoch(&mut m, &train.images, &train.labels, 16, &sgd, &mut rng);
+        }
+        let acc_float = evaluate(&m, &test.images, &test.labels, 16, &mut FloatConvExecutor);
+        let mut engine = OdqEngine::new(0.2);
+        let acc_odq = evaluate(&m, &test.images, &test.labels, 16, &mut engine);
+        assert!(acc_float > 0.5, "float baseline should learn something: {acc_float}");
+        assert!(
+            acc_odq >= acc_float - 0.25,
+            "ODQ should not collapse accuracy: float={acc_float} odq={acc_odq}"
+        );
+    }
+}

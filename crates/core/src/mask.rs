@@ -1,0 +1,209 @@
+//! Sensitivity bit masks.
+//!
+//! The predictor writes one bit per output feature ("1" = sensitive,
+//! Sec. 3); the executor and the accelerator simulator consume them. For
+//! accelerator workloads only the per-(image, output-channel) sensitive
+//! counts matter, so [`SensitivityMask::channel_counts`] summarizes masks
+//! into the compact form the simulator uses.
+
+/// A per-output-feature sensitivity mask for one conv layer's outputs
+/// (`[N, Co, OH, OW]`, flattened row-major).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SensitivityMask {
+    /// Batch size.
+    pub n: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Spatial size (`OH * OW`).
+    pub spatial: usize,
+    bits: Vec<bool>,
+}
+
+impl SensitivityMask {
+    /// Build from raw bits (length must equal `n * out_channels * spatial`).
+    pub fn new(n: usize, out_channels: usize, spatial: usize, bits: Vec<bool>) -> Self {
+        assert_eq!(bits.len(), n * out_channels * spatial, "mask length mismatch");
+        Self { n, out_channels, spatial, bits }
+    }
+
+    /// The raw bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Bit for (image, channel, spatial offset).
+    #[inline]
+    pub fn get(&self, img: usize, ch: usize, s: usize) -> bool {
+        self.bits[(img * self.out_channels + ch) * self.spatial + s]
+    }
+
+    /// Total number of output features.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the mask is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Number of sensitive (set) bits.
+    pub fn sensitive_count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Fraction of sensitive outputs in `[0, 1]`.
+    pub fn sensitive_fraction(&self) -> f64 {
+        if self.bits.is_empty() {
+            return 0.0;
+        }
+        self.sensitive_count() as f64 / self.bits.len() as f64
+    }
+
+    /// Fraction of insensitive outputs (what Figs. 9/10 plot).
+    pub fn insensitive_fraction(&self) -> f64 {
+        1.0 - self.sensitive_fraction()
+    }
+
+    /// Sensitive-output counts per (image, output channel):
+    /// `counts[img][ch]` — the accelerator simulator's workload unit
+    /// (each output channel = one OFM column of work).
+    pub fn channel_counts(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![vec![0u32; self.out_channels]; self.n];
+        for (img, row) in out.iter_mut().enumerate() {
+            for (ch, cell) in row.iter_mut().enumerate() {
+                let base = (img * self.out_channels + ch) * self.spatial;
+                *cell =
+                    self.bits[base..base + self.spatial].iter().filter(|&&b| b).count() as u32;
+            }
+        }
+        out
+    }
+}
+
+impl SensitivityMask {
+    /// Bit-pack the mask (8 features per byte, LSB-first) — the format the
+    /// paper's flow dumps for its accelerator simulator ("we use Pytorch to
+    /// dump the binary mask maps for inference, which are then fed into our
+    /// simulator", Sec. 5.2). Header: `n`, `out_channels`, `spatial` as
+    /// u32 LE, then the packed bits.
+    pub fn to_bitpacked(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.bits.len().div_ceil(8));
+        out.extend_from_slice(&(self.n as u32).to_le_bytes());
+        out.extend_from_slice(&(self.out_channels as u32).to_le_bytes());
+        out.extend_from_slice(&(self.spatial as u32).to_le_bytes());
+        let mut byte = 0u8;
+        for (i, &b) in self.bits.iter().enumerate() {
+            if b {
+                byte |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                out.push(byte);
+                byte = 0;
+            }
+        }
+        if !self.bits.len().is_multiple_of(8) {
+            out.push(byte);
+        }
+        out
+    }
+
+    /// Parse a bit-packed mask produced by [`SensitivityMask::to_bitpacked`].
+    ///
+    /// Returns `None` on truncated or malformed input.
+    pub fn from_bitpacked(data: &[u8]) -> Option<Self> {
+        if data.len() < 12 {
+            return None;
+        }
+        let rd = |o: usize| -> Option<usize> {
+            Some(u32::from_le_bytes(data[o..o + 4].try_into().ok()?) as usize)
+        };
+        let n = rd(0)?;
+        let out_channels = rd(4)?;
+        let spatial = rd(8)?;
+        let total = n.checked_mul(out_channels)?.checked_mul(spatial)?;
+        let need = 12 + total.div_ceil(8);
+        if data.len() < need {
+            return None;
+        }
+        let bits = (0..total)
+            .map(|i| data[12 + i / 8] & (1 << (i % 8)) != 0)
+            .collect();
+        Some(Self { n, out_channels, spatial, bits })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_fractions() {
+        let bits = vec![true, false, false, true, true, false, false, false];
+        let m = SensitivityMask::new(1, 2, 4, bits);
+        assert_eq!(m.sensitive_count(), 3);
+        assert!((m.sensitive_fraction() - 0.375).abs() < 1e-12);
+        assert!((m.insensitive_fraction() - 0.625).abs() < 1e-12);
+        assert_eq!(m.len(), 8);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn get_addresses_image_channel_spatial() {
+        let mut bits = vec![false; 2 * 2 * 3];
+        bits[(2 + 1) * 3 + 2] = true; // img 1, ch 1, s 2
+        let m = SensitivityMask::new(2, 2, 3, bits);
+        assert!(m.get(1, 1, 2));
+        assert!(!m.get(0, 1, 2));
+    }
+
+    #[test]
+    fn channel_counts_match_manual() {
+        let bits = vec![
+            true, true, false, // img0 ch0
+            false, false, true, // img0 ch1
+            true, false, false, // img1 ch0
+            true, true, true, // img1 ch1
+        ];
+        let m = SensitivityMask::new(2, 2, 3, bits);
+        assert_eq!(m.channel_counts(), vec![vec![2, 1], vec![1, 3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_wrong_length() {
+        SensitivityMask::new(1, 2, 4, vec![true; 7]);
+    }
+
+    #[test]
+    fn bitpack_roundtrip() {
+        // 19 bits: exercises the partial final byte.
+        let bits: Vec<bool> = (0..19).map(|i| i % 3 == 0).collect();
+        let m = SensitivityMask::new(1, 1, 19, bits);
+        let packed = m.to_bitpacked();
+        assert_eq!(packed.len(), 12 + 3);
+        let back = SensitivityMask::from_bitpacked(&packed).expect("roundtrip");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn bitpack_rejects_truncation_and_garbage() {
+        let m = SensitivityMask::new(2, 3, 5, vec![true; 30]);
+        let packed = m.to_bitpacked();
+        assert!(SensitivityMask::from_bitpacked(&packed[..11]).is_none());
+        assert!(SensitivityMask::from_bitpacked(&packed[..packed.len() - 1]).is_none());
+        assert!(SensitivityMask::from_bitpacked(&[]).is_none());
+        // Absurd header dimensions must not overflow.
+        let mut bad = packed.clone();
+        bad[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        bad[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(SensitivityMask::from_bitpacked(&bad).is_none());
+    }
+
+    #[test]
+    fn bitpack_density_is_8x() {
+        let m = SensitivityMask::new(4, 16, 64, vec![false; 4 * 16 * 64]);
+        let packed = m.to_bitpacked();
+        assert_eq!(packed.len(), 12 + 4 * 16 * 64 / 8);
+    }
+}

@@ -1,0 +1,429 @@
+//! Adaptive threshold search (Sec. 3) and threshold sweeps (Fig. 22).
+//!
+//! The paper's procedure:
+//!
+//! 1. train the network with 4-bit weights/inputs;
+//! 2. run `N` calibration inputs through the *predictor* (high-order bits
+//!    only) and pick a relatively large initial threshold from the output
+//!    distribution;
+//! 3. retrain with the threshold in the loop (our
+//!    [`OdqEmuCfg`](odq_nn::layers::OdqEmuCfg) emulation);
+//! 4. if ODQ accuracy meets the expectation, stop; otherwise halve the
+//!    threshold and repeat.
+
+use odq_nn::executor::{ConvCtx, ConvExecutor, StaticQuantExecutor};
+use odq_nn::layers::OdqEmuCfg;
+use odq_nn::models::Model;
+use odq_nn::train::{evaluate, train_epoch, SgdCfg};
+use odq_quant::{quantize_activation, quantize_weights, split_qtensor};
+use odq_tensor::{stats::quantile, Tensor};
+use rand_chacha::ChaCha8Rng;
+
+use crate::engine::OdqEngine;
+use crate::odq_conv::OdqCfg;
+
+/// Configuration for the adaptive search.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchCfg {
+    /// Number of calibration images for the initial threshold.
+    pub calib_images: usize,
+    /// Quantile of |predictor output| used as the initial ("relatively
+    /// large") threshold.
+    pub init_quantile: f32,
+    /// Acceptable Top-1 drop versus the INT4 static baseline.
+    pub acc_tolerance: f32,
+    /// Maximum number of halvings before giving up.
+    pub max_halvings: usize,
+    /// Retraining epochs per candidate threshold.
+    pub retrain_epochs: usize,
+    /// Retraining optimizer settings.
+    pub sgd: SgdCfg,
+    /// Mini-batch size for retraining/evaluation.
+    pub batch: usize,
+}
+
+impl Default for SearchCfg {
+    fn default() -> Self {
+        Self {
+            calib_images: 8,
+            init_quantile: 0.9,
+            acc_tolerance: 0.02,
+            max_halvings: 6,
+            retrain_epochs: 2,
+            sgd: SgdCfg { lr: 0.02, momentum: 0.9, weight_decay: 1e-4, grad_clip: 5.0 },
+            batch: 16,
+        }
+    }
+}
+
+/// One trial of the search.
+#[derive(Clone, Copy, Debug)]
+pub struct Trial {
+    /// Candidate threshold.
+    pub threshold: f32,
+    /// ODQ Top-1 accuracy after retraining with this threshold.
+    pub accuracy: f32,
+    /// Fraction of outputs predicted insensitive at this threshold.
+    pub insensitive_fraction: f64,
+}
+
+/// Result of [`search_threshold`].
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// The accepted threshold (the last trial's if none met tolerance).
+    pub threshold: f32,
+    /// INT4 static-quantization baseline accuracy the trials compare to.
+    pub baseline_accuracy: f32,
+    /// All trials in order.
+    pub trials: Vec<Trial>,
+    /// Whether the accepted threshold met the tolerance.
+    pub converged: bool,
+}
+
+/// Collects the distribution of |predictor outputs| over calibration
+/// inputs (threshold-0 passes that record rather than mask).
+struct CalibrationExecutor {
+    cfg: OdqCfg,
+    samples: Vec<f32>,
+    stride: usize,
+}
+
+impl ConvExecutor for CalibrationExecutor {
+    fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
+        let qx = quantize_activation(x, self.cfg.a_bits, self.cfg.a_clip);
+        let qw = quantize_weights(ctx.weights, self.cfg.w_bits);
+        let xp = split_qtensor(&qx, self.cfg.low_bits);
+        let wp = split_qtensor(&qw, self.cfg.low_bits);
+        let pred =
+            odq_quant::predict::odq_predict(&xp.high, &wp, qw.zero, qx.scale * qw.scale, &ctx.geom);
+        for (i, &p) in pred.estimate.as_slice().iter().enumerate() {
+            if i % self.stride == 0 {
+                self.samples.push(p.abs());
+            }
+        }
+        // Return the full INT4 result so downstream layers see realistic
+        // inputs during calibration.
+        let mut y = odq_quant::qconv::qconv2d(&qx, &qw, &ctx.geom);
+        if let Some(b) = ctx.bias {
+            odq_nn::executor::add_bias(&mut y, b, &ctx.geom);
+        }
+        y
+    }
+}
+
+/// Estimate the initial threshold: the `q`-quantile of |predictor outputs|
+/// over `n` calibration images.
+pub fn calibrate_initial_threshold(
+    model: &Model,
+    images: &Tensor,
+    n: usize,
+    q: f32,
+) -> f32 {
+    let n = n.min(images.dims()[0]).max(1);
+    let dims = images.dims();
+    let per = images.numel() / dims[0];
+    let mut shape = dims.to_vec();
+    shape[0] = n;
+    let calib = Tensor::from_vec(shape, images.as_slice()[..n * per].to_vec());
+
+    let mut exec = CalibrationExecutor {
+        cfg: OdqCfg::int4(0.0),
+        samples: Vec::new(),
+        stride: 7, // subsample: every 7th output is plenty for a quantile
+    };
+    let _ = model.forward_eval(&calib, &mut exec);
+    if exec.samples.is_empty() {
+        return 0.5;
+    }
+    quantile(&exec.samples, q).max(1e-6)
+}
+
+/// Run the paper's adaptive threshold search.
+///
+/// `train`/`test` are `(images, labels)` pairs. The model should already be
+/// trained (with 4-bit QAT, per the paper); the search retrains it with the
+/// candidate threshold in the loop.
+pub fn search_threshold(
+    model: &mut Model,
+    train: (&Tensor, &[usize]),
+    test: (&Tensor, &[usize]),
+    cfg: &SearchCfg,
+    rng: &mut ChaCha8Rng,
+) -> SearchResult {
+    let baseline_accuracy = {
+        let mut int4 = StaticQuantExecutor::int(4);
+        evaluate(model, test.0, test.1, cfg.batch, &mut int4)
+    };
+
+    let mut threshold =
+        calibrate_initial_threshold(model, train.0, cfg.calib_images, cfg.init_quantile);
+    let mut trials = Vec::new();
+    let mut converged = false;
+
+    for _ in 0..=cfg.max_halvings {
+        // Retrain with the threshold in the loop.
+        model.set_odq_emu(Some(OdqEmuCfg { threshold }));
+        for _ in 0..cfg.retrain_epochs {
+            train_epoch(model, train.0, train.1, cfg.batch, &cfg.sgd, rng);
+        }
+        model.set_odq_emu(None);
+
+        // Evaluate under real ODQ inference.
+        let mut engine = OdqEngine::new(threshold);
+        let accuracy = evaluate(model, test.0, test.1, cfg.batch, &mut engine);
+        let insensitive_fraction = 1.0 - engine.stats.overall_sensitive_fraction();
+        trials.push(Trial { threshold, accuracy, insensitive_fraction });
+
+        if accuracy >= baseline_accuracy - cfg.acc_tolerance {
+            converged = true;
+            break;
+        }
+        threshold /= 2.0;
+    }
+
+    let accepted = trials.last().expect("at least one trial").threshold;
+    SearchResult { threshold: accepted, baseline_accuracy, trials, converged }
+}
+
+/// Search a *per-layer* threshold map (extension beyond the paper, which
+/// uses one global threshold per model "to greatly simplify the design",
+/// Sec. 6.4).
+///
+/// Each layer's threshold is set to the `quantile` of its own predictor
+/// estimate distribution over `calib_images`, then scaled by a single
+/// global factor found with the same halving loop as [`search_threshold`].
+/// This equalizes the insensitive share across layers, which the global
+/// policy cannot (layer output scales differ).
+pub fn search_per_layer_thresholds(
+    model: &mut Model,
+    train: (&Tensor, &[usize]),
+    test: (&Tensor, &[usize]),
+    quantile_level: f32,
+    cfg: &SearchCfg,
+    rng: &mut ChaCha8Rng,
+) -> (std::collections::HashMap<String, f32>, Vec<Trial>) {
+    use std::collections::HashMap;
+
+    // Per-layer calibration from each layer's own estimate distribution.
+    struct PerLayer {
+        base: OdqCfg,
+        stride: usize,
+        samples: HashMap<String, Vec<f32>>,
+    }
+    impl ConvExecutor for PerLayer {
+        fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
+            let qx = quantize_activation(x, self.base.a_bits, self.base.a_clip);
+            let qw = quantize_weights(ctx.weights, self.base.w_bits);
+            let xp = split_qtensor(&qx, self.base.low_bits);
+            let wp = split_qtensor(&qw, self.base.low_bits);
+            let pred = odq_quant::predict::odq_predict(
+                &xp.high,
+                &wp,
+                qw.zero,
+                qx.scale * qw.scale,
+                &ctx.geom,
+            );
+            let entry = self.samples.entry(ctx.name.to_string()).or_default();
+            for (i, &p) in pred.estimate.as_slice().iter().enumerate() {
+                if i % self.stride == 0 {
+                    entry.push(p.abs());
+                }
+            }
+            let mut y = odq_quant::qconv::qconv2d(&qx, &qw, &ctx.geom);
+            if let Some(b) = ctx.bias {
+                odq_nn::executor::add_bias(&mut y, b, &ctx.geom);
+            }
+            y
+        }
+    }
+    let n = cfg.calib_images.min(train.0.dims()[0]).max(1);
+    let per = train.0.numel() / train.0.dims()[0];
+    let mut shape = train.0.dims().to_vec();
+    shape[0] = n;
+    let calib = Tensor::from_vec(shape, train.0.as_slice()[..n * per].to_vec());
+    let mut collect =
+        PerLayer { base: OdqCfg::int4(0.0), stride: 7, samples: HashMap::new() };
+    let _ = model.forward_eval(&calib, &mut collect);
+    let base_map: HashMap<String, f32> = collect
+        .samples
+        .iter()
+        .map(|(k, v)| (k.clone(), quantile(v, quantile_level).max(1e-6)))
+        .collect();
+
+    // Global scale factor found by halving, evaluated under the per-layer
+    // policy; retraining uses the mean threshold as the emulation value.
+    let mut factor = 1.0f32;
+    let mut accepted = factor;
+    let mut trials = Vec::new();
+    let baseline = {
+        let mut int4 = StaticQuantExecutor::int(4);
+        evaluate(model, test.0, test.1, cfg.batch, &mut int4)
+    };
+    for _ in 0..=cfg.max_halvings {
+        let map: HashMap<String, f32> =
+            base_map.iter().map(|(k, v)| (k.clone(), v * factor)).collect();
+        let mean_thr =
+            map.values().sum::<f32>() / map.len().max(1) as f32;
+        model.set_odq_emu(Some(OdqEmuCfg { threshold: mean_thr }));
+        for _ in 0..cfg.retrain_epochs {
+            train_epoch(model, train.0, train.1, cfg.batch, &cfg.sgd, rng);
+        }
+        model.set_odq_emu(None);
+
+        let mut engine = crate::engine::OdqEngine::with_per_layer(map, mean_thr);
+        let accuracy = evaluate(model, test.0, test.1, cfg.batch, &mut engine);
+        let insensitive_fraction = 1.0 - engine.stats.overall_sensitive_fraction();
+        trials.push(Trial { threshold: factor, accuracy, insensitive_fraction });
+        // The returned map must correspond to a factor that was actually
+        // evaluated — the *last trial's* — not a post-loop halving.
+        accepted = factor;
+        if accuracy >= baseline - cfg.acc_tolerance {
+            break;
+        }
+        factor /= 2.0;
+    }
+    let final_map: HashMap<String, f32> =
+        base_map.into_iter().map(|(k, v)| (k, v * accepted)).collect();
+    (final_map, trials)
+}
+
+/// One point of a threshold sweep (Fig. 22).
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// The threshold evaluated.
+    pub threshold: f32,
+    /// ODQ Top-1 accuracy at this threshold.
+    pub accuracy: f32,
+    /// Fraction of INT2 (insensitive / predictor-only) outputs.
+    pub insensitive_fraction: f64,
+    /// Fraction of INT4 (sensitive) outputs.
+    pub sensitive_fraction: f64,
+}
+
+/// Sweep thresholds without retraining (evaluation-only, as in Fig. 22's
+/// x-axis sweep from 0 to 1).
+pub fn threshold_sweep(
+    model: &Model,
+    test: (&Tensor, &[usize]),
+    thresholds: &[f32],
+    batch: usize,
+) -> Vec<SweepPoint> {
+    thresholds
+        .iter()
+        .map(|&t| {
+            let mut engine = OdqEngine::new(t);
+            let accuracy = evaluate(model, test.0, test.1, batch, &mut engine);
+            let sens = engine.stats.overall_sensitive_fraction();
+            SweepPoint {
+                threshold: t,
+                accuracy,
+                insensitive_fraction: 1.0 - sens,
+                sensitive_fraction: sens,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odq_data::SynthSpec;
+    use odq_nn::models::ModelCfg;
+    use odq_nn::param::init_rng;
+    use odq_nn::{Arch, Layer as _};
+
+    fn trained_model_and_data() -> (Model, odq_data::Dataset, odq_data::Dataset) {
+        let mut cfg = ModelCfg::small(Arch::ResNet20, 4);
+        cfg.input_hw = 8;
+        let mut m = Model::build(cfg);
+        let mut spec = SynthSpec::cifar10(8);
+        spec.num_classes = 4;
+        let (train, test) = spec.generate_split(48, 24);
+        let mut rng = init_rng(5);
+        let sgd = SgdCfg { lr: 0.08, momentum: 0.9, weight_decay: 1e-4, grad_clip: 5.0 };
+        for _ in 0..5 {
+            train_epoch(&mut m, &train.images, &train.labels, 16, &sgd, &mut rng);
+        }
+        (m, train, test)
+    }
+
+    #[test]
+    fn calibration_returns_positive_threshold() {
+        let (m, train, _) = trained_model_and_data();
+        let t = calibrate_initial_threshold(&m, &train.images, 4, 0.9);
+        assert!(t > 0.0 && t.is_finite());
+        // Higher quantile -> higher threshold.
+        let t50 = calibrate_initial_threshold(&m, &train.images, 4, 0.5);
+        assert!(t >= t50);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_insensitive_fraction() {
+        let (m, _, test) = trained_model_and_data();
+        let pts = threshold_sweep(&m, (&test.images, &test.labels), &[0.0, 0.25, 0.5, 1.0], 12);
+        assert_eq!(pts.len(), 4);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].insensitive_fraction >= w[0].insensitive_fraction - 1e-9,
+                "insensitive fraction must not decrease with threshold"
+            );
+        }
+        assert!(pts[0].insensitive_fraction < 1e-9, "thr=0 keeps everything sensitive");
+    }
+
+    #[test]
+    fn per_layer_search_produces_thresholds_for_every_conv() {
+        let (mut m, train, test) = trained_model_and_data();
+        let cfg = SearchCfg {
+            calib_images: 4,
+            retrain_epochs: 1,
+            max_halvings: 2,
+            acc_tolerance: 0.2,
+            ..Default::default()
+        };
+        let mut rng = init_rng(13);
+        let (map, trials) = search_per_layer_thresholds(
+            &mut m,
+            (&train.images, &train.labels),
+            (&test.images, &test.labels),
+            0.65,
+            &cfg,
+            &mut rng,
+        );
+        let mut convs = 0;
+        m.net.visit_convs_mut(&mut |_| convs += 1);
+        assert_eq!(map.len(), convs, "one threshold per conv layer");
+        assert!(map.values().all(|&t| t > 0.0 && t.is_finite()));
+        assert!(!trials.is_empty());
+    }
+
+    #[test]
+    fn search_produces_trials_and_reasonable_threshold() {
+        let (mut m, train, test) = trained_model_and_data();
+        let cfg = SearchCfg {
+            calib_images: 4,
+            retrain_epochs: 1,
+            max_halvings: 3,
+            acc_tolerance: 0.1,
+            ..Default::default()
+        };
+        let mut rng = init_rng(9);
+        let r = search_threshold(
+            &mut m,
+            (&train.images, &train.labels),
+            (&test.images, &test.labels),
+            &cfg,
+            &mut rng,
+        );
+        assert!(!r.trials.is_empty());
+        assert!(r.threshold > 0.0);
+        // Later trials never have a larger threshold.
+        for w in r.trials.windows(2) {
+            assert!(w[1].threshold < w[0].threshold);
+        }
+        // Model left without emulation installed.
+        let mut any_emu = false;
+        m.net.visit_convs_mut(&mut |c| any_emu |= c.odq_emu.is_some());
+        assert!(!any_emu, "search must clear odq_emu");
+    }
+}

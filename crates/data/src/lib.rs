@@ -1,0 +1,22 @@
+//! # odq-data
+//!
+//! Deterministic synthetic image-classification datasets standing in for
+//! CIFAR-10, CIFAR-100 and MNIST (which are unavailable in this offline
+//! environment — see DESIGN.md, substitution 1).
+//!
+//! Each class is defined by a procedurally-generated template (class-specific
+//! oriented gratings + blob layout); samples are template instances with
+//! per-sample geometric jitter and additive noise. The generator reproduces
+//! the statistical properties the paper's method exploits:
+//!
+//! * activations after ReLU have heavy-tailed magnitude distributions, so a
+//!   minority of output features are "sensitive" (large magnitude);
+//! * class information survives moderate quantization noise but degrades as
+//!   bit widths shrink, giving the accuracy-vs-precision trade-off of
+//!   Fig. 18/22.
+
+pub mod augment;
+pub mod synth;
+
+pub use augment::{augment_batch, AugmentCfg};
+pub use synth::{Dataset, SynthSpec};

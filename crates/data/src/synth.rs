@@ -1,0 +1,245 @@
+//! Procedural synthetic datasets.
+
+use odq_tensor::Tensor;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// An in-memory labeled image dataset (`[N, C, H, W]` images in `[0, 1]`).
+pub struct Dataset {
+    /// Images, `[N, C, H, W]`, values in `[0, 1]`.
+    pub images: Tensor,
+    /// Labels in `0..num_classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Specification for a synthetic dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthSpec {
+    /// Number of classes (10 for the CIFAR-10 stand-in, 100 for CIFAR-100).
+    pub num_classes: usize,
+    /// Image channels (3 = color, 1 = grayscale/MNIST-like).
+    pub channels: usize,
+    /// Square image size.
+    pub hw: usize,
+    /// Additive noise amplitude (0.0–0.5 sensible).
+    pub noise: f32,
+    /// Generator seed; same seed + spec = identical dataset.
+    pub seed: u64,
+}
+
+impl SynthSpec {
+    /// The CIFAR-10 stand-in at a given resolution.
+    pub fn cifar10(hw: usize) -> Self {
+        Self { num_classes: 10, channels: 3, hw, noise: 0.08, seed: 0x00C1_FA10 }
+    }
+
+    /// The CIFAR-100 stand-in at a given resolution.
+    pub fn cifar100(hw: usize) -> Self {
+        Self { num_classes: 100, channels: 3, hw, noise: 0.08, seed: 0x0C1F_A100 }
+    }
+
+    /// The MNIST stand-in (grayscale digits-like blobs).
+    pub fn mnist(hw: usize) -> Self {
+        Self { num_classes: 10, channels: 1, hw, noise: 0.05, seed: 0x3A15 }
+    }
+
+    /// Generate `n` samples, cycling deterministically through classes.
+    pub fn generate(&self, n: usize) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let templates: Vec<ClassTemplate> =
+            (0..self.num_classes).map(|c| ClassTemplate::new(c, self, &mut rng)).collect();
+
+        let per = self.channels * self.hw * self.hw;
+        let mut data = vec![0.0f32; n * per];
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % self.num_classes;
+            labels.push(class);
+            templates[class].render(self, &mut rng, &mut data[i * per..(i + 1) * per]);
+        }
+        Dataset {
+            images: Tensor::from_vec([n, self.channels, self.hw, self.hw], data),
+            labels,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Generate a disjoint train/test split (`n_train`, `n_test` samples).
+    ///
+    /// Test samples come from the same templates but different jitter/noise
+    /// draws, like fresh photographs of the same object classes.
+    pub fn generate_split(&self, n_train: usize, n_test: usize) -> (Dataset, Dataset) {
+        let all = self.generate(n_train + n_test);
+        let per = self.channels * self.hw * self.hw;
+        let (train_data, test_data) = all.images.as_slice().split_at(n_train * per);
+        let train = Dataset {
+            images: Tensor::from_vec(
+                [n_train, self.channels, self.hw, self.hw],
+                train_data.to_vec(),
+            ),
+            labels: all.labels[..n_train].to_vec(),
+            num_classes: self.num_classes,
+        };
+        let test = Dataset {
+            images: Tensor::from_vec(
+                [n_test, self.channels, self.hw, self.hw],
+                test_data.to_vec(),
+            ),
+            labels: all.labels[n_train..].to_vec(),
+            num_classes: self.num_classes,
+        };
+        (train, test)
+    }
+}
+
+/// Per-class generative template: an oriented grating plus a bright blob,
+/// with class-dependent frequency, phase, position and per-channel gains.
+struct ClassTemplate {
+    freq: f32,
+    angle: f32,
+    blob_cx: f32,
+    blob_cy: f32,
+    blob_r: f32,
+    chan_gain: [f32; 3],
+}
+
+impl ClassTemplate {
+    fn new(class: usize, spec: &SynthSpec, rng: &mut ChaCha8Rng) -> Self {
+        // Deterministic class structure plus a dash of generator randomness
+        // so class templates are well-separated but not axis-aligned.
+        let golden = 0.618_034f32;
+        let t = (class as f32 * golden).fract();
+        Self {
+            freq: 1.0 + 3.0 * ((class % 5) as f32) / 5.0 + rng.gen_range(-0.1..0.1),
+            angle: std::f32::consts::PI * t + rng.gen_range(-0.05..0.05),
+            blob_cx: 0.2 + 0.6 * ((class * 7 % spec.num_classes.max(1)) as f32
+                / spec.num_classes.max(1) as f32),
+            blob_cy: 0.2 + 0.6 * t,
+            blob_r: 0.15 + 0.1 * ((class % 3) as f32) / 3.0,
+            chan_gain: [
+                0.5 + 0.5 * ((class % 3) as f32 / 3.0),
+                0.5 + 0.5 * ((class % 4) as f32 / 4.0),
+                0.5 + 0.5 * ((class % 5) as f32 / 5.0),
+            ],
+        }
+    }
+
+    fn render(&self, spec: &SynthSpec, rng: &mut ChaCha8Rng, out: &mut [f32]) {
+        let hw = spec.hw;
+        // Per-sample jitter: small shifts and amplitude variation.
+        let dx = rng.gen_range(-0.08f32..0.08);
+        let dy = rng.gen_range(-0.08f32..0.08);
+        let amp = rng.gen_range(0.85f32..1.15);
+        let (sin_a, cos_a) = self.angle.sin_cos();
+
+        for c in 0..spec.channels {
+            let gain = self.chan_gain[c % 3];
+            for y in 0..hw {
+                for x in 0..hw {
+                    let u = x as f32 / hw as f32 - 0.5 + dx;
+                    let v = y as f32 / hw as f32 - 0.5 + dy;
+                    let proj = u * cos_a + v * sin_a;
+                    let grating =
+                        0.5 + 0.5 * (proj * self.freq * std::f32::consts::TAU).sin();
+                    let bx = u + 0.5 - self.blob_cx;
+                    let by = v + 0.5 - self.blob_cy;
+                    let blob = (-(bx * bx + by * by) / (self.blob_r * self.blob_r)).exp();
+                    let noise = rng.gen_range(-spec.noise..spec.noise);
+                    // Dark background with a localized, class-textured
+                    // object: natural images are mostly low-intensity, and
+                    // CNNs trained on them develop *sparse* post-ReLU
+                    // features — the heavy-tailed output distributions the
+                    // ODQ sensitivity threshold exploits (Figs. 9/10 show
+                    // 50–90% of outputs insensitive on real CIFAR models).
+                    let val = amp * gain * blob * (0.45 + 0.55 * grating) + noise;
+                    out[(c * hw + y) * hw + x] = val.clamp(0.0, 1.0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SynthSpec::cifar10(16);
+        let a = spec.generate(20);
+        let b = spec.generate(20);
+        assert_eq!(a.images.as_slice(), b.images.as_slice());
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn values_in_unit_range_and_labels_valid() {
+        let spec = SynthSpec::cifar100(8);
+        let d = spec.generate(150);
+        assert!(d.images.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(d.labels.iter().all(|&l| l < 100));
+        assert_eq!(d.len(), 150);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn classes_cycle() {
+        let spec = SynthSpec::cifar10(8);
+        let d = spec.generate(25);
+        assert_eq!(d.labels[0], 0);
+        assert_eq!(d.labels[9], 9);
+        assert_eq!(d.labels[10], 0);
+    }
+
+    #[test]
+    fn same_class_samples_are_similar_but_not_identical() {
+        let spec = SynthSpec::cifar10(16);
+        let d = spec.generate(40);
+        let per = 3 * 16 * 16;
+        let img = |i: usize| &d.images.as_slice()[i * per..(i + 1) * per];
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f32>() / a.len() as f32
+        };
+        // samples 0 and 10 are class 0; samples 0 and 5 are different classes.
+        let same = dist(img(0), img(10));
+        let diff = dist(img(0), img(5));
+        assert!(same > 0.0, "jitter must differentiate same-class samples");
+        assert!(diff > same, "cross-class distance {diff} should exceed within-class {same}");
+    }
+
+    #[test]
+    fn split_is_disjoint_and_sized() {
+        let spec = SynthSpec::mnist(8);
+        let (train, test) = spec.generate_split(30, 12);
+        assert_eq!(train.len(), 30);
+        assert_eq!(test.len(), 12);
+        assert_eq!(train.images.dims(), &[30, 1, 8, 8]);
+        assert_eq!(test.images.dims(), &[12, 1, 8, 8]);
+    }
+
+    #[test]
+    fn different_seeds_give_different_data() {
+        let mut s1 = SynthSpec::cifar10(8);
+        let mut s2 = SynthSpec::cifar10(8);
+        s1.seed = 1;
+        s2.seed = 2;
+        let a = s1.generate(5);
+        let b = s2.generate(5);
+        assert_ne!(a.images.as_slice(), b.images.as_slice());
+    }
+}

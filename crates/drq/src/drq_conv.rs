@@ -1,0 +1,330 @@
+//! The DRQ mixed-precision convolution.
+
+use odq_nn::executor::add_bias;
+use odq_quant::qconv::{qconv2d_codes, receptive_sums, requant_step, requantize_codes};
+use odq_quant::{quantize_activation, quantize_weights};
+use odq_tensor::{ConvGeom, Tensor};
+
+/// DRQ configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DrqCfg {
+    /// High-precision bit width (sensitive regions).
+    pub hi_bits: u8,
+    /// Low-precision bit width (insensitive regions): inputs and weights
+    /// are requantized onto the coarser `lo_bits` grid (which embeds
+    /// exactly into the `hi_bits` grid, see
+    /// [`odq_quant::qconv::requantize_codes`]).
+    pub lo_bits: u8,
+    /// Activation clip for quantization.
+    pub a_clip: f32,
+    /// Square region edge for the input sensitivity test (the paper's DRQ
+    /// uses small square regions per channel).
+    pub region: usize,
+    /// Input sensitivity threshold: a region is sensitive iff its mean
+    /// |value| (pre-quantization, in input units) meets this.
+    pub input_threshold: f32,
+}
+
+impl DrqCfg {
+    /// The INT8-INT4 configuration of the paper's comparison.
+    pub fn int8_int4(input_threshold: f32) -> Self {
+        Self { hi_bits: 8, lo_bits: 4, a_clip: 1.0, region: 2, input_threshold }
+    }
+
+    /// The INT4-INT2 configuration (where DRQ's accuracy collapses,
+    /// Fig. 18).
+    pub fn int4_int2(input_threshold: f32) -> Self {
+        Self { hi_bits: 4, lo_bits: 2, a_clip: 1.0, region: 2, input_threshold }
+    }
+
+    /// Requantization step between the two grids.
+    pub fn step(&self) -> i16 {
+        requant_step(self.hi_bits, self.lo_bits)
+    }
+}
+
+/// Result of a DRQ convolution.
+pub struct DrqConvOutput {
+    /// Mixed-precision outputs, dequantized, `[N, Co, OH, OW]`.
+    pub output: Tensor,
+    /// Per-input-feature sensitivity (true = high precision),
+    /// `[N, Ci, H, W]` flattened.
+    pub input_mask: Vec<bool>,
+    /// Fraction of low-precision inputs in each output's receptive field,
+    /// `[N, OH, OW]` flattened (identical across output channels, which all
+    /// read the same window).
+    pub lp_share: Vec<f32>,
+    /// Reference output with *all* inputs at high precision.
+    pub reference_hp: Tensor,
+    /// Reference output with *all* inputs at low precision.
+    pub reference_lp: Tensor,
+}
+
+/// Compute the per-input-feature sensitivity mask: each `region × region`
+/// tile of each channel is sensitive iff its mean |value| ≥ threshold.
+pub fn region_sensitivity_mask(x: &Tensor, region: usize, threshold: f32) -> Vec<bool> {
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let r = region.max(1);
+    let xs = x.as_slice();
+    let mut mask = vec![false; xs.len()];
+    for img_ch in 0..n * c {
+        let base = img_ch * h * w;
+        let mut y0 = 0;
+        while y0 < h {
+            let mut x0 = 0;
+            let y1 = (y0 + r).min(h);
+            while x0 < w {
+                let x1 = (x0 + r).min(w);
+                let mut sum = 0.0f32;
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        sum += xs[base + y * w + x].abs();
+                    }
+                }
+                let mean = sum / ((y1 - y0) * (x1 - x0)) as f32;
+                let sensitive = mean >= threshold;
+                if sensitive {
+                    for y in y0..y1 {
+                        for x in x0..x1 {
+                            mask[base + y * w + x] = true;
+                        }
+                    }
+                }
+                x0 = x1;
+            }
+            y0 = y1;
+        }
+    }
+    mask
+}
+
+/// Run a DRQ mixed-precision convolution.
+///
+/// Decomposition: quantize input and weights at `hi_bits` (offset-binary
+/// weights, zero point `z_w`); requantize codes onto the `lo_bits` grid on
+/// the insensitive path (input *and* weight, per the paper's description
+/// of low-precision computation); then
+///
+/// ```text
+/// out = s · [ conv(x_sens, n) + conv(x_insens_lo, n_lo) − z_w · Σa ]
+/// ```
+///
+/// where `x_sens` holds codes only at sensitive positions (zeros
+/// elsewhere) and vice versa. The coarse grid embeds exactly into the fine
+/// one (same scale and zero point), so the mixed sum needs no rescaling.
+pub fn drq_conv2d(x: &Tensor, w: &Tensor, bias: Option<&[f32]>, g: &ConvGeom, cfg: &DrqCfg) -> DrqConvOutput {
+    let n = x.dims()[0];
+    let qx = quantize_activation(x, cfg.hi_bits, cfg.a_clip);
+    let qw = quantize_weights(w, cfg.hi_bits);
+    let scale = qx.scale * qw.scale;
+    let zw = qw.zero;
+    let step = cfg.step();
+
+    let input_mask = region_sensitivity_mask(x, cfg.region, cfg.input_threshold);
+
+    // Split input codes by sensitivity; requantize the insensitive part.
+    let codes = qx.codes.as_slice();
+    let mut x_hi = vec![0i16; codes.len()];
+    let mut x_lo = vec![0i16; codes.len()];
+    for (i, (&c, &m)) in codes.iter().zip(&input_mask).enumerate() {
+        if m {
+            x_hi[i] = c;
+        } else {
+            x_lo[i] = ((c as f32 / step as f32).round() as i16) * step;
+        }
+    }
+    let x_hi = Tensor::from_vec(qx.codes.shape().clone(), x_hi);
+    let x_lo = Tensor::from_vec(qx.codes.shape().clone(), x_lo);
+
+    // Requantized weights for the low-precision path.
+    let w_lo = requantize_codes(&qw.codes, step);
+
+    let y_hi = qconv2d_codes(&x_hi, &qw.codes, g);
+    let y_lo = qconv2d_codes(&x_lo, &w_lo, g);
+    let sa_hi = receptive_sums(&x_hi, g);
+    let sa_lo = receptive_sums(&x_lo, g);
+
+    // Shared affine dequantization: y = scale * (codes − z_w · Σa).
+    let dequant = |codes: &[i32], sa: &[i32]| -> Tensor {
+        let spatial = g.out_spatial();
+        let co = g.out_channels;
+        let mut t = Tensor::zeros(g.output_shape(n));
+        let o = t.as_mut_slice();
+        for img in 0..n {
+            for f in 0..co {
+                let base = (img * co + f) * spatial;
+                for sp in 0..spatial {
+                    o[base + sp] =
+                        scale * (codes[base + sp] as f32 - zw * sa[img * spatial + sp] as f32);
+                }
+            }
+        }
+        t
+    };
+
+    let mixed_codes: Vec<i32> =
+        y_hi.as_slice().iter().zip(y_lo.as_slice()).map(|(a, b)| a + b).collect();
+    let sa_mixed: Vec<i32> =
+        sa_hi.as_slice().iter().zip(sa_lo.as_slice()).map(|(a, b)| a + b).collect();
+    let mut out = dequant(&mixed_codes, &sa_mixed);
+
+    // References: everything high precision / everything low precision.
+    let mut reference_hp = odq_quant::qconv::qconv2d(&qx, &qw, g);
+    let x_all_lo = requantize_codes(&qx.codes, step);
+    let ref_lp_codes = qconv2d_codes(&x_all_lo, &w_lo, g);
+    let sa_all_lo = receptive_sums(&x_all_lo, g);
+    let mut reference_lp = dequant(ref_lp_codes.as_slice(), sa_all_lo.as_slice());
+
+    // Low-precision share of each output's receptive field.
+    let lp_share = lp_share_per_output(&input_mask, g, n);
+
+    if let Some(b) = bias {
+        add_bias(&mut out, b, g);
+        add_bias(&mut reference_hp, b, g);
+        add_bias(&mut reference_lp, b, g);
+    }
+
+    DrqConvOutput { output: out, input_mask, lp_share, reference_hp, reference_lp }
+}
+
+/// For every output spatial position, the fraction of its receptive-field
+/// inputs (including zero padding, which is precision-neutral and counted
+/// as high precision) that are low precision.
+fn lp_share_per_output(input_mask: &[bool], g: &ConvGeom, n: usize) -> Vec<f32> {
+    let (c, h, w, k) = (g.in_channels, g.in_h, g.in_w, g.kernel);
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let col_len = g.col_len();
+    let mut out = vec![0.0f32; n * oh * ow];
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut lp = 0usize;
+                for ci in 0..c {
+                    for ki in 0..k {
+                        let iy = (oy * g.stride + ki) as isize - g.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..k {
+                            let ix = (ox * g.stride + kj) as isize - g.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let idx =
+                                ((img * c + ci) * h + iy as usize) * w + ix as usize;
+                            if !input_mask[idx] {
+                                lp += 1;
+                            }
+                        }
+                    }
+                }
+                out[(img * oh + oy) * ow + ox] = lp as f32 / col_len as f32;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(n: usize, seed: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 2654435761 + seed * 13) % 1000) as f32 / 1000.0).collect()
+    }
+
+    fn pseudo_signed(n: usize, seed: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 40503 + seed * 7) % 1000) as f32 / 500.0 - 1.0).collect()
+    }
+
+    fn setup() -> (Tensor, Tensor, ConvGeom) {
+        let g = ConvGeom::new(3, 4, 8, 8, 3, 1, 1);
+        let x = Tensor::from_vec(g.input_shape(2), pseudo(2 * 3 * 64, 1));
+        let w = Tensor::from_vec(g.weight_shape(), pseudo_signed(4 * 27, 2));
+        (x, w, g)
+    }
+
+    #[test]
+    fn region_mask_marks_bright_regions() {
+        let mut data = vec![0.0f32; 16];
+        // one bright 2x2 tile in a 4x4 single-channel image
+        data[0] = 0.9;
+        data[1] = 0.9;
+        data[4] = 0.9;
+        data[5] = 0.9;
+        let x = Tensor::from_vec([1, 1, 4, 4], data);
+        let m = region_sensitivity_mask(&x, 2, 0.5);
+        assert!(m[0] && m[1] && m[4] && m[5]);
+        assert_eq!(m.iter().filter(|&&b| b).count(), 4);
+    }
+
+    #[test]
+    fn zero_threshold_equals_full_high_precision() {
+        let (x, w, g) = setup();
+        let r = drq_conv2d(&x, &w, None, &g, &DrqCfg::int8_int4(0.0));
+        assert!(r.input_mask.iter().all(|&b| b), "all inputs sensitive at thr 0");
+        assert!(r.output.max_abs_diff(&r.reference_hp) < 1e-5);
+        assert!(r.lp_share.iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn infinite_threshold_equals_all_low_precision() {
+        let (x, w, g) = setup();
+        let r = drq_conv2d(&x, &w, None, &g, &DrqCfg::int8_int4(f32::INFINITY));
+        assert!(r.input_mask.iter().all(|&b| !b));
+        assert!(r.output.max_abs_diff(&r.reference_lp) < 1e-5);
+    }
+
+    #[test]
+    fn mixed_threshold_interpolates() {
+        let (x, w, g) = setup();
+        let cfg = DrqCfg::int8_int4(0.45);
+        let r = drq_conv2d(&x, &w, None, &g, &cfg);
+        let frac_hi =
+            r.input_mask.iter().filter(|&&b| b).count() as f32 / r.input_mask.len() as f32;
+        assert!(frac_hi > 0.05 && frac_hi < 0.95, "got {frac_hi}");
+        // DRQ error vs full HP is between zero and the all-LP error.
+        let e_mixed = r.output.mean_abs_diff(&r.reference_hp);
+        let e_lp = r.reference_lp.mean_abs_diff(&r.reference_hp);
+        assert!(e_mixed > 0.0);
+        assert!(e_mixed < e_lp, "mixed {e_mixed} must beat all-LP {e_lp}");
+    }
+
+    #[test]
+    fn lp_share_bounds_and_consistency() {
+        let (x, w, g) = setup();
+        let r = drq_conv2d(&x, &w, None, &g, &DrqCfg::int4_int2(0.4));
+        assert_eq!(r.lp_share.len(), 2 * g.out_spatial());
+        assert!(r.lp_share.iter().all(|&f| (0.0..=1.0).contains(&f)));
+        let frac_lp_inputs =
+            r.input_mask.iter().filter(|&&b| !b).count() as f32 / r.input_mask.len() as f32;
+        let mean_share: f32 = r.lp_share.iter().sum::<f32>() / r.lp_share.len() as f32;
+        // Receptive-field average ≈ global LP fraction (padding skews a bit).
+        assert!((mean_share - frac_lp_inputs).abs() < 0.2, "{mean_share} vs {frac_lp_inputs}");
+    }
+
+    #[test]
+    fn int8_int4_more_accurate_than_int4_int2() {
+        let (x, w, g) = setup();
+        let hi = drq_conv2d(&x, &w, None, &g, &DrqCfg::int8_int4(0.45));
+        let lo = drq_conv2d(&x, &w, None, &g, &DrqCfg::int4_int2(0.45));
+        // compare each against its own hi-precision reference, normalized
+        // by reference magnitude.
+        let e_hi = hi.output.mean_abs_diff(&hi.reference_hp) / hi.reference_hp.max_abs();
+        let e_lo = lo.output.mean_abs_diff(&lo.reference_hp) / lo.reference_hp.max_abs();
+        assert!(e_hi < e_lo, "8-4 error {e_hi} should beat 4-2 error {e_lo}");
+    }
+
+    #[test]
+    fn bias_applied() {
+        let (x, w, g) = setup();
+        let bias = vec![1.0f32, 0.0, -1.0, 0.5];
+        let with = drq_conv2d(&x, &w, Some(&bias), &g, &DrqCfg::int8_int4(0.45));
+        let without = drq_conv2d(&x, &w, None, &g, &DrqCfg::int8_int4(0.45));
+        let spatial = g.out_spatial();
+        let d = with.output.as_slice()[0] - without.output.as_slice()[0];
+        assert!((d - 1.0).abs() < 1e-6);
+        let d2 = with.output.as_slice()[2 * spatial] - without.output.as_slice()[2 * spatial];
+        assert!((d2 + 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,138 @@
+//! [`DrqEngine`] — run whole models under DRQ.
+
+use odq_nn::executor::{ConvCtx, ConvExecutor};
+use odq_tensor::Tensor;
+
+use crate::drq_conv::{drq_conv2d, DrqCfg};
+
+/// Per-layer DRQ execution record.
+#[derive(Clone, Debug)]
+pub struct DrqLayerStats {
+    /// Layer name.
+    pub name: String,
+    /// Total input features seen.
+    pub total_inputs: u64,
+    /// Of those, sensitive (high-precision).
+    pub hi_inputs: u64,
+    /// Total MACs executed.
+    pub total_macs: u64,
+    /// Of those, at high precision.
+    pub hi_macs: u64,
+}
+
+impl DrqLayerStats {
+    /// Fraction of inputs kept at high precision.
+    pub fn hi_input_fraction(&self) -> f64 {
+        if self.total_inputs == 0 {
+            return 0.0;
+        }
+        self.hi_inputs as f64 / self.total_inputs as f64
+    }
+
+    /// Fraction of MACs executed at high precision.
+    pub fn hi_mac_fraction(&self) -> f64 {
+        if self.total_macs == 0 {
+            return 0.0;
+        }
+        self.hi_macs as f64 / self.total_macs as f64
+    }
+}
+
+/// A [`ConvExecutor`] running every conv layer under DRQ.
+pub struct DrqEngine {
+    /// DRQ configuration (bit pair, region size, input threshold).
+    pub cfg: DrqCfg,
+    /// Whether to record per-layer statistics.
+    pub record: bool,
+    /// Accumulated statistics in first-encounter order.
+    pub stats: Vec<DrqLayerStats>,
+}
+
+impl DrqEngine {
+    /// Engine with the given configuration.
+    pub fn new(cfg: DrqCfg) -> Self {
+        Self { cfg, record: true, stats: Vec::new() }
+    }
+
+    /// Output-weighted fraction of high-precision MACs across layers.
+    pub fn overall_hi_mac_fraction(&self) -> f64 {
+        let total: u64 = self.stats.iter().map(|l| l.total_macs).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let hi: u64 = self.stats.iter().map(|l| l.hi_macs).sum();
+        hi as f64 / total as f64
+    }
+}
+
+impl ConvExecutor for DrqEngine {
+    fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
+        let r = drq_conv2d(x, ctx.weights, ctx.bias, &ctx.geom, &self.cfg);
+        if self.record {
+            let hi_inputs = r.input_mask.iter().filter(|&&b| b).count() as u64;
+            let total_inputs = r.input_mask.len() as u64;
+            // Every input feature participates in the same number of MACs
+            // on average; approximate hi-MAC share by the hi input share
+            // weighted by the layer's MAC count.
+            let macs = ctx.geom.macs() * x.dims()[0] as u64;
+            let hi_macs = (macs as f64 * hi_inputs as f64 / total_inputs.max(1) as f64) as u64;
+            let entry = match self.stats.iter_mut().find(|l| l.name == ctx.name) {
+                Some(e) => e,
+                None => {
+                    self.stats.push(DrqLayerStats {
+                        name: ctx.name.to_string(),
+                        total_inputs: 0,
+                        hi_inputs: 0,
+                        total_macs: 0,
+                        hi_macs: 0,
+                    });
+                    self.stats.last_mut().expect("just pushed")
+                }
+            };
+            entry.total_inputs += total_inputs;
+            entry.hi_inputs += hi_inputs;
+            entry.total_macs += macs;
+            entry.hi_macs += hi_macs;
+        }
+        r.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odq_data::SynthSpec;
+    use odq_nn::models::{Model, ModelCfg};
+    use odq_nn::Arch;
+
+    #[test]
+    fn engine_runs_model_and_records() {
+        let mut cfg = ModelCfg::small(Arch::ResNet20, 10);
+        cfg.input_hw = 8;
+        let m = Model::build(cfg);
+        let data = SynthSpec::cifar10(8).generate(3);
+        let mut engine = DrqEngine::new(DrqCfg::int8_int4(0.4));
+        let y = m.forward_eval(&data.images, &mut engine);
+        assert_eq!(y.dims(), &[3, 10]);
+        assert!(!engine.stats.is_empty());
+        for l in &engine.stats {
+            assert!(l.total_inputs > 0);
+            assert!(l.hi_input_fraction() >= 0.0 && l.hi_input_fraction() <= 1.0);
+        }
+        let f = engine.overall_hi_mac_fraction();
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn threshold_monotone_in_hi_fraction() {
+        let mut cfg = ModelCfg::small(Arch::ResNet20, 10);
+        cfg.input_hw = 8;
+        let m = Model::build(cfg);
+        let data = SynthSpec::cifar10(8).generate(3);
+        let mut lo = DrqEngine::new(DrqCfg::int8_int4(0.1));
+        let _ = m.forward_eval(&data.images, &mut lo);
+        let mut hi = DrqEngine::new(DrqCfg::int8_int4(0.9));
+        let _ = m.forward_eval(&data.images, &mut hi);
+        assert!(lo.overall_hi_mac_fraction() >= hi.overall_hi_mac_fraction());
+    }
+}

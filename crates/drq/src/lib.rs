@@ -1,0 +1,36 @@
+//! # odq-drq
+//!
+//! Reimplementation of **DRQ** (Song et al., ISCA 2020) — the
+//! *input-directed* region-based dynamic quantization framework the paper
+//! compares against — plus the instrumentation behind the paper's
+//! motivation study (Sec. 2, Figs. 2–5).
+//!
+//! DRQ's algorithm, as described in the ODQ paper:
+//!
+//! 1. Partition each input feature map into regions and compare each
+//!    region's mean magnitude against a threshold: large ⇒ the region is
+//!    *sensitive*.
+//! 2. Inputs in sensitive regions (and the weights multiplying them) are
+//!    used at **high precision**; inputs in insensitive regions compute at
+//!    **low precision** (their low-order bits — and the corresponding
+//!    weights' — are dropped).
+//!
+//! Because the decision is made on the *inputs*, every output mixes
+//! contributions of both precisions — which is exactly the inefficiency the
+//! ODQ paper quantifies:
+//!
+//! * sensitive outputs receive low-precision contributions (accuracy loss,
+//!   Figs. 2–3);
+//! * insensitive outputs receive high-precision contributions (wasted
+//!   computation, Figs. 4–5).
+//!
+//! Precision pairs follow the paper: INT8-INT4 (`DrqCfg::int8_int4`) and
+//! INT4-INT2 (`DrqCfg::int4_int2`).
+
+pub mod drq_conv;
+pub mod engine;
+pub mod stats;
+
+pub use drq_conv::{drq_conv2d, region_sensitivity_mask, DrqCfg, DrqConvOutput};
+pub use engine::DrqEngine;
+pub use stats::{MotivationExecutor, MotivationStats, ShareBuckets};

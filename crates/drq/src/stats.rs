@@ -1,0 +1,253 @@
+//! Motivation-study instrumentation (Sec. 2 of the paper, Figs. 2–5).
+//!
+//! Runs a model under DRQ while measuring, per layer:
+//!
+//! * **Fig. 2** — for each *sensitive* output (large magnitude at full
+//!   precision), the share of low-precision inputs in its receptive field,
+//!   bucketed into 0–25 / 25–50 / 50–75 / 75–100%.
+//! * **Fig. 3** — mean precision loss `|O_drq − O_hp|` over sensitive
+//!   outputs.
+//! * **Fig. 4** — for each *insensitive* output, the share of
+//!   high-precision inputs, same buckets.
+//! * **Fig. 5** — computation waste: `max |O_drq − O_lp|` over insensitive
+//!   outputs (the paper's Eq. 1 "extra precision").
+
+use odq_nn::executor::{ConvCtx, ConvExecutor};
+use odq_tensor::stats::quantile;
+use odq_tensor::Tensor;
+
+use crate::drq_conv::{drq_conv2d, DrqCfg};
+
+/// Counts of outputs whose input-precision share falls in each quartile
+/// bucket: `[0–25%, 25–50%, 50–75%, 75–100%]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShareBuckets {
+    /// Bucket counts.
+    pub counts: [u64; 4],
+}
+
+impl ShareBuckets {
+    /// Add one observation of a share in `[0, 1]`.
+    pub fn add(&mut self, share: f32) {
+        let b = ((share * 4.0).floor() as usize).min(3);
+        self.counts[b] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bucket percentages (0–100), zeros when empty.
+    pub fn percentages(&self) -> [f64; 4] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 4];
+        }
+        let mut out = [0.0; 4];
+        for (o, &c) in out.iter_mut().zip(&self.counts) {
+            *o = 100.0 * c as f64 / t as f64;
+        }
+        out
+    }
+}
+
+/// Per-layer motivation-study record.
+#[derive(Clone, Debug)]
+pub struct MotivationLayer {
+    /// Layer name (`C1`, `C2`, ... as in Figs. 2–5's x-axis).
+    pub name: String,
+    /// Fig. 2: low-precision-input share buckets over sensitive outputs.
+    pub lp_share_sensitive: ShareBuckets,
+    /// Fig. 4: high-precision-input share buckets over insensitive outputs.
+    pub hp_share_insensitive: ShareBuckets,
+    /// Fig. 3 numerator: Σ |O_drq − O_hp| over sensitive outputs.
+    pub precision_loss_sum: f64,
+    /// Fig. 3 denominator.
+    pub sensitive_outputs: u64,
+    /// Fig. 5: running max |O_drq − O_lp| over insensitive outputs.
+    pub extra_precision_max: f64,
+    /// Total outputs seen.
+    pub total_outputs: u64,
+}
+
+impl MotivationLayer {
+    /// Fig. 3's per-layer value.
+    pub fn mean_precision_loss(&self) -> f64 {
+        if self.sensitive_outputs == 0 {
+            return 0.0;
+        }
+        self.precision_loss_sum / self.sensitive_outputs as f64
+    }
+}
+
+/// Aggregated motivation-study statistics.
+#[derive(Clone, Debug, Default)]
+pub struct MotivationStats {
+    /// Per-layer records, in first-encounter order.
+    pub layers: Vec<MotivationLayer>,
+}
+
+impl MotivationStats {
+    /// Find a layer by name.
+    pub fn layer(&self, name: &str) -> Option<&MotivationLayer> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+}
+
+/// A [`ConvExecutor`] that runs DRQ and accumulates [`MotivationStats`].
+///
+/// Output sensitivity ground truth: an output is *sensitive* iff its
+/// full-high-precision magnitude is at or above the per-layer
+/// `out_quantile` of |outputs| in the current batch (the paper defines
+/// sensitive outputs as "those with a larger magnitude").
+pub struct MotivationExecutor {
+    /// DRQ configuration under study.
+    pub cfg: DrqCfg,
+    /// Quantile of |O_hp| defining output sensitivity (e.g. 0.75 ⇒ the
+    /// top 25% of outputs by magnitude are sensitive).
+    pub out_quantile: f32,
+    /// Accumulated statistics.
+    pub stats: MotivationStats,
+}
+
+impl MotivationExecutor {
+    /// New instrumentation executor.
+    pub fn new(cfg: DrqCfg, out_quantile: f32) -> Self {
+        assert!((0.0..1.0).contains(&out_quantile), "quantile must be in [0,1)");
+        Self { cfg, out_quantile, stats: MotivationStats::default() }
+    }
+
+    fn entry(&mut self, name: &str) -> &mut MotivationLayer {
+        if let Some(pos) = self.stats.layers.iter().position(|l| l.name == name) {
+            &mut self.stats.layers[pos]
+        } else {
+            self.stats.layers.push(MotivationLayer {
+                name: name.to_string(),
+                lp_share_sensitive: ShareBuckets::default(),
+                hp_share_insensitive: ShareBuckets::default(),
+                precision_loss_sum: 0.0,
+                sensitive_outputs: 0,
+                extra_precision_max: 0.0,
+                total_outputs: 0,
+            });
+            self.stats.layers.last_mut().expect("just pushed")
+        }
+    }
+}
+
+impl ConvExecutor for MotivationExecutor {
+    fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
+        let r = drq_conv2d(x, ctx.weights, ctx.bias, &ctx.geom, &self.cfg);
+
+        // Per-layer output-sensitivity threshold from this batch's
+        // distribution of |O_hp|.
+        let abs_hp: Vec<f32> = r.reference_hp.as_slice().iter().map(|v| v.abs()).collect();
+        let thr = quantile(&abs_hp, self.out_quantile);
+
+        let n = x.dims()[0];
+        let co = ctx.geom.out_channels;
+        let spatial = ctx.geom.out_spatial();
+        let entry = self.entry(ctx.name);
+        let o = r.output.as_slice();
+        let hp = r.reference_hp.as_slice();
+        let lp = r.reference_lp.as_slice();
+        for img in 0..n {
+            for ch in 0..co {
+                let base = (img * co + ch) * spatial;
+                for s in 0..spatial {
+                    let i = base + s;
+                    let lp_share = r.lp_share[img * spatial + s];
+                    entry.total_outputs += 1;
+                    if hp[i].abs() >= thr {
+                        entry.sensitive_outputs += 1;
+                        entry.lp_share_sensitive.add(lp_share);
+                        entry.precision_loss_sum += (o[i] - hp[i]).abs() as f64;
+                    } else {
+                        entry.hp_share_insensitive.add(1.0 - lp_share);
+                        let waste = (o[i] - lp[i]).abs() as f64;
+                        if waste > entry.extra_precision_max {
+                            entry.extra_precision_max = waste;
+                        }
+                    }
+                }
+            }
+        }
+        r.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odq_data::SynthSpec;
+    use odq_nn::models::{Model, ModelCfg};
+    use odq_nn::Arch;
+
+    #[test]
+    fn buckets_quartiles() {
+        let mut b = ShareBuckets::default();
+        for s in [0.0, 0.1, 0.26, 0.5, 0.74, 0.76, 1.0] {
+            b.add(s);
+        }
+        assert_eq!(b.counts, [2, 1, 2, 2]);
+        assert_eq!(b.total(), 7);
+        let p = b.percentages();
+        assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_buckets_percentages_zero() {
+        assert_eq!(ShareBuckets::default().percentages(), [0.0; 4]);
+    }
+
+    #[test]
+    fn motivation_executor_collects_all_figures() {
+        let mut mcfg = ModelCfg::small(Arch::ResNet20, 10);
+        mcfg.input_hw = 8;
+        let m = Model::build(mcfg);
+        let data = SynthSpec::cifar10(8).generate(3);
+        let mut exec = MotivationExecutor::new(DrqCfg::int8_int4(0.4), 0.75);
+        let _ = m.forward_eval(&data.images, &mut exec);
+
+        assert!(!exec.stats.layers.is_empty());
+        for l in &exec.stats.layers {
+            assert!(l.total_outputs > 0, "{}", l.name);
+            // ~25% of outputs sensitive by construction of the quantile.
+            let frac = l.sensitive_outputs as f64 / l.total_outputs as f64;
+            assert!(frac > 0.05 && frac < 0.6, "{}: sensitive frac {frac}", l.name);
+            // Buckets account for every output.
+            assert_eq!(
+                l.lp_share_sensitive.total() + l.hp_share_insensitive.total(),
+                l.total_outputs
+            );
+            assert!(l.extra_precision_max >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sensitive_outputs_do_receive_lp_inputs() {
+        // The paper's core observation (Fig. 2): under input-directed
+        // quantization, many sensitive outputs are computed with >25%
+        // low-precision inputs. Verify our DRQ reproduces this.
+        let mut mcfg = ModelCfg::small(Arch::ResNet20, 10);
+        mcfg.input_hw = 8;
+        let m = Model::build(mcfg);
+        let data = SynthSpec::cifar10(8).generate(4);
+        let mut exec = MotivationExecutor::new(DrqCfg::int8_int4(0.5), 0.75);
+        let _ = m.forward_eval(&data.images, &mut exec);
+        let polluted: u64 = exec
+            .stats
+            .layers
+            .iter()
+            .map(|l| l.lp_share_sensitive.counts[1..].iter().sum::<u64>())
+            .sum();
+        let total: u64 =
+            exec.stats.layers.iter().map(|l| l.lp_share_sensitive.total()).sum();
+        assert!(total > 0);
+        assert!(
+            polluted as f64 / total as f64 > 0.3,
+            "expected many sensitive outputs with >25% LP inputs, got {polluted}/{total}"
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Architecture catalog: the evaluation networks' convolution geometries.
+//!
+//! The accelerator simulator consumes *geometries*, not weights, so this
+//! module can describe the full-size networks (ResNet-56, VGG-16,
+//! DenseNet-40) exactly as the paper evaluates them, independent of the
+//! width-scaled variants we can afford to train.
+
+use odq_tensor::ConvGeom;
+
+/// The DNN models of the paper's evaluation (Sec. 5), plus LeNet-5 which
+/// Fig. 1 uses as the illustrating example.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// LeNet-5 (MNIST-scale; Fig. 1's illustrating example).
+    LeNet5,
+    /// ResNet-20 (CIFAR variant: 3 stages × 3 basic blocks).
+    ResNet20,
+    /// ResNet-56 (CIFAR variant: 3 stages × 9 basic blocks).
+    ResNet56,
+    /// VGG-16 (CIFAR variant: 13 conv layers).
+    Vgg16,
+    /// DenseNet-40 (growth 12, 3 dense blocks of 12 layers).
+    DenseNet,
+}
+
+impl Arch {
+    /// All four evaluation models, in the paper's usual order.
+    pub const EVAL_MODELS: [Arch; 4] =
+        [Arch::ResNet56, Arch::ResNet20, Arch::Vgg16, Arch::DenseNet];
+
+    /// Short display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Arch::LeNet5 => "LeNet-5",
+            Arch::ResNet20 => "ResNet-20",
+            Arch::ResNet56 => "ResNet-56",
+            Arch::Vgg16 => "VGG-16",
+            Arch::DenseNet => "DenseNet",
+        }
+    }
+
+    /// Named convolution geometries of the full-size network, in execution
+    /// order (`C1`, `C2`, ... in the paper's numbering; residual-projection
+    /// convs are suffixed `p`).
+    ///
+    /// `input_hw` is the input spatial size (32 for CIFAR, 28 for MNIST).
+    pub fn conv_geometries(&self, input_hw: usize) -> Vec<NamedConv> {
+        match self {
+            Arch::LeNet5 => lenet5_geoms(input_hw),
+            Arch::ResNet20 => resnet_geoms(3, input_hw),
+            Arch::ResNet56 => resnet_geoms(9, input_hw),
+            Arch::Vgg16 => vgg16_geoms(input_hw),
+            Arch::DenseNet => densenet_geoms(input_hw, 12, 12),
+        }
+    }
+
+    /// Total conv MACs per image for the full-size network.
+    pub fn total_macs(&self, input_hw: usize) -> u64 {
+        self.conv_geometries(input_hw).iter().map(|c| c.geom.macs()).sum()
+    }
+}
+
+/// A named convolution layer geometry.
+#[derive(Clone, Debug)]
+pub struct NamedConv {
+    /// Layer name (`"C1"`, `"C2"`, ..., `"C8p"` for projections).
+    pub name: String,
+    /// The layer's geometry.
+    pub geom: ConvGeom,
+}
+
+fn lenet5_geoms(hw: usize) -> Vec<NamedConv> {
+    // LeNet-5 adapted to `hw`×`hw` single-channel input:
+    // C1: 1→6 5x5 pad 2; pool2; C2: 6→16 5x5; pool2.
+    let c1 = ConvGeom::new(1, 6, hw, hw, 5, 1, 2);
+    let h2 = c1.out_h() / 2;
+    let c2 = ConvGeom::new(6, 16, h2, h2, 5, 1, 0);
+    vec![
+        NamedConv { name: "C1".into(), geom: c1 },
+        NamedConv { name: "C2".into(), geom: c2 },
+    ]
+}
+
+/// CIFAR-style ResNet: conv1 (3→16), then 3 stages of `n` basic blocks with
+/// channels 16/32/64; stage transitions stride 2 with a 1×1 projection.
+fn resnet_geoms(n: usize, hw: usize) -> Vec<NamedConv> {
+    let mut v = Vec::new();
+    let mut idx = 1usize;
+    let push = |v: &mut Vec<NamedConv>, name: String, g: ConvGeom| {
+        v.push(NamedConv { name, geom: g });
+    };
+    push(&mut v, format!("C{idx}"), ConvGeom::new(3, 16, hw, hw, 3, 1, 1));
+    idx += 1;
+
+    let mut in_ch = 16usize;
+    let mut size = hw;
+    for (stage, &out_ch) in [16usize, 32, 64].iter().enumerate() {
+        for b in 0..n {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            let g1 = ConvGeom::new(in_ch, out_ch, size, size, 3, stride, 1);
+            let name1 = format!("C{idx}");
+            idx += 1;
+            let out_size = g1.out_h();
+            let g2 = ConvGeom::new(out_ch, out_ch, out_size, out_size, 3, 1, 1);
+            let name2 = format!("C{idx}");
+            idx += 1;
+            push(&mut v, name1.clone(), g1);
+            push(&mut v, name2, g2);
+            if stride != 1 || in_ch != out_ch {
+                let gp = ConvGeom::new(in_ch, out_ch, size, size, 1, stride, 0);
+                push(&mut v, format!("{name1}p"), gp);
+            }
+            in_ch = out_ch;
+            size = out_size;
+        }
+    }
+    v
+}
+
+/// CIFAR VGG-16: 13 conv layers (64×2, 128×2, 256×3, 512×3, 512×3) with
+/// 2×2 max pools between groups.
+fn vgg16_geoms(hw: usize) -> Vec<NamedConv> {
+    let groups: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    let mut v = Vec::new();
+    let mut in_ch = 3usize;
+    let mut size = hw;
+    let mut idx = 1usize;
+    for (out_ch, count) in groups {
+        for _ in 0..count {
+            v.push(NamedConv {
+                name: format!("C{idx}"),
+                geom: ConvGeom::new(in_ch, out_ch, size, size, 3, 1, 1),
+            });
+            idx += 1;
+            in_ch = out_ch;
+        }
+        size /= 2; // max pool
+    }
+    v
+}
+
+/// DenseNet-40-style: initial 3×3 conv to 16 channels, `layers_per_block`
+/// dense layers per block (growth `k`), 1×1 transition convs + 2×2 pools
+/// between blocks.
+fn densenet_geoms(hw: usize, k: usize, layers_per_block: usize) -> Vec<NamedConv> {
+    let mut v = Vec::new();
+    let mut idx = 1usize;
+    let mut size = hw;
+    let mut ch = 16usize;
+    v.push(NamedConv {
+        name: format!("C{idx}"),
+        geom: ConvGeom::new(3, ch, size, size, 3, 1, 1),
+    });
+    idx += 1;
+    for block in 0..3 {
+        for _ in 0..layers_per_block {
+            v.push(NamedConv {
+                name: format!("C{idx}"),
+                geom: ConvGeom::new(ch, k, size, size, 3, 1, 1),
+            });
+            idx += 1;
+            ch += k;
+        }
+        if block < 2 {
+            // transition: 1x1 conv (no compression) + avg pool 2.
+            v.push(NamedConv {
+                name: format!("C{idx}"),
+                geom: ConvGeom::new(ch, ch, size, size, 1, 1, 0),
+            });
+            idx += 1;
+            size /= 2;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet20_has_19_convs_plus_projections() {
+        let g = Arch::ResNet20.conv_geometries(32);
+        let main: Vec<_> = g.iter().filter(|c| !c.name.ends_with('p')).collect();
+        let proj: Vec<_> = g.iter().filter(|c| c.name.ends_with('p')).collect();
+        assert_eq!(main.len(), 19, "1 stem + 18 block convs");
+        assert_eq!(proj.len(), 2, "two downsampling projections");
+        // Channel progression ends at 64, spatial at 8.
+        let last = &main.last().unwrap().geom;
+        assert_eq!(last.out_channels, 64);
+        assert_eq!(last.out_h(), 8);
+    }
+
+    #[test]
+    fn resnet56_has_55_convs_plus_projections() {
+        let g = Arch::ResNet56.conv_geometries(32);
+        let main = g.iter().filter(|c| !c.name.ends_with('p')).count();
+        assert_eq!(main, 55, "1 stem + 54 block convs");
+    }
+
+    #[test]
+    fn vgg16_has_13_convs_and_known_macs() {
+        let g = Arch::Vgg16.conv_geometries(32);
+        assert_eq!(g.len(), 13);
+        // First layer: 3->64 at 32x32: 64*3*9*1024 MACs.
+        assert_eq!(g[0].geom.macs(), 64 * 27 * 1024);
+        // Spatial halves after each group.
+        assert_eq!(g[12].geom.in_h, 2);
+    }
+
+    #[test]
+    fn densenet_channel_growth() {
+        let g = Arch::DenseNet.conv_geometries(32);
+        // 1 stem + 36 dense + 2 transitions = 39 convs.
+        assert_eq!(g.len(), 39);
+        // Last dense layer input channels: 160(after t1)... block3 input is
+        // 304; last layer of block3 sees 304 + 11*12 = 436 input channels.
+        let last = &g.last().unwrap().geom;
+        assert_eq!(last.in_channels, 436);
+        assert_eq!(last.out_channels, 12);
+    }
+
+    #[test]
+    fn macs_ordering_matches_model_size() {
+        let r20 = Arch::ResNet20.total_macs(32);
+        let r56 = Arch::ResNet56.total_macs(32);
+        let vgg = Arch::Vgg16.total_macs(32);
+        assert!(r56 > 2 * r20, "ResNet-56 ~2.8x ResNet-20");
+        assert!(vgg > r56, "VGG-16 is the heaviest CIFAR model");
+        // ResNet-20 is ~40.5M MACs on 32x32 inputs (well-known figure).
+        assert!((35_000_000..50_000_000).contains(&r20), "got {r20}");
+    }
+
+    #[test]
+    fn lenet_geometries() {
+        let g = Arch::LeNet5.conv_geometries(28);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0].geom.out_h(), 28);
+        assert_eq!(g[1].geom.in_h, 14);
+        assert_eq!(g[1].geom.out_h(), 10);
+    }
+
+    #[test]
+    fn eval_models_list() {
+        assert_eq!(Arch::EVAL_MODELS.len(), 4);
+        assert_eq!(Arch::ResNet20.name(), "ResNet-20");
+    }
+}

@@ -1,0 +1,160 @@
+//! Pluggable convolution execution for inference.
+//!
+//! The quantization engines (static DoReFa baselines in this crate's
+//! `train`/eval path, DRQ in `odq-drq`, ODQ in `odq-core`) all differ *only*
+//! in how they execute convolution layers. [`ConvExecutor`] is that seam:
+//! model inference hands every conv layer's raw float weights and input to
+//! the executor and uses whatever output it returns.
+
+use odq_tensor::{ConvGeom, Tensor};
+
+use crate::layers::conv::QatCfg;
+
+/// Everything an executor can know about a conv layer at call time.
+pub struct ConvCtx<'a> {
+    /// Layer name, e.g. `"C7"` (paper numbering: first conv is `C1`).
+    pub name: &'a str,
+    /// Convolution geometry for the current input size.
+    pub geom: ConvGeom,
+    /// Raw (float, possibly QAT-trained) weights `[Co, Ci, K, K]`.
+    pub weights: &'a Tensor,
+    /// Optional per-output-channel bias.
+    pub bias: Option<&'a [f32]>,
+    /// The layer's quantization-aware-training configuration, if any.
+    /// Engines may honor it (the float executor fake-quantizes to match
+    /// training) or override it with their own scheme.
+    pub qat: Option<QatCfg>,
+}
+
+/// Executes convolution layers during inference.
+pub trait ConvExecutor {
+    /// Called once at the start of each full forward pass, before the first
+    /// conv layer. Engines reset per-pass layer counters here.
+    fn begin_pass(&mut self) {}
+
+    /// Execute one convolution; must return a `[N, Co, OH, OW]` tensor.
+    fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor;
+}
+
+/// The reference executor: float convolution, honoring the layer's QAT
+/// fake-quantization so that evaluation matches the training-time forward.
+#[derive(Default, Clone, Copy)]
+pub struct FloatConvExecutor;
+
+impl ConvExecutor for FloatConvExecutor {
+    fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
+        let (x_eff, w_eff) = apply_qat(ctx, x);
+        odq_tensor::conv::conv2d(&x_eff, &w_eff, ctx.bias, &ctx.geom)
+    }
+}
+
+/// Apply a layer's QAT fake quantization to `(input, weights)` — shared by
+/// the float executor and the training forward pass.
+pub fn apply_qat(ctx: &ConvCtx<'_>, x: &Tensor) -> (Tensor, Tensor) {
+    match ctx.qat {
+        Some(q) => (
+            odq_quant::fake_quantize_activation(x, q.a_bits, q.a_clip),
+            odq_quant::fake_quantize_weights(ctx.weights, q.w_bits),
+        ),
+        None => (x.clone(), ctx.weights.clone()),
+    }
+}
+
+/// A static-quantization executor: quantizes weights and activations to
+/// fixed bit widths regardless of the layer's QAT config. This is the
+/// "INT16 DoReFa-Net" / "INT8 DoReFa-Net" baseline of the paper's
+/// evaluation (Sec. 5.2).
+#[derive(Clone, Copy)]
+pub struct StaticQuantExecutor {
+    /// Weight bit width.
+    pub w_bits: u8,
+    /// Activation bit width.
+    pub a_bits: u8,
+    /// Activation clip range (DoReFa clips activations to `[0, clip]`).
+    pub a_clip: f32,
+}
+
+impl StaticQuantExecutor {
+    /// INT-k static quantization with activation clip 1.0.
+    pub fn int(bits: u8) -> Self {
+        Self { w_bits: bits, a_bits: bits, a_clip: 1.0 }
+    }
+}
+
+impl ConvExecutor for StaticQuantExecutor {
+    fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
+        let qx = odq_quant::quantize_activation(x, self.a_bits, self.a_clip);
+        // Offset-binary coding up to 15 bits; at 16 bits the symmetric
+        // grid's zero-collapse issue is irrelevant (32767 levels) and the
+        // signed coding keeps codes within i16.
+        let qw = if self.w_bits <= 15 {
+            odq_quant::quantize_weights(ctx.weights, self.w_bits)
+        } else {
+            odq_quant::quantize_weights_symmetric(ctx.weights, self.w_bits)
+        };
+        let mut y = odq_quant::qconv::qconv2d(&qx, &qw, &ctx.geom);
+        if let Some(b) = ctx.bias {
+            add_bias(&mut y, b, &ctx.geom);
+        }
+        y
+    }
+}
+
+/// Add a per-output-channel bias to a `[N, Co, OH, OW]` tensor.
+pub fn add_bias(y: &mut Tensor, bias: &[f32], g: &ConvGeom) {
+    let n = y.dims()[0];
+    let spatial = g.out_spatial();
+    let ys = y.as_mut_slice();
+    for i in 0..n {
+        for (co, &b) in bias.iter().enumerate() {
+            let base = (i * g.out_channels + co) * spatial;
+            for v in &mut ys[base..base + spatial] {
+                *v += b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(w: &'a Tensor, g: ConvGeom, qat: Option<QatCfg>) -> ConvCtx<'a> {
+        ConvCtx { name: "C1", geom: g, weights: w, bias: None, qat }
+    }
+
+    #[test]
+    fn float_executor_matches_reference_conv() {
+        let g = ConvGeom::new(2, 3, 4, 4, 3, 1, 1);
+        let x = Tensor::from_vec(g.input_shape(1), (0..32).map(|i| i as f32 / 32.0).collect::<Vec<_>>());
+        let w = Tensor::from_vec(g.weight_shape(), (0..54).map(|i| (i as f32 - 27.0) / 54.0).collect::<Vec<_>>());
+        let mut e = FloatConvExecutor;
+        let y = e.conv(&ctx(&w, g, None), &x);
+        let want = odq_tensor::conv::conv2d(&x, &w, None, &g);
+        assert_eq!(y.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn static_executor_at_high_bits_approaches_float() {
+        let g = ConvGeom::new(2, 2, 4, 4, 3, 1, 1);
+        let x = Tensor::from_vec(g.input_shape(1), (0..32).map(|i| i as f32 / 31.0).collect::<Vec<_>>());
+        let w = Tensor::from_vec(g.weight_shape(), (0..36).map(|i| ((i as f32) - 18.0) / 36.0).collect::<Vec<_>>());
+        let want = odq_tensor::conv::conv2d(&x, &w, None, &g);
+
+        let y8 = StaticQuantExecutor::int(8).conv(&ctx(&w, g, None), &x);
+        let y2 = StaticQuantExecutor::int(2).conv(&ctx(&w, g, None), &x);
+        let e8 = y8.mean_abs_diff(&want);
+        let e2 = y2.mean_abs_diff(&want);
+        assert!(e8 < e2, "8-bit should be more accurate: {e8} vs {e2}");
+        assert!(e8 < 0.05);
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let g = ConvGeom::new(1, 2, 2, 2, 1, 1, 0);
+        let mut y = Tensor::<f32>::zeros(g.output_shape(1));
+        add_bias(&mut y, &[1.0, -2.0], &g);
+        assert_eq!(&y.as_slice()[..4], &[1.0; 4]);
+        assert_eq!(&y.as_slice()[4..], &[-2.0; 4]);
+    }
+}

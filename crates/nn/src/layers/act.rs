@@ -1,0 +1,128 @@
+//! Activation layers.
+
+use odq_tensor::Tensor;
+
+use crate::executor::ConvExecutor;
+use crate::param::Param;
+
+use super::Layer;
+
+/// Rectified linear unit, optionally clipped to `[0, clip]`.
+///
+/// The clipped form is the DoReFa-style bounded activation the quantized
+/// models use: the following quantizer assumes activations live in
+/// `[0, clip]`, so training with the same bound keeps the quantization
+/// error small.
+pub struct ReLU {
+    /// Upper clip bound (`None` = plain ReLU).
+    pub clip: Option<f32>,
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// Plain ReLU.
+    pub fn new() -> Self {
+        Self { clip: None, mask: None }
+    }
+
+    /// ReLU clipped to `[0, clip]`.
+    pub fn clipped(clip: f32) -> Self {
+        assert!(clip > 0.0, "clip must be positive");
+        Self { clip: Some(clip), mask: None }
+    }
+
+    fn apply(&self, v: f32) -> f32 {
+        let r = v.max(0.0);
+        match self.clip {
+            Some(c) => r.min(c),
+            None => r,
+        }
+    }
+
+    fn passes(&self, v: f32) -> bool {
+        v > 0.0 && self.clip.is_none_or(|c| v < c)
+    }
+}
+
+impl Default for ReLU {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward_eval(&self, x: &Tensor, _exec: &mut dyn ConvExecutor) -> Tensor {
+        x.map(|v| self.apply(v))
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        self.mask = Some(x.as_slice().iter().map(|&v| self.passes(v)).collect());
+        x.map(|v| self.apply(v))
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("ReLU backward without forward_train");
+        assert_eq!(mask.len(), dy.numel(), "ReLU cache shape mismatch");
+        let data = dy
+            .as_slice()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(dy.shape().clone(), data)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> String {
+        match self.clip {
+            Some(c) => format!("relu[0,{c}]"),
+            None => "relu".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::FloatConvExecutor;
+
+    #[test]
+    fn plain_relu_forward_backward() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec([4], vec![-1.0, 0.0, 2.0, 3.0]);
+        let y = r.forward_train(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 3.0]);
+        let dy = Tensor::from_vec([4], vec![1.0, 1.0, 1.0, 1.0]);
+        let dx = r.backward(&dy);
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn clipped_relu_saturates_and_gates_gradient() {
+        let mut r = ReLU::clipped(1.0);
+        let x = Tensor::from_vec([4], vec![-0.5, 0.5, 1.0, 2.0]);
+        let y = r.forward_train(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.5, 1.0, 1.0]);
+        let dy = Tensor::from_vec([4], vec![1.0; 4]);
+        let dx = r.backward(&dy);
+        // Gradient passes only strictly inside (0, clip).
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn eval_matches_train_forward() {
+        let mut r = ReLU::clipped(1.0);
+        let x = Tensor::from_vec([3], vec![-1.0, 0.7, 1.5]);
+        let t = r.forward_train(&x);
+        let e = r.forward_eval(&x, &mut FloatConvExecutor);
+        assert_eq!(t.as_slice(), e.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "without forward_train")]
+    fn backward_without_forward_panics() {
+        let mut r = ReLU::new();
+        r.backward(&Tensor::from_vec([1], vec![1.0]));
+    }
+}

@@ -1,0 +1,290 @@
+//! Residual blocks (ResNet-20/56 building block).
+
+use odq_tensor::Tensor;
+use rand_chacha::ChaCha8Rng;
+
+use crate::executor::ConvExecutor;
+use crate::param::Param;
+
+use super::act::ReLU;
+use super::bn::BatchNorm2d;
+use super::conv::{Conv2d, QatCfg};
+use super::Layer;
+
+/// A basic two-conv residual block:
+/// `y = relu(bn2(conv2(relu(bn1(conv1(x))))) + shortcut(x))`.
+///
+/// The shortcut is identity when shape is preserved, or a strided 1×1
+/// conv + BN projection when channels/stride change (the standard
+/// CIFAR-ResNet option B).
+pub struct ResidualBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: ReLU,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    proj: Option<(Conv2d, BatchNorm2d)>,
+    relu_out: ReLU,
+}
+
+impl ResidualBlock {
+    /// Build a block mapping `in_ch -> out_ch` with the given stride on the
+    /// first conv. `names` gives the two (three with projection) conv names
+    /// in the paper's `C<k>` numbering; `act_clip` is the ReLU clip bound.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name1: impl Into<String>,
+        name2: impl Into<String>,
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+        act_clip: Option<f32>,
+        qat: Option<QatCfg>,
+        rng: &mut ChaCha8Rng,
+    ) -> Self {
+        let name1 = name1.into();
+        let mk_relu = || match act_clip {
+            Some(c) => ReLU::clipped(c),
+            None => ReLU::new(),
+        };
+        let mut conv1 = Conv2d::new(name1.clone(), in_ch, out_ch, 3, stride, 1, false, rng);
+        let mut conv2 = Conv2d::new(name2, out_ch, out_ch, 3, 1, 1, false, rng);
+        conv1.qat = qat;
+        conv2.qat = qat;
+        let proj = if stride != 1 || in_ch != out_ch {
+            let mut p =
+                Conv2d::new(format!("{name1}p"), in_ch, out_ch, 1, stride, 0, false, rng);
+            p.qat = qat;
+            Some((p, BatchNorm2d::new(out_ch)))
+        } else {
+            None
+        };
+        Self {
+            conv1,
+            bn1: BatchNorm2d::new(out_ch),
+            relu1: mk_relu(),
+            conv2,
+            bn2: BatchNorm2d::new(out_ch),
+            proj,
+            relu_out: mk_relu(),
+        }
+    }
+
+    /// Set the ODQ training-emulation config on the block's convs.
+    pub fn set_odq_emu(&mut self, cfg: Option<super::conv::OdqEmuCfg>) {
+        self.conv1.odq_emu = cfg;
+        self.conv2.odq_emu = cfg;
+        if let Some((p, _)) = &mut self.proj {
+            p.odq_emu = cfg;
+        }
+    }
+
+    /// The block's conv layers (for geometry/statistics walks).
+    pub fn convs(&self) -> Vec<&Conv2d> {
+        let mut v = vec![&self.conv1, &self.conv2];
+        if let Some((p, _)) = &self.proj {
+            v.push(p);
+        }
+        v
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn forward_eval(&self, x: &Tensor, exec: &mut dyn ConvExecutor) -> Tensor {
+        let h = self.conv1.forward_eval(x, exec);
+        let h = self.bn1.forward_eval(&h, exec);
+        let h = self.relu1.forward_eval(&h, exec);
+        let h = self.conv2.forward_eval(&h, exec);
+        let h = self.bn2.forward_eval(&h, exec);
+        let s = match &self.proj {
+            Some((pc, pb)) => {
+                let p = pc.forward_eval(x, exec);
+                pb.forward_eval(&p, exec)
+            }
+            None => x.clone(),
+        };
+        self.relu_out.forward_eval(&h.add(&s), exec)
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let h = self.conv1.forward_train(x);
+        let h = self.bn1.forward_train(&h);
+        let h = self.relu1.forward_train(&h);
+        let h = self.conv2.forward_train(&h);
+        let h = self.bn2.forward_train(&h);
+        let s = match &mut self.proj {
+            Some((pc, pb)) => {
+                let p = pc.forward_train(x);
+                pb.forward_train(&p)
+            }
+            None => x.clone(),
+        };
+        self.relu_out.forward_train(&h.add(&s))
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let d = self.relu_out.backward(dy);
+        // Branch gradients: the add distributes d to both paths.
+        let dmain = self.bn2.backward(&d);
+        let dmain = self.conv2.backward(&dmain);
+        let dmain = self.relu1.backward(&dmain);
+        let dmain = self.bn1.backward(&dmain);
+        let mut dx = self.conv1.backward(&dmain);
+
+        let dskip = match &mut self.proj {
+            Some((pc, pb)) => {
+                let dp = pb.backward(&d);
+                pc.backward(&dp)
+            }
+            None => d,
+        };
+        dx.add_assign(&dskip);
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(f);
+        self.bn1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.bn2.visit_params(f);
+        if let Some((pc, pb)) = &mut self.proj {
+            pc.visit_params(f);
+            pb.visit_params(f);
+        }
+    }
+
+    fn visit_convs_mut(&mut self, f: &mut dyn FnMut(&mut Conv2d)) {
+        f(&mut self.conv1);
+        f(&mut self.conv2);
+        if let Some((p, _)) = &mut self.proj {
+            f(p);
+        }
+    }
+
+    fn visit_bns_mut(&mut self, f: &mut dyn FnMut(&mut BatchNorm2d)) {
+        f(&mut self.bn1);
+        f(&mut self.bn2);
+        if let Some((_, b)) = &mut self.proj {
+            f(b);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("resblock[{}+{}]", self.conv1.name, self.conv2.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::FloatConvExecutor;
+    use crate::param::init_rng;
+
+    fn input(n: usize, c: usize, hw: usize) -> Tensor {
+        let data: Vec<f32> =
+            (0..n * c * hw * hw).map(|i| ((i * 97 + 13) % 50) as f32 / 50.0).collect();
+        Tensor::from_vec([n, c, hw, hw], data)
+    }
+
+    #[test]
+    fn identity_block_shapes() {
+        let mut rng = init_rng(1);
+        let mut b = ResidualBlock::new("C2", "C3", 4, 4, 1, None, None, &mut rng);
+        let x = input(2, 4, 8);
+        let y = b.forward_train(&x);
+        assert_eq!(y.dims(), &[2, 4, 8, 8]);
+        let dx = b.backward(&Tensor::full(y.shape().clone(), 0.1));
+        assert_eq!(dx.dims(), x.dims());
+    }
+
+    #[test]
+    fn projection_block_downsamples() {
+        let mut rng = init_rng(2);
+        let mut b = ResidualBlock::new("C8", "C9", 4, 8, 2, None, None, &mut rng);
+        let x = input(1, 4, 8);
+        let y = b.forward_train(&x);
+        assert_eq!(y.dims(), &[1, 8, 4, 4]);
+        assert_eq!(b.convs().len(), 3, "projection adds a conv");
+        let dx = b.backward(&Tensor::full(y.shape().clone(), 0.1));
+        assert_eq!(dx.dims(), x.dims());
+    }
+
+    #[test]
+    fn gradients_flow_through_skip_connection() {
+        // With zeroed main-path weights, output == relu(skip) and the input
+        // gradient must still be nonzero (through the skip).
+        let mut rng = init_rng(3);
+        let mut b = ResidualBlock::new("C2", "C3", 2, 2, 1, None, None, &mut rng);
+        b.conv1.weight.value.as_mut_slice().fill(0.0);
+        b.conv2.weight.value.as_mut_slice().fill(0.0);
+        let x = input(1, 2, 4);
+        let y = b.forward_train(&x);
+        let dy = Tensor::full(y.shape().clone(), 1.0);
+        let dx = b.backward(&dy);
+        assert!(dx.max_abs() > 0.0, "skip path must carry gradient");
+    }
+
+    #[test]
+    fn eval_matches_train_after_bn_warmup() {
+        let mut rng = init_rng(4);
+        let mut b = ResidualBlock::new("C2", "C3", 2, 2, 1, None, None, &mut rng);
+        let x = input(2, 2, 4);
+        for _ in 0..60 {
+            let _ = b.forward_train(&x);
+        }
+        let yt = b.forward_train(&x);
+        let ye = b.forward_eval(&x, &mut FloatConvExecutor);
+        assert!(yt.max_abs_diff(&ye) < 0.05);
+    }
+
+    /// Finite-difference check through the whole residual block (conv +
+    /// BN + ReLU + skip): validates the chained backward composition, not
+    /// just each layer in isolation.
+    #[test]
+    fn block_input_gradient_matches_finite_difference() {
+        let mk = || {
+            let mut rng = init_rng(77);
+            ResidualBlock::new("C2", "C3", 2, 2, 1, None, None, &mut rng)
+        };
+        let x = input(1, 2, 4);
+        // Mask keeps only strictly-active coordinates (ReLU kinks break FD).
+        let mask: Vec<f32> =
+            (0..32).map(|i| ((i * 29 + 3) % 11) as f32 / 11.0 - 0.5).collect();
+        let loss = |x: &Tensor| -> f32 {
+            let mut b = mk();
+            let y = b.forward_train(x);
+            y.as_slice().iter().zip(&mask).map(|(a, m)| a * m).sum()
+        };
+        let mut b = mk();
+        let y = b.forward_train(&x);
+        let dy = Tensor::from_vec(y.shape().clone(), mask.clone());
+        let dx = b.backward(&dy);
+
+        let eps = 1e-2;
+        let mut checked = 0;
+        for i in (0..x.numel()).step_by(5) {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            let an = dx.as_slice()[i];
+            // ReLU kinks make a few coordinates non-differentiable; accept
+            // agreement on the clear majority.
+            if (fd - an).abs() < 0.05 {
+                checked += 1;
+            }
+        }
+        assert!(checked >= 5, "only {checked} coordinates matched finite differences");
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = init_rng(5);
+        let mut b = ResidualBlock::new("C2", "C3", 2, 2, 1, None, None, &mut rng);
+        let mut count = 0;
+        b.visit_params(&mut |_| count += 1);
+        // conv1.w + bn1(gamma,beta) + conv2.w + bn2(gamma,beta) = 6
+        assert_eq!(count, 6);
+    }
+}

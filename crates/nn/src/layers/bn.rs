@@ -1,0 +1,308 @@
+//! Batch normalization over NCHW feature maps.
+
+use odq_tensor::Tensor;
+
+use crate::executor::ConvExecutor;
+use crate::param::Param;
+
+use super::Layer;
+
+/// 2-D batch normalization with learned scale/shift and running statistics.
+pub struct BatchNorm2d {
+    /// Learned scale (`gamma`), `[C]`.
+    pub gamma: Param,
+    /// Learned shift (`beta`), `[C]`.
+    pub beta: Param,
+    /// Running mean used at inference.
+    pub running_mean: Vec<f32>,
+    /// Running variance used at inference.
+    pub running_var: Vec<f32>,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+    n_per_channel: usize,
+}
+
+impl BatchNorm2d {
+    /// New BN layer over `channels` feature channels.
+    pub fn new(channels: usize) -> Self {
+        Self {
+            gamma: Param::ones([channels]),
+            beta: Param::zeros([channels]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+
+    fn check(&self, x: &Tensor) {
+        assert_eq!(x.dims().len(), 4, "BatchNorm2d expects NCHW");
+        assert_eq!(x.dims()[1], self.channels, "channel mismatch");
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward_eval(&self, x: &Tensor, _exec: &mut dyn ConvExecutor) -> Tensor {
+        self.check(x);
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let mut y = Tensor::zeros(x.shape().clone());
+        let g = self.gamma.value.as_slice();
+        let b = self.beta.value.as_slice();
+        let xs = x.as_slice();
+        let ys = y.as_mut_slice();
+        let plane = h * w;
+        for i in 0..n {
+            for ci in 0..c {
+                let inv = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+                let base = (i * c + ci) * plane;
+                for s in 0..plane {
+                    ys[base + s] = g[ci] * (xs[base + s] - self.running_mean[ci]) * inv + b[ci];
+                }
+            }
+        }
+        y
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        self.check(x);
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let plane = h * w;
+        let m = (n * plane) as f32;
+
+        // Batch statistics per channel.
+        let xs = x.as_slice();
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        for i in 0..n {
+            for (ci, mu) in mean.iter_mut().enumerate() {
+                let base = (i * c + ci) * plane;
+                for s in 0..plane {
+                    *mu += xs[base + s];
+                }
+            }
+        }
+        for mu in &mut mean {
+            *mu /= m;
+        }
+        for i in 0..n {
+            for ci in 0..c {
+                let base = (i * c + ci) * plane;
+                for s in 0..plane {
+                    let d = xs[base + s] - mean[ci];
+                    var[ci] += d * d;
+                }
+            }
+        }
+        for v in &mut var {
+            *v /= m;
+        }
+
+        // Update running stats.
+        for ci in 0..c {
+            self.running_mean[ci] =
+                (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
+            self.running_var[ci] =
+                (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+        }
+
+        // Normalize.
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut xhat = Tensor::zeros(x.shape().clone());
+        let mut y = Tensor::zeros(x.shape().clone());
+        {
+            let xh = xhat.as_mut_slice();
+            let ys = y.as_mut_slice();
+            let g = self.gamma.value.as_slice();
+            let b = self.beta.value.as_slice();
+            for i in 0..n {
+                for ci in 0..c {
+                    let base = (i * c + ci) * plane;
+                    for s in 0..plane {
+                        let v = (xs[base + s] - mean[ci]) * inv_std[ci];
+                        xh[base + s] = v;
+                        ys[base + s] = g[ci] * v + b[ci];
+                    }
+                }
+            }
+        }
+        self.cache = Some(BnCache { xhat, inv_std, n_per_channel: n * plane });
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("BatchNorm2d backward without forward_train");
+        let (n, c, h, w) = (dy.dims()[0], dy.dims()[1], dy.dims()[2], dy.dims()[3]);
+        let plane = h * w;
+        let m = cache.n_per_channel as f32;
+        let dys = dy.as_slice();
+        let xh = cache.xhat.as_slice();
+
+        // Per-channel reductions.
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        for i in 0..n {
+            for ci in 0..c {
+                let base = (i * c + ci) * plane;
+                for s in 0..plane {
+                    sum_dy[ci] += dys[base + s];
+                    sum_dy_xhat[ci] += dys[base + s] * xh[base + s];
+                }
+            }
+        }
+
+        // Parameter gradients: dGamma = Σ dy·x̂, dBeta = Σ dy.
+        for ci in 0..c {
+            self.gamma.grad.as_mut_slice()[ci] += sum_dy_xhat[ci];
+            self.beta.grad.as_mut_slice()[ci] += sum_dy[ci];
+        }
+
+        // Input gradient:
+        // dx = gamma * inv_std / m * (m·dy − Σdy − x̂·Σ(dy·x̂))
+        let mut dx = Tensor::zeros(dy.shape().clone());
+        let dxs = dx.as_mut_slice();
+        let g = self.gamma.value.as_slice();
+        for i in 0..n {
+            for ci in 0..c {
+                let k = g[ci] * cache.inv_std[ci] / m;
+                let base = (i * c + ci) * plane;
+                for s in 0..plane {
+                    dxs[base + s] = k
+                        * (m * dys[base + s]
+                            - sum_dy[ci]
+                            - xh[base + s] * sum_dy_xhat[ci]);
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn visit_bns_mut(&mut self, f: &mut dyn FnMut(&mut BatchNorm2d)) {
+        f(self);
+    }
+
+    fn name(&self) -> String {
+        format!("bn{}", self.channels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input() -> Tensor {
+        let data: Vec<f32> = (0..2 * 2 * 2 * 2)
+            .map(|i| ((i * 37 + 5) % 13) as f32 - 6.0)
+            .collect();
+        Tensor::from_vec([2, 2, 2, 2], data)
+    }
+
+    #[test]
+    fn train_forward_normalizes_per_channel() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = input();
+        let y = bn.forward_train(&x);
+        // With gamma=1, beta=0 output per channel has ~zero mean, unit var.
+        for ci in 0..2 {
+            let mut vals = vec![];
+            for i in 0..2 {
+                for s in 0..4 {
+                    vals.push(y.as_slice()[(i * 2 + ci) * 4 + s]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_move_toward_batch_stats() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = input();
+        for _ in 0..50 {
+            let _ = bn.forward_train(&x);
+        }
+        // After many identical batches, running stats converge to batch stats,
+        // so eval output matches train output closely.
+        let mut exec = crate::executor::FloatConvExecutor;
+        let yt = bn.forward_train(&x);
+        let ye = bn.forward_eval(&x, &mut exec);
+        assert!(yt.max_abs_diff(&ye) < 0.05);
+    }
+
+    #[test]
+    fn backward_finite_difference_on_gamma_beta() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = input();
+        let dy = Tensor::from_vec(
+            [2, 2, 2, 2],
+            (0..16).map(|i| ((i % 5) as f32 - 2.0) / 5.0).collect::<Vec<_>>(),
+        );
+        let _ = bn.forward_train(&x);
+        let _ = bn.backward(&dy);
+
+        let loss = |gamma: &[f32], beta: &[f32]| -> f32 {
+            let mut b2 = BatchNorm2d::new(2);
+            b2.gamma.value = Tensor::from_vec([2], gamma.to_vec());
+            b2.beta.value = Tensor::from_vec([2], beta.to_vec());
+            let y = b2.forward_train(&x);
+            y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-3;
+        for ci in 0..2 {
+            let mut gp = vec![1.0f32, 1.0];
+            gp[ci] += eps;
+            let mut gm = vec![1.0f32, 1.0];
+            gm[ci] -= eps;
+            let fd = (loss(&gp, &[0.0, 0.0]) - loss(&gm, &[0.0, 0.0])) / (2.0 * eps);
+            assert!((fd - bn.gamma.grad.as_slice()[ci]).abs() < 1e-2, "dgamma[{ci}]");
+
+            let mut bp = vec![0.0f32, 0.0];
+            bp[ci] += eps;
+            let mut bm = vec![0.0f32, 0.0];
+            bm[ci] -= eps;
+            let fd = (loss(&[1.0, 1.0], &bp) - loss(&[1.0, 1.0], &bm)) / (2.0 * eps);
+            assert!((fd - bn.beta.grad.as_slice()[ci]).abs() < 1e-2, "dbeta[{ci}]");
+        }
+    }
+
+    #[test]
+    fn backward_input_gradient_finite_difference() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![0.5, -1.0, 2.0, 0.1]);
+        let dy = Tensor::from_vec([1, 1, 2, 2], vec![1.0, -0.5, 0.25, 0.75]);
+        let _ = bn.forward_train(&x);
+        let dx = bn.backward(&dy);
+
+        let loss = |x: &Tensor| -> f32 {
+            let mut b2 = BatchNorm2d::new(1);
+            let y = b2.forward_train(x);
+            y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!((fd - dx.as_slice()[i]).abs() < 1e-2, "dx[{i}]: fd={fd}");
+        }
+    }
+}

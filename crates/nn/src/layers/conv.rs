@@ -1,0 +1,309 @@
+//! 2-D convolution layer with optional quantization-aware training and
+//! ODQ-in-the-loop emulation (used by the adaptive threshold search).
+
+use odq_quant::predict::odq_predict;
+use odq_quant::{quantize_activation, quantize_weights, split_qtensor};
+use odq_tensor::conv::{conv2d, conv2d_backward};
+use odq_tensor::{ConvGeom, Tensor};
+use rand_chacha::ChaCha8Rng;
+
+use crate::executor::{apply_qat, ConvCtx, ConvExecutor};
+use crate::param::Param;
+
+use super::Layer;
+
+/// Quantization-aware-training configuration for a conv layer.
+///
+/// In training the layer fake-quantizes its weights and input activations
+/// (quantize→dequantize) so the network learns under quantization noise;
+/// gradients flow straight through (STE).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QatCfg {
+    /// Weight bit width.
+    pub w_bits: u8,
+    /// Activation bit width.
+    pub a_bits: u8,
+    /// Activation clip range.
+    pub a_clip: f32,
+}
+
+impl QatCfg {
+    /// The paper's INT4 configuration (weights and activations).
+    pub fn int4() -> Self {
+        Self { w_bits: 4, a_bits: 4, a_clip: 1.0 }
+    }
+}
+
+/// ODQ training emulation: during `forward_train`, outputs whose predictor
+/// partial sum falls below `threshold` are replaced by the predictor-only
+/// (low-precision) value, exactly as ODQ inference will compute them.
+///
+/// This is the paper's "weights are retrained after introducing the
+/// threshold to the model to capture sensitivity information" step
+/// (Sec. 3). Backward is straight-through: gradients are those of the
+/// full-precision conv.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OdqEmuCfg {
+    /// Sensitivity threshold in the dequantized output domain.
+    pub threshold: f32,
+}
+
+/// 2-D convolution layer.
+pub struct Conv2d {
+    /// Layer name in the paper's numbering (`"C1"`, `"C2"`, ...).
+    pub name: String,
+    /// Filter weights `[Co, Ci, K, K]`.
+    pub weight: Param,
+    /// Optional bias `[Co]`.
+    pub bias: Option<Param>,
+    /// Quantization-aware-training config.
+    pub qat: Option<QatCfg>,
+    /// ODQ-in-the-loop emulation config (threshold retraining).
+    pub odq_emu: Option<OdqEmuCfg>,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cache: Option<(Tensor, Tensor, ConvGeom)>,
+}
+
+impl Conv2d {
+    /// New conv layer with Kaiming-initialized weights.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        with_bias: bool,
+        rng: &mut ChaCha8Rng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        Self {
+            name: name.into(),
+            weight: Param::kaiming(
+                [out_channels, in_channels, kernel, kernel],
+                fan_in,
+                rng,
+            ),
+            bias: with_bias.then(|| Param::zeros([out_channels])),
+            qat: None,
+            odq_emu: None,
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            cache: None,
+        }
+    }
+
+    /// Enable QAT with the given config (builder style).
+    pub fn with_qat(mut self, qat: QatCfg) -> Self {
+        self.qat = Some(qat);
+        self
+    }
+
+    /// Geometry for an input of the given spatial size.
+    pub fn geom_for(&self, in_h: usize, in_w: usize) -> ConvGeom {
+        ConvGeom::new(
+            self.in_channels,
+            self.out_channels,
+            in_h,
+            in_w,
+            self.kernel,
+            self.stride,
+            self.padding,
+        )
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Build the executor-facing context for the current input size.
+    pub fn ctx(&self, in_h: usize, in_w: usize) -> ConvCtx<'_> {
+        ConvCtx {
+            name: &self.name,
+            geom: self.geom_for(in_h, in_w),
+            weights: &self.weight.value,
+            bias: self.bias.as_ref().map(|b| b.value.as_slice()),
+            qat: self.qat,
+        }
+    }
+
+    /// Replace insensitive outputs with their ODQ predictor-only values
+    /// (training-time emulation of ODQ inference, matching
+    /// [`odq_quant::predict::odq_predict`]).
+    fn apply_odq_emulation(&self, x: &Tensor, y: &mut Tensor, g: &ConvGeom, thr: f32) {
+        let q = self.qat.unwrap_or_else(QatCfg::int4);
+        let qx = quantize_activation(x, q.a_bits, q.a_clip);
+        let qw = quantize_weights(&self.weight.value, q.w_bits);
+        let low_bits = q.a_bits.min(q.w_bits) / 2;
+        let xp = split_qtensor(&qx, low_bits);
+        let wp = split_qtensor(&qw, low_bits);
+        let pred = odq_predict(&xp.high, &wp, qw.zero, qx.scale * qw.scale, g);
+
+        let spatial = g.out_spatial();
+        let n = y.dims()[0];
+        let ys = y.as_mut_slice();
+        let est = pred.estimate.as_slice();
+        for i in 0..n {
+            for co in 0..g.out_channels {
+                let b = self.bias.as_ref().map_or(0.0, |bp| bp.value.as_slice()[co]);
+                let base = (i * g.out_channels + co) * spatial;
+                for s in 0..spatial {
+                    let pv = est[base + s];
+                    if pv.abs() < thr {
+                        ys[base + s] = pv + b;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward_eval(&self, x: &Tensor, exec: &mut dyn ConvExecutor) -> Tensor {
+        let ctx = self.ctx(x.dims()[2], x.dims()[3]);
+        exec.conv(&ctx, x)
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let ctx = self.ctx(x.dims()[2], x.dims()[3]);
+        let g = ctx.geom;
+        let (x_eff, w_eff) = apply_qat(&ctx, x);
+        let mut y = conv2d(&x_eff, &w_eff, ctx.bias, &g);
+        if let Some(emu) = self.odq_emu {
+            self.apply_odq_emulation(x, &mut y, &g, emu.threshold);
+        }
+        self.cache = Some((x_eff, w_eff, g));
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (x_eff, w_eff, g) =
+            self.cache.take().expect("Conv2d backward without forward_train");
+        let grads = conv2d_backward(&x_eff, &w_eff, dy, &g);
+        self.weight.grad.add_assign(&grads.dw);
+        if let Some(b) = &mut self.bias {
+            for (g0, &d) in b.grad.as_mut_slice().iter_mut().zip(&grads.db) {
+                *g0 += d;
+            }
+        }
+        grads.dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn visit_convs_mut(&mut self, f: &mut dyn FnMut(&mut Conv2d)) {
+        f(self);
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::FloatConvExecutor;
+    use crate::param::init_rng;
+
+    fn input(seed: usize, n: usize, c: usize, h: usize, w: usize) -> Tensor {
+        let data: Vec<f32> =
+            (0..n * c * h * w).map(|i| (((i * 131 + seed) % 100) as f32) / 100.0).collect();
+        Tensor::from_vec([n, c, h, w], data)
+    }
+
+    #[test]
+    fn train_and_eval_agree_without_qat() {
+        let mut rng = init_rng(3);
+        let mut conv = Conv2d::new("C1", 2, 3, 3, 1, 1, true, &mut rng);
+        let x = input(0, 1, 2, 5, 5);
+        let yt = conv.forward_train(&x);
+        let ye = conv.forward_eval(&x, &mut FloatConvExecutor);
+        assert_eq!(yt.as_slice(), ye.as_slice());
+        assert_eq!(yt.dims(), &[1, 3, 5, 5]);
+    }
+
+    #[test]
+    fn train_and_eval_agree_with_qat() {
+        let mut rng = init_rng(4);
+        let mut conv =
+            Conv2d::new("C1", 2, 3, 3, 1, 1, false, &mut rng).with_qat(QatCfg::int4());
+        let x = input(1, 1, 2, 4, 4);
+        let yt = conv.forward_train(&x);
+        let ye = conv.forward_eval(&x, &mut FloatConvExecutor);
+        assert_eq!(yt.as_slice(), ye.as_slice());
+    }
+
+    #[test]
+    fn qat_changes_output() {
+        let mut rng = init_rng(5);
+        let mut plain = Conv2d::new("C1", 2, 3, 3, 1, 1, false, &mut rng);
+        let mut quant = Conv2d::new("C1", 2, 3, 3, 1, 1, false, &mut init_rng(5))
+            .with_qat(QatCfg { w_bits: 2, a_bits: 2, a_clip: 1.0 });
+        let x = input(2, 1, 2, 4, 4);
+        let yp = plain.forward_train(&x);
+        let yq = quant.forward_train(&x);
+        assert!(yp.max_abs_diff(&yq) > 1e-4, "2-bit QAT must perturb outputs");
+    }
+
+    #[test]
+    fn backward_accumulates_gradients() {
+        let mut rng = init_rng(6);
+        let mut conv = Conv2d::new("C1", 1, 2, 3, 1, 1, true, &mut rng);
+        let x = input(3, 2, 1, 4, 4);
+        let y = conv.forward_train(&x);
+        let dy = Tensor::full(y.shape().clone(), 1.0);
+        let dx = conv.backward(&dy);
+        assert_eq!(dx.dims(), x.dims());
+        assert!(conv.weight.grad.max_abs() > 0.0);
+        assert!(conv.bias.as_ref().unwrap().grad.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn odq_emulation_replaces_insensitive_outputs() {
+        let mut rng = init_rng(7);
+        let mut conv =
+            Conv2d::new("C1", 2, 4, 3, 1, 1, false, &mut rng).with_qat(QatCfg::int4());
+        let x = input(4, 1, 2, 6, 6);
+
+        let y_full = conv.forward_train(&x);
+        // A huge threshold marks everything insensitive.
+        conv.odq_emu = Some(OdqEmuCfg { threshold: f32::INFINITY });
+        let y_emu = conv.forward_train(&x);
+        assert!(
+            y_full.max_abs_diff(&y_emu) > 1e-5,
+            "emulation with infinite threshold must replace all outputs"
+        );
+        // Threshold zero keeps everything sensitive => identical outputs.
+        conv.odq_emu = Some(OdqEmuCfg { threshold: 0.0 });
+        let y_same = conv.forward_train(&x);
+        assert_eq!(y_full.as_slice(), y_same.as_slice());
+    }
+
+    #[test]
+    fn visit_params_counts() {
+        let mut rng = init_rng(8);
+        let mut with_bias = Conv2d::new("C1", 1, 1, 3, 1, 1, true, &mut rng);
+        let mut without = Conv2d::new("C2", 1, 1, 3, 1, 1, false, &mut rng);
+        let mut n = 0;
+        with_bias.visit_params(&mut |_| n += 1);
+        assert_eq!(n, 2);
+        n = 0;
+        without.visit_params(&mut |_| n += 1);
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! DenseNet building blocks: dense layers (channel concatenation) and
+//! transition layers.
+
+use odq_tensor::Tensor;
+use rand_chacha::ChaCha8Rng;
+
+use crate::executor::ConvExecutor;
+use crate::param::Param;
+use crate::util::{concat_channels, split_channels};
+
+use super::act::ReLU;
+use super::bn::BatchNorm2d;
+use super::conv::{Conv2d, QatCfg};
+use super::pool::AvgPool2d;
+use super::Layer;
+
+/// One dense layer: `y = concat(x, conv3x3(relu(bn(x))))`, growing the
+/// channel count by `growth`.
+struct DenseLayer {
+    bn: BatchNorm2d,
+    relu: ReLU,
+    conv: Conv2d,
+    in_ch: usize,
+    growth: usize,
+}
+
+impl DenseLayer {
+    fn new(
+        name: impl Into<String>,
+        in_ch: usize,
+        growth: usize,
+        act_clip: Option<f32>,
+        qat: Option<QatCfg>,
+        rng: &mut ChaCha8Rng,
+    ) -> Self {
+        let mut conv = Conv2d::new(name, in_ch, growth, 3, 1, 1, false, rng);
+        conv.qat = qat;
+        Self {
+            bn: BatchNorm2d::new(in_ch),
+            relu: match act_clip {
+                Some(c) => ReLU::clipped(c),
+                None => ReLU::new(),
+            },
+            conv,
+            in_ch,
+            growth,
+        }
+    }
+}
+
+/// A DenseNet block of `n_layers` dense layers; channels grow from `in_ch`
+/// to `in_ch + n_layers * growth`.
+pub struct DenseBlock {
+    layers: Vec<DenseLayer>,
+}
+
+impl DenseBlock {
+    /// Build a dense block. Conv names continue the paper's `C<k>`
+    /// numbering starting at `first_conv_idx`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        first_conv_idx: usize,
+        in_ch: usize,
+        growth: usize,
+        n_layers: usize,
+        act_clip: Option<f32>,
+        qat: Option<QatCfg>,
+        rng: &mut ChaCha8Rng,
+    ) -> Self {
+        let mut layers = Vec::with_capacity(n_layers);
+        let mut c = in_ch;
+        for i in 0..n_layers {
+            layers.push(DenseLayer::new(
+                format!("C{}", first_conv_idx + i),
+                c,
+                growth,
+                act_clip,
+                qat,
+                rng,
+            ));
+            c += growth;
+        }
+        Self { layers }
+    }
+
+    /// Output channel count for the given input channels.
+    pub fn out_channels(&self, in_ch: usize) -> usize {
+        in_ch + self.layers.iter().map(|l| l.growth).sum::<usize>()
+    }
+
+    /// The block's conv layers.
+    pub fn convs(&self) -> Vec<&Conv2d> {
+        self.layers.iter().map(|l| &l.conv).collect()
+    }
+}
+
+impl Layer for DenseBlock {
+    fn forward_eval(&self, x: &Tensor, exec: &mut dyn ConvExecutor) -> Tensor {
+        let mut acc = x.clone();
+        for l in &self.layers {
+            let h = l.bn.forward_eval(&acc, exec);
+            let h = l.relu.forward_eval(&h, exec);
+            let new = l.conv.forward_eval(&h, exec);
+            acc = concat_channels(&[&acc, &new]);
+        }
+        acc
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let mut acc = x.clone();
+        for l in &mut self.layers {
+            let h = l.bn.forward_train(&acc);
+            let h = l.relu.forward_train(&h);
+            let new = l.conv.forward_train(&h);
+            acc = concat_channels(&[&acc, &new]);
+        }
+        acc
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut d = dy.clone();
+        for l in self.layers.iter_mut().rev() {
+            // d is the gradient w.r.t. concat(prev, new).
+            let parts = split_channels(&d, &[l.in_ch, l.growth]);
+            let (d_prev, d_new) = (parts[0].clone(), parts[1].clone());
+            let db = l.conv.backward(&d_new);
+            let db = l.relu.backward(&db);
+            let mut db = l.bn.backward(&db);
+            db.add_assign(&d_prev);
+            d = db;
+        }
+        d
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for l in &mut self.layers {
+            l.bn.visit_params(f);
+            l.conv.visit_params(f);
+        }
+    }
+
+    fn visit_convs_mut(&mut self, f: &mut dyn FnMut(&mut Conv2d)) {
+        for l in &mut self.layers {
+            f(&mut l.conv);
+        }
+    }
+
+    fn visit_bns_mut(&mut self, f: &mut dyn FnMut(&mut BatchNorm2d)) {
+        for l in &mut self.layers {
+            f(&mut l.bn);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("denseblock[{}]", self.layers.len())
+    }
+}
+
+/// DenseNet transition: `avgpool2(conv1x1(relu(bn(x))))`, compressing
+/// channels.
+pub struct Transition {
+    bn: BatchNorm2d,
+    relu: ReLU,
+    conv: Conv2d,
+    pool: AvgPool2d,
+}
+
+impl Transition {
+    /// Build a transition mapping `in_ch -> out_ch` and halving the spatial
+    /// size.
+    pub fn new(
+        name: impl Into<String>,
+        in_ch: usize,
+        out_ch: usize,
+        act_clip: Option<f32>,
+        qat: Option<QatCfg>,
+        rng: &mut ChaCha8Rng,
+    ) -> Self {
+        let mut conv = Conv2d::new(name, in_ch, out_ch, 1, 1, 0, false, rng);
+        conv.qat = qat;
+        Self {
+            bn: BatchNorm2d::new(in_ch),
+            relu: match act_clip {
+                Some(c) => ReLU::clipped(c),
+                None => ReLU::new(),
+            },
+            conv,
+            pool: AvgPool2d::new(2),
+        }
+    }
+
+    /// The transition's conv layer.
+    pub fn conv(&self) -> &Conv2d {
+        &self.conv
+    }
+}
+
+impl Layer for Transition {
+    fn forward_eval(&self, x: &Tensor, exec: &mut dyn ConvExecutor) -> Tensor {
+        let h = self.bn.forward_eval(x, exec);
+        let h = self.relu.forward_eval(&h, exec);
+        let h = self.conv.forward_eval(&h, exec);
+        self.pool.forward_eval(&h, exec)
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let h = self.bn.forward_train(x);
+        let h = self.relu.forward_train(&h);
+        let h = self.conv.forward_train(&h);
+        self.pool.forward_train(&h)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let d = self.pool.backward(dy);
+        let d = self.conv.backward(&d);
+        let d = self.relu.backward(&d);
+        self.bn.backward(&d)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.bn.visit_params(f);
+        self.conv.visit_params(f);
+    }
+
+    fn visit_convs_mut(&mut self, f: &mut dyn FnMut(&mut Conv2d)) {
+        f(&mut self.conv);
+    }
+
+    fn visit_bns_mut(&mut self, f: &mut dyn FnMut(&mut BatchNorm2d)) {
+        f(&mut self.bn);
+    }
+
+    fn name(&self) -> String {
+        "transition".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::init_rng;
+
+    fn input(n: usize, c: usize, hw: usize) -> Tensor {
+        let data: Vec<f32> =
+            (0..n * c * hw * hw).map(|i| ((i * 61 + 7) % 40) as f32 / 40.0).collect();
+        Tensor::from_vec([n, c, hw, hw], data)
+    }
+
+    #[test]
+    fn dense_block_grows_channels() {
+        let mut rng = init_rng(1);
+        let mut b = DenseBlock::new(2, 4, 3, 2, None, None, &mut rng);
+        let x = input(1, 4, 8);
+        let y = b.forward_train(&x);
+        assert_eq!(y.dims(), &[1, 10, 8, 8]); // 4 + 2*3
+        assert_eq!(b.out_channels(4), 10);
+        assert_eq!(b.convs().len(), 2);
+    }
+
+    #[test]
+    fn dense_block_preserves_input_in_first_channels() {
+        let mut rng = init_rng(2);
+        let mut b = DenseBlock::new(2, 2, 1, 1, None, None, &mut rng);
+        let x = input(1, 2, 4);
+        let y = b.forward_train(&x);
+        // The first in_ch channels of the output are the input verbatim.
+        assert_eq!(&y.as_slice()[..x.numel()], x.as_slice());
+    }
+
+    #[test]
+    fn dense_block_backward_shapes_and_nonzero() {
+        let mut rng = init_rng(3);
+        let mut b = DenseBlock::new(2, 3, 2, 3, None, None, &mut rng);
+        let x = input(2, 3, 4);
+        let y = b.forward_train(&x);
+        let dy = Tensor::full(y.shape().clone(), 0.5);
+        let dx = b.backward(&dy);
+        assert_eq!(dx.dims(), x.dims());
+        assert!(dx.max_abs() > 0.0);
+        let mut n = 0;
+        b.visit_params(&mut |_| n += 1);
+        assert_eq!(n, 3 * 3); // 3 layers × (bn gamma, bn beta, conv w)
+    }
+
+    #[test]
+    fn transition_halves_spatial() {
+        let mut rng = init_rng(4);
+        let mut t = Transition::new("C5", 6, 3, None, None, &mut rng);
+        let x = input(1, 6, 8);
+        let y = t.forward_train(&x);
+        assert_eq!(y.dims(), &[1, 3, 4, 4]);
+        let dx = t.backward(&Tensor::full(y.shape().clone(), 1.0));
+        assert_eq!(dx.dims(), x.dims());
+    }
+}

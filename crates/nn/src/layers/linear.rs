@@ -1,0 +1,215 @@
+//! Fully-connected layer and the flatten adapter.
+
+use odq_tensor::gemm::{gemm_f32, gemm_f32_at, gemm_f32_bt};
+use odq_tensor::{Shape, Tensor};
+use rand_chacha::ChaCha8Rng;
+
+use crate::executor::ConvExecutor;
+use crate::param::Param;
+
+use super::Layer;
+
+/// Fully-connected layer: `y = x Wᵀ + b` with `x: [N, D]`, `W: [O, D]`.
+pub struct Linear {
+    /// Weight matrix `[out_features, in_features]`.
+    pub weight: Param,
+    /// Bias `[out_features]`.
+    pub bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cache_x: Option<Tensor>,
+}
+
+impl Linear {
+    /// New FC layer with Kaiming-initialized weights.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut ChaCha8Rng) -> Self {
+        Self {
+            weight: Param::kaiming([out_features, in_features], in_features, rng),
+            bias: Param::zeros([out_features]),
+            in_features,
+            out_features,
+            cache_x: None,
+        }
+    }
+
+    fn compute(&self, x: &Tensor) -> Tensor {
+        let n = x.dims()[0];
+        assert_eq!(x.dims()[1], self.in_features, "Linear input features mismatch");
+        let mut y = Tensor::zeros([n, self.out_features]);
+        // y = x (N x D) * W^T (D x O)
+        gemm_f32_bt(
+            x.as_slice(),
+            self.weight.value.as_slice(),
+            y.as_mut_slice(),
+            n,
+            self.in_features,
+            self.out_features,
+        );
+        let b = self.bias.value.as_slice();
+        for row in y.as_mut_slice().chunks_mut(self.out_features) {
+            for (v, &bj) in row.iter_mut().zip(b) {
+                *v += bj;
+            }
+        }
+        y
+    }
+}
+
+impl Layer for Linear {
+    fn forward_eval(&self, x: &Tensor, _exec: &mut dyn ConvExecutor) -> Tensor {
+        self.compute(x)
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let y = self.compute(x);
+        self.cache_x = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cache_x.take().expect("Linear backward without forward_train");
+        let n = x.dims()[0];
+        let (d, o) = (self.in_features, self.out_features);
+        assert_eq!(dy.dims(), &[n, o], "Linear dy shape mismatch");
+
+        // dW[o, d] = Σ_n dy[n, o] * x[n, d]  =  dyᵀ · x
+        let mut dw = vec![0.0f32; o * d];
+        gemm_f32_at(dy.as_slice(), x.as_slice(), &mut dw, o, n, d);
+        for (g, v) in self.weight.grad.as_mut_slice().iter_mut().zip(&dw) {
+            *g += v;
+        }
+
+        // db = column sums of dy
+        for row in dy.as_slice().chunks(o) {
+            for (g, &v) in self.bias.grad.as_mut_slice().iter_mut().zip(row) {
+                *g += v;
+            }
+        }
+
+        // dx = dy · W  ([N, O] x [O, D])
+        let mut dx = Tensor::zeros([n, d]);
+        gemm_f32(dy.as_slice(), self.weight.value.as_slice(), dx.as_mut_slice(), n, o, d);
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> String {
+        format!("fc{}x{}", self.out_features, self.in_features)
+    }
+}
+
+/// Flatten `[N, ...] -> [N, prod(...)]`.
+pub struct Flatten {
+    cache_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// Construct the flatten adapter.
+    pub fn new() -> Self {
+        Self { cache_shape: None }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward_eval(&self, x: &Tensor, _exec: &mut dyn ConvExecutor) -> Tensor {
+        let n = x.dims()[0];
+        let rest = x.numel() / n;
+        x.clone().reshape([n, rest])
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        self.cache_shape = Some(x.shape().clone());
+        let n = x.dims()[0];
+        let rest = x.numel() / n;
+        x.clone().reshape([n, rest])
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let shape = self.cache_shape.take().expect("Flatten backward without forward_train");
+        dy.clone().reshape(shape)
+    }
+
+    fn name(&self) -> String {
+        "flatten".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::init_rng;
+
+    #[test]
+    fn linear_forward_known_values() {
+        let mut rng = init_rng(0);
+        let mut l = Linear::new(2, 3, &mut rng);
+        l.weight.value = Tensor::from_vec([3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        l.bias.value = Tensor::from_vec([3], vec![0.5, -0.5, 0.0]);
+        let x = Tensor::from_vec([1, 2], vec![2.0, 3.0]);
+        let y = l.forward_train(&x);
+        assert_eq!(y.as_slice(), &[2.5, 2.5, 5.0]);
+    }
+
+    #[test]
+    fn linear_backward_finite_difference() {
+        let mut rng = init_rng(7);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Tensor::from_vec([2, 3], vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6]);
+        let dy = Tensor::from_vec([2, 2], vec![1.0, -1.0, 0.5, 0.25]);
+
+        let _ = l.forward_train(&x);
+        let dx = l.backward(&dy);
+
+        let loss = |l: &Linear, x: &Tensor| -> f32 {
+            let y = l.compute(x);
+            y.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-3;
+        // input grads
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fd = (loss(&l, &xp) - loss(&l, &xm)) / (2.0 * eps);
+            assert!((fd - dx.as_slice()[i]).abs() < 1e-2, "dx[{i}]");
+        }
+        // weight grads
+        for i in 0..l.weight.numel() {
+            let mut lp = Linear::new(3, 2, &mut init_rng(7));
+            lp.weight.value = l.weight.value.clone();
+            lp.bias.value = l.bias.value.clone();
+            lp.weight.value.as_mut_slice()[i] += eps;
+            let mut lm = Linear::new(3, 2, &mut init_rng(7));
+            lm.weight.value = l.weight.value.clone();
+            lm.bias.value = l.bias.value.clone();
+            lm.weight.value.as_mut_slice()[i] -= eps;
+            let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+            assert!((fd - l.weight.grad.as_slice()[i]).abs() < 1e-2, "dw[{i}]");
+        }
+        // bias grads = column sums of dy
+        assert!((l.bias.grad.as_slice()[0] - 1.5).abs() < 1e-6);
+        assert!((l.bias.grad.as_slice()[1] + 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec([2, 2, 1, 2], (0..8).map(|i| i as f32).collect::<Vec<_>>());
+        let y = f.forward_train(&x);
+        assert_eq!(y.dims(), &[2, 4]);
+        let dx = f.backward(&y);
+        assert_eq!(dx.dims(), &[2, 2, 1, 2]);
+        assert_eq!(dx.as_slice(), x.as_slice());
+    }
+}

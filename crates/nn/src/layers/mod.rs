@@ -1,0 +1,63 @@
+//! Neural-network layers with manual forward/backward passes.
+//!
+//! Every layer implements [`Layer`]:
+//!
+//! * `forward_eval` — inference without caches; convolution layers delegate
+//!   to a [`ConvExecutor`](crate::executor::ConvExecutor), which is how the
+//!   quantization engines hook in.
+//! * `forward_train` / `backward` — training passes with internal caches
+//!   and gradient accumulation into [`Param`]s.
+
+pub mod act;
+pub mod bn;
+pub mod block;
+pub mod conv;
+pub mod dense;
+pub mod linear;
+pub mod pool;
+pub mod seq;
+
+pub use act::ReLU;
+pub use block::ResidualBlock;
+pub use bn::BatchNorm2d;
+pub use conv::{Conv2d, OdqEmuCfg, QatCfg};
+pub use dense::{DenseBlock, Transition};
+pub use linear::{Flatten, Linear};
+pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
+pub use seq::Sequential;
+
+use odq_tensor::Tensor;
+
+use crate::executor::ConvExecutor;
+use crate::param::Param;
+
+/// A differentiable network layer.
+pub trait Layer {
+    /// Inference forward pass. Conv layers route through `exec`; all other
+    /// layers compute directly. Must not mutate training state.
+    fn forward_eval(&self, x: &Tensor, exec: &mut dyn ConvExecutor) -> Tensor;
+
+    /// Training forward pass; caches whatever `backward` needs.
+    fn forward_train(&mut self, x: &Tensor) -> Tensor;
+
+    /// Backward pass: consume the cache, accumulate parameter gradients,
+    /// and return the gradient with respect to the layer input.
+    ///
+    /// # Panics
+    /// Panics if called without a preceding `forward_train`.
+    fn backward(&mut self, dy: &Tensor) -> Tensor;
+
+    /// Visit every trainable parameter (for the optimizer / grad clearing).
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// Visit every [`Conv2d`](conv::Conv2d) in the subtree (used to install
+    /// QAT / ODQ-emulation configs on a built model).
+    fn visit_convs_mut(&mut self, _f: &mut dyn FnMut(&mut conv::Conv2d)) {}
+
+    /// Visit every [`BatchNorm2d`](bn::BatchNorm2d) in the subtree (used to
+    /// snapshot/restore running statistics alongside parameters).
+    fn visit_bns_mut(&mut self, _f: &mut dyn FnMut(&mut bn::BatchNorm2d)) {}
+
+    /// Human-readable layer name.
+    fn name(&self) -> String;
+}

@@ -1,0 +1,155 @@
+//! Pooling layers (thin stateful wrappers over `odq_tensor::conv`).
+
+use odq_tensor::conv::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
+    max_pool2d_backward,
+};
+use odq_tensor::Tensor;
+
+use crate::executor::ConvExecutor;
+
+use super::Layer;
+
+/// Non-overlapping average pooling with window `k`.
+pub struct AvgPool2d {
+    k: usize,
+    cache_hw: Option<(usize, usize)>,
+}
+
+impl AvgPool2d {
+    /// Average pooling with square window and stride `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        Self { k, cache_hw: None }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward_eval(&self, x: &Tensor, _exec: &mut dyn ConvExecutor) -> Tensor {
+        avg_pool2d(x, self.k)
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        self.cache_hw = Some((x.dims()[2], x.dims()[3]));
+        avg_pool2d(x, self.k)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (h, w) = self.cache_hw.take().expect("AvgPool2d backward without forward_train");
+        avg_pool2d_backward(dy, self.k, h, w)
+    }
+
+    fn name(&self) -> String {
+        format!("avgpool{}", self.k)
+    }
+}
+
+/// Non-overlapping max pooling with window `k`.
+pub struct MaxPool2d {
+    k: usize,
+    cache: Option<(Vec<u32>, usize, usize)>,
+}
+
+impl MaxPool2d {
+    /// Max pooling with square window and stride `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        Self { k, cache: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward_eval(&self, x: &Tensor, _exec: &mut dyn ConvExecutor) -> Tensor {
+        max_pool2d(x, self.k).0
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let (y, arg) = max_pool2d(x, self.k);
+        self.cache = Some((arg, x.dims()[2], x.dims()[3]));
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (arg, h, w) = self.cache.take().expect("MaxPool2d backward without forward_train");
+        max_pool2d_backward(dy, &arg, self.k, h, w)
+    }
+
+    fn name(&self) -> String {
+        format!("maxpool{}", self.k)
+    }
+}
+
+/// Global average pooling: `[N, C, H, W] -> [N, C]`.
+pub struct GlobalAvgPool {
+    cache_hw: Option<(usize, usize)>,
+}
+
+impl GlobalAvgPool {
+    /// Construct the pooling layer.
+    pub fn new() -> Self {
+        Self { cache_hw: None }
+    }
+}
+
+impl Default for GlobalAvgPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward_eval(&self, x: &Tensor, _exec: &mut dyn ConvExecutor) -> Tensor {
+        global_avg_pool(x)
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        self.cache_hw = Some((x.dims()[2], x.dims()[3]));
+        global_avg_pool(x)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (h, w) = self.cache_hw.take().expect("GlobalAvgPool backward without forward_train");
+        global_avg_pool_backward(dy, h, w)
+    }
+
+    fn name(&self) -> String {
+        "gap".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::FloatConvExecutor;
+
+    #[test]
+    fn avg_pool_layer_roundtrip() {
+        let mut p = AvgPool2d::new(2);
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![0.0, 2.0, 4.0, 6.0]);
+        let y = p.forward_train(&x);
+        assert_eq!(y.as_slice(), &[3.0]);
+        let dx = p.backward(&Tensor::from_vec([1, 1, 1, 1], vec![4.0]));
+        assert_eq!(dx.as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn max_pool_layer_routes_gradient_to_argmax() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![0.0, 5.0, 4.0, 1.0]);
+        let y = p.forward_train(&x);
+        assert_eq!(y.as_slice(), &[5.0]);
+        let dx = p.backward(&Tensor::from_vec([1, 1, 1, 1], vec![3.0]));
+        assert_eq!(dx.as_slice(), &[0.0, 3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gap_layer_eval_matches_train() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::from_vec([1, 2, 1, 2], vec![1.0, 3.0, 5.0, 7.0]);
+        let t = p.forward_train(&x);
+        let e = p.forward_eval(&x, &mut FloatConvExecutor);
+        assert_eq!(t.as_slice(), e.as_slice());
+        assert_eq!(t.as_slice(), &[2.0, 6.0]);
+        assert_eq!(t.dims(), &[1, 2]);
+    }
+}

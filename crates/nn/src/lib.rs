@@ -1,0 +1,37 @@
+//! # odq-nn
+//!
+//! A from-scratch DNN substrate: layers with manual backpropagation, model
+//! builders for the paper's evaluation networks (LeNet-5, ResNet-20,
+//! ResNet-56, VGG-16, DenseNet), and an SGD training loop with optional
+//! quantization-aware training (DoReFa-style fake quantization with a
+//! straight-through estimator).
+//!
+//! The paper implements its models in PyTorch; this crate replaces that
+//! dependency. Two properties drive the design:
+//!
+//! 1. **Pluggable convolution execution.** Every inference pass routes conv
+//!    layers through a [`executor::ConvExecutor`]. The default executor runs
+//!    the float reference; the `odq-core` and `odq-drq` crates implement
+//!    executors that perform output-directed / input-directed dynamic
+//!    quantization and record per-layer statistics, without this crate
+//!    knowing anything about them.
+//! 2. **Geometry as data.** Model builders expose their convolution
+//!    geometries ([`arch`]) so the accelerator simulator can replay the
+//!    *full-size* workloads (ResNet-56, VGG-16, ...) even when the trained
+//!    models used for accuracy experiments are width-scaled.
+
+pub mod arch;
+pub mod executor;
+pub mod layers;
+pub mod loss;
+pub mod models;
+pub mod param;
+pub mod serialize;
+pub mod train;
+pub mod util;
+
+pub use arch::Arch;
+pub use executor::{ConvCtx, ConvExecutor, FloatConvExecutor};
+pub use layers::{Layer, Sequential};
+pub use models::Model;
+pub use param::Param;

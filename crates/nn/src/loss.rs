@@ -1,0 +1,120 @@
+//! Softmax cross-entropy loss and classification metrics.
+
+use odq_tensor::Tensor;
+
+/// Numerically-stable softmax cross-entropy.
+///
+/// `logits: [N, C]`, `labels: [N]`. Returns `(mean_loss, dlogits)` where
+/// `dlogits = (softmax - onehot) / N`.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let n = logits.dims()[0];
+    let c = logits.dims()[1];
+    assert_eq!(labels.len(), n, "label count mismatch");
+
+    let mut dlogits = Tensor::zeros([n, c]);
+    let mut total = 0.0f64;
+    let ls = logits.as_slice();
+    let ds = dlogits.as_mut_slice();
+    for i in 0..n {
+        let row = &ls[i * c..(i + 1) * c];
+        let label = labels[i];
+        assert!(label < c, "label {label} out of range ({c} classes)");
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let logsum = sum.ln() + max;
+        total += (logsum - row[label]) as f64;
+        let drow = &mut ds[i * c..(i + 1) * c];
+        for (j, d) in drow.iter_mut().enumerate() {
+            let p = exps[j] / sum;
+            *d = (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    ((total / n as f64) as f32, dlogits)
+}
+
+/// Argmax predictions for `[N, C]` logits.
+pub fn predictions(logits: &Tensor) -> Vec<usize> {
+    let n = logits.dims()[0];
+    let c = logits.dims()[1];
+    let ls = logits.as_slice();
+    (0..n)
+        .map(|i| {
+            let row = &ls[i * c..(i + 1) * c];
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
+                .map(|(j, _)| j)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Top-1 accuracy of logits against labels.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let preds = predictions(logits);
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f32 / preds.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_of_confident_correct_prediction_is_small() {
+        let logits = Tensor::from_vec([1, 3], vec![10.0, 0.0, 0.0]);
+        let (loss, _) = cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3, "loss {loss}");
+        let (loss_wrong, _) = cross_entropy(&logits, &[1]);
+        assert!(loss_wrong > 5.0, "loss {loss_wrong}");
+    }
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::from_vec([2, 4], vec![0.0; 8]);
+        let (loss, dl) = cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        // Gradient rows sum to zero.
+        for i in 0..2 {
+            let s: f32 = dl.as_slice()[i * 4..(i + 1) * 4].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec([2, 3], vec![0.3, -0.2, 0.9, 1.0, 0.0, -1.0]);
+        let labels = [2usize, 0];
+        let (_, dl) = cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let (fp, _) = cross_entropy(&lp, &labels);
+            let (fm, _) = cross_entropy(&lm, &labels);
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - dl.as_slice()[i]).abs() < 1e-3, "dlogits[{i}]");
+        }
+    }
+
+    #[test]
+    fn numerical_stability_with_large_logits() {
+        let logits = Tensor::from_vec([1, 2], vec![1000.0, -1000.0]);
+        let (loss, dl) = cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(dl.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn accuracy_and_predictions() {
+        let logits = Tensor::from_vec([3, 2], vec![1.0, 0.0, 0.0, 1.0, 2.0, -1.0]);
+        assert_eq!(predictions(&logits), vec![0, 1, 0]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+}

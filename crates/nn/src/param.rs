@@ -1,0 +1,120 @@
+//! Trainable parameters and weight initialization.
+
+use odq_tensor::{Shape, Tensor};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A trainable parameter: value, accumulated gradient, and the optimizer's
+/// momentum buffer.
+///
+/// Keeping the momentum buffer inside the parameter lets layers expose all
+/// optimizer state through a single visitor ([`crate::Layer::visit_params`])
+/// without the optimizer needing to track parameter identity.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the last backward pass.
+    pub grad: Tensor,
+    /// SGD momentum buffer.
+    pub momentum: Tensor,
+    /// Whether weight decay applies (true for weights, false for
+    /// biases/BN parameters, the usual convention).
+    pub decay: bool,
+}
+
+impl Param {
+    /// A parameter initialized to zeros (biases, BN shift).
+    pub fn zeros<S: Into<Shape> + Clone>(shape: S) -> Self {
+        Self {
+            value: Tensor::zeros(shape.clone()),
+            grad: Tensor::zeros(shape.clone()),
+            momentum: Tensor::zeros(shape),
+            decay: false,
+        }
+    }
+
+    /// A parameter initialized to ones (BN scale).
+    pub fn ones<S: Into<Shape> + Clone>(shape: S) -> Self {
+        Self {
+            value: Tensor::full(shape.clone(), 1.0),
+            grad: Tensor::zeros(shape.clone()),
+            momentum: Tensor::zeros(shape),
+            decay: false,
+        }
+    }
+
+    /// Kaiming/He-style uniform initialization for a weight tensor with
+    /// the given fan-in, from a deterministic seeded RNG.
+    pub fn kaiming<S: Into<Shape> + Clone>(shape: S, fan_in: usize, rng: &mut ChaCha8Rng) -> Self {
+        let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+        let shape2 = shape.clone().into();
+        let data: Vec<f32> =
+            (0..shape2.numel()).map(|_| rng.gen_range(-bound..bound)).collect();
+        Self {
+            value: Tensor::from_vec(shape2, data),
+            grad: Tensor::zeros(shape.clone()),
+            momentum: Tensor::zeros(shape),
+            decay: true,
+        }
+    }
+
+    /// Zero the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+/// Deterministic RNG for weight initialization.
+pub fn init_rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Param::zeros([3, 4]);
+        assert!(z.value.as_slice().iter().all(|&x| x == 0.0));
+        assert!(!z.decay);
+        let o = Param::ones([5]);
+        assert!(o.value.as_slice().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn kaiming_is_deterministic_and_bounded() {
+        let mut r1 = init_rng(42);
+        let mut r2 = init_rng(42);
+        let a = Param::kaiming([8, 4], 4, &mut r1);
+        let b = Param::kaiming([8, 4], 4, &mut r2);
+        assert_eq!(a.value.as_slice(), b.value.as_slice());
+        let bound = (6.0f32 / 4.0).sqrt();
+        assert!(a.value.as_slice().iter().all(|&x| x.abs() <= bound));
+        assert!(a.decay);
+        // Not all zero (sanity).
+        assert!(a.value.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Param::kaiming([16], 16, &mut init_rng(1));
+        let b = Param::kaiming([16], 16, &mut init_rng(2));
+        assert_ne!(a.value.as_slice(), b.value.as_slice());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::ones([2]);
+        p.grad.as_mut_slice().fill(3.0);
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

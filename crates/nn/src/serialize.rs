@@ -1,0 +1,302 @@
+//! Model checkpoint serialization.
+//!
+//! A deliberately simple, dependency-free binary format ("ODQW"):
+//!
+//! ```text
+//! magic  b"ODQW"          4 bytes
+//! version u32 LE          4 bytes
+//! param_count u32 LE      4 bytes
+//! bn_count u32 LE         4 bytes
+//! for each param:  len u32 LE, then len f32 LE values
+//! for each bn:     channels u32 LE, running_mean, running_var (f32 LE each)
+//! ```
+//!
+//! Parameters and BN statistics are stored in the deterministic visitor
+//! order, so a checkpoint is valid for exactly the model configuration it
+//! was saved from — [`load_model`] verifies every length.
+
+use std::io::{self, Read, Write};
+
+use std::path::Path;
+
+use crate::models::Model;
+use crate::Layer as _;
+
+const MAGIC: &[u8; 4] = b"ODQW";
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint loading.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not an ODQW file or unsupported version.
+    Format(String),
+    /// Checkpoint does not match the model's architecture.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Format(m) => write!(f, "bad checkpoint format: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint/model mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f32s(w: &mut impl Write, vs: &[f32]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(vs.len() * 4);
+    for v in vs {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    w.write_all(&buf)
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f32s(r: &mut impl Read, n: usize) -> io::Result<Vec<f32>> {
+    let mut buf = vec![0u8; n * 4];
+    r.read_exact(&mut buf)?;
+    Ok(buf
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Serialize a model's parameters and BN statistics to a writer.
+pub fn save_model_to(model: &mut Model, w: &mut impl Write) -> io::Result<()> {
+    // First pass: counts.
+    let mut n_params = 0u32;
+    model.visit_params(&mut |_| n_params += 1);
+    let mut n_bns = 0u32;
+    model.net.visit_bns_mut(&mut |_| n_bns += 1);
+
+    w.write_all(MAGIC)?;
+    write_u32(w, VERSION)?;
+    write_u32(w, n_params)?;
+    write_u32(w, n_bns)?;
+
+    let mut err: Option<io::Error> = None;
+    model.visit_params(&mut |p| {
+        if err.is_some() {
+            return;
+        }
+        if let Err(e) = write_u32(w, p.value.numel() as u32)
+            .and_then(|_| write_f32s(w, p.value.as_slice()))
+        {
+            err = Some(e);
+        }
+    });
+    model.net.visit_bns_mut(&mut |bn| {
+        if err.is_some() {
+            return;
+        }
+        if let Err(e) = write_u32(w, bn.running_mean.len() as u32)
+            .and_then(|_| write_f32s(w, &bn.running_mean))
+            .and_then(|_| write_f32s(w, &bn.running_var))
+        {
+            err = Some(e);
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Save a model checkpoint to a file.
+pub fn save_model(model: &mut Model, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    save_model_to(model, &mut f)?;
+    // Flush explicitly: BufWriter's Drop swallows flush errors, which would
+    // turn a short write into a silently corrupt checkpoint.
+    f.flush()
+}
+
+/// Load a checkpoint into an already-built model of the same configuration.
+///
+/// On error the model may be left **partially updated** (values stream in
+/// as they are read); callers that need atomicity should snapshot with
+/// [`Model::snapshot_state`] first and restore on failure.
+pub fn load_model_from(model: &mut Model, r: &mut impl Read) -> Result<(), CheckpointError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("bad magic".into()));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!("unsupported version {version}")));
+    }
+    let n_params = read_u32(r)?;
+    let n_bns = read_u32(r)?;
+
+    let mut want_params = 0u32;
+    model.visit_params(&mut |_| want_params += 1);
+    let mut want_bns = 0u32;
+    model.net.visit_bns_mut(&mut |_| want_bns += 1);
+    if n_params != want_params || n_bns != want_bns {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint has {n_params} params / {n_bns} bns, model wants {want_params} / {want_bns}"
+        )));
+    }
+
+    let mut failure: Option<CheckpointError> = None;
+    model.visit_params(&mut |p| {
+        if failure.is_some() {
+            return;
+        }
+        match read_u32(r) {
+            Ok(len) if len as usize == p.value.numel() => match read_f32s(r, len as usize) {
+                Ok(vs) => p.value.as_mut_slice().copy_from_slice(&vs),
+                Err(e) => failure = Some(e.into()),
+            },
+            Ok(len) => {
+                failure = Some(CheckpointError::Mismatch(format!(
+                    "param length {len} != expected {}",
+                    p.value.numel()
+                )))
+            }
+            Err(e) => failure = Some(e.into()),
+        }
+    });
+    model.net.visit_bns_mut(&mut |bn| {
+        if failure.is_some() {
+            return;
+        }
+        match read_u32(r) {
+            Ok(len) if len as usize == bn.running_mean.len() => {
+                match read_f32s(r, len as usize).and_then(|m| {
+                    read_f32s(r, len as usize).map(|v| (m, v))
+                }) {
+                    Ok((m, v)) => {
+                        bn.running_mean.copy_from_slice(&m);
+                        bn.running_var.copy_from_slice(&v);
+                    }
+                    Err(e) => failure = Some(e.into()),
+                }
+            }
+            Ok(len) => {
+                failure = Some(CheckpointError::Mismatch(format!(
+                    "bn length {len} != expected {}",
+                    bn.running_mean.len()
+                )))
+            }
+            Err(e) => failure = Some(e.into()),
+        }
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Load a checkpoint file into an already-built model.
+pub fn load_model(model: &mut Model, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    load_model_from(model, &mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::FloatConvExecutor;
+    use crate::models::ModelCfg;
+    use crate::Arch;
+    use odq_tensor::Tensor;
+
+    fn model() -> Model {
+        let mut cfg = ModelCfg::small(Arch::ResNet20, 4);
+        cfg.input_hw = 8;
+        Model::build(cfg)
+    }
+
+    fn input() -> Tensor {
+        Tensor::from_vec(
+            [1, 3, 8, 8],
+            (0..192).map(|i| (i % 50) as f32 / 50.0).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_outputs() {
+        let mut a = model();
+        // Perturb weights so we're not saving the deterministic init.
+        a.visit_params(&mut |p| {
+            for (i, v) in p.value.as_mut_slice().iter_mut().enumerate() {
+                *v += (i % 7) as f32 * 1e-3;
+            }
+        });
+        let mut buf = Vec::new();
+        save_model_to(&mut a, &mut buf).unwrap();
+
+        let mut b = model();
+        load_model_from(&mut b, &mut io::Cursor::new(&buf)).unwrap();
+
+        let x = input();
+        let ya = a.forward_eval(&x, &mut FloatConvExecutor);
+        let yb = b.forward_eval(&x, &mut FloatConvExecutor);
+        assert_eq!(ya.as_slice(), yb.as_slice());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut m = model();
+        let err = load_model_from(&mut m, &mut io::Cursor::new(b"NOPE....".to_vec()));
+        assert!(matches!(err, Err(CheckpointError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_wrong_architecture() {
+        let mut a = model();
+        let mut buf = Vec::new();
+        save_model_to(&mut a, &mut buf).unwrap();
+
+        let mut cfg = ModelCfg::small(Arch::Vgg16, 4);
+        cfg.input_hw = 8;
+        let mut other = Model::build(cfg);
+        let err = load_model_from(&mut other, &mut io::Cursor::new(&buf));
+        assert!(matches!(err, Err(CheckpointError::Mismatch(_))), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let mut a = model();
+        let mut buf = Vec::new();
+        save_model_to(&mut a, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let mut b = model();
+        let err = load_model_from(&mut b, &mut io::Cursor::new(&buf));
+        assert!(matches!(err, Err(CheckpointError::Io(_))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("odq-ckpt-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("m.odqw");
+        let mut a = model();
+        save_model(&mut a, &path).unwrap();
+        let mut b = model();
+        load_model(&mut b, &path).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+}

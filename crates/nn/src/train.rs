@@ -1,0 +1,317 @@
+//! SGD training loop and evaluation helpers.
+
+use odq_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha8Rng;
+
+use crate::executor::ConvExecutor;
+use crate::loss::{accuracy, cross_entropy};
+use crate::models::Model;
+
+/// SGD hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SgdCfg {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// L2 weight decay (applied to parameters with `decay = true`).
+    pub weight_decay: f32,
+    /// Global gradient-norm clip (0 disables). Small, deep models at
+    /// aggressive learning rates occasionally blow up without it.
+    pub grad_clip: f32,
+}
+
+impl Default for SgdCfg {
+    fn default() -> Self {
+        Self { lr: 0.05, momentum: 0.9, weight_decay: 1e-4, grad_clip: 5.0 }
+    }
+}
+
+/// Apply one SGD-with-momentum step from the accumulated gradients, then
+/// zero the gradients.
+pub fn sgd_step(model: &mut Model, cfg: &SgdCfg) {
+    // Global gradient-norm clipping.
+    let mut clip_scale = 1.0f32;
+    if cfg.grad_clip > 0.0 {
+        let mut sq = 0.0f64;
+        model.visit_params(&mut |p| {
+            sq += p.grad.as_slice().iter().map(|&g| (g as f64) * g as f64).sum::<f64>();
+        });
+        let norm = sq.sqrt() as f32;
+        if norm > cfg.grad_clip {
+            clip_scale = cfg.grad_clip / norm;
+        }
+    }
+    model.visit_params(&mut |p| {
+        let wd = if p.decay { cfg.weight_decay } else { 0.0 };
+        let m = p.momentum.as_mut_slice();
+        let g = p.grad.as_slice();
+        let w = p.value.as_mut_slice();
+        for i in 0..w.len() {
+            let grad = g[i] * clip_scale + wd * w[i];
+            m[i] = cfg.momentum * m[i] - cfg.lr * grad;
+            w[i] += m[i];
+        }
+        p.zero_grad();
+    });
+}
+
+/// Learning-rate schedule across epochs.
+#[derive(Clone, Copy, Debug)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Step decay: multiply by `gamma` every `every` epochs.
+    Step {
+        /// Epoch interval between decays.
+        every: usize,
+        /// Multiplicative decay factor.
+        gamma: f32,
+    },
+    /// Cosine annealing from the base LR to `min_lr` over `total` epochs.
+    Cosine {
+        /// Total epochs of the schedule.
+        total: usize,
+        /// Final learning rate.
+        min_lr: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate for `epoch` (0-based) given the base rate.
+    pub fn lr_at(&self, base: f32, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::Step { every, gamma } => {
+                base * gamma.powi((epoch / every.max(1)) as i32)
+            }
+            LrSchedule::Cosine { total, min_lr } => {
+                let t = (epoch as f32 / total.max(1) as f32).min(1.0);
+                min_lr + 0.5 * (base - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+/// Train for `epochs` passes with a learning-rate schedule; returns the
+/// per-epoch mean losses.
+#[allow(clippy::too_many_arguments)]
+pub fn train_scheduled(
+    model: &mut Model,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    base: &SgdCfg,
+    schedule: LrSchedule,
+    epochs: usize,
+    rng: &mut ChaCha8Rng,
+) -> Vec<f32> {
+    (0..epochs)
+        .map(|e| {
+            let cfg = SgdCfg { lr: schedule.lr_at(base.lr, e), ..*base };
+            train_epoch(model, images, labels, batch_size, &cfg, rng)
+        })
+        .collect()
+}
+
+/// One pass over the training set in shuffled mini-batches.
+///
+/// `images: [N, C, H, W]`, `labels: [N]`. Returns the mean training loss.
+pub fn train_epoch(
+    model: &mut Model,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    cfg: &SgdCfg,
+    rng: &mut ChaCha8Rng,
+) -> f32 {
+    let n = images.dims()[0];
+    assert_eq!(labels.len(), n, "label count mismatch");
+    assert!(batch_size > 0);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+
+    let mut total_loss = 0.0f64;
+    let mut batches = 0usize;
+    for chunk in order.chunks(batch_size) {
+        let (bx, by) = gather_batch(images, labels, chunk);
+        let logits = model.forward_train(&bx);
+        let (loss, dlogits) = cross_entropy(&logits, &by);
+        model.backward(&dlogits);
+        sgd_step(model, cfg);
+        total_loss += loss as f64;
+        batches += 1;
+    }
+    (total_loss / batches.max(1) as f64) as f32
+}
+
+/// Evaluate Top-1 accuracy with the given conv executor, in batches.
+pub fn evaluate(
+    model: &Model,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    exec: &mut dyn ConvExecutor,
+) -> f32 {
+    let n = images.dims()[0];
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let idx: Vec<usize> = (0..n).collect();
+    let mut correct = 0.0f32;
+    let mut seen = 0usize;
+    for chunk in idx.chunks(batch_size.max(1)) {
+        let (bx, by) = gather_batch(images, labels, chunk);
+        let logits = model.forward_eval(&bx, exec);
+        correct += accuracy(&logits, &by) * by.len() as f32;
+        seen += by.len();
+    }
+    if seen == 0 {
+        0.0
+    } else {
+        correct / seen as f32
+    }
+}
+
+/// Gather a batch of images/labels by index.
+pub fn gather_batch(images: &Tensor, labels: &[usize], idx: &[usize]) -> (Tensor, Vec<usize>) {
+    let dims = images.dims();
+    let per = images.numel() / dims[0];
+    let mut data = Vec::with_capacity(idx.len() * per);
+    let mut ls = Vec::with_capacity(idx.len());
+    for &i in idx {
+        data.extend_from_slice(images.outer(i));
+        ls.push(labels[i]);
+    }
+    let mut shape = dims.to_vec();
+    shape[0] = idx.len();
+    (Tensor::from_vec(shape, data), ls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Arch;
+    use crate::executor::FloatConvExecutor;
+    use crate::models::ModelCfg;
+    use crate::param::init_rng;
+
+    /// A linearly-separable toy set: class = brightest quadrant.
+    fn toy_data(n: usize, hw: usize) -> (Tensor, Vec<usize>) {
+        let mut data = vec![0.05f32; n * 3 * hw * hw];
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 4;
+            let (y0, x0) = ((class / 2) * hw / 2, (class % 2) * hw / 2);
+            for c in 0..3 {
+                for y in y0..y0 + hw / 2 {
+                    for x in x0..x0 + hw / 2 {
+                        data[((i * 3 + c) * hw + y) * hw + x] = 0.9;
+                    }
+                }
+            }
+            labels.push(class);
+        }
+        (Tensor::from_vec([n, 3, hw, hw], data), labels)
+    }
+
+    #[test]
+    fn sgd_reduces_loss_on_toy_problem() {
+        let mut cfg = ModelCfg::small(Arch::ResNet20, 4);
+        cfg.input_hw = 8;
+        let mut m = Model::build(cfg);
+        let (x, y) = toy_data(32, 8);
+        let mut rng = init_rng(11);
+        let sgd = SgdCfg { lr: 0.1, momentum: 0.9, weight_decay: 0.0, grad_clip: 5.0 };
+        let first = train_epoch(&mut m, &x, &y, 8, &sgd, &mut rng);
+        let mut last = first;
+        for _ in 0..8 {
+            last = train_epoch(&mut m, &x, &y, 8, &sgd, &mut rng);
+        }
+        assert!(last < first * 0.7, "loss should drop: {first} -> {last}");
+        let acc = evaluate(&m, &x, &y, 8, &mut FloatConvExecutor);
+        assert!(acc > 0.8, "toy accuracy {acc}");
+    }
+
+    #[test]
+    fn evaluate_empty_set_is_zero() {
+        let m = Model::build(ModelCfg::small(Arch::LeNet5, 4));
+        let x = Tensor::<f32>::zeros([0, 3, 16, 16]);
+        let acc = evaluate(&m, &x, &[], 8, &mut FloatConvExecutor);
+        assert_eq!(acc, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn train_rejects_mismatched_labels() {
+        let mut m = Model::build(ModelCfg::small(Arch::LeNet5, 4));
+        let x = Tensor::<f32>::zeros([4, 3, 16, 16]);
+        let mut rng = init_rng(0);
+        train_epoch(&mut m, &x, &[0, 1], 2, &SgdCfg::default(), &mut rng);
+    }
+
+    #[test]
+    fn lr_schedules() {
+        assert_eq!(LrSchedule::Constant.lr_at(0.1, 7), 0.1);
+        let step = LrSchedule::Step { every: 2, gamma: 0.5 };
+        assert!((step.lr_at(0.1, 0) - 0.1).abs() < 1e-7);
+        assert!((step.lr_at(0.1, 2) - 0.05).abs() < 1e-7);
+        assert!((step.lr_at(0.1, 5) - 0.025).abs() < 1e-7);
+        let cos = LrSchedule::Cosine { total: 10, min_lr: 0.01 };
+        assert!((cos.lr_at(0.1, 0) - 0.1).abs() < 1e-6);
+        assert!((cos.lr_at(0.1, 10) - 0.01).abs() < 1e-6);
+        // Monotone decreasing.
+        let lrs: Vec<f32> = (0..=10).map(|e| cos.lr_at(0.1, e)).collect();
+        assert!(lrs.windows(2).all(|w| w[1] <= w[0] + 1e-7));
+    }
+
+    #[test]
+    fn scheduled_training_reduces_loss() {
+        let mut cfg = ModelCfg::small(Arch::ResNet20, 4);
+        cfg.input_hw = 8;
+        let mut m = Model::build(cfg);
+        let (x, y) = toy_data(32, 8);
+        let mut rng = init_rng(19);
+        let base = SgdCfg { lr: 0.1, momentum: 0.9, weight_decay: 0.0, grad_clip: 5.0 };
+        let losses = train_scheduled(
+            &mut m,
+            &x,
+            &y,
+            8,
+            &base,
+            LrSchedule::Cosine { total: 8, min_lr: 0.005 },
+            8,
+            &mut rng,
+        );
+        assert_eq!(losses.len(), 8);
+        assert!(losses.last().unwrap() < &(losses[0] * 0.8));
+    }
+
+    #[test]
+    fn gather_batch_picks_rows() {
+        let x = Tensor::from_vec([3, 1, 1, 2], vec![0., 1., 2., 3., 4., 5.]);
+        let (bx, by) = gather_batch(&x, &[7, 8, 9], &[2, 0]);
+        assert_eq!(bx.dims(), &[2, 1, 1, 2]);
+        assert_eq!(bx.as_slice(), &[4., 5., 0., 1.]);
+        assert_eq!(by, vec![9, 7]);
+    }
+
+    #[test]
+    fn sgd_step_moves_weights_and_clears_grads() {
+        let mut m = Model::build(ModelCfg::small(Arch::LeNet5, 4));
+        let before: Vec<f32> = {
+            let mut v = vec![];
+            m.visit_params(&mut |p| v.extend_from_slice(p.value.as_slice()));
+            v
+        };
+        // Fake gradients of 1.0 everywhere.
+        m.visit_params(&mut |p| p.grad.as_mut_slice().fill(1.0));
+        sgd_step(&mut m, &SgdCfg { lr: 0.01, momentum: 0.0, weight_decay: 0.0, grad_clip: 0.0 });
+        let mut after = vec![];
+        m.visit_params(&mut |p| after.extend_from_slice(p.value.as_slice()));
+        let moved = before.iter().zip(&after).filter(|(a, b)| (*a - *b).abs() > 1e-9).count();
+        assert!(moved > before.len() / 2, "most weights should move");
+        let mut all_zero = true;
+        m.visit_params(&mut |p| all_zero &= p.grad.max_abs() == 0.0);
+        assert!(all_zero, "grads cleared after step");
+    }
+}

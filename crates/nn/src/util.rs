@@ -1,0 +1,95 @@
+//! NCHW tensor helpers shared by composite blocks.
+
+use odq_tensor::Tensor;
+
+/// Concatenate NCHW tensors along the channel dimension.
+///
+/// # Panics
+/// Panics if batch or spatial dimensions differ.
+pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat of nothing");
+    let (n, h, w) = (parts[0].dims()[0], parts[0].dims()[2], parts[0].dims()[3]);
+    let c_total: usize = parts
+        .iter()
+        .map(|p| {
+            assert_eq!(p.dims()[0], n, "batch mismatch in concat");
+            assert_eq!(p.dims()[2], h, "height mismatch in concat");
+            assert_eq!(p.dims()[3], w, "width mismatch in concat");
+            p.dims()[1]
+        })
+        .sum();
+    let plane = h * w;
+    let mut out = Tensor::zeros([n, c_total, h, w]);
+    let os = out.as_mut_slice();
+    for i in 0..n {
+        let mut c_off = 0usize;
+        for p in parts {
+            let c = p.dims()[1];
+            let src = &p.as_slice()[i * c * plane..(i + 1) * c * plane];
+            let dst = &mut os[(i * c_total + c_off) * plane..(i * c_total + c_off + c) * plane];
+            dst.copy_from_slice(src);
+            c_off += c;
+        }
+    }
+    out
+}
+
+/// Split an NCHW tensor along the channel dimension into pieces of the
+/// given channel counts (inverse of [`concat_channels`]).
+///
+/// # Panics
+/// Panics if the channel counts do not sum to the tensor's channels.
+pub fn split_channels(x: &Tensor, channels: &[usize]) -> Vec<Tensor> {
+    let (n, c_total, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    assert_eq!(channels.iter().sum::<usize>(), c_total, "split channel mismatch");
+    let plane = h * w;
+    let xs = x.as_slice();
+    let mut out = Vec::with_capacity(channels.len());
+    let mut c_off = 0usize;
+    for &c in channels {
+        let mut t = Tensor::zeros([n, c, h, w]);
+        {
+            let ts = t.as_mut_slice();
+            for i in 0..n {
+                let src = &xs[(i * c_total + c_off) * plane..(i * c_total + c_off + c) * plane];
+                ts[i * c * plane..(i + 1) * c * plane].copy_from_slice(src);
+            }
+        }
+        out.push(t);
+        c_off += c;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_then_split_roundtrips() {
+        let a = Tensor::from_vec([2, 1, 2, 2], (0..8).map(|i| i as f32).collect::<Vec<_>>());
+        let b = Tensor::from_vec([2, 2, 2, 2], (8..24).map(|i| i as f32).collect::<Vec<_>>());
+        let cat = concat_channels(&[&a, &b]);
+        assert_eq!(cat.dims(), &[2, 3, 2, 2]);
+        let parts = split_channels(&cat, &[1, 2]);
+        assert_eq!(parts[0].as_slice(), a.as_slice());
+        assert_eq!(parts[1].as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn concat_layout_is_per_image() {
+        // image 0's channels of all parts must precede image 1's.
+        let a = Tensor::from_vec([2, 1, 1, 1], vec![1.0, 2.0]);
+        let b = Tensor::from_vec([2, 1, 1, 1], vec![10.0, 20.0]);
+        let cat = concat_channels(&[&a, &b]);
+        assert_eq!(cat.as_slice(), &[1.0, 10.0, 2.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "height mismatch")]
+    fn concat_rejects_spatial_mismatch() {
+        let a = Tensor::<f32>::zeros([1, 1, 2, 2]);
+        let b = Tensor::<f32>::zeros([1, 1, 3, 2]);
+        concat_channels(&[&a, &b]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Two's-complement bit-plane splitting (the paper's Eq. 3 decomposition).
+//!
+//! An INT4 code `c` splits into a high plane `h` and a low plane `l` with
+//! `c = (h << low_bits) + l`, where `l` is the unsigned low-order bits and
+//! `h = c >> low_bits` (arithmetic shift, so `h` carries the sign for
+//! signed codes). For the paper's 4-bit/2-bit configuration with
+//! offset-binary weight codes:
+//!
+//! * activations: `a ∈ 0..=15`, `a = 4·a_H + a_L`, `a_H, a_L ∈ 0..=3`;
+//! * weights: `n ∈ 0..=15`, `n = 4·n_H + n_L`, `n_H, n_L ∈ 0..=3`
+//!   (the zero point is handled by the affine convolution, not the split);
+//! * symmetric (ablation) weights: `q ∈ -7..=7`, `q_H ∈ -2..=1`,
+//!   `q_L ∈ 0..=3`.
+//!
+//! The product then decomposes exactly as Eq. 3:
+//!
+//! ```text
+//! a·q = (a_H·q_H) << 2·low_bits  +  (a_H·q_L) << low_bits
+//!     + (a_L·q_H) << low_bits    +   a_L·q_L
+//! ```
+//!
+//! The ODQ sensitivity predictor computes only the first term; the result
+//! executor adds the remaining three for outputs predicted sensitive.
+
+use odq_tensor::Tensor;
+
+use crate::qtensor::QTensor;
+
+/// High- and low-order bit planes of a tensor of integer codes.
+#[derive(Clone, Debug)]
+pub struct BitPlanes {
+    /// High-order plane (`code >> low_bits`, arithmetic — signed for
+    /// signed schemes).
+    pub high: Tensor<i16>,
+    /// Low-order plane (`code & ((1 << low_bits) - 1)`, always unsigned).
+    pub low: Tensor<i16>,
+    /// Number of low-order bits.
+    pub low_bits: u8,
+}
+
+/// Split a slice of codes into `(high, low)` planes.
+///
+/// `signed` controls nothing arithmetically — `i16`'s `>>` is already an
+/// arithmetic shift — but is kept as documentation of intent and validated
+/// in debug builds (unsigned codes must be non-negative).
+pub fn split_codes(codes: &[i16], low_bits: u8, signed: bool) -> (Vec<i16>, Vec<i16>) {
+    assert!(low_bits > 0 && low_bits < 15, "low_bits must be in 1..15");
+    let mask = (1i16 << low_bits) - 1;
+    let mut high = Vec::with_capacity(codes.len());
+    let mut low = Vec::with_capacity(codes.len());
+    for &c in codes {
+        debug_assert!(signed || c >= 0, "unsigned scheme with negative code {c}");
+        high.push(c >> low_bits);
+        low.push(c & mask);
+    }
+    (high, low)
+}
+
+/// Split a [`QTensor`]'s codes into bit planes (shape preserved).
+pub fn split_qtensor(q: &QTensor, low_bits: u8) -> BitPlanes {
+    let (high, low) = split_codes(q.codes.as_slice(), low_bits, q.scheme.signed);
+    let shape = q.codes.shape().clone();
+    BitPlanes {
+        high: Tensor::from_vec(shape.clone(), high),
+        low: Tensor::from_vec(shape, low),
+        low_bits,
+    }
+}
+
+/// Reassemble codes from planes: `code = (high << low_bits) + low`.
+pub fn join_planes(high: &[i16], low: &[i16], low_bits: u8) -> Vec<i16> {
+    assert!(low_bits > 0 && low_bits < 15, "low_bits must be in 1..15");
+    assert_eq!(high.len(), low.len(), "plane length mismatch");
+    high.iter().zip(low).map(|(&h, &l)| (h << low_bits).wrapping_add(l)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qtensor::QScheme;
+
+    #[test]
+    fn split_unsigned_int4() {
+        let codes: Vec<i16> = (0..=15).collect();
+        let (h, l) = split_codes(&codes, 2, false);
+        for (i, c) in codes.iter().enumerate() {
+            assert_eq!(h[i] * 4 + l[i], *c);
+            assert!((0..=3).contains(&h[i]));
+            assert!((0..=3).contains(&l[i]));
+        }
+        assert_eq!(h[13], 3);
+        assert_eq!(l[13], 1);
+    }
+
+    #[test]
+    fn split_signed_int4_twos_complement() {
+        let codes: Vec<i16> = (-8..=7).collect();
+        let (h, l) = split_codes(&codes, 2, true);
+        for (i, c) in codes.iter().enumerate() {
+            assert_eq!(h[i] * 4 + l[i], *c, "identity failed for {c}");
+            assert!((-2..=1).contains(&h[i]), "high plane out of INT2 range for {c}");
+            assert!((0..=3).contains(&l[i]), "low plane must be unsigned for {c}");
+        }
+        // Spot checks: -1 = 4*(-1) + 3; -5 = 4*(-2) + 3.
+        assert_eq!((h[7], l[7]), (-1, 3)); // c = -1
+        assert_eq!((h[3], l[3]), (-2, 3)); // c = -5
+    }
+
+    #[test]
+    fn join_inverts_split() {
+        let codes: Vec<i16> = (-8..=7).chain(0..=15).collect();
+        let (h, l) = split_codes(&codes, 2, true);
+        assert_eq!(join_planes(&h, &l, 2), codes);
+        // Also for a 3/5 split of INT8 codes.
+        let codes8: Vec<i16> = (-128..=127).collect();
+        let (h8, l8) = split_codes(&codes8, 4, true);
+        assert_eq!(join_planes(&h8, &l8, 4), codes8);
+    }
+
+    #[test]
+    fn eq3_product_decomposition_is_exact() {
+        // For every (a, q) pair of INT4 activation × weight codes, the four
+        // bit-plane partial products sum to the exact product (Eq. 3).
+        for a in 0i32..=15 {
+            for q in -7i32..=7 {
+                let (ah, al) = (a >> 2, a & 3);
+                let (qh, ql) = (q >> 2, q & 3);
+                let recomposed = ((ah * qh) << 4) + ((ah * ql) << 2) + ((al * qh) << 2) + al * ql;
+                assert_eq!(recomposed, a * q, "decomposition failed for a={a}, q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_qtensor_preserves_shape() {
+        let q = QTensor {
+            codes: Tensor::from_vec([2, 3], vec![0i16, 5, 10, 15, 7, 3]),
+            scale: 1.0 / 15.0,
+            zero: 0.0,
+            scheme: QScheme::activation(4),
+        };
+        let planes = split_qtensor(&q, 2);
+        assert_eq!(planes.high.dims(), &[2, 3]);
+        assert_eq!(planes.low.dims(), &[2, 3]);
+        assert_eq!(planes.low_bits, 2);
+        let joined = join_planes(planes.high.as_slice(), planes.low.as_slice(), 2);
+        assert_eq!(joined, q.codes.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "low_bits")]
+    fn rejects_zero_low_bits() {
+        split_codes(&[1, 2], 0, false);
+    }
+}

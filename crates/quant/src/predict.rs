@@ -1,0 +1,237 @@
+//! The ODQ sensitivity predictor's output estimate.
+//!
+//! The predictor sees only the high-order activation plane `a_H` and the
+//! high-order weight plane `n_H` (the paper's `I_HBS`, `W_HBS`). Writing
+//! the full code-domain product as (Eq. 3, with `d = low_bits`,
+//! `pow = 2^d`):
+//!
+//! ```text
+//! Σ a·n = pow²·Σ a_H n_H + pow·Σ a_H n_L + pow·Σ a_L n_H + Σ a_L n_L
+//! y     = s · (Σ a·n − z_w · Σ a),   Σ a = pow·Σ a_H + Σ a_L
+//! ```
+//!
+//! the predictor computes `HH = Σ a_H n_H` exactly (its INT2 MACs) and,
+//! at near-zero hardware cost, the running sum `SaH = Σ a_H` (one extra
+//! accumulator on the same operand stream). The unseen low-plane terms
+//! are replaced by their expectations, using offline per-filter constants
+//! (`Σ n_H`, `Σ n_L`) and the mean low-plane activation `m = (pow−1)/2`:
+//!
+//! ```text
+//! Σ a_H n_L ≈ (SaH / valid) · Σ n_L · valid / K   (per-output mean a_H)
+//! Σ a_L n_H ≈ m · Σ n_H · valid / K
+//! Σ a_L n_L ≈ m · Σ n_L · valid / K
+//! Σ a       ≈ pow·SaH + m·valid
+//! ```
+//!
+//! where `valid` is the output's in-bounds tap count and `K = col_len`.
+//! The paper does not spell these corrections out; without them the raw
+//! `HH` term is a *biased* estimator (the dropped planes are non-negative)
+//! and the threshold comparison misfires — documented in DESIGN.md as an
+//! implementation refinement.
+
+use odq_tensor::{ConvGeom, Tensor};
+
+use crate::bitsplit::BitPlanes;
+use crate::qconv::{filter_code_sums, qconv2d_codes, receptive_sums, valid_tap_counts};
+
+/// Predictor outputs for one layer.
+pub struct OdqPrediction {
+    /// Raw high×high partial sums `HH`, code domain, `[N, Co, OH, OW]`.
+    pub hh: Tensor<i32>,
+    /// High-plane receptive sums `SaH`, `[N, OH, OW]`.
+    pub sa_h: Tensor<i32>,
+    /// Value-domain output estimates `p̂` (scale applied),
+    /// `[N, Co, OH, OW]` — what the hardware thresholds against and emits
+    /// for insensitive outputs.
+    pub estimate: Tensor,
+}
+
+/// Run the predictor: INT2 MACs over the high planes plus the expectation
+/// corrections described in the module docs.
+///
+/// * `x_high` — high-order activation plane codes `[N, Ci, H, W]`;
+/// * `w_planes` — weight bit planes;
+/// * `w_zero` — the weight zero point `z_w`;
+/// * `scale` — `s_a · s_w`.
+pub fn odq_predict(
+    x_high: &Tensor<i16>,
+    w_planes: &BitPlanes,
+    w_zero: f32,
+    scale: f32,
+    g: &ConvGeom,
+) -> OdqPrediction {
+    let hh = qconv2d_codes(x_high, &w_planes.high, g);
+    odq_predict_from_hh(hh, x_high, w_planes, w_zero, scale, g)
+}
+
+/// [`odq_predict`] when the high×high partial sums are already available
+/// (e.g. from [`crate::qconv::qconv2d_planes`]) — avoids recomputing the
+/// predictor GEMM in instrumented paths that need all four planes anyway.
+pub fn odq_predict_from_hh(
+    hh: Tensor<i32>,
+    x_high: &Tensor<i16>,
+    w_planes: &BitPlanes,
+    w_zero: f32,
+    scale: f32,
+    g: &ConvGeom,
+) -> OdqPrediction {
+    let d = w_planes.low_bits as u32;
+    let pow = (1u32 << d) as f32;
+    let mean_low = (pow - 1.0) / 2.0;
+    let k = g.col_len() as f32;
+
+    let sa_h = receptive_sums(x_high, g);
+    let valid = valid_tap_counts(g);
+    let sum_nh = filter_code_sums(&w_planes.high, g.out_channels);
+    let sum_nl = filter_code_sums(&w_planes.low, g.out_channels);
+
+    let n = x_high.dims()[0];
+    let co = g.out_channels;
+    let spatial = g.out_spatial();
+    let mut est = Tensor::zeros(g.output_shape(n));
+    {
+        let e = est.as_mut_slice();
+        let hhs = hh.as_slice();
+        let sahs = sa_h.as_slice();
+        for img in 0..n {
+            for f in 0..co {
+                let snh = sum_nh[f] as f32;
+                let snl = sum_nl[f] as f32;
+                let base = (img * co + f) * spatial;
+                for sp in 0..spatial {
+                    let v = valid[sp] as f32;
+                    let sah = sahs[img * spatial + sp] as f32;
+                    let hh_v = hhs[base + sp] as f32;
+                    let mean_ah = if v > 0.0 { sah / v } else { 0.0 };
+                    let frac = v / k;
+                    // Each of the K weights pairs with a tap that is only
+                    // `valid/K` likely to be in bounds at this output, so
+                    // every expectation term carries `frac`.
+                    let code_est = pow * pow * hh_v
+                        + pow * mean_ah * snl * frac
+                        + pow * mean_low * snh * frac
+                        + mean_low * snl * frac
+                        - w_zero * (pow * sah + mean_low * v);
+                    e[base + sp] = scale * code_est;
+                }
+            }
+        }
+    }
+    OdqPrediction { hh, sa_h, estimate: est }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitsplit::split_qtensor;
+    use crate::dorefa::{quantize_activation, quantize_weights};
+    use crate::qconv::qconv2d;
+
+    fn pseudo(n: usize, seed: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 2654435761 + seed * 97) % 1000) as f32 / 1000.0).collect()
+    }
+
+    fn pseudo_signed(n: usize, seed: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 40503 + seed * 31) % 1000) as f32 / 500.0 - 1.0).collect()
+    }
+
+    fn setup() -> (Tensor, Tensor, ConvGeom) {
+        let g = ConvGeom::new(4, 6, 10, 10, 3, 1, 1);
+        let x = Tensor::from_vec(g.input_shape(2), pseudo(2 * 4 * 100, 3));
+        let w = Tensor::from_vec(g.weight_shape(), pseudo_signed(6 * 4 * 9, 4));
+        (x, w, g)
+    }
+
+    #[test]
+    fn estimate_is_nearly_unbiased() {
+        let (x, w, g) = setup();
+        let qx = quantize_activation(&x, 4, 1.0);
+        let qw = quantize_weights(&w, 4);
+        let full = qconv2d(&qx, &qw, &g);
+        let xp = split_qtensor(&qx, 2);
+        let wp = split_qtensor(&qw, 2);
+        let pred = odq_predict(&xp.high, &wp, qw.zero, qx.scale * qw.scale, &g);
+
+        let mut bias = 0.0f64;
+        for (e, f) in pred.estimate.as_slice().iter().zip(full.as_slice()) {
+            bias += (*e - *f) as f64;
+        }
+        bias /= full.numel() as f64;
+        let spread = odq_tensor::stats::std_dev(full.as_slice()) as f64;
+        assert!(
+            bias.abs() < 0.15 * spread,
+            "estimate bias {bias:.4} too large vs output spread {spread:.4}"
+        );
+    }
+
+    #[test]
+    fn estimate_correlates_with_full_output() {
+        let (x, w, g) = setup();
+        let qx = quantize_activation(&x, 4, 1.0);
+        let qw = quantize_weights(&w, 4);
+        let full = qconv2d(&qx, &qw, &g);
+        let xp = split_qtensor(&qx, 2);
+        let wp = split_qtensor(&qw, 2);
+        let pred = odq_predict(&xp.high, &wp, qw.zero, qx.scale * qw.scale, &g);
+
+        // Pearson correlation between estimate and full output.
+        let e = pred.estimate.as_slice();
+        let f = full.as_slice();
+        let n = e.len() as f64;
+        let me = e.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let mf = f.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut ve = 0.0;
+        let mut vf = 0.0;
+        for (&a, &b) in e.iter().zip(f) {
+            cov += (a as f64 - me) * (b as f64 - mf);
+            ve += (a as f64 - me).powi(2);
+            vf += (b as f64 - mf).powi(2);
+        }
+        let r = cov / (ve.sqrt() * vf.sqrt()).max(1e-12);
+        assert!(r > 0.9, "predictor estimate should track the output: r = {r:.3}");
+    }
+
+    #[test]
+    fn prediction_masks_agree_with_truth() {
+        let (x, w, g) = setup();
+        let qx = quantize_activation(&x, 4, 1.0);
+        let qw = quantize_weights(&w, 4);
+        let full = qconv2d(&qx, &qw, &g);
+        let xp = split_qtensor(&qx, 2);
+        let wp = split_qtensor(&qw, 2);
+        let pred = odq_predict(&xp.high, &wp, qw.zero, qx.scale * qw.scale, &g);
+
+        // Threshold at the 70th percentile of |full|.
+        let abs: Vec<f32> = full.as_slice().iter().map(|v| v.abs()).collect();
+        let thr = odq_tensor::stats::quantile(&abs, 0.7);
+        let (mut agree, mut hit, mut truth_count) = (0usize, 0usize, 0usize);
+        for (e, f) in pred.estimate.as_slice().iter().zip(full.as_slice()) {
+            let p = e.abs() >= thr;
+            let t = f.abs() >= thr;
+            agree += (p == t) as usize;
+            if t {
+                truth_count += 1;
+                hit += p as usize;
+            }
+        }
+        let n = full.numel();
+        let agree_frac = agree as f64 / n as f64;
+        let recall = hit as f64 / truth_count.max(1) as f64;
+        assert!(agree_frac > 0.85, "agreement {agree_frac:.3}");
+        assert!(recall > 0.7, "sensitive recall {recall:.3}");
+    }
+
+    #[test]
+    fn shapes() {
+        let (x, w, g) = setup();
+        let qx = quantize_activation(&x, 4, 1.0);
+        let qw = quantize_weights(&w, 4);
+        let xp = split_qtensor(&qx, 2);
+        let wp = split_qtensor(&qw, 2);
+        let pred = odq_predict(&xp.high, &wp, qw.zero, qx.scale * qw.scale, &g);
+        assert_eq!(pred.estimate.dims(), g.output_shape(2).0.as_slice());
+        assert_eq!(pred.hh.dims(), g.output_shape(2).0.as_slice());
+        assert_eq!(pred.sa_h.dims(), &[2, g.out_h(), g.out_w()]);
+    }
+}

@@ -1,0 +1,454 @@
+//! Integer convolution over quantized tensors.
+//!
+//! This is the arithmetic every accelerator path in the paper reduces to:
+//! im2col lowering followed by integer GEMM with `i32` accumulation, plus
+//! the affine correction terms required by offset-binary weight coding.
+//!
+//! With activations `value_a = s_a · a` (zero point 0) and weights
+//! `value_w = s_w · (n − z_w)`, a convolution output is
+//!
+//! ```text
+//! y = s_a · s_w · ( Σ a·n  −  z_w · Σ a )
+//! ```
+//!
+//! `Σ a·n` is the integer code convolution ([`qconv2d_codes`]); `Σ a` is
+//! the *receptive sum* of the activation codes ([`receptive_sums`]) — in
+//! hardware a single extra accumulator fed by the same operand stream.
+
+use odq_tensor::gemm::{gemm_i16_i32, gemm_i16_i64};
+use odq_tensor::im2col::im2col;
+use odq_tensor::{ConvGeom, Tensor};
+
+use crate::bitsplit::BitPlanes;
+use crate::qtensor::QTensor;
+
+/// Integer convolution returning raw `i32` accumulators (`Σ a·n`).
+///
+/// `x`: quantized activations `[N, Ci, H, W]`; `w`: quantized weights
+/// `[Co, Ci, K, K]`. Output `[N, Co, OH, OW]` of code-domain products.
+pub fn qconv2d_codes(x: &Tensor<i16>, w: &Tensor<i16>, g: &ConvGeom) -> Tensor<i32> {
+    let n = x.dims()[0];
+    assert_eq!(x.dims(), g.input_shape(n).0.as_slice(), "input shape mismatch");
+    assert_eq!(w.dims(), g.weight_shape().0.as_slice(), "weight shape mismatch");
+
+    let out_spatial = g.out_spatial();
+    let per_img = g.out_channels * out_spatial;
+    let mut y = Tensor::<i32>::zeros(g.output_shape(n));
+    for i in 0..n {
+        let col = im2col(x.outer(i), g);
+        let yi = &mut y.as_mut_slice()[i * per_img..(i + 1) * per_img];
+        gemm_i16_i32(w.as_slice(), &col, yi, g.out_channels, g.col_len(), out_spatial);
+    }
+    y
+}
+
+/// Integer convolution with `i64` accumulation (wide static baselines:
+/// 15-bit products over deep reductions overflow `i32`).
+pub fn qconv2d_codes_wide(x: &Tensor<i16>, w: &Tensor<i16>, g: &ConvGeom) -> Tensor<i64> {
+    let n = x.dims()[0];
+    assert_eq!(x.dims(), g.input_shape(n).0.as_slice(), "input shape mismatch");
+    assert_eq!(w.dims(), g.weight_shape().0.as_slice(), "weight shape mismatch");
+
+    let out_spatial = g.out_spatial();
+    let per_img = g.out_channels * out_spatial;
+    let mut y = Tensor::<i64>::zeros(g.output_shape(n));
+    for i in 0..n {
+        let col = im2col(x.outer(i), g);
+        let yi = &mut y.as_mut_slice()[i * per_img..(i + 1) * per_img];
+        gemm_i16_i64(w.as_slice(), &col, yi, g.out_channels, g.col_len(), out_spatial);
+    }
+    y
+}
+
+/// Receptive sums: `Σ a` over each output position's receptive field,
+/// `[N, OH, OW]` (identical for every output channel, which all read the
+/// same window). Padded taps contribute 0.
+pub fn receptive_sums(x: &Tensor<i16>, g: &ConvGeom) -> Tensor<i32> {
+    let n = x.dims()[0];
+    assert_eq!(x.dims(), g.input_shape(n).0.as_slice(), "input shape mismatch");
+    let out_spatial = g.out_spatial();
+    let col_len = g.col_len();
+    let mut y = Tensor::<i32>::zeros([n, g.out_h(), g.out_w()]);
+    for i in 0..n {
+        let col = im2col(x.outer(i), g);
+        let yi = &mut y.as_mut_slice()[i * out_spatial..(i + 1) * out_spatial];
+        for row in 0..col_len {
+            let r = &col[row * out_spatial..(row + 1) * out_spatial];
+            for (acc, &v) in yi.iter_mut().zip(r) {
+                *acc += v as i32;
+            }
+        }
+    }
+    y
+}
+
+/// Number of in-bounds (non-padding) taps in each output position's
+/// receptive field, `[OH * OW]`. Interior outputs see `col_len`; border
+/// outputs see fewer when padding > 0.
+pub fn valid_tap_counts(g: &ConvGeom) -> Vec<u32> {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let mut out = vec![0u32; oh * ow];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut count = 0u32;
+            for ki in 0..g.kernel {
+                let iy = (oy * g.stride + ki) as isize - g.padding as isize;
+                if iy < 0 || iy >= g.in_h as isize {
+                    continue;
+                }
+                for kj in 0..g.kernel {
+                    let ix = (ox * g.stride + kj) as isize - g.padding as isize;
+                    if ix < 0 || ix >= g.in_w as isize {
+                        continue;
+                    }
+                    count += 1;
+                }
+            }
+            out[oy * ow + ox] = count * g.in_channels as u32;
+        }
+    }
+    out
+}
+
+/// Per-filter sums of weight codes, `[Co]`.
+pub fn filter_code_sums(w: &Tensor<i16>, out_channels: usize) -> Vec<i32> {
+    let total = w.numel();
+    assert_eq!(total % out_channels, 0, "weight size not divisible by filters");
+    let col_len = total / out_channels;
+    let ws = w.as_slice();
+    (0..out_channels)
+        .map(|f| ws[f * col_len..(f + 1) * col_len].iter().map(|&v| v as i32).sum())
+        .collect()
+}
+
+/// Quantized convolution returning dequantized `f32` outputs, handling the
+/// offset-binary weight zero point:
+/// `y = s_a·s_w·(Σ a·n − z_w·Σ a)`.
+///
+/// Accumulates in `i32` for narrow schemes and transparently switches to
+/// `i64` when `a_bits + w_bits > 16` (a conservative bound: products of
+/// `b` total bits summed over up to 2^14 taps stay within i32 only while
+/// `b + 14 < 31`).
+///
+/// # Panics
+/// Panics if the activation tensor has a nonzero zero point (zero padding
+/// is only value-correct for `z_a = 0`).
+pub fn qconv2d(x: &QTensor, w: &QTensor, g: &ConvGeom) -> Tensor {
+    assert_eq!(x.zero, 0.0, "activation zero point must be 0 (zero padding)");
+    let s = x.scale * w.scale;
+    let zw = w.zero;
+    let n = x.codes.dims()[0];
+    let spatial = g.out_spatial();
+    let co = g.out_channels;
+
+    let sa = if zw != 0.0 { Some(receptive_sums(&x.codes, g)) } else { None };
+    let mut out = Tensor::zeros(g.output_shape(n));
+
+    if x.scheme.bits as u32 + w.scheme.bits as u32 > 16 {
+        let p = qconv2d_codes_wide(&x.codes, &w.codes, g);
+        fill_affine(&mut out, p.as_slice(), sa.as_ref(), s, zw, n, co, spatial);
+    } else {
+        let p = qconv2d_codes(&x.codes, &w.codes, g);
+        fill_affine(&mut out, p.as_slice(), sa.as_ref(), s, zw, n, co, spatial);
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fill_affine<T: Copy + Into<i64>>(
+    out: &mut Tensor,
+    p: &[T],
+    sa: Option<&Tensor<i32>>,
+    s: f32,
+    zw: f32,
+    n: usize,
+    co: usize,
+    spatial: usize,
+) {
+    let o = out.as_mut_slice();
+    match sa {
+        Some(sa) => {
+            let sas = sa.as_slice();
+            for img in 0..n {
+                for f in 0..co {
+                    let base = (img * co + f) * spatial;
+                    for sp in 0..spatial {
+                        let pv: i64 = p[base + sp].into();
+                        let a_sum = sas[img * spatial + sp] as f32;
+                        o[base + sp] = s * (pv as f32 - zw * a_sum);
+                    }
+                }
+            }
+        }
+        None => {
+            for (ov, &pv) in o.iter_mut().zip(p) {
+                let pv: i64 = pv.into();
+                *ov = s * pv as f32;
+            }
+        }
+    }
+}
+
+/// The four per-bit-plane partial products of Eq. 3, *unshifted*.
+///
+/// With activation planes `(a_H, a_L)` and weight planes `(n_H, n_L)`:
+/// `hh = Σ a_H·n_H`, `hl = Σ a_H·n_L`, `lh = Σ a_L·n_H`, `ll = Σ a_L·n_L`.
+/// [`combine_planes`] applies the shifts and sums to recover `Σ a·n`.
+#[derive(Clone, Debug)]
+pub struct PlaneProducts {
+    /// High×high partial sums (the ODQ predictor's term).
+    pub hh: Tensor<i32>,
+    /// High(activation)×low(weight) partial sums.
+    pub hl: Tensor<i32>,
+    /// Low(activation)×high(weight) partial sums.
+    pub lh: Tensor<i32>,
+    /// Low×low partial sums.
+    pub ll: Tensor<i32>,
+    /// Bit width of the low-order planes (`N_LBS` in Eq. 3).
+    pub low_bits: u8,
+}
+
+impl PlaneProducts {
+    /// The predictor's raw term in code domain: `hh << 2·low_bits`.
+    pub fn predictor_codes(&self) -> Tensor<i32> {
+        let shift = 2 * self.low_bits;
+        self.hh.map(|v| v << shift)
+    }
+
+    /// The executor's remaining contribution in code domain:
+    /// `(hl + lh) << low_bits + ll`.
+    pub fn executor_codes(&self) -> Tensor<i32> {
+        let shift = self.low_bits;
+        let mut out = Tensor::<i32>::zeros(self.hh.shape().clone());
+        let o = out.as_mut_slice();
+        for (((o, &hl), &lh), &ll) in o
+            .iter_mut()
+            .zip(self.hl.as_slice())
+            .zip(self.lh.as_slice())
+            .zip(self.ll.as_slice())
+        {
+            *o = ((hl + lh) << shift) + ll;
+        }
+        out
+    }
+}
+
+/// Compute all four Eq. 3 partial products for a batch.
+///
+/// `x_planes`/`w_planes` are the bit planes of the activation and weight
+/// codes; their `low_bits` must agree. Each activation plane is lowered
+/// (im2col) once per image and reused for both of its GEMMs.
+pub fn qconv2d_planes(x_planes: &BitPlanes, w_planes: &BitPlanes, g: &ConvGeom) -> PlaneProducts {
+    assert_eq!(x_planes.low_bits, w_planes.low_bits, "low_bits mismatch between planes");
+    let n = x_planes.high.dims()[0];
+    let out_spatial = g.out_spatial();
+    let per_img = g.out_channels * out_spatial;
+    let (m, k) = (g.out_channels, g.col_len());
+
+    let mut hh = Tensor::<i32>::zeros(g.output_shape(n));
+    let mut hl = Tensor::<i32>::zeros(g.output_shape(n));
+    let mut lh = Tensor::<i32>::zeros(g.output_shape(n));
+    let mut ll = Tensor::<i32>::zeros(g.output_shape(n));
+    for i in 0..n {
+        let col_h = im2col(x_planes.high.outer(i), g);
+        let col_l = im2col(x_planes.low.outer(i), g);
+        let r = i * per_img..(i + 1) * per_img;
+        let wh = w_planes.high.as_slice();
+        let wl = w_planes.low.as_slice();
+        gemm_i16_i32(wh, &col_h, &mut hh.as_mut_slice()[r.clone()], m, k, out_spatial);
+        gemm_i16_i32(wl, &col_h, &mut hl.as_mut_slice()[r.clone()], m, k, out_spatial);
+        gemm_i16_i32(wh, &col_l, &mut lh.as_mut_slice()[r.clone()], m, k, out_spatial);
+        gemm_i16_i32(wl, &col_l, &mut ll.as_mut_slice()[r], m, k, out_spatial);
+    }
+    PlaneProducts { hh, hl, lh, ll, low_bits: x_planes.low_bits }
+}
+
+/// Recombine the plane products into full code-domain products
+/// (Eq. 3): `(hh << 2N) + ((hl + lh) << N) + ll = Σ a·n`.
+pub fn combine_planes(p: &PlaneProducts) -> Tensor<i32> {
+    let pred = p.predictor_codes();
+    let exec = p.executor_codes();
+    let mut out = pred;
+    for (a, b) in out.as_mut_slice().iter_mut().zip(exec.as_slice()) {
+        *a += b;
+    }
+    out
+}
+
+/// Requantize codes to a coarser grid that shares the same scale and zero
+/// point: `c' = round(c / step) · step`, where
+/// `step = (2^hi_bits − 1) / (2^lo_bits − 1)` (integer for the paper's
+/// 8→4 and 4→2 pairs: 17 and 5).
+///
+/// This is DRQ's "low-precision" representation: the coarse levels embed
+/// exactly into the fine grid, so mixed-precision sums need no rescaling.
+pub fn requantize_codes(codes: &Tensor<i16>, step: i16) -> Tensor<i16> {
+    assert!(step > 0, "step must be positive");
+    codes.map(|c| {
+        let q = (c as f32 / step as f32).round() as i16;
+        q * step
+    })
+}
+
+/// The requantization step between two bit widths
+/// (`(2^hi − 1)/(2^lo − 1)`), when integral.
+///
+/// # Panics
+/// Panics when the step is not an integer (the paper's pairs 8→4 and 4→2
+/// both are).
+pub fn requant_step(hi_bits: u8, lo_bits: u8) -> i16 {
+    let hi = (1i32 << hi_bits) - 1;
+    let lo = (1i32 << lo_bits) - 1;
+    assert_eq!(hi % lo, 0, "no integral requantization step for {hi_bits}->{lo_bits}");
+    (hi / lo) as i16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitsplit::split_qtensor;
+    use crate::dorefa::{quantize_activation, quantize_weights};
+    use odq_tensor::conv::conv2d;
+
+    fn pseudo(n: usize, seed: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 2654435761 + seed * 97) % 1000) as f32 / 1000.0).collect()
+    }
+
+    fn pseudo_signed(n: usize, seed: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 40503 + seed * 31) % 1000) as f32 / 500.0 - 1.0).collect()
+    }
+
+    #[test]
+    fn qconv_matches_dequantized_float_conv() {
+        let g = ConvGeom::new(3, 4, 6, 6, 3, 1, 1);
+        let x = Tensor::from_vec(g.input_shape(2), pseudo(2 * 3 * 36, 1));
+        let w = Tensor::from_vec(g.weight_shape(), pseudo_signed(4 * 3 * 9, 2));
+
+        let qx = quantize_activation(&x, 8, 1.0);
+        let qw = quantize_weights(&w, 8);
+        let yq = qconv2d(&qx, &qw, &g);
+
+        // The integer path must match the float conv over *dequantized*
+        // operands (same sum, different order).
+        let yf = conv2d(&qx.dequantize(), &qw.dequantize(), None, &g);
+        assert!(yq.max_abs_diff(&yf) < 1e-3, "diff {}", yq.max_abs_diff(&yf));
+
+        // And at 8 bits it approximates the true float conv well.
+        let ytrue = conv2d(&x, &w, None, &g);
+        assert!(yq.mean_abs_diff(&ytrue) < 0.05);
+    }
+
+    #[test]
+    fn qconv_handles_padding_with_offset_weights() {
+        // Zero-padded taps must contribute exactly zero even though the
+        // offset grid has no zero weight level.
+        let g = ConvGeom::new(1, 1, 3, 3, 3, 1, 1);
+        let x = Tensor::full(g.input_shape(1), 1.0f32);
+        let w = Tensor::full(g.weight_shape(), 0.5f32);
+        let qx = quantize_activation(&x, 4, 1.0);
+        let qw = quantize_weights(&w, 4);
+        let y = qconv2d(&qx, &qw, &g);
+        // Center output sees 9 taps, corner outputs 4.
+        let center = y.at(&[0, 0, 1, 1]);
+        let corner = y.at(&[0, 0, 0, 0]);
+        assert!((center / corner - 9.0 / 4.0).abs() < 0.05, "{center} vs {corner}");
+    }
+
+    #[test]
+    fn receptive_sums_counts_window() {
+        let g = ConvGeom::new(1, 1, 3, 3, 2, 1, 0);
+        let x =
+            Tensor::from_vec(g.input_shape(1), (1..=9).map(|v| v as i16).collect::<Vec<_>>());
+        let s = receptive_sums(&x, &g);
+        // windows: (1+2+4+5, 2+3+5+6, 4+5+7+8, 5+6+8+9)
+        assert_eq!(s.as_slice(), &[12, 16, 24, 28]);
+    }
+
+    #[test]
+    fn valid_tap_counts_border_vs_interior() {
+        let g = ConvGeom::new(2, 1, 4, 4, 3, 1, 1);
+        let v = valid_tap_counts(&g);
+        assert_eq!(v.len(), 16);
+        // corner: 2x2 spatial taps x 2 channels = 8; interior: 9x2 = 18.
+        assert_eq!(v[0], 8);
+        assert_eq!(v[5], 18);
+        // no padding: all equal col_len.
+        let g2 = ConvGeom::new(3, 1, 4, 4, 2, 1, 0);
+        assert!(valid_tap_counts(&g2).iter().all(|&c| c as usize == g2.col_len()));
+    }
+
+    #[test]
+    fn filter_sums() {
+        let w = Tensor::from_vec([2, 1, 1, 3], vec![1i16, 2, 3, 10, 20, 30]);
+        assert_eq!(filter_code_sums(&w, 2), vec![6, 60]);
+    }
+
+    #[test]
+    fn plane_decomposition_reconstructs_full_product() {
+        let g = ConvGeom::new(2, 3, 5, 5, 3, 1, 1);
+        let x = Tensor::from_vec(g.input_shape(1), pseudo(2 * 25, 7));
+        let w = Tensor::from_vec(g.weight_shape(), pseudo_signed(3 * 2 * 9, 8));
+
+        let qx = quantize_activation(&x, 4, 1.0);
+        let qw = quantize_weights(&w, 4);
+        let full = qconv2d_codes(&qx.codes, &qw.codes, &g);
+
+        let xp = split_qtensor(&qx, 2);
+        let wp = split_qtensor(&qw, 2);
+        let planes = qconv2d_planes(&xp, &wp, &g);
+        let recombined = combine_planes(&planes);
+
+        assert_eq!(full.as_slice(), recombined.as_slice(), "Eq. 3 must be exact");
+    }
+
+    #[test]
+    fn wide_qconv_matches_narrow_on_shared_range() {
+        let g = ConvGeom::new(2, 3, 5, 5, 3, 1, 1);
+        let x = Tensor::from_vec(g.input_shape(1), pseudo(2 * 25, 31));
+        let w = Tensor::from_vec(g.weight_shape(), pseudo_signed(3 * 2 * 9, 32));
+        let qx = quantize_activation(&x, 8, 1.0);
+        let qw = quantize_weights(&w, 8);
+        let narrow = qconv2d_codes(&qx.codes, &qw.codes, &g);
+        let wide = qconv2d_codes_wide(&qx.codes, &qw.codes, &g);
+        for (a, b) in narrow.as_slice().iter().zip(wide.as_slice()) {
+            assert_eq!(*a as i64, *b);
+        }
+    }
+
+    #[test]
+    fn int15_qconv_does_not_overflow() {
+        // Deep reduction with near-max wide codes must use the i64 path.
+        let g = ConvGeom::new(64, 2, 4, 4, 3, 1, 1);
+        let x = Tensor::full(g.input_shape(1), 1.0f32);
+        let w = Tensor::full(g.weight_shape(), 1.0f32);
+        let qx = quantize_activation(&x, 15, 1.0);
+        let qw = quantize_weights(&w, 15);
+        let y = qconv2d(&qx, &qw, &g);
+        // All values 1.0: interior outputs sum 64*9 products of ~1.0.
+        let max = y.max_abs();
+        assert!((max - 576.0).abs() < 2.0, "got {max}");
+        assert!(y.as_slice().iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn requantize_grid_embedding() {
+        assert_eq!(requant_step(8, 4), 17);
+        assert_eq!(requant_step(4, 2), 5);
+        let codes = Tensor::from_vec([6], vec![0i16, 3, 7, 8, 14, 15]);
+        let rq = requantize_codes(&codes, 5);
+        assert_eq!(rq.as_slice(), &[0, 5, 5, 10, 15, 15]);
+        // idempotent
+        let rq2 = requantize_codes(&rq, 5);
+        assert_eq!(rq.as_slice(), rq2.as_slice());
+    }
+
+    #[test]
+    fn qconv_codes_shapes() {
+        let g = ConvGeom::new(2, 5, 6, 4, 3, 2, 1);
+        let x = Tensor::<i16>::zeros(g.input_shape(3));
+        let w = Tensor::<i16>::zeros(g.weight_shape());
+        let y = qconv2d_codes(&x, &w, &g);
+        assert_eq!(y.dims(), g.output_shape(3).0.as_slice());
+        assert!(y.as_slice().iter().all(|&v| v == 0));
+    }
+}

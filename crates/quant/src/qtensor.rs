@@ -1,0 +1,159 @@
+//! Quantized tensors: integer codes plus an affine dequantization map.
+
+use odq_tensor::Tensor;
+
+/// A quantization scheme: bit width and signedness of the integer codes.
+///
+/// * Activations are unsigned (post-ReLU features are non-negative), with
+///   codes in `0 ..= 2^bits - 1` and zero point 0.
+/// * Weights use DoReFa-style **offset-binary** coding: unsigned codes in
+///   `0 ..= 2^bits - 1` with zero point `(2^bits - 1)/2`, i.e. values on a
+///   uniform grid over `[-max|w|, +max|w|]` with no zero level. This
+///   matters at low bit widths: a symmetric signed grid maps most of a
+///   Gaussian weight distribution to the zero code, destroying the model,
+///   while the offset grid keeps every weight informative (see
+///   [`crate::dorefa::quantize_weights_symmetric`] for the alternative).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct QScheme {
+    /// Bit width of the codes (2, 4, 8, or 16 in this repository).
+    pub bits: u8,
+    /// Whether codes are signed (the symmetric ablation scheme) or
+    /// unsigned (activations and offset-binary weights).
+    pub signed: bool,
+}
+
+impl QScheme {
+    /// Unsigned activation scheme of the given width.
+    pub const fn activation(bits: u8) -> Self {
+        Self { bits, signed: false }
+    }
+
+    /// Unsigned offset-binary weight scheme of the given width.
+    pub const fn weight(bits: u8) -> Self {
+        Self { bits, signed: false }
+    }
+
+    /// Signed-symmetric weight scheme (ablation alternative).
+    pub const fn weight_symmetric(bits: u8) -> Self {
+        Self { bits, signed: true }
+    }
+
+    /// Largest representable code.
+    pub fn max_code(&self) -> i32 {
+        if self.signed {
+            (1 << (self.bits - 1)) - 1
+        } else {
+            (1 << self.bits) - 1
+        }
+    }
+
+    /// Smallest representable code.
+    pub fn min_code(&self) -> i32 {
+        if self.signed {
+            -self.max_code()
+        } else {
+            0
+        }
+    }
+
+    /// Number of quantization levels.
+    pub fn levels(&self) -> u32 {
+        (self.max_code() - self.min_code() + 1) as u32
+    }
+}
+
+/// A quantized tensor: `value ≈ scale * (code - zero)` elementwise.
+///
+/// Codes are stored in `i16`, which covers every scheme with `bits <= 16`:
+/// the dynamic-quantization paths (INT4/INT2 for ODQ, INT8/INT4 for DRQ)
+/// and the INT8/INT16 static baselines.
+#[derive(Clone, Debug)]
+pub struct QTensor {
+    /// Integer codes, same shape as the source tensor.
+    pub codes: Tensor<i16>,
+    /// Dequantization scale.
+    pub scale: f32,
+    /// Zero point: `value = scale * (code - zero)`. 0.0 for activations
+    /// and symmetric weights; `(2^bits - 1)/2` for offset-binary weights.
+    pub zero: f32,
+    /// The scheme the codes conform to.
+    pub scheme: QScheme,
+}
+
+impl QTensor {
+    /// Dequantize back to floats.
+    pub fn dequantize(&self) -> Tensor {
+        let s = self.scale;
+        let z = self.zero;
+        self.codes.map(|c| (c as f32 - z) * s)
+    }
+
+    /// Verify every code is within the scheme's range (debug aid; O(n)).
+    pub fn codes_in_range(&self) -> bool {
+        let (lo, hi) = (self.scheme.min_code(), self.scheme.max_code());
+        self.codes.as_slice().iter().all(|&c| (c as i32) >= lo && (c as i32) <= hi)
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.codes.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_ranges() {
+        let a4 = QScheme::activation(4);
+        assert_eq!((a4.min_code(), a4.max_code()), (0, 15));
+        assert_eq!(a4.levels(), 16);
+
+        let w4 = QScheme::weight(4);
+        assert_eq!((w4.min_code(), w4.max_code()), (0, 15));
+        assert_eq!(w4.levels(), 16);
+
+        let ws4 = QScheme::weight_symmetric(4);
+        assert_eq!((ws4.min_code(), ws4.max_code()), (-7, 7));
+        assert_eq!(ws4.levels(), 15);
+
+        let a2 = QScheme::activation(2);
+        assert_eq!((a2.min_code(), a2.max_code()), (0, 3));
+    }
+
+    #[test]
+    fn dequantize_applies_affine_map() {
+        let q = QTensor {
+            codes: Tensor::from_vec([4], vec![0i16, 1, 2, 3]),
+            scale: 0.5,
+            zero: 1.5,
+            scheme: QScheme::weight(2),
+        };
+        assert_eq!(q.dequantize().as_slice(), &[-0.75, -0.25, 0.25, 0.75]);
+        assert!(q.codes_in_range());
+        assert_eq!(q.numel(), 4);
+    }
+
+    #[test]
+    fn zero_point_zero_is_plain_scaling() {
+        let q = QTensor {
+            codes: Tensor::from_vec([3], vec![0i16, 2, 4]),
+            scale: 0.25,
+            zero: 0.0,
+            scheme: QScheme::activation(3),
+        };
+        assert_eq!(q.dequantize().as_slice(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn range_check_detects_violation() {
+        let q = QTensor {
+            codes: Tensor::from_vec([2], vec![0i16, 9]),
+            scale: 1.0,
+            zero: 0.0,
+            scheme: QScheme::activation(2),
+        };
+        assert!(!q.codes_in_range());
+    }
+}

@@ -1,0 +1,149 @@
+//! Signal-to-quantization-noise analysis.
+//!
+//! SQNR (in dB) quantifies how much signal survives a quantizer:
+//! `10·log10(Σ signal² / Σ error²)`. The classic rule of thumb is ~6 dB per
+//! bit for uniform quantization of a full-range signal; the tests pin that
+//! behaviour, and the `ablate_weight_coding` experiment reports these
+//! alongside task accuracy (they can disagree — see the tests).
+
+use odq_tensor::Tensor;
+
+use crate::dorefa::{quantize_activation, quantize_weights, quantize_weights_symmetric};
+
+/// SQNR in dB between a reference signal and its approximation.
+///
+/// Returns `f32::INFINITY` for a perfect reconstruction and
+/// `f32::NEG_INFINITY` for an all-zero reference.
+pub fn sqnr_db(reference: &Tensor, approx: &Tensor) -> f32 {
+    assert_eq!(reference.numel(), approx.numel(), "length mismatch");
+    let mut signal = 0.0f64;
+    let mut noise = 0.0f64;
+    for (&r, &a) in reference.as_slice().iter().zip(approx.as_slice()) {
+        signal += (r as f64) * r as f64;
+        noise += ((r - a) as f64) * (r - a) as f64;
+    }
+    if signal == 0.0 {
+        return f32::NEG_INFINITY;
+    }
+    if noise == 0.0 {
+        return f32::INFINITY;
+    }
+    (10.0 * (signal / noise).log10()) as f32
+}
+
+/// SQNR of the activation quantizer at a given width.
+pub fn activation_sqnr_db(x: &Tensor, bits: u8, clip: f32) -> f32 {
+    sqnr_db(x, &quantize_activation(x, bits, clip).dequantize())
+}
+
+/// SQNR of the offset-binary weight quantizer at a given width.
+pub fn weight_sqnr_db(w: &Tensor, bits: u8) -> f32 {
+    sqnr_db(w, &quantize_weights(w, bits).dequantize())
+}
+
+/// SQNR of the symmetric (ablation) weight quantizer at a given width.
+pub fn weight_symmetric_sqnr_db(w: &Tensor, bits: u8) -> f32 {
+    sqnr_db(w, &quantize_weights_symmetric(w, bits).dequantize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Tensor {
+        Tensor::from_vec([n], (0..n).map(|i| i as f32 / (n - 1) as f32).collect::<Vec<_>>())
+    }
+
+    fn gaussianish(n: usize) -> Tensor {
+        // Sum of three phase-shifted sinusoids: zero-mean, bell-ish.
+        Tensor::from_vec(
+            [n],
+            (0..n)
+                .map(|i| {
+                    let t = i as f32 / n as f32 * std::f32::consts::TAU;
+                    ((3.0 * t).sin() + (7.0 * t + 1.0).sin() + (13.0 * t + 2.0).sin()) / 3.0
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn six_db_per_bit_rule() {
+        let x = ramp(4096);
+        let mut last = 0.0;
+        for bits in 2u8..=8 {
+            let s = activation_sqnr_db(&x, bits, 1.0);
+            if bits > 2 {
+                let gain = s - last;
+                assert!(
+                    (4.5..8.0).contains(&gain),
+                    "bits {bits}: expected ~6 dB/bit, got {gain:.2}"
+                );
+            }
+            last = s;
+        }
+    }
+
+    #[test]
+    fn perfect_and_degenerate_cases() {
+        let x = ramp(64);
+        assert_eq!(sqnr_db(&x, &x), f32::INFINITY);
+        let zeros = Tensor::<f32>::zeros([64]);
+        assert_eq!(sqnr_db(&zeros, &x), f32::NEG_INFINITY);
+    }
+
+    /// SQNR and task accuracy can *disagree* about weight codings — a
+    /// nuance worth pinning. On a concentrated distribution with a
+    /// range-setting outlier, the symmetric grid zeroes the small weights,
+    /// which minimizes mean-squared error (better SQNR) but erases the
+    /// *sign* information that convolutions actually need — which is why
+    /// the accuracy ablation (`ablate_weight_coding`) shows symmetric
+    /// INT2 collapsing while offset INT2 works.
+    #[test]
+    fn sqnr_prefers_symmetric_on_concentrated_weights() {
+        let mut vals: Vec<f32> = gaussianish(512).into_vec();
+        for v in vals.iter_mut() {
+            *v *= 0.3;
+        }
+        vals.push(1.0); // outlier sets max|w|
+        let w = Tensor::from_vec([vals.len()], vals);
+        let off2 = weight_sqnr_db(&w, 2);
+        let sym2 = weight_symmetric_sqnr_db(&w, 2);
+        assert!(sym2 > off2, "MSE-wise: symmetric {sym2:.1} dB vs offset {off2:.1} dB");
+        // …while the offset code preserves nearly every weight's sign and
+        // the symmetric code destroys most (maps them to 0).
+        let off = quantize_weights(&w, 2).dequantize();
+        let sym = quantize_weights_symmetric(&w, 2).dequantize();
+        // (f32::signum maps +0.0 to 1.0, so exclude zeroed codes first.)
+        let sign_kept = |q: &Tensor| {
+            q.as_slice()
+                .iter()
+                .zip(w.as_slice())
+                .filter(|(&a, &b)| a != 0.0 && b != 0.0 && a.signum() == b.signum())
+                .count()
+        };
+        assert!(sign_kept(&off) > 9 * w.numel() / 10);
+        assert!(sign_kept(&sym) < w.numel() / 2);
+    }
+
+    #[test]
+    fn offset_beats_symmetric_on_full_range_weights() {
+        // On full-range (uniform-ish) weights the offset grid's extra level
+        // (4 vs 3 at 2 bits) gives a finer step and better SQNR.
+        let w = gaussianish(1024); // spans most of [-1, 1]
+        let off2 = weight_sqnr_db(&w, 2);
+        let sym2 = weight_symmetric_sqnr_db(&w, 2);
+        assert!(off2 > sym2, "offset {off2:.1} dB vs symmetric {sym2:.1} dB");
+    }
+
+    #[test]
+    fn sqnr_monotone_in_bits() {
+        let w = gaussianish(1024);
+        let mut last = f32::NEG_INFINITY;
+        for bits in 2u8..=8 {
+            let s = weight_sqnr_db(&w, bits);
+            assert!(s > last, "bits {bits}: {s} should exceed {last}");
+            last = s;
+        }
+    }
+}

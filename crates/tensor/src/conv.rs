@@ -1,0 +1,425 @@
+//! Convolution and pooling: forward and backward passes.
+//!
+//! The forward convolution is the FP32 reference ("golden") path that
+//! quantized outputs are measured against; the backward pass powers the
+//! from-scratch training substrate in `odq-nn`.
+
+use rayon::prelude::*;
+
+use crate::gemm::{gemm_f32, gemm_f32_at, gemm_f32_bt};
+use crate::im2col::{col2im, im2col};
+use crate::shape::ConvGeom;
+use crate::tensor::Tensor;
+
+/// Forward 2-D convolution: `x: [N, C, H, W]`, `w: [Co, Ci, K, K]`,
+/// optional per-output-channel `bias`, producing `[N, Co, OH, OW]`.
+///
+/// # Panics
+/// Panics if shapes disagree with `g`.
+pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&[f32]>, g: &ConvGeom) -> Tensor {
+    let n = x.dims()[0];
+    check_conv_shapes(x, w, g);
+    if let Some(b) = bias {
+        assert_eq!(b.len(), g.out_channels, "bias length mismatch");
+    }
+
+    let out_spatial = g.out_spatial();
+    let mut y = Tensor::zeros(g.output_shape(n));
+    let per_img_out = g.out_channels * out_spatial;
+    let ws = w.as_slice();
+
+    // Parallelism: the GEMM inside already parallelizes over output
+    // channels; iterate the (small) batch sequentially to bound memory.
+    for i in 0..n {
+        let col = im2col(x.outer(i), g);
+        let yi = &mut y.as_mut_slice()[i * per_img_out..(i + 1) * per_img_out];
+        gemm_f32(ws, &col, yi, g.out_channels, g.col_len(), out_spatial);
+        if let Some(b) = bias {
+            for (co, &bc) in b.iter().enumerate() {
+                for v in &mut yi[co * out_spatial..(co + 1) * out_spatial] {
+                    *v += bc;
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Gradients from a 2-D convolution backward pass.
+pub struct ConvGrads {
+    /// Gradient w.r.t. the input, `[N, Ci, H, W]`.
+    pub dx: Tensor,
+    /// Gradient w.r.t. the weights, `[Co, Ci, K, K]` (summed over batch).
+    pub dw: Tensor,
+    /// Gradient w.r.t. the bias, `[Co]` (summed over batch).
+    pub db: Vec<f32>,
+}
+
+/// Backward 2-D convolution.
+///
+/// Given upstream gradient `dy: [N, Co, OH, OW]`, the saved input `x` and
+/// weights `w`, returns gradients for input, weights and bias.
+pub fn conv2d_backward(x: &Tensor, w: &Tensor, dy: &Tensor, g: &ConvGeom) -> ConvGrads {
+    let n = x.dims()[0];
+    check_conv_shapes(x, w, g);
+    assert_eq!(dy.dims(), g.output_shape(n).0.as_slice(), "dy shape mismatch");
+
+    let out_spatial = g.out_spatial();
+    let col_len = g.col_len();
+    let ws = w.as_slice();
+
+    // Per-image partials computed in parallel, then reduced. Each image's
+    // work is independent; dw/db are summed at the end.
+    let partials: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let col = im2col(x.outer(i), g);
+            let dyi = dy.outer(i);
+
+            // dW_i = dY_i (Co x S) * col^T (S x L)  => [Co, L]
+            let mut dw_i = vec![0.0f32; g.out_channels * col_len];
+            gemm_f32_bt(dyi, &col, &mut dw_i, g.out_channels, out_spatial, col_len);
+
+            // dCol = W^T (L x Co) * dY_i (Co x S) => [L, S]
+            let mut dcol = vec![0.0f32; col_len * out_spatial];
+            gemm_f32_at(ws, dyi, &mut dcol, col_len, g.out_channels, out_spatial);
+            let dx_i = col2im(&dcol, g);
+
+            let mut db_i = vec![0.0f32; g.out_channels];
+            for (co, dbc) in db_i.iter_mut().enumerate() {
+                *dbc = dyi[co * out_spatial..(co + 1) * out_spatial].iter().sum();
+            }
+            (dx_i, dw_i, db_i)
+        })
+        .collect();
+
+    let mut dx = Tensor::zeros(g.input_shape(n));
+    let mut dw = vec![0.0f32; g.out_channels * col_len];
+    let mut db = vec![0.0f32; g.out_channels];
+    for (i, (dx_i, dw_i, db_i)) in partials.into_iter().enumerate() {
+        dx.outer_mut(i).copy_from_slice(&dx_i);
+        for (a, b) in dw.iter_mut().zip(&dw_i) {
+            *a += b;
+        }
+        for (a, b) in db.iter_mut().zip(&db_i) {
+            *a += b;
+        }
+    }
+
+    ConvGrads { dx, dw: Tensor::from_vec(g.weight_shape(), dw), db }
+}
+
+fn check_conv_shapes(x: &Tensor, w: &Tensor, g: &ConvGeom) {
+    let n = x.dims()[0];
+    assert_eq!(x.dims(), g.input_shape(n).0.as_slice(), "input shape mismatch");
+    assert_eq!(w.dims(), g.weight_shape().0.as_slice(), "weight shape mismatch");
+}
+
+/// Non-overlapping average pooling with square window `k` (stride = k).
+///
+/// `x: [N, C, H, W]` with `H % k == 0 && W % k == 0`.
+pub fn avg_pool2d(x: &Tensor, k: usize) -> Tensor {
+    let (n, c, h, w) = nchw(x);
+    assert!(h % k == 0 && w % k == 0, "pool window must divide input");
+    let (oh, ow) = (h / k, w / k);
+    let mut y = Tensor::zeros([n, c, oh, ow]);
+    let inv = 1.0 / (k * k) as f32;
+    let xs = x.as_slice();
+    let ys = y.as_mut_slice();
+    for i in 0..n * c {
+        let xin = &xs[i * h * w..(i + 1) * h * w];
+        let yout = &mut ys[i * oh * ow..(i + 1) * oh * ow];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        acc += xin[(oy * k + dy) * w + ox * k + dx];
+                    }
+                }
+                yout[oy * ow + ox] = acc * inv;
+            }
+        }
+    }
+    y
+}
+
+/// Backward of [`avg_pool2d`]: distribute each output gradient uniformly
+/// over its window.
+pub fn avg_pool2d_backward(dy: &Tensor, k: usize, in_h: usize, in_w: usize) -> Tensor {
+    let (n, c, oh, ow) = nchw(dy);
+    assert_eq!(oh * k, in_h, "pool geometry mismatch");
+    assert_eq!(ow * k, in_w, "pool geometry mismatch");
+    let mut dx = Tensor::zeros([n, c, in_h, in_w]);
+    let inv = 1.0 / (k * k) as f32;
+    let dys = dy.as_slice();
+    let dxs = dx.as_mut_slice();
+    for i in 0..n * c {
+        let dyi = &dys[i * oh * ow..(i + 1) * oh * ow];
+        let dxi = &mut dxs[i * in_h * in_w..(i + 1) * in_h * in_w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let gy = dyi[oy * ow + ox] * inv;
+                for dyw in 0..k {
+                    for dxw in 0..k {
+                        dxi[(oy * k + dyw) * in_w + ox * k + dxw] += gy;
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Non-overlapping max pooling with square window `k` (stride = k).
+///
+/// Returns the pooled tensor and the flat argmax index (within each window's
+/// image) used by the backward pass.
+pub fn max_pool2d(x: &Tensor, k: usize) -> (Tensor, Vec<u32>) {
+    let (n, c, h, w) = nchw(x);
+    assert!(h % k == 0 && w % k == 0, "pool window must divide input");
+    let (oh, ow) = (h / k, w / k);
+    let mut y = Tensor::zeros([n, c, oh, ow]);
+    let mut arg = vec![0u32; n * c * oh * ow];
+    let xs = x.as_slice();
+    let ys = y.as_mut_slice();
+    for i in 0..n * c {
+        let xin = &xs[i * h * w..(i + 1) * h * w];
+        let yout = &mut ys[i * oh * ow..(i + 1) * oh * ow];
+        let aout = &mut arg[i * oh * ow..(i + 1) * oh * ow];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0u32;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        let idx = (oy * k + dy) * w + ox * k + dx;
+                        let v = xin[idx];
+                        if v > best {
+                            best = v;
+                            best_idx = idx as u32;
+                        }
+                    }
+                }
+                yout[oy * ow + ox] = best;
+                aout[oy * ow + ox] = best_idx;
+            }
+        }
+    }
+    (y, arg)
+}
+
+/// Backward of [`max_pool2d`] using the saved argmax indices.
+pub fn max_pool2d_backward(
+    dy: &Tensor,
+    arg: &[u32],
+    k: usize,
+    in_h: usize,
+    in_w: usize,
+) -> Tensor {
+    let (n, c, oh, ow) = nchw(dy);
+    assert_eq!(oh * k, in_h, "pool geometry mismatch");
+    assert_eq!(ow * k, in_w, "pool geometry mismatch");
+    assert_eq!(arg.len(), n * c * oh * ow, "argmax length mismatch");
+    let mut dx = Tensor::zeros([n, c, in_h, in_w]);
+    let dys = dy.as_slice();
+    let dxs = dx.as_mut_slice();
+    for i in 0..n * c {
+        let dyi = &dys[i * oh * ow..(i + 1) * oh * ow];
+        let ai = &arg[i * oh * ow..(i + 1) * oh * ow];
+        let dxi = &mut dxs[i * in_h * in_w..(i + 1) * in_h * in_w];
+        for (g, &idx) in dyi.iter().zip(ai) {
+            dxi[idx as usize] += g;
+        }
+    }
+    dx
+}
+
+/// Global average pooling: `[N, C, H, W] -> [N, C]`.
+pub fn global_avg_pool(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = nchw(x);
+    let mut y = Tensor::zeros([n, c]);
+    let inv = 1.0 / (h * w) as f32;
+    let xs = x.as_slice();
+    let ys = y.as_mut_slice();
+    for i in 0..n * c {
+        ys[i] = xs[i * h * w..(i + 1) * h * w].iter().sum::<f32>() * inv;
+    }
+    y
+}
+
+/// Backward of [`global_avg_pool`].
+pub fn global_avg_pool_backward(dy: &Tensor, in_h: usize, in_w: usize) -> Tensor {
+    let (n, c) = (dy.dims()[0], dy.dims()[1]);
+    let mut dx = Tensor::zeros([n, c, in_h, in_w]);
+    let inv = 1.0 / (in_h * in_w) as f32;
+    let dys = dy.as_slice();
+    let dxs = dx.as_mut_slice();
+    for i in 0..n * c {
+        let g = dys[i] * inv;
+        for v in &mut dxs[i * in_h * in_w..(i + 1) * in_h * in_w] {
+            *v = g;
+        }
+    }
+    dx
+}
+
+fn nchw(x: &Tensor) -> (usize, usize, usize, usize) {
+    let d = x.dims();
+    assert_eq!(d.len(), 4, "expected NCHW tensor, got {:?}", d);
+    (d[0], d[1], d[2], d[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct (non-im2col) convolution used as a test oracle.
+    fn conv_oracle(x: &Tensor, w: &Tensor, bias: Option<&[f32]>, g: &ConvGeom) -> Tensor {
+        let n = x.dims()[0];
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let mut y = Tensor::zeros(g.output_shape(n));
+        for i in 0..n {
+            for co in 0..g.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias.map_or(0.0, |b| b[co]);
+                        for ci in 0..g.in_channels {
+                            for ki in 0..g.kernel {
+                                for kj in 0..g.kernel {
+                                    let iy = (oy * g.stride + ki) as isize - g.padding as isize;
+                                    let ix = (ox * g.stride + kj) as isize - g.padding as isize;
+                                    if iy < 0
+                                        || ix < 0
+                                        || iy >= g.in_h as isize
+                                        || ix >= g.in_w as isize
+                                    {
+                                        continue;
+                                    }
+                                    acc += x.at(&[i, ci, iy as usize, ix as usize])
+                                        * w.at(&[co, ci, ki, kj]);
+                                }
+                            }
+                        }
+                        *y.at_mut(&[i, co, oy, ox]) = acc;
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    fn pseudo(n: usize, seed: usize) -> Vec<f32> {
+        (0..n).map(|i| (((i * 2654435761 + seed) % 1000) as f32 / 500.0) - 1.0).collect()
+    }
+
+    #[test]
+    fn conv2d_matches_direct_oracle() {
+        let g = ConvGeom::new(3, 5, 7, 6, 3, 2, 1);
+        let x = Tensor::from_vec(g.input_shape(2), pseudo(2 * 3 * 7 * 6, 1));
+        let w = Tensor::from_vec(g.weight_shape(), pseudo(5 * 3 * 9, 2));
+        let b: Vec<f32> = pseudo(5, 3);
+        let got = conv2d(&x, &w, Some(&b), &g);
+        let want = conv_oracle(&x, &w, Some(&b), &g);
+        assert!(got.max_abs_diff(&want) < 1e-4);
+    }
+
+    #[test]
+    fn conv2d_no_bias() {
+        let g = ConvGeom::new(2, 4, 5, 5, 3, 1, 1);
+        let x = Tensor::from_vec(g.input_shape(1), pseudo(2 * 25, 5));
+        let w = Tensor::from_vec(g.weight_shape(), pseudo(4 * 2 * 9, 6));
+        let got = conv2d(&x, &w, None, &g);
+        let want = conv_oracle(&x, &w, None, &g);
+        assert!(got.max_abs_diff(&want) < 1e-4);
+    }
+
+    /// Finite-difference check for the convolution backward pass.
+    #[test]
+    fn conv2d_backward_matches_finite_difference() {
+        let g = ConvGeom::new(2, 3, 4, 4, 3, 1, 1);
+        let x = Tensor::from_vec(g.input_shape(1), pseudo(2 * 16, 11));
+        let w = Tensor::from_vec(g.weight_shape(), pseudo(3 * 2 * 9, 12));
+        // Loss = sum(conv(x, w) * m) for fixed mask m => dL/dy = m.
+        let mask = Tensor::from_vec(g.output_shape(1), pseudo(3 * 16, 13));
+        let grads = conv2d_backward(&x, &w, &mask, &g);
+
+        let loss = |x: &Tensor, w: &Tensor| -> f32 {
+            let y = conv2d(x, w, None, &g);
+            y.as_slice().iter().zip(mask.as_slice()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-2f32;
+        // Check a handful of weight coordinates.
+        for &i in &[0usize, 7, 23, 41] {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[i] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[i] -= eps;
+            let fd = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            let an = grads.dw.as_slice()[i];
+            assert!((fd - an).abs() < 2e-2, "dw[{i}]: fd={fd} analytic={an}");
+        }
+        // And a handful of input coordinates.
+        for &i in &[0usize, 5, 17, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fd = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            let an = grads.dx.as_slice()[i];
+            assert!((fd - an).abs() < 2e-2, "dx[{i}]: fd={fd} analytic={an}");
+        }
+    }
+
+    #[test]
+    fn conv2d_backward_bias_is_sum_of_dy() {
+        let g = ConvGeom::new(1, 2, 4, 4, 3, 1, 1);
+        let x = Tensor::from_vec(g.input_shape(2), pseudo(2 * 16, 21));
+        let w = Tensor::from_vec(g.weight_shape(), pseudo(2 * 9, 22));
+        let dy = Tensor::from_vec(g.output_shape(2), pseudo(2 * 2 * 16, 23));
+        let grads = conv2d_backward(&x, &w, &dy, &g);
+        for co in 0..2 {
+            let mut s = 0.0;
+            for i in 0..2 {
+                for oy in 0..4 {
+                    for ox in 0..4 {
+                        s += dy.at(&[i, co, oy, ox]);
+                    }
+                }
+            }
+            assert!((grads.db[co] - s).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn avg_pool_and_backward() {
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 3.0, 5.0, 7.0]);
+        let y = avg_pool2d(&x, 2);
+        assert_eq!(y.as_slice(), &[4.0]);
+        let dy = Tensor::from_vec([1, 1, 1, 1], vec![8.0]);
+        let dx = avg_pool2d_backward(&dy, 2, 2, 2);
+        assert_eq!(dx.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn max_pool_and_backward() {
+        let x = Tensor::from_vec([1, 1, 2, 4], vec![1., 9., 3., 4., 5., 6., 7., 8.]);
+        let (y, arg) = max_pool2d(&x, 2);
+        assert_eq!(y.as_slice(), &[9.0, 8.0]);
+        let dy = Tensor::from_vec([1, 1, 1, 2], vec![1.0, 2.0]);
+        let dx = max_pool2d_backward(&dy, &arg, 2, 2, 4);
+        let want = vec![0., 1., 0., 0., 0., 0., 0., 2.];
+        assert_eq!(dx.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn global_avg_pool_and_backward() {
+        let x = Tensor::from_vec([1, 2, 2, 2], vec![1., 2., 3., 4., 10., 20., 30., 40.]);
+        let y = global_avg_pool(&x);
+        assert_eq!(y.as_slice(), &[2.5, 25.0]);
+        let dy = Tensor::from_vec([1, 2], vec![4.0, 8.0]);
+        let dx = global_avg_pool_backward(&dy, 2, 2);
+        assert_eq!(&dx.as_slice()[..4], &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(&dx.as_slice()[4..], &[2.0, 2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,322 @@
+//! Rayon-parallel GEMM kernels.
+//!
+//! Two variants are provided:
+//!
+//! * [`gemm_f32`] — the float reference path used by training and by the
+//!   FP32 "golden" outputs that quantized results are compared against.
+//! * [`gemm_i8_i32`] — integer GEMM over `i8` operands with `i32`
+//!   accumulation, the arithmetic all quantized paths (DoReFa static,
+//!   DRQ, ODQ predictor/executor) reduce to.
+//!
+//! Both use a cache-friendly i-k-j loop order and parallelize over rows of
+//! the output, which keeps every output element's reduction sequential and
+//! therefore bit-for-bit deterministic.
+
+use rayon::prelude::*;
+
+/// `C = A * B` for row-major `A: [m, k]`, `B: [k, n]`, `C: [m, n]` (f32).
+///
+/// # Panics
+/// Panics if slice lengths do not match the given dimensions.
+pub fn gemm_f32(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert_eq!(b.len(), k * n, "B length mismatch");
+    assert_eq!(c.len(), m * n, "C length mismatch");
+
+    c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+        crow.fill(0.0);
+        let arow = &a[i * k..(i + 1) * k];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow) {
+                *cj += aik * bj;
+            }
+        }
+    });
+}
+
+/// `C += A * B` variant of [`gemm_f32`] (accumulating into `C`).
+pub fn gemm_f32_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert_eq!(b.len(), k * n, "B length mismatch");
+    assert_eq!(c.len(), m * n, "C length mismatch");
+
+    c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+        let arow = &a[i * k..(i + 1) * k];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow) {
+                *cj += aik * bj;
+            }
+        }
+    });
+}
+
+/// `C = Aᵀ * B` for row-major `A: [k, m]`, `B: [k, n]`, `C: [m, n]` (f32).
+///
+/// Used by the convolution backward pass (`dCol = Wᵀ · dOut`).
+pub fn gemm_f32_at(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "A length mismatch");
+    assert_eq!(b.len(), k * n, "B length mismatch");
+    assert_eq!(c.len(), m * n, "C length mismatch");
+
+    c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+        crow.fill(0.0);
+        for kk in 0..k {
+            let aik = a[kk * m + i];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow) {
+                *cj += aik * bj;
+            }
+        }
+    });
+}
+
+/// `C = A * Bᵀ` for row-major `A: [m, k]`, `B: [n, k]`, `C: [m, n]` (f32).
+///
+/// Used by the convolution backward pass (`dW = dOut · Colᵀ`).
+pub fn gemm_f32_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert_eq!(b.len(), n * k, "B length mismatch");
+    assert_eq!(c.len(), m * n, "C length mismatch");
+
+    c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+        let arow = &a[i * k..(i + 1) * k];
+        for (j, cj) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *cj = acc;
+        }
+    });
+}
+
+/// Integer GEMM: `C = A * B` with `A: [m, k]` and `B: [k, n]` of `i8`,
+/// accumulating in `i32`.
+///
+/// With operands bounded by a few bits (|a| ≤ 15, |b| ≤ 15 for INT4) and the
+/// reduction depths used by CNN layers (≤ a few thousand), `i32` cannot
+/// overflow; a debug assertion documents the bound.
+pub fn gemm_i8_i32(a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert_eq!(b.len(), k * n, "B length mismatch");
+    assert_eq!(c.len(), m * n, "C length mismatch");
+    debug_assert!(k < (1 << 16), "reduction depth too large for i32 accumulation guarantee");
+
+    c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+        crow.fill(0);
+        let arow = &a[i * k..(i + 1) * k];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0 {
+                continue;
+            }
+            let aik = aik as i32;
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow) {
+                *cj += aik * bj as i32;
+            }
+        }
+    });
+}
+
+/// Integer GEMM over `i16` operands with `i32` accumulation.
+///
+/// Same structure as [`gemm_i8_i32`]; `i16` covers unsigned INT8 activation
+/// codes (0..=255) and INT16 static-baseline codes.
+pub fn gemm_i16_i32(a: &[i16], b: &[i16], c: &mut [i32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert_eq!(b.len(), k * n, "B length mismatch");
+    assert_eq!(c.len(), m * n, "C length mismatch");
+
+    c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+        crow.fill(0);
+        let arow = &a[i * k..(i + 1) * k];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0 {
+                continue;
+            }
+            let aik = aik as i32;
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow) {
+                *cj += aik * bj as i32;
+            }
+        }
+    });
+}
+
+/// Integer GEMM over `i16` operands with `i64` accumulation — needed for
+/// wide static baselines (INT16×INT16 products over deep reductions
+/// overflow `i32`).
+pub fn gemm_i16_i64(a: &[i16], b: &[i16], c: &mut [i64], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert_eq!(b.len(), k * n, "B length mismatch");
+    assert_eq!(c.len(), m * n, "C length mismatch");
+
+    c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+        crow.fill(0);
+        let arow = &a[i * k..(i + 1) * k];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0 {
+                continue;
+            }
+            let aik = aik as i64;
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow) {
+                *cj += aik * bj as i64;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn seq(n: usize, mul: usize, add: usize, modv: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * mul + add) % modv) as f32 - (modv / 2) as f32).collect()
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let (m, k, n) = (7, 13, 9);
+        let a = seq(m * k, 31, 7, 19);
+        let b = seq(k * n, 17, 3, 23);
+        let mut c = vec![0.0; m * n];
+        gemm_f32(&a, &b, &mut c, m, k, n);
+        assert_eq!(c, naive(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn gemm_acc_accumulates() {
+        let (m, k, n) = (3, 4, 5);
+        let a = seq(m * k, 5, 1, 11);
+        let b = seq(k * n, 7, 2, 13);
+        let mut c = vec![1.0; m * n];
+        gemm_f32_acc(&a, &b, &mut c, m, k, n);
+        let expect: Vec<f32> = naive(&a, &b, m, k, n).iter().map(|x| x + 1.0).collect();
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn gemm_at_matches_naive_transpose() {
+        let (m, k, n) = (4, 6, 5);
+        let at = seq(k * m, 29, 5, 17); // A stored as [k, m]
+        let b = seq(k * n, 13, 11, 19);
+        let mut c = vec![0.0; m * n];
+        gemm_f32_at(&at, &b, &mut c, m, k, n);
+        // materialize A = transpose(at) and compare.
+        let mut a = vec![0.0; m * k];
+        for kk in 0..k {
+            for i in 0..m {
+                a[i * k + kk] = at[kk * m + i];
+            }
+        }
+        assert_eq!(c, naive(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn gemm_bt_matches_naive_transpose() {
+        let (m, k, n) = (4, 6, 5);
+        let a = seq(m * k, 29, 5, 17);
+        let bt = seq(n * k, 13, 11, 19); // B stored as [n, k]
+        let mut c = vec![0.0; m * n];
+        gemm_f32_bt(&a, &bt, &mut c, m, k, n);
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        assert_eq!(c, naive(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn gemm_i8_matches_float() {
+        let (m, k, n) = (5, 8, 6);
+        let a: Vec<i8> = (0..m * k).map(|i| ((i * 7 + 3) % 15) as i8 - 7).collect();
+        let b: Vec<i8> = (0..k * n).map(|i| ((i * 11 + 1) % 15) as i8 - 7).collect();
+        let mut c = vec![0i32; m * n];
+        gemm_i8_i32(&a, &b, &mut c, m, k, n);
+        let af: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+        let bf: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+        let cf = naive(&af, &bf, m, k, n);
+        for (x, y) in c.iter().zip(&cf) {
+            assert_eq!(*x as f32, *y);
+        }
+    }
+
+    #[test]
+    fn gemm_i16_matches_i8_on_shared_range() {
+        let (m, k, n) = (3, 10, 4);
+        let a8: Vec<i8> = (0..m * k).map(|i| ((i * 5 + 2) % 31) as i8 - 15).collect();
+        let b8: Vec<i8> = (0..k * n).map(|i| ((i * 9 + 4) % 31) as i8 - 15).collect();
+        let a16: Vec<i16> = a8.iter().map(|&x| x as i16).collect();
+        let b16: Vec<i16> = b8.iter().map(|&x| x as i16).collect();
+        let mut c8 = vec![0i32; m * n];
+        let mut c16 = vec![0i32; m * n];
+        gemm_i8_i32(&a8, &b8, &mut c8, m, k, n);
+        gemm_i16_i32(&a16, &b16, &mut c16, m, k, n);
+        assert_eq!(c8, c16);
+    }
+
+    #[test]
+    fn gemm_i64_handles_wide_products() {
+        // 16-bit × 16-bit products over a deep reduction overflow i32 but
+        // must be exact in i64.
+        let (m, k, n) = (1, 1000, 1);
+        let a = vec![30_000i16; k];
+        let b = vec![30_000i16; k];
+        let mut c = vec![0i64; 1];
+        gemm_i16_i64(&a, &b, &mut c, m, k, n);
+        assert_eq!(c[0], 30_000i64 * 30_000 * 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "A length mismatch")]
+    fn gemm_rejects_wrong_a_len() {
+        let mut c = vec![0.0f32; 4];
+        gemm_f32(&[1.0; 3], &[1.0; 4], &mut c, 2, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "C length mismatch")]
+    fn gemm_rejects_wrong_c_len() {
+        let mut c = vec![0.0f32; 3];
+        gemm_f32(&[1.0; 4], &[1.0; 4], &mut c, 2, 2, 2);
+    }
+
+    #[test]
+    fn gemm_degenerate_dims() {
+        // 1x1x1
+        let mut c = vec![0.0f32];
+        gemm_f32(&[3.0], &[4.0], &mut c, 1, 1, 1);
+        assert_eq!(c, vec![12.0]);
+        // empty k: C must be zeroed
+        let mut c2 = vec![9.0f32; 4];
+        gemm_f32(&[], &[], &mut c2, 2, 0, 2);
+        assert_eq!(c2, vec![0.0; 4]);
+    }
+}

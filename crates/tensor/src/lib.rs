@@ -1,0 +1,37 @@
+//! # odq-tensor
+//!
+//! Minimal, dependency-light tensor substrate used by the ODQ reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`Tensor`] — a generic, contiguous, row-major N-dimensional array.
+//!   Convolutional code uses the NCHW layout convention throughout.
+//! * [`shape::ConvGeom`] — convolution geometry (kernel/stride/padding and
+//!   derived output sizes) shared by the float, integer and simulated-hardware
+//!   convolution paths.
+//! * [`im2col`] — image-to-column lowering (and its transpose `col2im`),
+//!   the lowering the paper's accelerator performs in its "Im2col/Pack engine"
+//!   (Fig. 12/17).
+//! * [`gemm`] — rayon-parallel GEMM kernels for `f32` and for `i32`
+//!   accumulation over low-bitwidth integer operands.
+//! * [`conv`] — convolution / pooling forward and backward passes built on
+//!   im2col + GEMM.
+//! * [`stats`] — summary statistics (quantiles, moments) used for threshold
+//!   calibration.
+//!
+//! Everything is deterministic: no global state, no hidden threading beyond
+//! rayon's data-parallel iterators (which preserve results bit-for-bit for the
+//! reductions used here because each output element is reduced sequentially).
+
+pub mod conv;
+pub mod gemm;
+pub mod im2col;
+pub mod shape;
+pub mod stats;
+pub mod tensor;
+
+pub use shape::{ConvGeom, Shape};
+pub use tensor::Tensor;
+
+/// Crate-wide floating point element type for model data.
+pub type Elem = f32;

@@ -1,0 +1,218 @@
+//! Shapes and convolution geometry.
+
+use std::fmt;
+
+/// A tensor shape: dimension sizes in row-major (outermost-first) order.
+///
+/// Convolutional tensors use the NCHW convention:
+/// `[batch, channels, height, width]`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension size at `i`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Row-major strides (in elements).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+/// Geometry of a 2-D convolution: all the integer parameters that determine
+/// the mapping between an input feature map and an output feature map.
+///
+/// This is the single source of truth used by the float reference
+/// convolution, the integer (quantized) convolutions, the ODQ
+/// predictor/executor, and the accelerator simulator's workload model —
+/// keeping MAC counts and receptive-field bookkeeping consistent everywhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConvGeom {
+    /// Input channels (`N` in the paper's Eq. 2).
+    pub in_channels: usize,
+    /// Output channels (number of filters).
+    pub out_channels: usize,
+    /// Input spatial height.
+    pub in_h: usize,
+    /// Input spatial width.
+    pub in_w: usize,
+    /// Square kernel spatial size (`K` in Eq. 2).
+    pub kernel: usize,
+    /// Stride (`S` in Eq. 2).
+    pub stride: usize,
+    /// Zero padding applied symmetrically on all sides.
+    pub padding: usize,
+}
+
+impl ConvGeom {
+    /// Construct a geometry, checking that the output size is positive.
+    ///
+    /// # Panics
+    /// Panics if the kernel does not fit into the padded input.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(
+            in_h + 2 * padding >= kernel && in_w + 2 * padding >= kernel,
+            "kernel {kernel} does not fit input {in_h}x{in_w} with padding {padding}"
+        );
+        Self { in_channels, out_channels, in_h, in_w, kernel, stride, padding }
+    }
+
+    /// Output feature-map height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output feature-map width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Number of output features per output channel (one OFM's spatial size).
+    pub fn out_spatial(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Number of output features across all output channels, per image.
+    pub fn out_features(&self) -> usize {
+        self.out_channels * self.out_spatial()
+    }
+
+    /// Length of one im2col column: the receptive-field size of one output
+    /// feature (`C_in * K * K` — the number of MACs needed for one output).
+    pub fn col_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Total multiply-accumulate operations per image for this layer.
+    pub fn macs(&self) -> u64 {
+        self.col_len() as u64 * self.out_features() as u64
+    }
+
+    /// Weight tensor shape for this geometry: `[C_out, C_in, K, K]`.
+    pub fn weight_shape(&self) -> Shape {
+        Shape(vec![self.out_channels, self.in_channels, self.kernel, self.kernel])
+    }
+
+    /// Input tensor shape (single image): `[C_in, H, W]` prefixed by batch `n`.
+    pub fn input_shape(&self, n: usize) -> Shape {
+        Shape(vec![n, self.in_channels, self.in_h, self.in_w])
+    }
+
+    /// Output tensor shape for a batch of `n` images.
+    pub fn output_shape(&self, n: usize) -> Shape {
+        Shape(vec![n, self.out_channels, self.out_h(), self.out_w()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_numel_and_strides() {
+        let s = Shape::from([2, 3, 4, 5]);
+        assert_eq!(s.numel(), 120);
+        assert_eq!(s.strides(), vec![60, 20, 5, 1]);
+        assert_eq!(s.ndim(), 4);
+        assert_eq!(s.dim(2), 4);
+    }
+
+    #[test]
+    fn shape_scalar_and_1d() {
+        let s = Shape::from(vec![7]);
+        assert_eq!(s.numel(), 7);
+        assert_eq!(s.strides(), vec![1]);
+        let empty = Shape(vec![]);
+        assert_eq!(empty.numel(), 1);
+        assert!(empty.strides().is_empty());
+    }
+
+    #[test]
+    fn conv_geom_same_padding() {
+        // 3x3 kernel, stride 1, pad 1 preserves spatial dims.
+        let g = ConvGeom::new(16, 32, 32, 32, 3, 1, 1);
+        assert_eq!(g.out_h(), 32);
+        assert_eq!(g.out_w(), 32);
+        assert_eq!(g.out_features(), 32 * 32 * 32);
+        assert_eq!(g.col_len(), 16 * 9);
+        assert_eq!(g.macs(), (16 * 9) as u64 * (32 * 32 * 32) as u64);
+    }
+
+    #[test]
+    fn conv_geom_strided() {
+        let g = ConvGeom::new(3, 16, 32, 32, 3, 2, 1);
+        assert_eq!(g.out_h(), 16);
+        assert_eq!(g.out_w(), 16);
+    }
+
+    #[test]
+    fn conv_geom_1x1() {
+        let g = ConvGeom::new(64, 128, 8, 8, 1, 1, 0);
+        assert_eq!(g.out_h(), 8);
+        assert_eq!(g.col_len(), 64);
+        assert_eq!(g.weight_shape(), Shape::from([128, 64, 1, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn conv_geom_rejects_oversized_kernel() {
+        ConvGeom::new(3, 8, 4, 4, 7, 1, 0);
+    }
+
+    #[test]
+    fn conv_geom_shapes() {
+        let g = ConvGeom::new(3, 16, 32, 32, 3, 1, 1);
+        assert_eq!(g.input_shape(4), Shape::from([4, 3, 32, 32]));
+        assert_eq!(g.output_shape(4), Shape::from([4, 16, 32, 32]));
+    }
+}

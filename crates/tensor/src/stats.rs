@@ -1,0 +1,115 @@
+//! Summary statistics over feature values.
+//!
+//! Used by threshold calibration (the paper selects an initial sensitivity
+//! threshold "based on the output distribution", Sec. 3) and by the
+//! motivation-study instrumentation (Figs. 2–5).
+
+/// Mean of a slice; 0.0 when empty.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population standard deviation; 0.0 when empty.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32).sqrt()
+}
+
+/// `q`-quantile (0.0..=1.0) of the values by sorting a copy
+/// (nearest-rank with linear interpolation).
+///
+/// # Panics
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f32], q: f32) -> f32 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level out of range");
+    let mut v: Vec<f32> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (v.len() - 1) as f32;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f32;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Histogram of values into `bins` equal-width buckets over `[lo, hi)`;
+/// out-of-range values clamp into the first/last bucket.
+pub fn histogram(xs: &[f32], lo: f32, hi: f32, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "need at least one bin");
+    assert!(hi > lo, "empty histogram range");
+    let mut h = vec![0usize; bins];
+    let width = (hi - lo) / bins as f32;
+    for &x in xs {
+        let b = (((x - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        h[b] += 1;
+    }
+    h
+}
+
+/// Fraction of values whose magnitude meets or exceeds `threshold`.
+pub fn fraction_at_least(xs: &[f32], threshold: f32) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|x| x.abs() >= threshold).count() as f32 / xs.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((std_dev(&xs) - (1.25f32).sqrt()).abs() < 1e-6);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantile_basic() {
+        let xs = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+    }
+
+    #[test]
+    fn quantile_single() {
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let xs = [-1.0, 0.0, 0.24, 0.25, 0.6, 0.99, 2.0];
+        let h = histogram(&xs, 0.0, 1.0, 4);
+        // -1.0 clamps to bin 0; 2.0 clamps to bin 3.
+        assert_eq!(h, vec![3, 1, 1, 2]);
+        assert_eq!(h.iter().sum::<usize>(), xs.len());
+    }
+
+    #[test]
+    fn fraction_threshold() {
+        let xs = [0.1, -0.5, 0.5, 0.9];
+        assert_eq!(fraction_at_least(&xs, 0.5), 0.75);
+        assert_eq!(fraction_at_least(&xs, 10.0), 0.0);
+        assert_eq!(fraction_at_least(&[], 0.1), 0.0);
+    }
+}

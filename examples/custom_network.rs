@@ -1,0 +1,106 @@
+//! Build a *custom* CNN with the layer API (rather than a predefined
+//! architecture), train it, and run it under ODQ — the downstream-user
+//! path: bring your own network, get output-directed quantization for
+//! free through the `ConvExecutor` seam.
+//!
+//! ```sh
+//! cargo run --example custom_network
+//! ```
+
+use odq::core::OdqEngine;
+use odq::data::SynthSpec;
+use odq::nn::executor::FloatConvExecutor;
+use odq::nn::layers::{
+    AvgPool2d, BatchNorm2d, Conv2d, GlobalAvgPool, Linear, QatCfg, ReLU, Sequential,
+};
+use odq::nn::models::{Model, ModelCfg};
+use odq::nn::param::init_rng;
+use odq::nn::train::{evaluate, train_epoch, SgdCfg};
+use odq::nn::Arch;
+
+fn main() {
+    let hw = 12;
+    let classes = 6;
+    let mut spec = SynthSpec::cifar10(hw);
+    spec.num_classes = classes;
+    let (train, test) = spec.generate_split(240, 96);
+
+    // A hand-rolled 4-conv network. Conv names (C1..) feed the per-layer
+    // statistics, exactly like the predefined models.
+    let mut rng = init_rng(11);
+    let mut net = Sequential::new();
+    net.push(Conv2d::new("C1", 3, 8, 3, 1, 1, false, &mut rng));
+    net.push(BatchNorm2d::new(8));
+    net.push(ReLU::clipped(1.0));
+    net.push(Conv2d::new("C2", 8, 8, 3, 1, 1, false, &mut rng));
+    net.push(BatchNorm2d::new(8));
+    net.push(ReLU::clipped(1.0));
+    net.push(AvgPool2d::new(2));
+    net.push(Conv2d::new("C3", 8, 16, 3, 1, 1, false, &mut rng));
+    net.push(BatchNorm2d::new(16));
+    net.push(ReLU::clipped(1.0));
+    net.push(Conv2d::new("C4", 16, 16, 3, 1, 1, false, &mut rng));
+    net.push(BatchNorm2d::new(16));
+    net.push(ReLU::clipped(1.0));
+    net.push(GlobalAvgPool::new());
+    net.push(Linear::new(16, classes, &mut rng));
+
+    // Wrap it in a Model (metadata only; the cfg records provenance).
+    let mut cfg = ModelCfg::small(Arch::ResNet20, classes);
+    cfg.input_hw = hw;
+    let mut model = Model { name: "custom-cnn".into(), arch: Arch::ResNet20, net, cfg };
+    println!("custom model: {} parameters", model.param_count());
+
+    // Train float, then 4-bit QAT.
+    let mut rng = init_rng(12);
+    for epoch in 0..8 {
+        let loss =
+            train_epoch(&mut model, &train.images, &train.labels, 24, &SgdCfg::default(), &mut rng);
+        if epoch % 2 == 0 {
+            println!("epoch {epoch}: loss {loss:.3}");
+        }
+    }
+    model.set_qat(Some(QatCfg::int4()));
+    let ft = SgdCfg { lr: 0.02, ..SgdCfg::default() };
+    for _ in 0..4 {
+        train_epoch(&mut model, &train.images, &train.labels, 24, &ft, &mut rng);
+    }
+
+    let acc_float = evaluate(&model, &test.images, &test.labels, 24, &mut FloatConvExecutor);
+
+    // Checkpoint round-trip through the ODQW format.
+    let path = std::env::temp_dir().join("custom_cnn.odqw");
+    odq::nn::serialize::save_model(&mut model, &path).expect("save");
+    println!("checkpoint saved to {} ({} bytes)",
+             path.display(),
+             std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0));
+
+    // ODQ inference. A custom network's layers have very different output
+    // scales, so use the per-layer threshold search (the extension beyond
+    // the paper's single global threshold) with retraining in the loop.
+    let search = odq::core::SearchCfg {
+        calib_images: 8,
+        retrain_epochs: 3,
+        max_halvings: 3,
+        acc_tolerance: 0.05,
+        ..Default::default()
+    };
+    let (map, trials) = odq::core::search_per_layer_thresholds(
+        &mut model,
+        (&train.images, &train.labels),
+        (&test.images, &test.labels),
+        0.6,
+        &search,
+        &mut rng,
+    );
+    let mean_thr = map.values().sum::<f32>() / map.len() as f32;
+    let mut engine = OdqEngine::with_per_layer(map, mean_thr);
+    let acc_odq = evaluate(&model, &test.images, &test.labels, 24, &mut engine);
+
+    println!("\nfloat accuracy {:.1}%   ODQ accuracy {:.1}% ({} search trial(s))",
+             100.0 * acc_float, 100.0 * acc_odq, trials.len());
+    for l in &engine.stats.layers {
+        println!("  {:>3}: {:4.1}% insensitive", l.name, 100.0 * l.insensitive_fraction());
+    }
+    let _ = std::fs::remove_file(&path);
+}

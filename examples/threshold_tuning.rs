@@ -1,0 +1,66 @@
+//! Adaptive threshold search (paper Sec. 3): calibrate an initial
+//! threshold from the predictor-output distribution, retrain with the
+//! threshold in the loop, halve until ODQ accuracy meets the tolerance.
+//!
+//! ```sh
+//! cargo run --example threshold_tuning
+//! ```
+
+use odq::core::{search_threshold, SearchCfg};
+use odq::data::SynthSpec;
+use odq::nn::layers::QatCfg;
+use odq::nn::models::{Model, ModelCfg};
+use odq::nn::param::init_rng;
+use odq::nn::train::{train_epoch, SgdCfg};
+use odq::nn::Arch;
+
+fn main() {
+    // Train a small ResNet-20 with 4-bit QAT (the search's precondition).
+    let mut spec = SynthSpec::cifar10(10);
+    spec.num_classes = 6;
+    let (train, test) = spec.generate_split(180, 90);
+    let mut cfg = ModelCfg::small(Arch::ResNet20, 6);
+    cfg.input_hw = 10;
+    let mut model = Model::build(cfg);
+    let mut rng = init_rng(21);
+    let sgd = SgdCfg::default();
+    for _ in 0..6 {
+        train_epoch(&mut model, &train.images, &train.labels, 24, &sgd, &mut rng);
+    }
+    model.set_qat(Some(QatCfg::int4()));
+    let ft = SgdCfg { lr: 0.02, ..SgdCfg::default() };
+    for _ in 0..3 {
+        train_epoch(&mut model, &train.images, &train.labels, 24, &ft, &mut rng);
+    }
+
+    // Run the adaptive search.
+    let search = SearchCfg {
+        calib_images: 8,
+        init_quantile: 0.85,
+        acc_tolerance: 0.05,
+        max_halvings: 5,
+        retrain_epochs: 3,
+        ..Default::default()
+    };
+    println!("running adaptive threshold search (Sec. 3)...");
+    let result = search_threshold(
+        &mut model,
+        (&train.images, &train.labels),
+        (&test.images, &test.labels),
+        &search,
+        &mut rng,
+    );
+
+    println!("\nINT4 static baseline accuracy: {:.1}%", 100.0 * result.baseline_accuracy);
+    println!("{:<12} {:>12} {:>22}", "threshold", "ODQ acc %", "insensitive outputs %");
+    for t in &result.trials {
+        println!("{:<12.4} {:>12.1} {:>22.1}",
+                 t.threshold, 100.0 * t.accuracy, 100.0 * t.insensitive_fraction);
+    }
+    println!(
+        "\nselected threshold {:.4} ({}; {} trial(s))",
+        result.threshold,
+        if result.converged { "met tolerance" } else { "tolerance not met, kept last" },
+        result.trials.len(),
+    );
+}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Regenerate every paper table/figure. Results go to results/*.json and
+# results/*.txt. Pass --quick for a fast smoke run.
+set -e
+ARGS="$1"
+for bin in table1_alloc table2_configs fig01_motivation fig02_lp_inputs \
+           fig03_precision_loss fig04_hp_inputs fig05_comp_waste \
+           fig09_insensitive_r56 fig10_insensitive_r20 fig11_static_idle \
+           fig17_workflow fig18_accuracy fig19_exec_time fig20_odq_idle \
+           fig21_energy fig22_threshold table3_thresholds \
+           ablate_weight_coding ablate_scheduling ablate_predictor \
+           ablate_threshold_granularity ablate_clusters ext_int8_odq; do
+    echo "=== $bin ==="
+    cargo run -q -p odq-bench --bin "$bin" -- $ARGS 2>&1 | tee "results/$bin.txt"
+done
+echo "=== report ==="
+cargo run -q -p odq-bench --bin report 2>&1 | tee results/report.txt

@@ -1,0 +1,265 @@
+//! `odq` — command-line interface to the reproduction.
+//!
+//! ```text
+//! odq train    --arch resnet20 --classes 10 --hw 12 --epochs 7 --out model.odqw
+//! odq eval     --model model.odqw --arch resnet20 --classes 10 --hw 12 \
+//!              --engine odq --threshold 0.4
+//! odq search   --model model.odqw --arch resnet20 --classes 10 --hw 12
+//! odq simulate --arch resnet56 --sensitive 0.3
+//! ```
+//!
+//! All data is the deterministic synthetic dataset (see DESIGN.md); the
+//! checkpoint format is the crate's ODQW format.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use odq::accel::sim::simulate_network;
+use odq::accel::{AccelConfig, EnergyModel, LayerWorkload};
+use odq::core::{search_threshold, OdqEngine, SearchCfg};
+use odq::data::SynthSpec;
+use odq::drq::{DrqCfg, DrqEngine};
+use odq::nn::executor::{FloatConvExecutor, StaticQuantExecutor};
+use odq::nn::layers::QatCfg;
+use odq::nn::models::{Model, ModelCfg};
+use odq::nn::param::init_rng;
+use odq::nn::serialize::{load_model, save_model};
+use odq::nn::train::{evaluate, train_epoch, SgdCfg};
+use odq::nn::Arch;
+
+struct Args(HashMap<String, String>);
+
+impl Args {
+    fn parse(raw: &[String]) -> Self {
+        let mut map = HashMap::new();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(key) = raw[i].strip_prefix("--") {
+                let val = raw.get(i + 1).cloned().unwrap_or_default();
+                map.insert(key.to_string(), val);
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Self(map)
+    }
+
+    fn get(&self, key: &str, default: &str) -> String {
+        self.0.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    fn usize(&self, key: &str, default: usize) -> usize {
+        self.0.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    fn f32(&self, key: &str, default: f32) -> f32 {
+        self.0.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+fn parse_arch(name: &str) -> Option<Arch> {
+    match name.to_lowercase().as_str() {
+        "lenet5" | "lenet" => Some(Arch::LeNet5),
+        "resnet20" => Some(Arch::ResNet20),
+        "resnet56" => Some(Arch::ResNet56),
+        "vgg16" | "vgg" => Some(Arch::Vgg16),
+        "densenet" => Some(Arch::DenseNet),
+        _ => None,
+    }
+}
+
+fn build(args: &Args) -> (Model, SynthSpec) {
+    let arch = parse_arch(&args.get("arch", "resnet20")).expect("unknown --arch");
+    let classes = args.usize("classes", 10);
+    let hw = args.usize("hw", 12);
+    let mut cfg = ModelCfg::small(arch, classes);
+    cfg.input_hw = hw;
+    if arch == Arch::LeNet5 {
+        cfg.in_channels = 1;
+    }
+    cfg.seed = args.usize("seed", 7) as u64;
+    let mut spec = if arch == Arch::LeNet5 { SynthSpec::mnist(hw) } else { SynthSpec::cifar10(hw) };
+    spec.num_classes = classes;
+    (Model::build(cfg), spec)
+}
+
+fn cmd_train(args: &Args) -> ExitCode {
+    let (mut model, spec) = build(args);
+    let n_train = args.usize("n-train", 280);
+    let epochs = args.usize("epochs", 7);
+    let (train, test) = spec.generate_split(n_train, n_train / 2);
+    let mut rng = init_rng(args.usize("seed", 7) as u64 ^ 0x5EED);
+    let params = model.param_count();
+    println!("training {} ({params} params) for {epochs} float + {} QAT epochs...",
+             model.name, epochs.div_ceil(2));
+    for e in 0..epochs {
+        let loss = train_epoch(&mut model, &train.images, &train.labels, 24,
+                               &SgdCfg::default(), &mut rng);
+        println!("  epoch {e}: loss {loss:.3}");
+    }
+    model.set_qat(Some(QatCfg::int4()));
+    let ft = SgdCfg { lr: 0.02, ..SgdCfg::default() };
+    for e in 0..epochs.div_ceil(2) {
+        let loss = train_epoch(&mut model, &train.images, &train.labels, 24, &ft, &mut rng);
+        println!("  QAT epoch {e}: loss {loss:.3}");
+    }
+    let acc = evaluate(&model, &test.images, &test.labels, 24, &mut FloatConvExecutor);
+    println!("final accuracy: {:.1}%", 100.0 * acc);
+    let out = args.get("out", "model.odqw");
+    match save_model(&mut model, &out) {
+        Ok(()) => {
+            println!("saved checkpoint to {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to save {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_eval(args: &Args) -> ExitCode {
+    let (mut model, spec) = build(args);
+    let path = args.get("model", "model.odqw");
+    if let Err(e) = load_model(&mut model, &path) {
+        eprintln!("failed to load {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    model.set_qat(Some(QatCfg::int4()));
+    let n_test = args.usize("n-test", 120);
+    let (_, test) = spec.generate_split(0, n_test);
+    let engine = args.get("engine", "odq");
+    let thr = args.f32("threshold", 0.4);
+    let acc = match engine.as_str() {
+        "float" => evaluate(&model, &test.images, &test.labels, 24, &mut FloatConvExecutor),
+        "int4" => {
+            evaluate(&model, &test.images, &test.labels, 24, &mut StaticQuantExecutor::int(4))
+        }
+        "int8" => {
+            evaluate(&model, &test.images, &test.labels, 24, &mut StaticQuantExecutor::int(8))
+        }
+        "drq" => {
+            let mut e = DrqEngine::new(DrqCfg::int8_int4(thr));
+            let acc = evaluate(&model, &test.images, &test.labels, 24, &mut e);
+            println!("DRQ high-precision MAC share: {:.1}%", 100.0 * e.overall_hi_mac_fraction());
+            acc
+        }
+        "odq" => {
+            let mut e = OdqEngine::new(thr);
+            let acc = evaluate(&model, &test.images, &test.labels, 24, &mut e);
+            println!(
+                "ODQ insensitive outputs: {:.1}%",
+                100.0 * (1.0 - e.stats.overall_sensitive_fraction())
+            );
+            for l in &e.stats.layers {
+                println!("  {:>4}: {:5.1}% insensitive", l.name, 100.0 * l.insensitive_fraction());
+            }
+            acc
+        }
+        other => {
+            eprintln!("unknown --engine {other} (float|int4|int8|drq|odq)");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("Top-1 accuracy ({engine}): {:.1}%", 100.0 * acc);
+    ExitCode::SUCCESS
+}
+
+fn cmd_search(args: &Args) -> ExitCode {
+    let (mut model, spec) = build(args);
+    let path = args.get("model", "model.odqw");
+    if let Err(e) = load_model(&mut model, &path) {
+        eprintln!("failed to load {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    model.set_qat(Some(QatCfg::int4()));
+    let n = args.usize("n-train", 240);
+    let (train, test) = spec.generate_split(n, n / 2);
+    let cfg = SearchCfg {
+        retrain_epochs: args.usize("retrain-epochs", 2),
+        max_halvings: args.usize("max-halvings", 5),
+        acc_tolerance: args.f32("tolerance", 0.03),
+        ..Default::default()
+    };
+    let mut rng = init_rng(11);
+    let r = search_threshold(
+        &mut model,
+        (&train.images, &train.labels),
+        (&test.images, &test.labels),
+        &cfg,
+        &mut rng,
+    );
+    println!("baseline INT4 accuracy: {:.1}%", 100.0 * r.baseline_accuracy);
+    for t in &r.trials {
+        println!(
+            "  threshold {:.4}: accuracy {:.1}%, insensitive {:.1}%",
+            t.threshold,
+            100.0 * t.accuracy,
+            100.0 * t.insensitive_fraction
+        );
+    }
+    println!(
+        "selected threshold {:.4} ({})",
+        r.threshold,
+        if r.converged { "converged" } else { "tolerance not met" }
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_simulate(args: &Args) -> ExitCode {
+    let arch = parse_arch(&args.get("arch", "resnet20")).expect("unknown --arch");
+    let s = args.f32("sensitive", 0.3) as f64;
+    let hw = args.usize("hw", 32);
+    let workloads: Vec<LayerWorkload> = arch
+        .conv_geometries(hw)
+        .iter()
+        .map(|nc| LayerWorkload::uniform(nc.name.clone(), nc.geom, s))
+        .collect();
+    let em = EnergyModel::default();
+    println!(
+        "simulating full-size {} ({:.1}M MACs) at {:.0}% sensitive outputs:",
+        arch.name(),
+        arch.total_macs(hw) as f64 / 1e6,
+        100.0 * s
+    );
+    let mut base = 0.0;
+    for cfg in AccelConfig::table2() {
+        let r = simulate_network(&cfg, &workloads, &em);
+        if base == 0.0 {
+            base = r.total_cycles;
+        }
+        println!(
+            "  {:<6} {:>12.0} cycles ({:5.3}x) | {:>8.1} uJ | idle {:4.1}%",
+            r.config,
+            r.total_cycles,
+            r.total_cycles / base,
+            r.energy.total_nj() / 1e3,
+            100.0 * r.idle_fraction
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first() else {
+        eprintln!(
+            "usage: odq <train|eval|search|simulate> [--arch resnet20|resnet56|vgg16|densenet|lenet5]\n\
+             \x20      [--classes N] [--hw N] [--epochs N] [--model FILE] [--out FILE]\n\
+             \x20      [--engine float|int4|int8|drq|odq] [--threshold T] [--sensitive S]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(&raw[1..]);
+    match cmd.as_str() {
+        "train" => cmd_train(&args),
+        "eval" => cmd_eval(&args),
+        "search" => cmd_search(&args),
+        "simulate" => cmd_simulate(&args),
+        other => {
+            eprintln!("unknown command {other}");
+            ExitCode::FAILURE
+        }
+    }
+}

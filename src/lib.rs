@@ -1,0 +1,45 @@
+//! Facade crate re-exporting the ODQ reproduction workspace.
+//!
+//! # Example: ODQ on a single convolution layer
+//!
+//! ```
+//! use odq::core::{odq_conv2d, OdqCfg};
+//! use odq::tensor::{ConvGeom, Tensor};
+//!
+//! // A 3-channel 8x8 input and four 3x3 filters.
+//! let g = ConvGeom::new(3, 4, 8, 8, 3, 1, 1);
+//! let x = Tensor::from_vec(
+//!     g.input_shape(1),
+//!     (0..3 * 64).map(|i| (i % 97) as f32 / 97.0).collect::<Vec<_>>(),
+//! );
+//! let w = Tensor::from_vec(
+//!     g.weight_shape(),
+//!     (0..4 * 27).map(|i| (i % 53) as f32 / 26.5 - 1.0).collect::<Vec<_>>(),
+//! );
+//!
+//! // Calibrate a threshold at the median output magnitude, then run the
+//! // two-step ODQ: INT2 sensitivity prediction, and full INT4 result
+//! // generation only for outputs predicted above the threshold.
+//! let probe = odq_conv2d(&x, &w, None, &g, &OdqCfg::int4(0.0));
+//! let abs: Vec<f32> = probe.reference.as_slice().iter().map(|v| v.abs()).collect();
+//! let thr = odq::tensor::stats::quantile(&abs, 0.5);
+//!
+//! let r = odq_conv2d(&x, &w, None, &g, &OdqCfg::int4(thr));
+//! let skipped = r.mask.insensitive_fraction();
+//! assert!(skipped > 0.2, "roughly half the outputs skip the high-precision pass");
+//!
+//! // Sensitive outputs are bit-exact INT4 results.
+//! for i in 0..r.mask.len() {
+//!     if r.mask.bits()[i] {
+//!         assert!((r.output.as_slice()[i] - r.reference.as_slice()[i]).abs() < 1e-6);
+//!     }
+//! }
+//! ```
+
+pub use odq_accel as accel;
+pub use odq_core as core;
+pub use odq_data as data;
+pub use odq_drq as drq;
+pub use odq_nn as nn;
+pub use odq_quant as quant;
+pub use odq_tensor as tensor;

@@ -1,0 +1,50 @@
+//! Reproducibility: the whole pipeline — data generation, training,
+//! dynamic-quantization inference, and simulation — is bit-deterministic
+//! given fixed seeds (the property that makes `results/` regenerable).
+
+use odq::core::OdqEngine;
+use odq::data::SynthSpec;
+use odq::nn::models::{Model, ModelCfg};
+use odq::nn::param::init_rng;
+use odq::nn::train::{train_epoch, SgdCfg};
+use odq::nn::Arch;
+
+fn run_once() -> (Vec<f32>, f64) {
+    let mut cfg = ModelCfg::small(Arch::ResNet20, 4);
+    cfg.input_hw = 8;
+    let mut model = Model::build(cfg);
+    let mut spec = SynthSpec::cifar10(8);
+    spec.num_classes = 4;
+    let (train, test) = spec.generate_split(48, 16);
+    let mut rng = init_rng(99);
+    for _ in 0..2 {
+        train_epoch(&mut model, &train.images, &train.labels, 16, &SgdCfg::default(), &mut rng);
+    }
+    let mut engine = OdqEngine::new(0.3);
+    let logits = model.forward_eval(&test.images, &mut engine);
+    (logits.as_slice().to_vec(), engine.stats.overall_sensitive_fraction())
+}
+
+#[test]
+fn end_to_end_bit_determinism() {
+    let (a, sa) = run_once();
+    let (b, sb) = run_once();
+    assert_eq!(a, b, "logits must be bit-identical across runs");
+    assert_eq!(sa, sb, "sensitivity statistics must be identical");
+}
+
+#[test]
+fn simulator_determinism() {
+    use odq::accel::sim::simulate_network;
+    use odq::accel::{AccelConfig, EnergyModel, LayerWorkload};
+    let ws: Vec<LayerWorkload> = Arch::ResNet20
+        .conv_geometries(32)
+        .iter()
+        .map(|nc| LayerWorkload::uniform(nc.name.clone(), nc.geom, 0.25))
+        .collect();
+    let em = EnergyModel::default();
+    let a = simulate_network(&AccelConfig::odq(), &ws, &em);
+    let b = simulate_network(&AccelConfig::odq(), &ws, &em);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.energy.total_nj(), b.energy.total_nj());
+}

@@ -1,0 +1,156 @@
+//! Cross-crate integration tests: the full pipeline from synthetic data
+//! through training, dynamic quantization, and accelerator simulation.
+
+use odq::accel::sim::simulate_network;
+use odq::accel::{AccelConfig, EnergyModel, LayerWorkload};
+use odq::core::OdqEngine;
+use odq::data::SynthSpec;
+use odq::drq::{DrqCfg, DrqEngine};
+use odq::nn::executor::{FloatConvExecutor, StaticQuantExecutor};
+use odq::nn::layers::QatCfg;
+use odq::nn::models::{Model, ModelCfg};
+use odq::nn::param::init_rng;
+use odq::nn::train::{evaluate, train_epoch, SgdCfg};
+use odq::nn::Arch;
+
+fn quick_model(arch: Arch) -> (Model, odq::data::Dataset, odq::data::Dataset) {
+    let mut cfg = ModelCfg::small(arch, 6);
+    cfg.input_hw = 8;
+    let mut model = Model::build(cfg);
+    let mut spec = SynthSpec::cifar10(8);
+    spec.num_classes = 6;
+    let (train, test) = spec.generate_split(96, 48);
+    let mut rng = init_rng(17);
+    let sgd = SgdCfg::default();
+    for _ in 0..5 {
+        train_epoch(&mut model, &train.images, &train.labels, 16, &sgd, &mut rng);
+    }
+    model.set_qat(Some(QatCfg::int4()));
+    let ft = SgdCfg { lr: 0.02, ..SgdCfg::default() };
+    for _ in 0..3 {
+        train_epoch(&mut model, &train.images, &train.labels, 16, &ft, &mut rng);
+    }
+    (model, train, test)
+}
+
+#[test]
+fn trained_model_beats_chance_under_every_engine() {
+    let (model, _train, test) = quick_model(Arch::ResNet20);
+    let t = (&test.images, test.labels.as_slice());
+    let chance = 1.0 / 6.0;
+
+    let float = evaluate(&model, t.0, t.1, 16, &mut FloatConvExecutor);
+    assert!(float > chance + 0.15, "float {float}");
+
+    let int4 = evaluate(&model, t.0, t.1, 16, &mut StaticQuantExecutor::int(4));
+    assert!(
+        (float - int4).abs() < 0.15,
+        "QAT-trained model: INT4 {int4} should track float {float}"
+    );
+
+    let mut drq = DrqEngine::new(DrqCfg::int8_int4(0.3));
+    let drq_acc = evaluate(&model, t.0, t.1, 16, &mut drq);
+    assert!(drq_acc > chance, "DRQ 8-4 {drq_acc}");
+
+    // ODQ at a small threshold stays close to INT4.
+    let mut odq = OdqEngine::new(0.05);
+    let odq_acc = evaluate(&model, t.0, t.1, 16, &mut odq);
+    assert!(odq_acc > float - 0.25, "ODQ@0.05 {odq_acc} vs float {float}");
+}
+
+#[test]
+fn masks_flow_from_engine_to_simulator() {
+    // The measured per-layer sensitivity must drive the accelerator
+    // simulation end to end.
+    let (model, _train, test) = quick_model(Arch::ResNet20);
+    let mut engine = OdqEngine::new(0.3);
+    let _ = model.forward_eval(&test.images, &mut engine);
+
+    let workloads: Vec<LayerWorkload> = engine
+        .stats
+        .layers
+        .iter()
+        .map(|l| LayerWorkload::from_channel_counts(l.name.clone(), l.geom, &l.channel_counts))
+        .collect();
+    assert!(!workloads.is_empty());
+
+    let em = EnergyModel::default();
+    let odq = simulate_network(&AccelConfig::odq(), &workloads, &em);
+    let int16 = simulate_network(&AccelConfig::int16(), &workloads, &em);
+    assert!(odq.total_cycles > 0.0);
+    assert!(
+        odq.total_cycles < int16.total_cycles,
+        "ODQ must beat the INT16 baseline on its own masks"
+    );
+    assert!(odq.energy.total_nj() < int16.energy.total_nj());
+}
+
+#[test]
+fn engine_sensitive_fraction_tracks_accelerator_work() {
+    // More sensitive outputs => more executor cycles in the simulator.
+    let (model, _train, test) = quick_model(Arch::ResNet20);
+    let em = EnergyModel::default();
+    let mut cycles = Vec::new();
+    for thr in [0.8f32, 0.2, 0.02] {
+        let mut engine = OdqEngine::new(thr);
+        let _ = model.forward_eval(&test.images, &mut engine);
+        let workloads: Vec<LayerWorkload> = engine
+            .stats
+            .layers
+            .iter()
+            .map(|l| {
+                LayerWorkload::from_channel_counts(l.name.clone(), l.geom, &l.channel_counts)
+            })
+            .collect();
+        cycles.push(simulate_network(&AccelConfig::odq(), &workloads, &em).total_cycles);
+    }
+    assert!(
+        cycles[0] <= cycles[1] && cycles[1] <= cycles[2],
+        "cycles should grow as threshold falls: {cycles:?}"
+    );
+}
+
+#[test]
+fn all_architectures_run_under_odq() {
+    for arch in [Arch::LeNet5, Arch::ResNet20, Arch::Vgg16, Arch::DenseNet] {
+        let mut cfg = ModelCfg::small(arch, 4);
+        cfg.input_hw = 8;
+        if arch == Arch::LeNet5 {
+            cfg.in_channels = 1;
+        }
+        let model = Model::build(cfg);
+        let spec = if arch == Arch::LeNet5 {
+            SynthSpec::mnist(8)
+        } else {
+            SynthSpec::cifar10(8)
+        };
+        let data = spec.generate(4);
+        let mut engine = OdqEngine::new(0.3);
+        let y = model.forward_eval(&data.images, &mut engine);
+        assert_eq!(y.dims()[0], 4, "{arch:?}");
+        assert!(!engine.stats.layers.is_empty(), "{arch:?}");
+    }
+}
+
+#[test]
+fn threshold_search_end_to_end() {
+    use odq::core::{search_threshold, SearchCfg};
+    let (mut model, train, test) = quick_model(Arch::ResNet20);
+    let cfg = SearchCfg {
+        calib_images: 4,
+        retrain_epochs: 1,
+        max_halvings: 2,
+        acc_tolerance: 0.15,
+        ..Default::default()
+    };
+    let mut rng = init_rng(3);
+    let r = search_threshold(
+        &mut model,
+        (&train.images, &train.labels),
+        (&test.images, &test.labels),
+        &cfg,
+        &mut rng,
+    );
+    assert!(r.threshold > 0.0 && r.threshold.is_finite());
+    assert!(!r.trials.is_empty());
+}

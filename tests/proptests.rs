@@ -1,0 +1,184 @@
+//! Property-based tests on the core invariants of the reproduction.
+
+use odq::core::{odq_conv2d, OdqCfg};
+use odq::quant::qconv::{combine_planes, qconv2d_codes, qconv2d_planes, receptive_sums};
+use odq::quant::{
+    join_planes, quantize_activation, quantize_weights, split_codes, split_qtensor,
+};
+use odq::tensor::im2col::{col2im, im2col};
+use odq::tensor::{ConvGeom, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantize→dequantize error is bounded by half a quantization step,
+    /// for any activation values and bit width.
+    #[test]
+    fn activation_roundtrip_bounded(
+        values in prop::collection::vec(0.0f32..1.0, 1..128),
+        bits in 2u8..=8,
+    ) {
+        let x = Tensor::from_vec([values.len()], values);
+        let q = quantize_activation(&x, bits, 1.0);
+        let err = q.dequantize().max_abs_diff(&x);
+        prop_assert!(err <= 0.5 * q.scale + 1e-6, "err {} > step/2 {}", err, 0.5 * q.scale);
+    }
+
+    /// Offset-binary weight roundtrip error is bounded by half a step, and
+    /// every code is in range.
+    #[test]
+    fn weight_roundtrip_bounded(
+        values in prop::collection::vec(-2.0f32..2.0, 1..128),
+        bits in 2u8..=8,
+    ) {
+        let w = Tensor::from_vec([values.len()], values);
+        let q = quantize_weights(&w, bits);
+        prop_assert!(q.codes_in_range());
+        let err = q.dequantize().max_abs_diff(&w);
+        prop_assert!(err <= 0.5 * q.scale + 1e-5);
+    }
+
+    /// Bit-plane split/join is the identity on arbitrary i16 codes.
+    #[test]
+    fn split_join_roundtrip(
+        codes in prop::collection::vec(-256i16..256, 1..200),
+        low_bits in 1u8..8,
+    ) {
+        let (h, l) = split_codes(&codes, low_bits, true);
+        prop_assert_eq!(join_planes(&h, &l, low_bits), codes);
+    }
+
+    /// Eq. 3 plane decomposition of the convolution is exact for any
+    /// quantized operands.
+    #[test]
+    fn plane_conv_decomposition_exact(
+        xseed in 0u32..1000,
+        wseed in 0u32..1000,
+        channels in 1usize..4,
+        filters in 1usize..4,
+    ) {
+        let g = ConvGeom::new(channels, filters, 5, 5, 3, 1, 1);
+        let xs: Vec<f32> = (0..channels * 25)
+            .map(|i| ((i as u32).wrapping_mul(2654435761).wrapping_add(xseed) % 1000) as f32 / 1000.0)
+            .collect();
+        let ws: Vec<f32> = (0..filters * channels * 9)
+            .map(|i| ((i as u32).wrapping_mul(40503).wrapping_add(wseed) % 1000) as f32 / 500.0 - 1.0)
+            .collect();
+        let qx = quantize_activation(&Tensor::from_vec(g.input_shape(1), xs), 4, 1.0);
+        let qw = quantize_weights(&Tensor::from_vec(g.weight_shape(), ws), 4);
+        let full = qconv2d_codes(&qx.codes, &qw.codes, &g);
+        let xp = split_qtensor(&qx, 2);
+        let wp = split_qtensor(&qw, 2);
+        let rec = combine_planes(&qconv2d_planes(&xp, &wp, &g));
+        prop_assert_eq!(full.as_slice(), rec.as_slice());
+    }
+
+    /// im2col and col2im are adjoint: <im2col(x), y> == <x, col2im(y)>.
+    #[test]
+    fn im2col_adjoint(
+        xs in prop::collection::vec(-4.0f32..4.0, 32),
+        kernel in 1usize..=3,
+        padding in 0usize..=1,
+    ) {
+        let g = ConvGeom::new(2, 1, 4, 4, kernel, 1, padding);
+        let ys: Vec<f32> = (0..g.col_len() * g.out_spatial())
+            .map(|i| ((i * 31 + 7) % 17) as f32 - 8.0)
+            .collect();
+        let ax = im2col(&xs, &g);
+        let aty = col2im(&ys, &g);
+        let lhs: f64 = ax.iter().zip(&ys).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 = xs.iter().zip(&aty).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "adjoint mismatch {lhs} vs {rhs}");
+    }
+
+    /// Receptive sums equal a convolution with all-ones weights.
+    #[test]
+    fn receptive_sums_match_ones_conv(
+        codes in prop::collection::vec(0i16..16, 18),
+    ) {
+        let g = ConvGeom::new(2, 1, 3, 3, 3, 1, 1);
+        let x = Tensor::from_vec(g.input_shape(1), codes);
+        let ones = Tensor::full(g.weight_shape(), 1i16);
+        let via_conv = qconv2d_codes(&x, &ones, &g);
+        let sums = receptive_sums(&x, &g);
+        prop_assert_eq!(via_conv.as_slice(), sums.as_slice());
+    }
+
+    /// ODQ sensitive count is monotone non-increasing in the threshold,
+    /// and at threshold 0 everything is sensitive.
+    #[test]
+    fn odq_mask_monotone_in_threshold(seed in 0u32..500) {
+        let g = ConvGeom::new(2, 3, 6, 6, 3, 1, 1);
+        let xs: Vec<f32> = (0..2 * 36)
+            .map(|i| ((i as u32).wrapping_mul(97).wrapping_add(seed) % 100) as f32 / 100.0)
+            .collect();
+        let ws: Vec<f32> = (0..3 * 2 * 9)
+            .map(|i| ((i as u32).wrapping_mul(61).wrapping_add(seed) % 200) as f32 / 100.0 - 1.0)
+            .collect();
+        let x = Tensor::from_vec(g.input_shape(1), xs);
+        let w = Tensor::from_vec(g.weight_shape(), ws);
+        let mut last = usize::MAX;
+        for thr in [0.0f32, 0.1, 0.3, 0.9] {
+            let r = odq_conv2d(&x, &w, None, &g, &OdqCfg::int4(thr));
+            let c = r.mask.sensitive_count();
+            prop_assert!(c <= last);
+            if thr == 0.0 {
+                prop_assert_eq!(c, r.mask.len());
+            }
+            last = c;
+        }
+    }
+
+    /// ODQ's sensitive outputs always equal the exact INT4 reference.
+    #[test]
+    fn odq_sensitive_outputs_exact(seed in 0u32..500, thr in 0.05f32..1.0) {
+        let g = ConvGeom::new(2, 2, 5, 5, 3, 1, 1);
+        let xs: Vec<f32> = (0..2 * 25)
+            .map(|i| ((i as u32).wrapping_mul(137).wrapping_add(seed) % 100) as f32 / 100.0)
+            .collect();
+        let ws: Vec<f32> = (0..2 * 2 * 9)
+            .map(|i| ((i as u32).wrapping_mul(211).wrapping_add(seed) % 200) as f32 / 100.0 - 1.0)
+            .collect();
+        let x = Tensor::from_vec(g.input_shape(1), xs);
+        let w = Tensor::from_vec(g.weight_shape(), ws);
+        let r = odq_conv2d(&x, &w, None, &g, &OdqCfg::int4(thr));
+        for i in 0..r.mask.len() {
+            if r.mask.bits()[i] {
+                prop_assert!(
+                    (r.output.as_slice()[i] - r.reference.as_slice()[i]).abs() < 1e-6
+                );
+            }
+        }
+    }
+
+    /// Scheduler work conservation and dynamic dominance over static, for
+    /// arbitrary workloads.
+    #[test]
+    fn scheduler_invariants(
+        workloads in prop::collection::vec(0u32..64, 1..32),
+        arrays in 1usize..12,
+    ) {
+        use odq::accel::sched::{schedule_dynamic, schedule_static, CYCLES_PER_SENSITIVE_OUTPUT};
+        let st = schedule_static(&workloads, arrays);
+        let dy = schedule_dynamic(&workloads, arrays);
+        let total: u64 = workloads.iter().map(|&w| w as u64).sum();
+        prop_assert_eq!(st.busy_cycles, total * CYCLES_PER_SENSITIVE_OUTPUT);
+        prop_assert_eq!(dy.busy_cycles, st.busy_cycles);
+        prop_assert!(dy.makespan <= st.makespan);
+        // Lower bound: ceil(total / arrays) slots.
+        let lower = total.div_ceil(arrays as u64) * CYCLES_PER_SENSITIVE_OUTPUT;
+        prop_assert!(dy.makespan >= lower || total == 0);
+    }
+
+    /// Table 1 no-bubble bound: below it the simulated layer is
+    /// predictor-bound; the bound itself is E/(3P).
+    #[test]
+    fn allocation_bound_property(p_extra in 0usize..5) {
+        use odq::accel::alloc::{max_sensitive_fraction, Allocation};
+        let p = 9 + 3 * p_extra.min(4);
+        let a = Allocation::new(p, 27 - p);
+        let s = max_sensitive_fraction(a);
+        prop_assert!((s - (27 - p) as f64 / (3.0 * p as f64)).abs() < 1e-12);
+    }
+}
