@@ -53,7 +53,10 @@ impl Allocation {
     pub fn table1() -> Vec<Self> {
         (0..=RECONFIGURABLE_ARRAYS / 3)
             .map(|i| {
-                Self::new(FIXED_PREDICTOR_ARRAYS + 3 * i, ARRAYS_PER_SLICE - FIXED_PREDICTOR_ARRAYS - 3 * i)
+                Self::new(
+                    FIXED_PREDICTOR_ARRAYS + 3 * i,
+                    ARRAYS_PER_SLICE - FIXED_PREDICTOR_ARRAYS - 3 * i,
+                )
             })
             .collect()
     }
@@ -70,7 +73,8 @@ pub fn max_sensitive_fraction(alloc: Allocation) -> f64 {
 /// whose no-bubble bound still covers `s`. Above 66% nothing avoids
 /// bubbles; the executor-heaviest split is returned.
 pub fn choose_allocation(s: f64) -> Allocation {
-    let mut best = Allocation::new(FIXED_PREDICTOR_ARRAYS, ARRAYS_PER_SLICE - FIXED_PREDICTOR_ARRAYS);
+    let mut best =
+        Allocation::new(FIXED_PREDICTOR_ARRAYS, ARRAYS_PER_SLICE - FIXED_PREDICTOR_ARRAYS);
     for a in Allocation::table1() {
         if s <= max_sensitive_fraction(a) && a.predictor_arrays > best.predictor_arrays {
             best = a;
@@ -182,17 +186,13 @@ mod tests {
         // a realistic spread, the per-layer dynamic choice idles less than
         // every fixed allocation.
         let spread = [0.08, 0.12, 0.2, 0.3, 0.45, 0.6];
-        let dyn_mean: f64 = spread
-            .iter()
-            .map(|&s| idle_stats(choose_allocation(s), s).total_idle)
-            .sum::<f64>()
-            / spread.len() as f64;
-        for static_alloc in Allocation::table1() {
-            let st_mean: f64 = spread
-                .iter()
-                .map(|&s| idle_stats(static_alloc, s).total_idle)
-                .sum::<f64>()
+        let dyn_mean: f64 =
+            spread.iter().map(|&s| idle_stats(choose_allocation(s), s).total_idle).sum::<f64>()
                 / spread.len() as f64;
+        for static_alloc in Allocation::table1() {
+            let st_mean: f64 =
+                spread.iter().map(|&s| idle_stats(static_alloc, s).total_idle).sum::<f64>()
+                    / spread.len() as f64;
             assert!(
                 dyn_mean < st_mean + 1e-12,
                 "dynamic mean idle {dyn_mean:.3} vs static({static_alloc:?}) {st_mean:.3}"

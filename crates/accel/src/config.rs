@@ -127,13 +127,13 @@ impl AccelConfig {
     /// ODQ with a *static* predictor/executor split (Fig. 11's study).
     pub fn odq_static(predictor_arrays: usize) -> Self {
         assert!(
-            (FIXED_PREDICTOR_ARRAYS..=FIXED_PREDICTOR_ARRAYS + RECONFIGURABLE_ARRAYS).contains(&predictor_arrays),
+            (FIXED_PREDICTOR_ARRAYS..=FIXED_PREDICTOR_ARRAYS + RECONFIGURABLE_ARRAYS)
+                .contains(&predictor_arrays),
             "predictor arrays must be within 9..=21"
         );
         let mut c = Self::odq();
         c.name = format!("ODQ-static-{predictor_arrays}p");
-        c.kind =
-            AccelKind::Odq { dynamic_alloc: false, static_predictor_arrays: predictor_arrays };
+        c.kind = AccelKind::Odq { dynamic_alloc: false, static_predictor_arrays: predictor_arrays };
         c
     }
 
@@ -194,11 +194,7 @@ mod tests {
         // within a modest tolerance of the 0.17 mm² budget.
         for c in AccelConfig::table2() {
             let a = c.pe_area_mm2();
-            assert!(
-                (a - 0.17).abs() / 0.17 < 0.01,
-                "{}: area {a:.4} mm² off budget",
-                c.name
-            );
+            assert!((a - 0.17).abs() / 0.17 < 0.01, "{}: area {a:.4} mm² off budget", c.name);
         }
     }
 

@@ -28,12 +28,7 @@ pub struct EnergyModel {
 
 impl Default for EnergyModel {
     fn default() -> Self {
-        Self {
-            mac_pj_int8: 0.2,
-            sram_pj_per_byte: 1.2,
-            dram_pj_per_byte: 20.0,
-            static_mw: 150.0,
-        }
+        Self { mac_pj_int8: 0.2, sram_pj_per_byte: 1.2, dram_pj_per_byte: 20.0, static_mw: 150.0 }
     }
 }
 
@@ -55,13 +50,11 @@ impl EnergyModel {
         dram_bytes: f64,
         time_s: f64,
     ) -> EnergyBreakdown {
-        let mac_pj: f64 =
-            macs_by_bits.iter().map(|&(b, n)| self.mac_pj(b) * n as f64).sum();
+        let mac_pj: f64 = macs_by_bits.iter().map(|&(b, n)| self.mac_pj(b) * n as f64).sum();
         let static_w = self.static_mw * 1e-3;
         // Static energy charged to the cores bucket (PE leakage dominates).
         let cores_nj = mac_pj * 1e-3 + static_w * time_s * 1e9 * 0.7;
-        let buffer_nj = sram_bytes * self.sram_pj_per_byte * 1e-3
-            + static_w * time_s * 1e9 * 0.3;
+        let buffer_nj = sram_bytes * self.sram_pj_per_byte * 1e-3 + static_w * time_s * 1e9 * 0.3;
         let dram_nj = dram_bytes * self.dram_pj_per_byte * 1e-3;
         EnergyBreakdown { dram_nj, buffer_nj, cores_nj }
     }
@@ -110,9 +103,7 @@ mod tests {
         let m = EnergyModel::default();
         let b = m.breakdown(&[(8, 1_000_000)], 1e6, 1e5, 1e-6);
         assert!(b.dram_nj > 0.0 && b.buffer_nj > 0.0 && b.cores_nj > 0.0);
-        assert!(
-            (b.total_nj() - (b.dram_nj + b.buffer_nj + b.cores_nj)).abs() < 1e-9
-        );
+        assert!((b.total_nj() - (b.dram_nj + b.buffer_nj + b.cores_nj)).abs() < 1e-9);
     }
 
     #[test]

@@ -100,8 +100,7 @@ pub fn layer_traffic(w: &LayerWorkload, cfg: &MemoryCfg) -> MemoryTraffic {
     // Executor sparse gathers: sensitive outputs re-read their receptive
     // fields; the 3-cluster round-robin shares each fetch across clusters.
     let sensitive_outputs = out_elems * w.odq_sensitive_fraction;
-    let sparse_reads =
-        sensitive_outputs * g.col_len() as f64 / EXECUTOR_CLUSTERS as f64;
+    let sparse_reads = sensitive_outputs * g.col_len() as f64 / EXECUTOR_CLUSTERS as f64;
     let gbuf_read = gbuf_read_dense + sparse_reads * bytes;
 
     let linebuf = if cfg.line_buffers { dense_reads * bytes } else { 0.0 };
@@ -148,8 +147,7 @@ mod tests {
         // gather term does not dilute the dense-stream comparison.
         let w = layer(0.0);
         let with = layer_traffic(&w, &MemoryCfg::default());
-        let without =
-            layer_traffic(&w, &MemoryCfg { line_buffers: false, ..Default::default() });
+        let without = layer_traffic(&w, &MemoryCfg { line_buffers: false, ..Default::default() });
         // Reuse factor for 3x3 stride-1: each element serves ~9 windows.
         let ratio = without.gbuf_read / with.gbuf_read;
         assert!(ratio > 3.0, "line buffers should cut reads substantially: {ratio:.1}x");

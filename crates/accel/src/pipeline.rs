@@ -123,16 +123,12 @@ pub fn simulate_layer_pipeline_from(
 
         // Wave duration: each array processes one OFM; they all take the
         // same time (dense work).
-        let pred_cycles = if wave > 0 {
-            pred_work_per_ofm.div_ceil(PES_PER_ARRAY as u64)
-        } else {
-            0
-        };
+        let pred_cycles =
+            if wave > 0 { pred_work_per_ofm.div_ceil(PES_PER_ARRAY as u64) } else { 0 };
 
         // Executor progress during the wave: consume backlog entries from
         // the front as their work retires.
-        let exec_capacity =
-            (alloc.executor_arrays * PES_PER_ARRAY) as u64 * pred_cycles.max(1);
+        let exec_capacity = (alloc.executor_arrays * PES_PER_ARRAY) as u64 * pred_cycles.max(1);
         let mut budget = exec_capacity.min(exec_debt);
         exec_debt -= budget;
         while budget > 0 {
@@ -153,8 +149,8 @@ pub fn simulate_layer_pipeline_from(
         // Account cycles & utilization for the wave.
         let step = pred_cycles.max(if exec_debt > 0 { 1 } else { 0 }).max(1);
         cycles += step;
-        busy_array_cycles += (wave as f64) * pred_cycles as f64
-            + (exec_done as f64 / PES_PER_ARRAY as f64);
+        busy_array_cycles +=
+            (wave as f64) * pred_cycles as f64 + (exec_done as f64 / PES_PER_ARRAY as f64);
         alloc_weighted += alloc.predictor_arrays as f64 * step as f64;
 
         // New predictions join the backlog.
@@ -174,9 +170,7 @@ pub fn simulate_layer_pipeline_from(
             let want = choose_allocation(s);
             // Hysteresis: also shift toward the executor when the backlog
             // exceeds its target (the paper's "keep 21 OFMs queued" rule).
-            let want = if backlog.len() > TARGET_BACKLOG_OFMS
-                && want.predictor_arrays > 9
-            {
+            let want = if backlog.len() > TARGET_BACKLOG_OFMS && want.predictor_arrays > 9 {
                 Allocation::new(want.predictor_arrays - 3, want.executor_arrays + 3)
             } else {
                 want
@@ -190,8 +184,7 @@ pub fn simulate_layer_pipeline_from(
 
         // Predictor finished every OFM: let the executor drain at full rate.
         if next_ofm >= co && exec_debt > 0 {
-            let drain =
-                exec_debt.div_ceil((alloc.executor_arrays * PES_PER_ARRAY) as u64);
+            let drain = exec_debt.div_ceil((alloc.executor_arrays * PES_PER_ARRAY) as u64);
             cycles += drain;
             busy_array_cycles += exec_debt as f64 / PES_PER_ARRAY as f64;
             alloc_weighted += alloc.predictor_arrays as f64 * drain as f64;
@@ -215,11 +208,7 @@ pub fn simulate_layer_pipeline_from(
             name: w.name.clone(),
             cycles,
             reconfigurations: reconfigs,
-            mean_predictor_arrays: if cycles > 0 {
-                alloc_weighted / cycles as f64
-            } else {
-                0.0
-            },
+            mean_predictor_arrays: if cycles > 0 { alloc_weighted / cycles as f64 } else { 0.0 },
             peak_backlog,
             utilization,
         },
@@ -332,11 +321,7 @@ mod tests {
     fn utilization_reasonable() {
         for s in [0.1, 0.3, 0.5] {
             let r = simulate_layer_pipeline(&layer(s));
-            assert!(
-                (0.3..=1.0).contains(&r.utilization),
-                "s={s}: utilization {}",
-                r.utilization
-            );
+            assert!((0.3..=1.0).contains(&r.utilization), "s={s}: utilization {}", r.utilization);
         }
     }
 

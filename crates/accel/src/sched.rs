@@ -84,11 +84,8 @@ pub fn schedule_dynamic(workloads: &[u32], n_arrays: usize) -> ScheduleResult {
         let mut progressed = false;
         for &a in &order {
             // pick the largest remaining queue
-            if let Some((qi, _)) = queues
-                .iter()
-                .enumerate()
-                .filter(|(_, &q)| q > 0)
-                .max_by_key(|(_, &q)| q)
+            if let Some((qi, _)) =
+                queues.iter().enumerate().filter(|(_, &q)| q > 0).max_by_key(|(_, &q)| q)
             {
                 queues[qi] -= 1;
                 remaining -= 1;

@@ -81,100 +81,91 @@ pub fn simulate_layer(cfg: &AccelConfig, w: &LayerWorkload) -> LayerResult {
     let in_features = (geom.in_channels * geom.in_h * geom.in_w) as f64;
     let weight_count = (geom.col_len() * geom.out_channels) as f64;
 
-    let (compute_cycles, idle_fraction, macs_by_bits, op_bits, allocation, sram_compute) =
-        match cfg.kind {
-            AccelKind::Static { op_bits } => {
-                let cpm = cycles_per_mac(op_bits, cfg.pe_bits);
-                let cycles = macs as f64 * cpm / cfg.total_pes as f64;
-                let sram = macs as f64 * 2.0 * (op_bits as f64 / 8.0) / DENSE_REUSE;
-                (cycles, 0.0, vec![(op_bits, macs)], op_bits, None, sram)
-            }
-            AccelKind::Drq { hi_bits, lo_bits } => {
-                let f = w.drq_hi_fraction.clamp(0.0, 1.0);
-                let cpm_hi = cycles_per_mac(hi_bits, cfg.pe_bits);
-                let cpm_lo = cycles_per_mac(lo_bits, cfg.pe_bits);
-                let hi_macs = (macs as f64 * f) as u64;
-                let lo_macs = macs - hi_macs;
-                // Region detection: one comparison per input feature,
-                // executed across the PE array.
-                let detect = in_features / cfg.total_pes as f64;
-                let cycles = (hi_macs as f64 * cpm_hi + lo_macs as f64 * cpm_lo)
-                    / cfg.total_pes as f64
-                    + detect;
-                let sram = (hi_macs as f64 * 2.0 * (hi_bits as f64 / 8.0)
-                    + lo_macs as f64 * 2.0 * (lo_bits as f64 / 8.0))
-                    / DENSE_REUSE;
-                (
-                    cycles,
-                    0.0,
-                    vec![(hi_bits, hi_macs), (lo_bits, lo_macs)],
-                    hi_bits,
-                    None,
-                    sram,
+    let (compute_cycles, idle_fraction, macs_by_bits, op_bits, allocation, sram_compute) = match cfg
+        .kind
+    {
+        AccelKind::Static { op_bits } => {
+            let cpm = cycles_per_mac(op_bits, cfg.pe_bits);
+            let cycles = macs as f64 * cpm / cfg.total_pes as f64;
+            let sram = macs as f64 * 2.0 * (op_bits as f64 / 8.0) / DENSE_REUSE;
+            (cycles, 0.0, vec![(op_bits, macs)], op_bits, None, sram)
+        }
+        AccelKind::Drq { hi_bits, lo_bits } => {
+            let f = w.drq_hi_fraction.clamp(0.0, 1.0);
+            let cpm_hi = cycles_per_mac(hi_bits, cfg.pe_bits);
+            let cpm_lo = cycles_per_mac(lo_bits, cfg.pe_bits);
+            let hi_macs = (macs as f64 * f) as u64;
+            let lo_macs = macs - hi_macs;
+            // Region detection: one comparison per input feature,
+            // executed across the PE array.
+            let detect = in_features / cfg.total_pes as f64;
+            let cycles =
+                (hi_macs as f64 * cpm_hi + lo_macs as f64 * cpm_lo) / cfg.total_pes as f64 + detect;
+            let sram = (hi_macs as f64 * 2.0 * (hi_bits as f64 / 8.0)
+                + lo_macs as f64 * 2.0 * (lo_bits as f64 / 8.0))
+                / DENSE_REUSE;
+            (cycles, 0.0, vec![(hi_bits, hi_macs), (lo_bits, lo_macs)], hi_bits, None, sram)
+        }
+        AccelKind::Odq { dynamic_alloc, static_predictor_arrays } => {
+            let s = w.odq_sensitive_fraction;
+            let alloc = if dynamic_alloc {
+                choose_allocation(s)
+            } else {
+                Allocation::new(
+                    static_predictor_arrays,
+                    crate::config::ARRAYS_PER_SLICE - static_predictor_arrays,
                 )
-            }
-            AccelKind::Odq { dynamic_alloc, static_predictor_arrays } => {
-                let s = w.odq_sensitive_fraction;
-                let alloc = if dynamic_alloc {
-                    choose_allocation(s)
-                } else {
-                    Allocation::new(
-                        static_predictor_arrays,
-                        crate::config::ARRAYS_PER_SLICE - static_predictor_arrays,
-                    )
-                };
-                let pred_pes = (alloc.predictor_arrays * PES_PER_ARRAY) as f64;
-                let exec_pes = (alloc.executor_arrays * PES_PER_ARRAY) as f64;
+            };
+            let pred_pes = (alloc.predictor_arrays * PES_PER_ARRAY) as f64;
+            let exec_pes = (alloc.executor_arrays * PES_PER_ARRAY) as f64;
 
-                let pred_cycles = macs as f64 / pred_pes;
-                let exec_taps = macs as f64 * s;
-                let exec_ideal = CYCLES_PER_SENSITIVE_OUTPUT as f64 * exec_taps / exec_pes;
+            let pred_cycles = macs as f64 / pred_pes;
+            let exec_taps = macs as f64 * s;
+            let exec_ideal = CYCLES_PER_SENSITIVE_OUTPUT as f64 * exec_taps / exec_pes;
 
-                // Cluster-schedule imbalance from the per-channel workload.
-                // The crossbar-based dynamic workload scheduler is part of
-                // the executor datapath and operates regardless of how PE
-                // arrays were *allocated* (static allocation only fixes the
-                // predictor/executor split). The static scheduler is
-                // exercised by the scheduling ablation bench.
-                let counts = w.effective_channel_counts();
-                let sched = schedule_dynamic(&counts, alloc.executor_arrays);
-                let ideal_span = {
-                    let total: u64 = counts.iter().map(|&c| c as u64).sum::<u64>();
-                    (total as f64 * CYCLES_PER_SENSITIVE_OUTPUT as f64
-                        / alloc.executor_arrays as f64)
-                        .max(1.0)
-                };
-                let imbalance = (sched.makespan as f64 / ideal_span).max(1.0);
-                let exec_cycles = exec_ideal * imbalance;
+            // Cluster-schedule imbalance from the per-channel workload.
+            // The crossbar-based dynamic workload scheduler is part of
+            // the executor datapath and operates regardless of how PE
+            // arrays were *allocated* (static allocation only fixes the
+            // predictor/executor split). The static scheduler is
+            // exercised by the scheduling ablation bench.
+            let counts = w.effective_channel_counts();
+            let sched = schedule_dynamic(&counts, alloc.executor_arrays);
+            let ideal_span = {
+                let total: u64 = counts.iter().map(|&c| c as u64).sum::<u64>();
+                (total as f64 * CYCLES_PER_SENSITIVE_OUTPUT as f64 / alloc.executor_arrays as f64)
+                    .max(1.0)
+            };
+            let imbalance = (sched.makespan as f64 / ideal_span).max(1.0);
+            let exec_cycles = exec_ideal * imbalance;
 
-                let makespan = pred_cycles.max(exec_cycles);
-                // Idle accounting: predictor busy `pred_cycles`, executor
-                // busy `exec_ideal` (imbalance cycles are idle slots).
-                let busy = alloc.predictor_arrays as f64 * pred_cycles
-                    + alloc.executor_arrays as f64 * exec_ideal;
-                let idle = 1.0
-                    - busy / (crate::config::ARRAYS_PER_SLICE as f64 * makespan);
-                // Sanity fallback to the analytical model for degenerate
-                // (zero-work) layers.
-                let idle = if makespan > 0.0 { idle } else { idle_stats(alloc, s).total_idle };
+            let makespan = pred_cycles.max(exec_cycles);
+            // Idle accounting: predictor busy `pred_cycles`, executor
+            // busy `exec_ideal` (imbalance cycles are idle slots).
+            let busy = alloc.predictor_arrays as f64 * pred_cycles
+                + alloc.executor_arrays as f64 * exec_ideal;
+            let idle = 1.0 - busy / (crate::config::ARRAYS_PER_SLICE as f64 * makespan);
+            // Sanity fallback to the analytical model for degenerate
+            // (zero-work) layers.
+            let idle = if makespan > 0.0 { idle } else { idle_stats(alloc, s).total_idle };
 
-                let exec_plane_macs = (3.0 * exec_taps) as u64;
-                // Predictor streams 2-bit planes with full line-buffer
-                // reuse; the executor's irregular accesses achieve the
-                // cluster-limited SPARSE_REUSE.
-                let plane_bytes = 2.0 / 8.0;
-                let sram = macs as f64 * 2.0 * plane_bytes / DENSE_REUSE
-                    + exec_plane_macs as f64 * 2.0 * plane_bytes / SPARSE_REUSE;
-                (
-                    makespan,
-                    idle.clamp(0.0, 1.0),
-                    vec![(2, macs + exec_plane_macs)],
-                    4, // INT4 operand storage in buffers/DRAM
-                    Some(alloc),
-                    sram,
-                )
-            }
-        };
+            let exec_plane_macs = (3.0 * exec_taps) as u64;
+            // Predictor streams 2-bit planes with full line-buffer
+            // reuse; the executor's irregular accesses achieve the
+            // cluster-limited SPARSE_REUSE.
+            let plane_bytes = 2.0 / 8.0;
+            let sram = macs as f64 * 2.0 * plane_bytes / DENSE_REUSE
+                + exec_plane_macs as f64 * 2.0 * plane_bytes / SPARSE_REUSE;
+            (
+                makespan,
+                idle.clamp(0.0, 1.0),
+                vec![(2, macs + exec_plane_macs)],
+                4, // INT4 operand storage in buffers/DRAM
+                Some(alloc),
+                sram,
+            )
+        }
+    };
 
     // --- Memory traffic ---
     let bytes_per = op_bits as f64 / 8.0;
@@ -183,11 +174,8 @@ pub fn simulate_layer(cfg: &AccelConfig, w: &LayerWorkload) -> LayerResult {
     let output_bytes = out_features * bytes_per;
     // Input re-streams when weights overflow half the on-chip buffer.
     let reloads = (weight_bytes / (cfg.onchip_bytes as f64 * 0.5)).ceil().max(1.0);
-    let mask_bytes = if matches!(cfg.kind, AccelKind::Odq { .. }) {
-        out_features / 8.0
-    } else {
-        0.0
-    };
+    let mask_bytes =
+        if matches!(cfg.kind, AccelKind::Odq { .. }) { out_features / 8.0 } else { 0.0 };
     let dram_bytes = weight_bytes + input_bytes * reloads + output_bytes + mask_bytes;
 
     let sram_bytes = sram_compute + output_bytes + mask_bytes * 2.0;

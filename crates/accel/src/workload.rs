@@ -119,8 +119,7 @@ impl LayerWorkload {
             }
         }
         let n = per_image_counts.len().max(1) as u64;
-        let counts: Vec<u32> =
-            mean.iter().map(|&m| (m as f64 / n as f64).round() as u32).collect();
+        let counts: Vec<u32> = mean.iter().map(|&m| (m as f64 / n as f64).round() as u32).collect();
         let total: u64 = mean.iter().sum();
         let frac = total as f64 / (n * co as u64 * spatial) as f64;
         Self {

@@ -30,7 +30,10 @@ fn bench_im2col(c: &mut Criterion) {
 }
 
 fn bench_quantize(c: &mut Criterion) {
-    let x = Tensor::from_vec([16, 32, 32], (0..16 * 1024).map(|i| (i % 256) as f32 / 255.0).collect::<Vec<_>>());
+    let x = Tensor::from_vec(
+        [16, 32, 32],
+        (0..16 * 1024).map(|i| (i % 256) as f32 / 255.0).collect::<Vec<_>>(),
+    );
     c.bench_function("quantize_activation int4 16k", |bch| {
         bch.iter(|| odq_quant::quantize_activation(&x, 4, 1.0))
     });

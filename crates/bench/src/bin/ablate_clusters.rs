@@ -13,10 +13,8 @@ fn main() {
     // receptive-field reuse.
     let ws_dense = uniform_workloads(Arch::ResNet20, 32, 0.0);
     let dense_with = network_traffic(&ws_dense, &MemoryCfg::default());
-    let dense_without = network_traffic(
-        &ws_dense,
-        &MemoryCfg { line_buffers: false, ..MemoryCfg::default() },
-    );
+    let dense_without =
+        network_traffic(&ws_dense, &MemoryCfg { line_buffers: false, ..MemoryCfg::default() });
 
     let base = MemoryCfg::default();
     let no_lb = MemoryCfg { line_buffers: false, ..base };

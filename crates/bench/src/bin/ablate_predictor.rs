@@ -53,8 +53,7 @@ impl ConvExecutor for Probe {
                     let truth = full.as_slice()[i].abs() >= thr;
                     let raw_v = scale
                         * (raw.as_slice()[i] as f32
-                            - qw.zero * pow * sa.as_slice()[img * spatial + sp] as f32
-                                / pow);
+                            - qw.zero * pow * sa.as_slice()[img * spatial + sp] as f32 / pow);
                     let corr_v = pred.estimate.as_slice()[i];
                     let p_raw = raw_v.abs() >= thr;
                     let p_corr = corr_v.abs() >= thr;
@@ -89,8 +88,16 @@ fn main() {
         "mask prediction quality at the 65th-percentile threshold",
         &["estimator", "agreement %", "sensitive recall %"],
         &[
-            vec!["raw HH term".into(), format!("{:.1}", pct(s.agree_raw, s.total)), format!("{:.1}", pct(s.recall_raw, s.truth))],
-            vec!["corrected (ours)".into(), format!("{:.1}", pct(s.agree_corr, s.total)), format!("{:.1}", pct(s.recall_corr, s.truth))],
+            vec![
+                "raw HH term".into(),
+                format!("{:.1}", pct(s.agree_raw, s.total)),
+                format!("{:.1}", pct(s.recall_raw, s.truth)),
+            ],
+            vec![
+                "corrected (ours)".into(),
+                format!("{:.1}", pct(s.agree_corr, s.total)),
+                format!("{:.1}", pct(s.recall_corr, s.truth)),
+            ],
         ],
     );
     write_json(

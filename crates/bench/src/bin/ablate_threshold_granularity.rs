@@ -54,11 +54,8 @@ fn main() {
     }
     let mut collect = Collect { samples: HashMap::new() };
     let _ = model.forward_eval(&test.images, &mut collect);
-    let map: HashMap<String, f32> = collect
-        .samples
-        .iter()
-        .map(|(k, v)| (k.clone(), quantile(v, 0.4)))
-        .collect();
+    let map: HashMap<String, f32> =
+        collect.samples.iter().map(|(k, v)| (k.clone(), quantile(v, 0.4))).collect();
     let mut pe = OdqEngine::with_per_layer(map, global);
     let acc_per = evaluate(&model, t.0, t.1, scale.batch, &mut pe);
     let ins_per = 1.0 - pe.stats.overall_sensitive_fraction();
@@ -74,8 +71,18 @@ fn main() {
         "global vs per-layer thresholds",
         &["policy", "Top-1 acc %", "insensitive %", "per-layer stddev"],
         &[
-            vec!["global (paper)".into(), format!("{:.1}", 100.0 * acc_global), format!("{:.1}", 100.0 * ins_global), format!("{:.1}", 100.0 * sd_g)],
-            vec!["per-layer".into(), format!("{:.1}", 100.0 * acc_per), format!("{:.1}", 100.0 * ins_per), format!("{:.1}", 100.0 * sd_p)],
+            vec![
+                "global (paper)".into(),
+                format!("{:.1}", 100.0 * acc_global),
+                format!("{:.1}", 100.0 * ins_global),
+                format!("{:.1}", 100.0 * sd_g),
+            ],
+            vec![
+                "per-layer".into(),
+                format!("{:.1}", 100.0 * acc_per),
+                format!("{:.1}", 100.0 * ins_per),
+                format!("{:.1}", 100.0 * sd_p),
+            ],
         ],
     );
     println!(

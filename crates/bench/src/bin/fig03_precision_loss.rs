@@ -27,11 +27,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for l in &stats.layers {
-        let odq_loss = odq
-            .stats
-            .layer(&l.name)
-            .map(|o| o.mean_precision_loss())
-            .unwrap_or(0.0);
+        let odq_loss = odq.stats.layer(&l.name).map(|o| o.mean_precision_loss()).unwrap_or(0.0);
         rows.push(vec![
             l.name.clone(),
             format!("{:.4}", l.mean_precision_loss()),
@@ -44,10 +40,8 @@ fn main() {
         &["layer", "DRQ loss", "ODQ loss"],
         &rows,
     );
-    let drq_mean: f64 =
-        json.iter().map(|r| r.1).sum::<f64>() / json.len().max(1) as f64;
-    let odq_mean: f64 =
-        json.iter().map(|r| r.2).sum::<f64>() / json.len().max(1) as f64;
+    let drq_mean: f64 = json.iter().map(|r| r.1).sum::<f64>() / json.len().max(1) as f64;
+    let odq_mean: f64 = json.iter().map(|r| r.2).sum::<f64>() / json.len().max(1) as f64;
     println!(
         "\nPaper: DRQ's loss exceeds 0.1 in most layers while ODQ stays at 0.02-0.1\n\
          (with threshold 0.5, i.e. normalized loss 0.04-0.2 per unit threshold).\n\

@@ -1,7 +1,9 @@
 //! Figure 9 — percentage of insensitive output features per layer of
 //! ResNet-56 under ODQ (threshold 0.5, Table 3).
 
-use odq_bench::{calibrated_threshold, measured_fractions, print_table, trained_model, write_json, ExpScale};
+use odq_bench::{
+    calibrated_threshold, measured_fractions, print_table, trained_model, write_json, ExpScale,
+};
 use odq_nn::Arch;
 
 fn main() {
@@ -11,13 +13,10 @@ fn main() {
     let thr = calibrated_threshold(&model, &test.images, 0.7);
     println!("calibrated threshold: {thr:.3} (paper uses 0.5 on real CIFAR scales)");
     let fr = measured_fractions(&model, &test.images, thr);
-    let rows: Vec<Vec<String>> = fr
-        .iter()
-        .map(|(n, s)| vec![n.clone(), format!("{:.1}", 100.0 * (1.0 - s))])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        fr.iter().map(|(n, s)| vec![n.clone(), format!("{:.1}", 100.0 * (1.0 - s))]).collect();
     print_table("insensitive outputs (%)", &["layer", "insensitive %"], &rows);
-    let json: Vec<(String, f64)> =
-        fr.iter().map(|(n, s)| (n.clone(), 100.0 * (1.0 - s))).collect();
+    let json: Vec<(String, f64)> = fr.iter().map(|(n, s)| (n.clone(), 100.0 * (1.0 - s))).collect();
     let mean: f64 = json.iter().map(|r| r.1).sum::<f64>() / json.len().max(1) as f64;
     let min = json.iter().map(|r| r.1).fold(f64::MAX, f64::min);
     let max = json.iter().map(|r| r.1).fold(0.0, f64::max);

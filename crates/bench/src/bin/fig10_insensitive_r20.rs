@@ -1,7 +1,9 @@
 //! Figure 10 — percentage of insensitive output features per layer of
 //! ResNet-20 under ODQ (threshold 0.5, Table 3).
 
-use odq_bench::{calibrated_threshold, measured_fractions, print_table, trained_model, write_json, ExpScale};
+use odq_bench::{
+    calibrated_threshold, measured_fractions, print_table, trained_model, write_json, ExpScale,
+};
 use odq_nn::Arch;
 
 fn main() {
@@ -11,12 +13,9 @@ fn main() {
     let thr = calibrated_threshold(&model, &test.images, 0.7);
     println!("calibrated threshold: {thr:.3} (paper uses 0.5 on real CIFAR scales)");
     let fr = measured_fractions(&model, &test.images, thr);
-    let rows: Vec<Vec<String>> = fr
-        .iter()
-        .map(|(n, s)| vec![n.clone(), format!("{:.1}", 100.0 * (1.0 - s))])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        fr.iter().map(|(n, s)| vec![n.clone(), format!("{:.1}", 100.0 * (1.0 - s))]).collect();
     print_table("insensitive outputs (%)", &["layer", "insensitive %"], &rows);
-    let json: Vec<(String, f64)> =
-        fr.iter().map(|(n, s)| (n.clone(), 100.0 * (1.0 - s))).collect();
+    let json: Vec<(String, f64)> = fr.iter().map(|(n, s)| (n.clone(), 100.0 * (1.0 - s))).collect();
     write_json("fig10_insensitive_r20", &json);
 }

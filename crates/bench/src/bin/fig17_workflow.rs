@@ -18,8 +18,7 @@ fn main() {
     for s in [0.05f64, 0.15, 0.3, 0.5] {
         let ws = uniform_workloads(Arch::ResNet20, 32, s);
         let event = simulate_network_pipeline(&ws);
-        let analytic: f64 =
-            ws.iter().map(|w| simulate_layer(&cfg, w).compute_cycles).sum();
+        let analytic: f64 = ws.iter().map(|w| simulate_layer(&cfg, w).compute_cycles).sum();
         let l5 = simulate_layer_pipeline(&ws[5]);
         rows.push(vec![
             format!("{:.0}%", s * 100.0),

@@ -5,7 +5,9 @@
 //! Expected shape (paper): ODQ ≈ INT16 ≈ INT8 ≈ DRQ 8-4 (within ~0.6%),
 //! while DRQ 4-2 degrades by 2.5-10%.
 
-use odq_bench::{calibrated_threshold, odq_retrain, print_table, trained_model, write_json, ExpScale};
+use odq_bench::{
+    calibrated_threshold, odq_retrain, print_table, trained_model, write_json, ExpScale,
+};
 use odq_core::OdqEngine;
 use odq_drq::{DrqCfg, DrqEngine};
 use odq_nn::executor::StaticQuantExecutor;
@@ -63,11 +65,18 @@ fn main() {
     }
     print_table(
         "Top-1 accuracy (%) per scheme",
-        &["model/dataset", "INT16", "INT8", "DRQ 8-4", "DRQ 4-2", "ODQ 4-2", "ODQ %4b/%2b", "DRQ84 %hi"],
+        &[
+            "model/dataset",
+            "INT16",
+            "INT8",
+            "DRQ 8-4",
+            "DRQ 4-2",
+            "ODQ 4-2",
+            "ODQ %4b/%2b",
+            "DRQ84 %hi",
+        ],
         &rows,
     );
-    println!(
-        "\nExpected shape: ODQ within ~1pt of INT16/INT8/DRQ 8-4; DRQ 4-2 clearly worse."
-    );
+    println!("\nExpected shape: ODQ within ~1pt of INT16/INT8/DRQ 8-4; DRQ 4-2 clearly worse.");
     write_json("fig18_accuracy", &json);
 }

@@ -24,10 +24,8 @@ fn main() {
             _ => 0.7,
         };
         let ws = measured_workloads(arch, scale, 0xF21, q);
-        let results: Vec<_> = AccelConfig::table2()
-            .iter()
-            .map(|c| simulate_network(c, &ws, &em))
-            .collect();
+        let results: Vec<_> =
+            AccelConfig::table2().iter().map(|c| simulate_network(c, &ws, &em)).collect();
         let base = results[0].energy.total_nj();
         for r in &results {
             let e = &r.energy;

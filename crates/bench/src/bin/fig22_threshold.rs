@@ -40,8 +40,7 @@ fn main() {
         &rows,
     );
     let acc_drop = (pts[0].accuracy - pts.last().unwrap().accuracy) * 100.0;
-    let ins_gain =
-        (pts.last().unwrap().insensitive_fraction - pts[0].insensitive_fraction) * 100.0;
+    let ins_gain = (pts.last().unwrap().insensitive_fraction - pts[0].insensitive_fraction) * 100.0;
     println!(
         "\nPaper: raising the threshold 0→1 costs ~1.8% accuracy while adding ~40% \
          insensitive outputs; 0.5 is the chosen balance. \

@@ -35,7 +35,13 @@ fn main() {
     }
     print_table(
         "Table 1 (ours vs paper)",
-        &["#pred arrays", "#exec arrays", "max sensitive % (ours)", "paper", "sim: free below / bubbles above"],
+        &[
+            "#pred arrays",
+            "#exec arrays",
+            "max sensitive % (ours)",
+            "paper",
+            "sim: free below / bubbles above",
+        ],
         &rows,
     );
     write_json("table1_alloc", &json);

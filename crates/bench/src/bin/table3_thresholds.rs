@@ -12,12 +12,8 @@ fn main() {
     let scale = ExpScale::from_args();
     println!("Table 3: per-model thresholds from the adaptive search");
     let paper = [("ResNet-56", 0.5f32), ("ResNet-20", 0.5), ("VGG-16", 0.3), ("DenseNet", 0.05)];
-    let cfg = SearchCfg {
-        retrain_epochs: 1,
-        max_halvings: 5,
-        acc_tolerance: 0.03,
-        ..Default::default()
-    };
+    let cfg =
+        SearchCfg { retrain_epochs: 1, max_halvings: 5, acc_tolerance: 0.03, ..Default::default() };
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for (arch, (pname, pthr)) in Arch::EVAL_MODELS.iter().zip(&paper) {
@@ -46,7 +42,15 @@ fn main() {
     }
     print_table(
         "selected thresholds (ours vs paper)",
-        &["model", "threshold (ours)", "paper", "#trials", "converged", "INT4 baseline acc %", "ODQ acc %"],
+        &[
+            "model",
+            "threshold (ours)",
+            "paper",
+            "#trials",
+            "converged",
+            "INT4 baseline acc %",
+            "ODQ acc %",
+        ],
         &rows,
     );
     println!(

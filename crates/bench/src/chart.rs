@@ -16,9 +16,7 @@ pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize, unit: &str) 
     for (label, value) in rows {
         let filled = ((value / max) * width as f64).round().max(0.0) as usize;
         let bar: String = std::iter::repeat_n('█', filled.min(width)).collect();
-        out.push_str(&format!(
-            "  {label:<label_w$} |{bar:<width$}| {value:.3}{unit}\n"
-        ));
+        out.push_str(&format!("  {label:<label_w$} |{bar:<width$}| {value:.3}{unit}\n"));
     }
     out
 }
@@ -33,17 +31,10 @@ pub fn grouped_bar_chart(
 ) -> String {
     let mut out = String::new();
     out.push_str(&format!("\n{title}\n"));
-    let label_w = rows
-        .iter()
-        .map(|(l, _)| l.len())
-        .chain(series.iter().map(|s| s.len()))
-        .max()
-        .unwrap_or(0);
-    let max = rows
-        .iter()
-        .flat_map(|(_, vs)| vs.iter().copied())
-        .fold(f64::MIN, f64::max)
-        .max(1e-12);
+    let label_w =
+        rows.iter().map(|(l, _)| l.len()).chain(series.iter().map(|s| s.len())).max().unwrap_or(0);
+    let max =
+        rows.iter().flat_map(|(_, vs)| vs.iter().copied()).fold(f64::MIN, f64::max).max(1e-12);
     for (label, values) in rows {
         out.push_str(&format!("  {label}\n"));
         for (s, v) in series.iter().zip(values) {

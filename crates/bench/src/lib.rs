@@ -62,7 +62,12 @@ impl ExpScale {
 /// Bump when the training recipe changes (invalidates cached models).
 const TRAIN_RECIPE_VERSION: u32 = 1;
 
-fn model_cache_path(arch: Arch, num_classes: usize, scale: ExpScale, seed: u64) -> std::path::PathBuf {
+fn model_cache_path(
+    arch: Arch,
+    num_classes: usize,
+    scale: ExpScale,
+    seed: u64,
+) -> std::path::PathBuf {
     std::path::Path::new("results").join(".model-cache").join(format!(
         "v{TRAIN_RECIPE_VERSION}_{}_{num_classes}c_{}px_{}n_{}e_{seed:x}.f32",
         arch.name().replace('-', ""),
@@ -85,12 +90,7 @@ fn load_state(path: &std::path::Path, expected_len: usize) -> Option<Vec<f32>> {
     if bytes.len() != expected_len * 4 {
         return None;
     }
-    Some(
-        bytes
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect(),
-    )
+    Some(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
 }
 
 /// Build a width-scaled model of `arch` and train it on the synthetic
@@ -193,12 +193,7 @@ pub fn measured_fractions(
 ) -> Vec<(String, f64)> {
     let mut engine = OdqEngine::new(threshold);
     let _ = model.forward_eval(images, &mut engine);
-    engine
-        .stats
-        .layers
-        .iter()
-        .map(|l| (l.name.clone(), l.sensitive_fraction()))
-        .collect()
+    engine.stats.layers.iter().map(|l| (l.name.clone(), l.sensitive_fraction())).collect()
 }
 
 /// Map measured per-layer sensitive fractions onto the **full-size**
@@ -222,12 +217,7 @@ pub fn full_size_workloads(arch: Arch, input_hw: usize, fractions: &[f64]) -> Ve
 /// The common experiment pipeline for accelerator figures: train (cached),
 /// calibrate a threshold at quantile `q`, measure per-layer sensitive
 /// fractions, and map them onto the full-size geometry.
-pub fn measured_workloads(
-    arch: Arch,
-    scale: ExpScale,
-    seed: u64,
-    q: f32,
-) -> Vec<LayerWorkload> {
+pub fn measured_workloads(arch: Arch, scale: ExpScale, seed: u64, q: f32) -> Vec<LayerWorkload> {
     let (model, _train, test) = trained_model(arch, 10, scale, seed);
     let thr = calibrated_threshold(&model, &test.images, q);
     let fr: Vec<f64> =
@@ -262,8 +252,7 @@ pub fn calibrated_threshold(model: &Model, images: &odq_tensor::Tensor, q: f32) 
 /// demonstrates).
 pub fn motivation_run(scale: ExpScale) -> odq_drq::MotivationStats {
     let (model, _train, test) = trained_model(Arch::ResNet20, 10, scale, 0xF16);
-    let mut exec =
-        odq_drq::MotivationExecutor::new(odq_drq::DrqCfg::int4_int2(0.4), 0.75);
+    let mut exec = odq_drq::MotivationExecutor::new(odq_drq::DrqCfg::int4_int2(0.4), 0.75);
     let _ = model.forward_eval(&test.images, &mut exec);
     exec.stats
 }
@@ -277,13 +266,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             *w = (*w).max(cell.len());
         }
     }
-    let head: Vec<String> =
-        headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
+    let head: Vec<String> = headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
     println!("{}", head.join("  "));
     println!("{}", "-".repeat(head.join("  ").len()));
     for row in rows {
-        let line: Vec<String> =
-            row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        let line: Vec<String> = row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
         println!("{}", line.join("  "));
     }
 }

@@ -108,9 +108,7 @@ impl OdqEngine {
 fn weight_fingerprint(w: &Tensor) -> u64 {
     let s = w.as_slice();
     let mut h = s.len() as u64;
-    let mix = |h: u64, v: f32| {
-        (h ^ v.to_bits() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-    };
+    let mix = |h: u64, v: f32| (h ^ v.to_bits() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     if let Some(&v) = s.first() {
         h = mix(h, v);
     }
@@ -165,9 +163,7 @@ impl ConvExecutor for OdqEngine {
             let out = r.output.as_slice();
             let rf = r.reference.as_slice();
             for (i, (&o, &f)) in out.iter().zip(rf).enumerate() {
-                let b = ctx
-                    .bias
-                    .map_or(0.0, |bs| bs[(i / spatial) % co]);
+                let b = ctx.bias.map_or(0.0, |bs| bs[(i / spatial) % co]);
                 if (f - b).abs() >= threshold {
                     entry.reference_sensitive += 1;
                     entry.precision_loss_sum += (o - f).abs() as f64;

@@ -73,8 +73,7 @@ impl SensitivityMask {
         for (img, row) in out.iter_mut().enumerate() {
             for (ch, cell) in row.iter_mut().enumerate() {
                 let base = (img * self.out_channels + ch) * self.spatial;
-                *cell =
-                    self.bits[base..base + self.spatial].iter().filter(|&&b| b).count() as u32;
+                *cell = self.bits[base..base + self.spatial].iter().filter(|&&b| b).count() as u32;
             }
         }
         out
@@ -126,9 +125,7 @@ impl SensitivityMask {
         if data.len() < need {
             return None;
         }
-        let bits = (0..total)
-            .map(|i| data[12 + i / 8] & (1 << (i % 8)) != 0)
-            .collect();
+        let bits = (0..total).map(|i| data[12 + i / 8] & (1 << (i % 8)) != 0).collect();
         Some(Self { n, out_channels, spatial, bits })
     }
 }

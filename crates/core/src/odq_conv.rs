@@ -83,8 +83,7 @@ pub fn odq_conv2d_quantized(
     // the exact reference anyway); the predictor estimate reuses the HH
     // product rather than recomputing its GEMM.
     let planes = qconv2d_planes(&xp, &wp, g);
-    let pred =
-        odq_predict_from_hh(planes.hh.clone(), &xp.high, &wp, qw.zero, scale, g);
+    let pred = odq_predict_from_hh(planes.hh.clone(), &xp.high, &wp, qw.zero, scale, g);
     let full_codes = combine_planes(&planes);
     let sa = receptive_sums(&qx.codes, g);
 
@@ -105,8 +104,7 @@ pub fn odq_conv2d_quantized(
                 let base = (img * co + f) * spatial;
                 for sp in 0..spatial {
                     let i = base + sp;
-                    let full = scale
-                        * (fc[i] as f32 - qw.zero * sas[img * spatial + sp] as f32);
+                    let full = scale * (fc[i] as f32 - qw.zero * sas[img * spatial + sp] as f32);
                     let p_hat = est[i];
                     let sensitive = p_hat.abs() >= cfg.threshold;
                     bits[i] = sensitive;
@@ -124,11 +122,7 @@ pub fn odq_conv2d_quantized(
         add_bias(&mut reference, b, g);
     }
 
-    OdqConvOutput {
-        output,
-        mask: SensitivityMask::new(n, co, spatial, bits),
-        reference,
-    }
+    OdqConvOutput { output, mask: SensitivityMask::new(n, co, spatial, bits), reference }
 }
 
 /// Genuinely sparse ODQ execution: the predictor runs densely (it must —
@@ -216,11 +210,7 @@ pub fn odq_conv2d_sparse(
     // is its point), so `reference` simply mirrors `output` — use
     // `odq_conv2d` for instrumentation that needs the true INT4 reference.
     let reference = output.clone();
-    OdqConvOutput {
-        output,
-        mask: SensitivityMask::new(n, co, spatial, bits),
-        reference,
-    }
+    OdqConvOutput { output, mask: SensitivityMask::new(n, co, spatial, bits), reference }
 }
 
 #[cfg(test)]

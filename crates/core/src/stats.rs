@@ -98,6 +98,31 @@ impl OdqStats {
     pub fn reset(&mut self) {
         self.layers.clear();
     }
+
+    /// Move the accumulated records out, leaving this collector empty.
+    /// Serving workers call this after each forward pass to turn one
+    /// batch's records into a ledger entry while keeping the engine (and
+    /// its weight cache) alive for the next batch.
+    pub fn take(&mut self) -> OdqStats {
+        OdqStats { layers: std::mem::take(&mut self.layers) }
+    }
+
+    /// Fold another run's records into this one, matching layers by name
+    /// and appending layers not seen before in `other`'s order.
+    pub fn merge(&mut self, other: &OdqStats) {
+        for l in &other.layers {
+            match self.layers.iter_mut().find(|m| m.name == l.name) {
+                Some(m) => {
+                    m.total_outputs += l.total_outputs;
+                    m.sensitive_outputs += l.sensitive_outputs;
+                    m.precision_loss_sum += l.precision_loss_sum;
+                    m.reference_sensitive += l.reference_sensitive;
+                    m.channel_counts.extend(l.channel_counts.iter().cloned());
+                }
+                None => self.layers.push(l.clone()),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -151,5 +176,44 @@ mod tests {
         assert!((ins[0].1 - 0.9).abs() < 1e-12);
         s.reset();
         assert!(s.layers.is_empty());
+    }
+
+    #[test]
+    fn take_moves_records_out() {
+        let mut s = OdqStats::default();
+        let mut a = LayerStats::new("C1", geom());
+        a.total_outputs = 10;
+        a.channel_counts.push(vec![1, 2]);
+        s.layers.push(a);
+        let taken = s.take();
+        assert!(s.layers.is_empty());
+        assert_eq!(taken.layers.len(), 1);
+        assert_eq!(taken.layers[0].total_outputs, 10);
+    }
+
+    #[test]
+    fn merge_accumulates_by_name() {
+        let mut s = OdqStats::default();
+        let mut a = LayerStats::new("C1", geom());
+        a.total_outputs = 10;
+        a.sensitive_outputs = 4;
+        a.channel_counts.push(vec![4]);
+        s.layers.push(a);
+
+        let mut other = OdqStats::default();
+        let mut b = LayerStats::new("C1", geom());
+        b.total_outputs = 30;
+        b.sensitive_outputs = 6;
+        b.channel_counts.push(vec![6]);
+        other.layers.push(b);
+        other.layers.push(LayerStats::new("C2", geom()));
+
+        s.merge(&other);
+        assert_eq!(s.layers.len(), 2);
+        let c1 = s.layer("C1").unwrap();
+        assert_eq!(c1.total_outputs, 40);
+        assert_eq!(c1.sensitive_outputs, 10);
+        assert_eq!(c1.channel_counts.len(), 2);
+        assert!(s.layer("C2").is_some());
     }
 }

@@ -113,12 +113,7 @@ impl ConvExecutor for CalibrationExecutor {
 
 /// Estimate the initial threshold: the `q`-quantile of |predictor outputs|
 /// over `n` calibration images.
-pub fn calibrate_initial_threshold(
-    model: &Model,
-    images: &Tensor,
-    n: usize,
-    q: f32,
-) -> f32 {
+pub fn calibrate_initial_threshold(model: &Model, images: &Tensor, n: usize, q: f32) -> f32 {
     let n = n.min(images.dims()[0]).max(1);
     let dims = images.dims();
     let per = images.numel() / dims[0];
@@ -241,8 +236,7 @@ pub fn search_per_layer_thresholds(
     let mut shape = train.0.dims().to_vec();
     shape[0] = n;
     let calib = Tensor::from_vec(shape, train.0.as_slice()[..n * per].to_vec());
-    let mut collect =
-        PerLayer { base: OdqCfg::int4(0.0), stride: 7, samples: HashMap::new() };
+    let mut collect = PerLayer { base: OdqCfg::int4(0.0), stride: 7, samples: HashMap::new() };
     let _ = model.forward_eval(&calib, &mut collect);
     let base_map: HashMap<String, f32> = collect
         .samples
@@ -262,8 +256,7 @@ pub fn search_per_layer_thresholds(
     for _ in 0..=cfg.max_halvings {
         let map: HashMap<String, f32> =
             base_map.iter().map(|(k, v)| (k.clone(), v * factor)).collect();
-        let mean_thr =
-            map.values().sum::<f32>() / map.len().max(1) as f32;
+        let mean_thr = map.values().sum::<f32>() / map.len().max(1) as f32;
         model.set_odq_emu(Some(OdqEmuCfg { threshold: mean_thr }));
         for _ in 0..cfg.retrain_epochs {
             train_epoch(model, train.0, train.1, cfg.batch, &cfg.sgd, rng);

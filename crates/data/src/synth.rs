@@ -96,10 +96,7 @@ impl SynthSpec {
             num_classes: self.num_classes,
         };
         let test = Dataset {
-            images: Tensor::from_vec(
-                [n_test, self.channels, self.hw, self.hw],
-                test_data.to_vec(),
-            ),
+            images: Tensor::from_vec([n_test, self.channels, self.hw, self.hw], test_data.to_vec()),
             labels: all.labels[n_train..].to_vec(),
             num_classes: self.num_classes,
         };
@@ -127,8 +124,10 @@ impl ClassTemplate {
         Self {
             freq: 1.0 + 3.0 * ((class % 5) as f32) / 5.0 + rng.gen_range(-0.1..0.1),
             angle: std::f32::consts::PI * t + rng.gen_range(-0.05..0.05),
-            blob_cx: 0.2 + 0.6 * ((class * 7 % spec.num_classes.max(1)) as f32
-                / spec.num_classes.max(1) as f32),
+            blob_cx: 0.2
+                + 0.6
+                    * ((class * 7 % spec.num_classes.max(1)) as f32
+                        / spec.num_classes.max(1) as f32),
             blob_cy: 0.2 + 0.6 * t,
             blob_r: 0.15 + 0.1 * ((class % 3) as f32) / 3.0,
             chan_gain: [
@@ -154,8 +153,7 @@ impl ClassTemplate {
                     let u = x as f32 / hw as f32 - 0.5 + dx;
                     let v = y as f32 / hw as f32 - 0.5 + dy;
                     let proj = u * cos_a + v * sin_a;
-                    let grating =
-                        0.5 + 0.5 * (proj * self.freq * std::f32::consts::TAU).sin();
+                    let grating = 0.5 + 0.5 * (proj * self.freq * std::f32::consts::TAU).sin();
                     let bx = u + 0.5 - self.blob_cx;
                     let by = v + 0.5 - self.blob_cy;
                     let blob = (-(bx * bx + by * by) / (self.blob_r * self.blob_r)).exp();

@@ -112,7 +112,13 @@ pub fn region_sensitivity_mask(x: &Tensor, region: usize, threshold: f32) -> Vec
 /// where `x_sens` holds codes only at sensitive positions (zeros
 /// elsewhere) and vice versa. The coarse grid embeds exactly into the fine
 /// one (same scale and zero point), so the mixed sum needs no rescaling.
-pub fn drq_conv2d(x: &Tensor, w: &Tensor, bias: Option<&[f32]>, g: &ConvGeom, cfg: &DrqCfg) -> DrqConvOutput {
+pub fn drq_conv2d(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&[f32]>,
+    g: &ConvGeom,
+    cfg: &DrqCfg,
+) -> DrqConvOutput {
     let n = x.dims()[0];
     let qx = quantize_activation(x, cfg.hi_bits, cfg.a_clip);
     let qw = quantize_weights(w, cfg.hi_bits);
@@ -210,8 +216,7 @@ fn lp_share_per_output(input_mask: &[bool], g: &ConvGeom, n: usize) -> Vec<f32> 
                             if ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            let idx =
-                                ((img * c + ci) * h + iy as usize) * w + ix as usize;
+                            let idx = ((img * c + ci) * h + iy as usize) * w + ix as usize;
                             if !input_mask[idx] {
                                 lp += 1;
                             }

@@ -242,8 +242,7 @@ mod tests {
             .iter()
             .map(|l| l.lp_share_sensitive.counts[1..].iter().sum::<u64>())
             .sum();
-        let total: u64 =
-            exec.stats.layers.iter().map(|l| l.lp_share_sensitive.total()).sum();
+        let total: u64 = exec.stats.layers.iter().map(|l| l.lp_share_sensitive.total()).sum();
         assert!(total > 0);
         assert!(
             polluted as f64 / total as f64 > 0.3,

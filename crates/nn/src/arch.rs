@@ -75,10 +75,7 @@ fn lenet5_geoms(hw: usize) -> Vec<NamedConv> {
     let c1 = ConvGeom::new(1, 6, hw, hw, 5, 1, 2);
     let h2 = c1.out_h() / 2;
     let c2 = ConvGeom::new(6, 16, h2, h2, 5, 1, 0);
-    vec![
-        NamedConv { name: "C1".into(), geom: c1 },
-        NamedConv { name: "C2".into(), geom: c2 },
-    ]
+    vec![NamedConv { name: "C1".into(), geom: c1 }, NamedConv { name: "C2".into(), geom: c2 }]
 }
 
 /// CIFAR-style ResNet: conv1 (3→16), then 3 stages of `n` basic blocks with
@@ -147,10 +144,7 @@ fn densenet_geoms(hw: usize, k: usize, layers_per_block: usize) -> Vec<NamedConv
     let mut idx = 1usize;
     let mut size = hw;
     let mut ch = 16usize;
-    v.push(NamedConv {
-        name: format!("C{idx}"),
-        geom: ConvGeom::new(3, ch, size, size, 3, 1, 1),
-    });
+    v.push(NamedConv { name: format!("C{idx}"), geom: ConvGeom::new(3, ch, size, size, 3, 1, 1) });
     idx += 1;
     for block in 0..3 {
         for _ in 0..layers_per_block {

@@ -126,8 +126,14 @@ mod tests {
     #[test]
     fn float_executor_matches_reference_conv() {
         let g = ConvGeom::new(2, 3, 4, 4, 3, 1, 1);
-        let x = Tensor::from_vec(g.input_shape(1), (0..32).map(|i| i as f32 / 32.0).collect::<Vec<_>>());
-        let w = Tensor::from_vec(g.weight_shape(), (0..54).map(|i| (i as f32 - 27.0) / 54.0).collect::<Vec<_>>());
+        let x = Tensor::from_vec(
+            g.input_shape(1),
+            (0..32).map(|i| i as f32 / 32.0).collect::<Vec<_>>(),
+        );
+        let w = Tensor::from_vec(
+            g.weight_shape(),
+            (0..54).map(|i| (i as f32 - 27.0) / 54.0).collect::<Vec<_>>(),
+        );
         let mut e = FloatConvExecutor;
         let y = e.conv(&ctx(&w, g, None), &x);
         let want = odq_tensor::conv::conv2d(&x, &w, None, &g);
@@ -137,8 +143,14 @@ mod tests {
     #[test]
     fn static_executor_at_high_bits_approaches_float() {
         let g = ConvGeom::new(2, 2, 4, 4, 3, 1, 1);
-        let x = Tensor::from_vec(g.input_shape(1), (0..32).map(|i| i as f32 / 31.0).collect::<Vec<_>>());
-        let w = Tensor::from_vec(g.weight_shape(), (0..36).map(|i| ((i as f32) - 18.0) / 36.0).collect::<Vec<_>>());
+        let x = Tensor::from_vec(
+            g.input_shape(1),
+            (0..32).map(|i| i as f32 / 31.0).collect::<Vec<_>>(),
+        );
+        let w = Tensor::from_vec(
+            g.weight_shape(),
+            (0..36).map(|i| ((i as f32) - 18.0) / 36.0).collect::<Vec<_>>(),
+        );
         let want = odq_tensor::conv::conv2d(&x, &w, None, &g);
 
         let y8 = StaticQuantExecutor::int(8).conv(&ctx(&w, g, None), &x);

@@ -63,12 +63,8 @@ impl Layer for ReLU {
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         let mask = self.mask.take().expect("ReLU backward without forward_train");
         assert_eq!(mask.len(), dy.numel(), "ReLU cache shape mismatch");
-        let data = dy
-            .as_slice()
-            .iter()
-            .zip(&mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let data =
+            dy.as_slice().iter().zip(&mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
         Tensor::from_vec(dy.shape().clone(), data)
     }
 

@@ -52,8 +52,7 @@ impl ResidualBlock {
         conv1.qat = qat;
         conv2.qat = qat;
         let proj = if stride != 1 || in_ch != out_ch {
-            let mut p =
-                Conv2d::new(format!("{name1}p"), in_ch, out_ch, 1, stride, 0, false, rng);
+            let mut p = Conv2d::new(format!("{name1}p"), in_ch, out_ch, 1, stride, 0, false, rng);
             p.qat = qat;
             Some((p, BatchNorm2d::new(out_ch)))
         } else {
@@ -248,8 +247,7 @@ mod tests {
         };
         let x = input(1, 2, 4);
         // Mask keeps only strictly-active coordinates (ReLU kinks break FD).
-        let mask: Vec<f32> =
-            (0..32).map(|i| ((i * 29 + 3) % 11) as f32 / 11.0 - 0.5).collect();
+        let mask: Vec<f32> = (0..32).map(|i| ((i * 29 + 3) % 11) as f32 / 11.0 - 0.5).collect();
         let loss = |x: &Tensor| -> f32 {
             let mut b = mk();
             let y = b.forward_train(x);

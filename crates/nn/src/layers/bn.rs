@@ -175,10 +175,8 @@ impl Layer for BatchNorm2d {
                 let k = g[ci] * cache.inv_std[ci] / m;
                 let base = (i * c + ci) * plane;
                 for s in 0..plane {
-                    dxs[base + s] = k
-                        * (m * dys[base + s]
-                            - sum_dy[ci]
-                            - xh[base + s] * sum_dy_xhat[ci]);
+                    dxs[base + s] =
+                        k * (m * dys[base + s] - sum_dy[ci] - xh[base + s] * sum_dy_xhat[ci]);
                 }
             }
         }
@@ -204,9 +202,7 @@ mod tests {
     use super::*;
 
     fn input() -> Tensor {
-        let data: Vec<f32> = (0..2 * 2 * 2 * 2)
-            .map(|i| ((i * 37 + 5) % 13) as f32 - 6.0)
-            .collect();
+        let data: Vec<f32> = (0..2 * 2 * 2 * 2).map(|i| ((i * 37 + 5) % 13) as f32 - 6.0).collect();
         Tensor::from_vec([2, 2, 2, 2], data)
     }
 

@@ -84,11 +84,7 @@ impl Conv2d {
         let fan_in = in_channels * kernel * kernel;
         Self {
             name: name.into(),
-            weight: Param::kaiming(
-                [out_channels, in_channels, kernel, kernel],
-                fan_in,
-                rng,
-            ),
+            weight: Param::kaiming([out_channels, in_channels, kernel, kernel], fan_in, rng),
             bias: with_bias.then(|| Param::zeros([out_channels])),
             qat: None,
             odq_emu: None,
@@ -186,8 +182,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let (x_eff, w_eff, g) =
-            self.cache.take().expect("Conv2d backward without forward_train");
+        let (x_eff, w_eff, g) = self.cache.take().expect("Conv2d backward without forward_train");
         let grads = conv2d_backward(&x_eff, &w_eff, dy, &g);
         self.weight.grad.add_assign(&grads.dw);
         if let Some(b) = &mut self.bias {
@@ -240,8 +235,7 @@ mod tests {
     #[test]
     fn train_and_eval_agree_with_qat() {
         let mut rng = init_rng(4);
-        let mut conv =
-            Conv2d::new("C1", 2, 3, 3, 1, 1, false, &mut rng).with_qat(QatCfg::int4());
+        let mut conv = Conv2d::new("C1", 2, 3, 3, 1, 1, false, &mut rng).with_qat(QatCfg::int4());
         let x = input(1, 1, 2, 4, 4);
         let yt = conv.forward_train(&x);
         let ye = conv.forward_eval(&x, &mut FloatConvExecutor);
@@ -276,8 +270,7 @@ mod tests {
     #[test]
     fn odq_emulation_replaces_insensitive_outputs() {
         let mut rng = init_rng(7);
-        let mut conv =
-            Conv2d::new("C1", 2, 4, 3, 1, 1, false, &mut rng).with_qat(QatCfg::int4());
+        let mut conv = Conv2d::new("C1", 2, 4, 3, 1, 1, false, &mut rng).with_qat(QatCfg::int4());
         let x = input(4, 1, 2, 6, 6);
 
         let y_full = conv.forward_train(&x);

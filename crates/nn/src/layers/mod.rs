@@ -9,8 +9,8 @@
 //!   and gradient accumulation into [`Param`]s.
 
 pub mod act;
-pub mod bn;
 pub mod block;
+pub mod bn;
 pub mod conv;
 pub mod dense;
 pub mod linear;
@@ -32,7 +32,11 @@ use crate::executor::ConvExecutor;
 use crate::param::Param;
 
 /// A differentiable network layer.
-pub trait Layer {
+///
+/// `Send + Sync` is a supertrait so whole models can be shared across
+/// serving threads (`Arc<Model>`); every layer is plain owned data, so
+/// this costs implementors nothing.
+pub trait Layer: Send + Sync {
     /// Inference forward pass. Conv layers route through `exec`; all other
     /// layers compute directly. Must not mutate training state.
     fn forward_eval(&self, x: &Tensor, exec: &mut dyn ConvExecutor) -> Tensor;

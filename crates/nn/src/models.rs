@@ -12,8 +12,8 @@ use rand_chacha::ChaCha8Rng;
 use crate::arch::Arch;
 use crate::executor::ConvExecutor;
 use crate::layers::{
-    BatchNorm2d, Conv2d, DenseBlock, Flatten, GlobalAvgPool, Layer, Linear,
-    MaxPool2d, OdqEmuCfg, QatCfg, ReLU, ResidualBlock, Sequential, Transition,
+    BatchNorm2d, Conv2d, DenseBlock, Flatten, GlobalAvgPool, Layer, Linear, MaxPool2d, OdqEmuCfg,
+    QatCfg, ReLU, ResidualBlock, Sequential, Transition,
 };
 use crate::param::{init_rng, Param};
 
@@ -224,7 +224,14 @@ fn build_resnet(cfg: &ModelCfg, blocks_per_stage: usize, rng: &mut ChaCha8Rng) -
             let name2 = format!("C{}", idx + 1);
             idx += 2;
             s.push(ResidualBlock::new(
-                name1, name2, in_ch, out_ch, stride, cfg.act_clip, cfg.qat, rng,
+                name1,
+                name2,
+                in_ch,
+                out_ch,
+                stride,
+                cfg.act_clip,
+                cfg.qat,
+                rng,
             ));
             in_ch = out_ch;
         }

@@ -50,8 +50,7 @@ impl Param {
     pub fn kaiming<S: Into<Shape> + Clone>(shape: S, fan_in: usize, rng: &mut ChaCha8Rng) -> Self {
         let bound = (6.0 / fan_in.max(1) as f32).sqrt();
         let shape2 = shape.clone().into();
-        let data: Vec<f32> =
-            (0..shape2.numel()).map(|_| rng.gen_range(-bound..bound)).collect();
+        let data: Vec<f32> = (0..shape2.numel()).map(|_| rng.gen_range(-bound..bound)).collect();
         Self {
             value: Tensor::from_vec(shape2, data),
             grad: Tensor::zeros(shape.clone()),

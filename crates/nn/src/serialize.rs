@@ -75,10 +75,7 @@ fn read_u32(r: &mut impl Read) -> io::Result<u32> {
 fn read_f32s(r: &mut impl Read, n: usize) -> io::Result<Vec<f32>> {
     let mut buf = vec![0u8; n * 4];
     r.read_exact(&mut buf)?;
-    Ok(buf
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect())
+    Ok(buf.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
 }
 
 /// Serialize a model's parameters and BN statistics to a writer.
@@ -99,8 +96,8 @@ pub fn save_model_to(model: &mut Model, w: &mut impl Write) -> io::Result<()> {
         if err.is_some() {
             return;
         }
-        if let Err(e) = write_u32(w, p.value.numel() as u32)
-            .and_then(|_| write_f32s(w, p.value.as_slice()))
+        if let Err(e) =
+            write_u32(w, p.value.numel() as u32).and_then(|_| write_f32s(w, p.value.as_slice()))
         {
             err = Some(e);
         }
@@ -184,9 +181,9 @@ pub fn load_model_from(model: &mut Model, r: &mut impl Read) -> Result<(), Check
         }
         match read_u32(r) {
             Ok(len) if len as usize == bn.running_mean.len() => {
-                match read_f32s(r, len as usize).and_then(|m| {
-                    read_f32s(r, len as usize).map(|v| (m, v))
-                }) {
+                match read_f32s(r, len as usize)
+                    .and_then(|m| read_f32s(r, len as usize).map(|v| (m, v)))
+                {
                     Ok((m, v)) => {
                         bn.running_mean.copy_from_slice(&m);
                         bn.running_var.copy_from_slice(&v);
@@ -230,10 +227,7 @@ mod tests {
     }
 
     fn input() -> Tensor {
-        Tensor::from_vec(
-            [1, 3, 8, 8],
-            (0..192).map(|i| (i % 50) as f32 / 50.0).collect::<Vec<_>>(),
-        )
+        Tensor::from_vec([1, 3, 8, 8], (0..192).map(|i| (i % 50) as f32 / 50.0).collect::<Vec<_>>())
     }
 
     #[test]

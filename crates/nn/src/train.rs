@@ -83,9 +83,7 @@ impl LrSchedule {
     pub fn lr_at(&self, base: f32, epoch: usize) -> f32 {
         match *self {
             LrSchedule::Constant => base,
-            LrSchedule::Step { every, gamma } => {
-                base * gamma.powi((epoch / every.max(1)) as i32)
-            }
+            LrSchedule::Step { every, gamma } => base * gamma.powi((epoch / every.max(1)) as i32),
             LrSchedule::Cosine { total, min_lr } => {
                 let t = (epoch as f32 / total.max(1) as f32).min(1.0);
                 min_lr + 0.5 * (base - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())

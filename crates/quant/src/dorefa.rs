@@ -56,8 +56,7 @@ pub fn quantize_weights(w: &Tensor, bits: u8) -> QTensor {
     let max_abs = w.max_abs();
     let scale = if max_abs == 0.0 { 1.0 } else { 2.0 * max_abs / max_code };
     let inv = 1.0 / scale;
-    let codes =
-        w.map(|v| (v * inv + zero).round().clamp(0.0, max_code) as i16);
+    let codes = w.map(|v| (v * inv + zero).round().clamp(0.0, max_code) as i16);
     QTensor { codes, scale, zero, scheme }
 }
 
@@ -139,8 +138,7 @@ mod tests {
     fn offset_weights_2bit_are_informative() {
         // Gaussian-ish small weights: symmetric 2-bit coding zeroes them,
         // offset coding keeps sign information.
-        let ws: Vec<f32> =
-            (0..64).map(|i| 0.3 * (((i * 37) % 64) as f32 / 32.0 - 1.0)).collect();
+        let ws: Vec<f32> = (0..64).map(|i| 0.3 * (((i * 37) % 64) as f32 / 32.0 - 1.0)).collect();
         let mut wmax = ws.clone();
         wmax.push(1.0); // one outlier sets the scale
         let w = Tensor::from_vec([65], wmax);

@@ -221,11 +221,8 @@ impl PlaneProducts {
         let shift = self.low_bits;
         let mut out = Tensor::<i32>::zeros(self.hh.shape().clone());
         let o = out.as_mut_slice();
-        for (((o, &hl), &lh), &ll) in o
-            .iter_mut()
-            .zip(self.hl.as_slice())
-            .zip(self.lh.as_slice())
-            .zip(self.ll.as_slice())
+        for (((o, &hl), &lh), &ll) in
+            o.iter_mut().zip(self.hl.as_slice()).zip(self.lh.as_slice()).zip(self.ll.as_slice())
         {
             *o = ((hl + lh) << shift) + ll;
         }
@@ -357,8 +354,7 @@ mod tests {
     #[test]
     fn receptive_sums_counts_window() {
         let g = ConvGeom::new(1, 1, 3, 3, 2, 1, 0);
-        let x =
-            Tensor::from_vec(g.input_shape(1), (1..=9).map(|v| v as i16).collect::<Vec<_>>());
+        let x = Tensor::from_vec(g.input_shape(1), (1..=9).map(|v| v as i16).collect::<Vec<_>>());
         let s = receptive_sums(&x, &g);
         // windows: (1+2+4+5, 2+3+5+6, 4+5+7+8, 5+6+8+9)
         assert_eq!(s.as_slice(), &[12, 16, 24, 28]);

@@ -1,0 +1,125 @@
+//! The micro-batcher: coalesces compatible requests into batches.
+//!
+//! One thread pulls admitted requests off the bounded submission queue and
+//! groups them by *batch key* — model name plus input shape. A group is
+//! flushed to the worker pool when it reaches `max_batch`, or when its
+//! oldest member has waited `max_wait`. On shutdown (submission side
+//! disconnects) every remaining admitted request is flushed, so draining
+//! loses nothing.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use crate::config::ServeConfig;
+use crate::request::{InferRequest, InferResponse, ServeError};
+use crate::stats::Ledger;
+
+/// An admitted request travelling through the pipeline.
+pub(crate) struct Pending {
+    pub req: InferRequest,
+    pub resp: Sender<Result<InferResponse, ServeError>>,
+    pub enqueued: Instant,
+    pub deadline: Option<Instant>,
+}
+
+impl Pending {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| d <= now)
+    }
+}
+
+/// A flushed batch: same model, same input shape.
+pub(crate) struct Batch {
+    pub model: String,
+    pub items: Vec<Pending>,
+}
+
+/// Requests batch together iff they ask for the same model with the same
+/// input shape.
+type BatchKey = (String, Vec<usize>);
+
+pub(crate) fn run(
+    rx: Receiver<Pending>,
+    batch_tx: Sender<Batch>,
+    cfg: ServeConfig,
+    ledger: Arc<Mutex<Ledger>>,
+) {
+    let mut groups: HashMap<BatchKey, Vec<Pending>> = HashMap::new();
+
+    loop {
+        // Sleep at most until the oldest forming batch must flush.
+        let now = Instant::now();
+        let timeout = groups
+            .values()
+            .filter_map(|g| g.first())
+            .map(|p| (p.enqueued + cfg.max_wait).saturating_duration_since(now))
+            .min()
+            .unwrap_or(cfg.max_wait)
+            .max(Duration::from_micros(50));
+
+        match rx.recv_timeout(timeout) {
+            Ok(p) => {
+                if p.expired(Instant::now()) {
+                    reject_expired(p, &ledger);
+                } else {
+                    let key = (p.req.model.clone(), p.req.input.dims().to_vec());
+                    let group = groups.entry(key).or_default();
+                    group.push(p);
+                    if group.len() >= cfg.max_batch {
+                        let key = (group[0].req.model.clone(), group[0].req.input.dims().to_vec());
+                        let items = groups.remove(&key).expect("group just filled");
+                        flush(items, &batch_tx, &ledger);
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+
+        // Flush any group whose oldest request has waited long enough.
+        let now = Instant::now();
+        let due: Vec<BatchKey> = groups
+            .iter()
+            .filter(|(_, g)| g.first().is_some_and(|p| now >= p.enqueued + cfg.max_wait))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in due {
+            let items = groups.remove(&key).expect("key just listed");
+            flush(items, &batch_tx, &ledger);
+        }
+    }
+
+    // Shutdown drain: the submission side is gone; flush everything that
+    // was admitted so no response is lost.
+    for (_, items) in groups.drain() {
+        flush(items, &batch_tx, &ledger);
+    }
+}
+
+fn reject_expired(p: Pending, ledger: &Arc<Mutex<Ledger>>) {
+    ledger.lock().expect("ledger poisoned").rejected_deadline += 1;
+    let _ = p.resp.send(Err(ServeError::DeadlineExceeded));
+}
+
+fn flush(items: Vec<Pending>, batch_tx: &Sender<Batch>, ledger: &Arc<Mutex<Ledger>>) {
+    let now = Instant::now();
+    let (live, expired): (Vec<Pending>, Vec<Pending>) =
+        items.into_iter().partition(|p| !p.expired(now));
+    for p in expired {
+        reject_expired(p, ledger);
+    }
+    if live.is_empty() {
+        return;
+    }
+    let model = live[0].req.model.clone();
+    // A worker-side disconnect can only happen after the pool stopped;
+    // answer the items as lost rather than panicking.
+    if let Err(e) = batch_tx.send(Batch { model, items: live }) {
+        for p in e.into_inner().items {
+            let _ = p.resp.send(Err(ServeError::WorkerLost));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Server configuration knobs.
+
+use std::time::Duration;
+
+/// Tunables for [`crate::Server`].
+///
+/// Defaults favor the test/bench workloads in this repository (small
+/// models, a handful of workers); production-shaped deployments would
+/// raise `queue_depth` and `max_batch`.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Capacity of the bounded submission queue. When the queue is full,
+    /// [`crate::Server::submit`] rejects with
+    /// [`crate::ServeError::QueueFull`] instead of blocking — admission
+    /// control backpressures the client, not the server.
+    pub queue_depth: usize,
+    /// Maximum requests coalesced into one batch.
+    pub max_batch: usize,
+    /// Maximum time the *oldest* request of a forming batch waits for
+    /// co-batching company before the batch is flushed anyway.
+    pub max_wait: Duration,
+    /// Worker threads. Each owns one long-lived engine per model, so the
+    /// ODQ engine's quantized-weight cache amortizes across batches.
+    pub workers: usize,
+    /// Deadline applied to requests that do not carry their own. `None`
+    /// means no deadline.
+    pub default_deadline: Option<Duration>,
+    /// Run the cycle-level accelerator simulator on every batch's measured
+    /// sensitivity profile and record cycles/energy in the ledger.
+    pub simulate_accel: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_depth: 64,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            workers: 2,
+            default_deadline: None,
+            simulate_accel: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.queue_depth >= c.max_batch);
+        assert!(c.workers >= 1);
+        assert!(c.max_wait > Duration::ZERO);
+    }
+}

@@ -1,0 +1,161 @@
+//! Engine selection and the per-pass profiling wrapper.
+//!
+//! Everything behind `odq_nn`'s [`ConvExecutor`] seam can serve: the float
+//! reference, static DoReFa INT-k, DRQ (input-directed), and ODQ
+//! (output-directed). Workers own one engine instance per model, so
+//! stateful engines (ODQ's fingerprinted quantized-weight cache) amortize
+//! across every batch the worker serves.
+
+use odq_accel::AccelConfig;
+use odq_core::engine::OdqEngine;
+use odq_drq::{DrqCfg, DrqEngine};
+use odq_nn::executor::{ConvCtx, ConvExecutor, FloatConvExecutor, StaticQuantExecutor};
+use odq_tensor::{ConvGeom, Tensor};
+
+/// Which quantization engine the worker pool runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EngineKind {
+    /// Float reference executor (honors QAT fake-quantization).
+    Float,
+    /// Static DoReFa INT-`bits` quantization for weights and activations.
+    Static {
+        /// Bit width for both weights and activations.
+        bits: u8,
+    },
+    /// DRQ, the input-directed baseline (INT8-INT4 pair).
+    Drq {
+        /// Input-region sensitivity threshold.
+        input_threshold: f32,
+    },
+    /// ODQ with a global output threshold (the paper's configuration).
+    Odq {
+        /// Output sensitivity threshold.
+        threshold: f32,
+    },
+}
+
+impl EngineKind {
+    /// Short label for ledgers and reports.
+    pub fn label(&self) -> String {
+        match self {
+            EngineKind::Float => "float".into(),
+            EngineKind::Static { bits } => format!("int{bits}"),
+            EngineKind::Drq { .. } => "drq".into(),
+            EngineKind::Odq { .. } => "odq".into(),
+        }
+    }
+
+    /// The matching Table 2 accelerator configuration for per-batch
+    /// simulation: static INT16/INT8 run on the fixed-precision arrays,
+    /// DRQ and ODQ on their reconfigurable designs. The float engine has
+    /// no accelerator of its own in the paper; it is costed as INT16 (the
+    /// highest-precision design).
+    pub fn accel_config(&self) -> AccelConfig {
+        match self {
+            EngineKind::Float => AccelConfig::int16(),
+            EngineKind::Static { bits } if *bits <= 8 => AccelConfig::int8(),
+            EngineKind::Static { .. } => AccelConfig::int16(),
+            EngineKind::Drq { .. } => AccelConfig::drq(),
+            EngineKind::Odq { .. } => AccelConfig::odq(),
+        }
+    }
+
+    /// Instantiate a fresh engine of this kind.
+    pub(crate) fn build(&self) -> EngineExec {
+        match *self {
+            EngineKind::Float => EngineExec::Float(FloatConvExecutor),
+            EngineKind::Static { bits } => EngineExec::Static(StaticQuantExecutor::int(bits)),
+            EngineKind::Drq { input_threshold } => {
+                EngineExec::Drq(DrqEngine::new(DrqCfg::int8_int4(input_threshold)))
+            }
+            EngineKind::Odq { threshold } => EngineExec::Odq(OdqEngine::new(threshold)),
+        }
+    }
+}
+
+/// A worker-owned engine instance.
+pub(crate) enum EngineExec {
+    Float(FloatConvExecutor),
+    Static(StaticQuantExecutor),
+    Drq(DrqEngine),
+    Odq(OdqEngine),
+}
+
+impl ConvExecutor for EngineExec {
+    fn begin_pass(&mut self) {
+        match self {
+            EngineExec::Float(e) => e.begin_pass(),
+            EngineExec::Static(e) => e.begin_pass(),
+            EngineExec::Drq(e) => e.begin_pass(),
+            EngineExec::Odq(e) => e.begin_pass(),
+        }
+    }
+
+    fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
+        match self {
+            EngineExec::Float(e) => e.conv(ctx, x),
+            EngineExec::Static(e) => e.conv(ctx, x),
+            EngineExec::Drq(e) => e.conv(ctx, x),
+            EngineExec::Odq(e) => e.conv(ctx, x),
+        }
+    }
+}
+
+/// Wraps an engine for one forward pass, recording each conv layer's
+/// `(name, geometry)` in execution order — the uniform-workload fallback
+/// for engines that do not collect their own per-layer profile.
+pub(crate) struct Profiled<'a> {
+    inner: &'a mut EngineExec,
+    /// Conv layers seen this pass, in first-encounter order.
+    pub layers: Vec<(String, ConvGeom)>,
+}
+
+impl<'a> Profiled<'a> {
+    pub fn new(inner: &'a mut EngineExec) -> Self {
+        Self { inner, layers: Vec::new() }
+    }
+}
+
+impl ConvExecutor for Profiled<'_> {
+    fn begin_pass(&mut self) {
+        self.layers.clear();
+        self.inner.begin_pass();
+    }
+
+    fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
+        if !self.layers.iter().any(|(n, _)| n == ctx.name) {
+            self.layers.push((ctx.name.to_string(), ctx.geom));
+        }
+        self.inner.conv(ctx, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_accel_configs_match() {
+        assert_eq!(EngineKind::Float.label(), "float");
+        assert_eq!(EngineKind::Static { bits: 8 }.label(), "int8");
+        assert_eq!(EngineKind::Static { bits: 8 }.accel_config().name, "INT8");
+        assert_eq!(EngineKind::Static { bits: 16 }.accel_config().name, "INT16");
+        assert_eq!(EngineKind::Odq { threshold: 0.3 }.label(), "odq");
+        assert_eq!(EngineKind::Drq { input_threshold: 0.1 }.label(), "drq");
+    }
+
+    #[test]
+    fn profiled_records_each_layer_once() {
+        let mut exec = EngineKind::Float.build();
+        let mut prof = Profiled::new(&mut exec);
+        let g = ConvGeom::new(1, 2, 4, 4, 3, 1, 1);
+        let x = Tensor::from_vec(g.input_shape(1), vec![0.5; 16]);
+        let w = Tensor::from_vec(g.weight_shape(), vec![0.1; 2 * 9]);
+        let ctx = ConvCtx { name: "C1", geom: g, weights: &w, bias: None, qat: None };
+        prof.begin_pass();
+        let _ = prof.conv(&ctx, &x);
+        let _ = prof.conv(&ctx, &x);
+        assert_eq!(prof.layers.len(), 1);
+        assert_eq!(prof.layers[0].0, "C1");
+    }
+}

@@ -1,0 +1,59 @@
+//! odq-serve — batched, backpressured inference serving.
+//!
+//! The paper evaluates ODQ on single-image latency and energy; this crate
+//! turns the engines into a small *serving system*, the deployment shape
+//! the paper motivates ("real-time inference ... on resource-constrained
+//! systems", Sec. 1):
+//!
+//! ```text
+//!   submit() ──► bounded queue ──► micro-batcher ──► worker pool ──► responses
+//!   (admission     (capacity =      (coalesce same     (each worker
+//!    control:       queue_depth,     model+shape up     owns long-lived
+//!    reject when    try_send)        to max_batch or    engines; weight
+//!    full)                           max_wait)          caches amortize)
+//!                                                          │
+//!                                                          ▼
+//!                                                    stats ledger
+//!                                              (queue wait, batch size,
+//!                                               service time, sensitive
+//!                                               fraction, simulated
+//!                                               accelerator cycles/energy)
+//! ```
+//!
+//! Requests carry one `[1, C, H, W]` image for a named model and an
+//! optional deadline. The batcher coalesces *compatible* requests (same
+//! model, same input shape) into one `[N, C, H, W]` tensor; a worker runs
+//! one forward pass through its engine ([`EngineKind`] selects float,
+//! static INT-k, DRQ, or ODQ — anything behind `odq_nn`'s `ConvExecutor`
+//! seam) and scatters the `[N, classes]` output back to the per-request
+//! response channels. Batching is exact: per-sample im2col/GEMM and
+//! batch-independent quantization scales make the batched outputs
+//! element-wise identical to solo runs (asserted by this crate's tests).
+//!
+//! Per batch, the worker also feeds the measured sensitivity profile (for
+//! ODQ, the engine's per-channel counts; for others, uniform workloads)
+//! through `odq_accel`'s cycle-level simulator, so the ledger reports what
+//! each served batch *would* cost on the paper's accelerator.
+//!
+//! [`Server::shutdown`] is graceful: admission closes first, then the
+//! batcher drains and flushes every admitted request, then workers finish
+//! in-flight batches — no response is lost or duplicated.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod loadgen;
+pub mod request;
+pub mod server;
+pub mod stats;
+
+mod batcher;
+mod worker;
+
+pub use config::ServeConfig;
+pub use engine::EngineKind;
+pub use loadgen::{run_closed_loop, run_open_loop, LoadReport, LoadSpec};
+pub use request::{InferRequest, InferResponse, RequestTiming, ResponseHandle, ServeError};
+pub use server::{Server, ServerBuilder};
+pub use stats::{BatchRecord, BatchSim, RequestRecord, StatsSummary};

@@ -1,0 +1,234 @@
+//! Seeded load generators for benchmarking the server.
+//!
+//! Two standard shapes:
+//!
+//! * **closed loop** — a fixed number of in-flight requests; a new one is
+//!   submitted the moment an old one completes. Measures peak sustainable
+//!   throughput.
+//! * **open loop** — requests arrive on a Poisson process at a target
+//!   rate regardless of completions. Measures behavior under offered load,
+//!   including queue-full rejections and deadline misses.
+//!
+//! Both are deterministic given a seed (ChaCha8 streams), modulo thread
+//! scheduling on the serving side.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::request::{InferRequest, ServeError};
+use crate::server::Server;
+use crate::stats::percentile;
+use odq_tensor::Tensor;
+
+/// One model's share of the generated load.
+#[derive(Clone, Debug)]
+pub struct LoadSpec {
+    /// Registered model name.
+    pub model: String,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input spatial size (square).
+    pub hw: usize,
+    /// Relative weight of this model in the mix.
+    pub weight: f64,
+}
+
+/// What a load-generation run observed.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Requests submitted (including rejected ones).
+    pub submitted: u64,
+    /// Rejected at admission with [`ServeError::QueueFull`].
+    pub rejected: u64,
+    /// Answered with [`ServeError::DeadlineExceeded`].
+    pub deadline_missed: u64,
+    /// Successfully completed.
+    pub completed: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// End-to-end latencies of completed requests.
+    pub latencies: Vec<Duration>,
+}
+
+impl LoadReport {
+    /// Completed requests per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.completed as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Latency percentile over completed requests.
+    pub fn latency_percentile(&self, q: f64) -> Duration {
+        percentile(&self.latencies, q)
+    }
+
+    fn absorb(&mut self, outcome: Result<Duration, ServeError>) {
+        match outcome {
+            Ok(lat) => {
+                self.completed += 1;
+                self.latencies.push(lat);
+            }
+            Err(ServeError::DeadlineExceeded) => self.deadline_missed += 1,
+            Err(_) => {}
+        }
+    }
+}
+
+/// Deterministic pseudo-image in `[0, 1)`.
+pub fn random_input(rng: &mut ChaCha8Rng, in_channels: usize, hw: usize) -> Tensor {
+    let len = in_channels * hw * hw;
+    let v: Vec<f32> = (0..len).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+    Tensor::from_vec(vec![1, in_channels, hw, hw], v)
+}
+
+fn pick<'a>(specs: &'a [LoadSpec], rng: &mut ChaCha8Rng) -> &'a LoadSpec {
+    let total: f64 = specs.iter().map(|s| s.weight).sum();
+    let mut draw = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for s in specs {
+        if draw < s.weight {
+            return s;
+        }
+        draw -= s.weight;
+    }
+    specs.last().expect("non-empty specs")
+}
+
+fn make_request(
+    specs: &[LoadSpec],
+    rng: &mut ChaCha8Rng,
+    deadline: Option<Duration>,
+) -> InferRequest {
+    let spec = pick(specs, rng);
+    let mut req =
+        InferRequest::new(spec.model.clone(), random_input(rng, spec.in_channels, spec.hw));
+    req.deadline = deadline;
+    req
+}
+
+/// Closed-loop run: keep `concurrency` requests in flight until `total`
+/// have been submitted, then drain.
+pub fn run_closed_loop(
+    server: &Server,
+    specs: &[LoadSpec],
+    total: usize,
+    concurrency: usize,
+    seed: u64,
+) -> LoadReport {
+    assert!(!specs.is_empty(), "need at least one load spec");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut report = LoadReport::default();
+    let mut inflight = VecDeque::new();
+    let start = Instant::now();
+    for _ in 0..total {
+        // At capacity: wait for the oldest in-flight request first.
+        while inflight.len() >= concurrency.max(1) {
+            let (t0, h): (Instant, crate::request::ResponseHandle) =
+                inflight.pop_front().expect("non-empty");
+            report.absorb(h.wait().map(|_| t0.elapsed()));
+        }
+        report.submitted += 1;
+        match server.submit(make_request(specs, &mut rng, None)) {
+            Ok(h) => inflight.push_back((Instant::now(), h)),
+            Err(ServeError::QueueFull) => {
+                report.rejected += 1;
+                // Closed loop never abandons: wait out one completion,
+                // then retry the slot on the next iteration.
+                if let Some((t0, h)) = inflight.pop_front() {
+                    report.absorb(h.wait().map(|_| t0.elapsed()));
+                }
+            }
+            Err(e) => panic!("load generator misconfigured: {e}"),
+        }
+    }
+    for (t0, h) in inflight {
+        report.absorb(h.wait().map(|_| t0.elapsed()));
+    }
+    report.elapsed = start.elapsed();
+    report
+}
+
+/// Open-loop run: `total` requests offered at `rate_rps` (Poisson
+/// arrivals), each carrying `deadline` if given. Queue-full rejections
+/// are counted, not retried — exactly what an overloaded server sheds.
+pub fn run_open_loop(
+    server: &Server,
+    specs: &[LoadSpec],
+    total: usize,
+    rate_rps: f64,
+    deadline: Option<Duration>,
+    seed: u64,
+) -> LoadReport {
+    assert!(!specs.is_empty(), "need at least one load spec");
+    assert!(rate_rps > 0.0, "rate must be positive");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut report = LoadReport::default();
+    let mut inflight = Vec::new();
+    let start = Instant::now();
+    let mut next_arrival = start;
+    for _ in 0..total {
+        let now = Instant::now();
+        if next_arrival > now {
+            std::thread::sleep(next_arrival - now);
+        }
+        // Exponential inter-arrival with mean 1/rate.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let gap = -(1.0 - u).ln() / rate_rps;
+        next_arrival += Duration::from_secs_f64(gap);
+
+        report.submitted += 1;
+        match server.submit(make_request(specs, &mut rng, deadline)) {
+            Ok(h) => inflight.push((Instant::now(), h)),
+            Err(ServeError::QueueFull) => report.rejected += 1,
+            Err(e) => panic!("load generator misconfigured: {e}"),
+        }
+    }
+    for (t0, h) in inflight {
+        report.absorb(h.wait().map(|_| t0.elapsed()));
+    }
+    report.elapsed = start.elapsed();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_input_shape_and_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let t = random_input(&mut rng, 3, 8);
+        assert_eq!(t.dims(), &[1, 3, 8, 8]);
+        assert!(t.as_slice().iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn pick_respects_weights() {
+        let specs = vec![
+            LoadSpec { model: "a".into(), in_channels: 1, hw: 8, weight: 0.0 },
+            LoadSpec { model: "b".into(), in_channels: 1, hw: 8, weight: 1.0 },
+        ];
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..32 {
+            assert_eq!(pick(&specs, &mut rng).model, "b");
+        }
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut r = LoadReport::default();
+        r.absorb(Ok(Duration::from_millis(4)));
+        r.absorb(Ok(Duration::from_millis(8)));
+        r.absorb(Err(ServeError::DeadlineExceeded));
+        r.elapsed = Duration::from_secs(1);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.deadline_missed, 1);
+        assert!((r.throughput() - 2.0).abs() < 1e-9);
+        assert_eq!(r.latency_percentile(1.0), Duration::from_millis(8));
+    }
+}

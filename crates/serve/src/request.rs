@@ -1,0 +1,145 @@
+//! Request/response types and the submission error taxonomy.
+
+use std::fmt;
+use std::time::Duration;
+
+use crossbeam::channel::Receiver;
+use odq_tensor::Tensor;
+
+/// One inference request: a single `[1, C, H, W]` image for a named model.
+#[derive(Clone, Debug)]
+pub struct InferRequest {
+    /// Name the model was registered under ([`crate::ServerBuilder::model`]).
+    pub model: String,
+    /// Input image, shape `[1, C, H, W]` matching the model's configured
+    /// input channels and spatial size.
+    pub input: Tensor,
+    /// Optional deadline, relative to submission. A request still queued
+    /// or batched when its deadline passes is answered with
+    /// [`ServeError::DeadlineExceeded`] instead of being run.
+    pub deadline: Option<Duration>,
+}
+
+impl InferRequest {
+    /// Request without a deadline.
+    pub fn new(model: impl Into<String>, input: Tensor) -> Self {
+        Self { model: model.into(), input, deadline: None }
+    }
+
+    /// Attach a deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Timing observed for one request.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestTiming {
+    /// Submission → start of the forward pass that served it.
+    pub queue_wait: Duration,
+    /// Duration of that forward pass (shared by the whole batch).
+    pub service: Duration,
+    /// Submission → response ready.
+    pub total: Duration,
+    /// Size of the batch this request rode in.
+    pub batch_size: usize,
+}
+
+/// Successful response: the request's row of the model output.
+#[derive(Clone, Debug)]
+pub struct InferResponse {
+    /// Output logits, shape `[1, num_classes]`.
+    pub output: Tensor,
+    /// Timing breakdown.
+    pub timing: RequestTiming,
+}
+
+/// Why a request was rejected or failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded submission queue is full — backpressure; retry later.
+    QueueFull,
+    /// No model registered under this name.
+    UnknownModel(String),
+    /// Input tensor shape does not match the model's expected
+    /// `[1, C, H, W]`.
+    BadInput(String),
+    /// The deadline passed before the request reached a worker.
+    DeadlineExceeded,
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The serving pipeline dropped the response channel (worker panic).
+    WorkerLost,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "submission queue full"),
+            ServeError::UnknownModel(m) => write!(f, "unknown model {m:?}"),
+            ServeError::BadInput(why) => write!(f, "bad input: {why}"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::WorkerLost => write!(f, "serving pipeline dropped the response"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Handle to a submitted request's eventual response.
+///
+/// The response arrives on a dedicated single-slot channel, so a handle
+/// can be waited on from any thread, at any time after submission.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    pub(crate) rx: Receiver<Result<InferResponse, ServeError>>,
+}
+
+impl ResponseHandle {
+    /// Block until the response is ready.
+    pub fn wait(self) -> Result<InferResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<InferResponse, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(crossbeam::channel::TryRecvError::Empty) => None,
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Some(Err(ServeError::WorkerLost))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+
+    #[test]
+    fn handle_delivers_response() {
+        let (tx, rx) = bounded(1);
+        let h = ResponseHandle { rx };
+        assert!(h.try_wait().is_none());
+        tx.send(Err(ServeError::QueueFull)).unwrap();
+        assert_eq!(h.wait().unwrap_err(), ServeError::QueueFull);
+    }
+
+    #[test]
+    fn dropped_sender_is_worker_lost() {
+        let (tx, rx) = bounded::<Result<InferResponse, ServeError>>(1);
+        drop(tx);
+        let h = ResponseHandle { rx };
+        assert_eq!(h.wait().unwrap_err(), ServeError::WorkerLost);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(ServeError::UnknownModel("x".into()).to_string().contains("x"));
+        assert!(!ServeError::QueueFull.to_string().is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! The server: admission control, thread lifecycle, graceful shutdown.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Sender, TrySendError};
+use odq_nn::models::Model;
+
+use crate::batcher::{self, Batch, Pending};
+use crate::config::ServeConfig;
+use crate::engine::EngineKind;
+use crate::request::{InferRequest, ResponseHandle, ServeError};
+use crate::stats::{BatchRecord, Ledger, StatsSummary};
+use crate::worker;
+
+/// Builder for [`Server`]: register models, pick an engine, start.
+pub struct ServerBuilder {
+    cfg: ServeConfig,
+    engine: EngineKind,
+    models: HashMap<String, Model>,
+}
+
+impl ServerBuilder {
+    /// Builder with the given config, defaulting to the ODQ engine at the
+    /// paper's nominal threshold.
+    pub fn new(cfg: ServeConfig) -> Self {
+        Self { cfg, engine: EngineKind::Odq { threshold: 0.3 }, models: HashMap::new() }
+    }
+
+    /// Select the engine every worker runs.
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind;
+        self
+    }
+
+    /// Register a model under `name`. Requests address models by this
+    /// name; two registrations with the same name keep the later one.
+    pub fn model(mut self, name: impl Into<String>, model: Model) -> Self {
+        self.models.insert(name.into(), model);
+        self
+    }
+
+    /// Start the batcher and worker threads and open admission.
+    pub fn start(self) -> Server {
+        let cfg = self.cfg;
+        let models = Arc::new(self.models);
+        let ledger = Arc::new(Mutex::new(Ledger::default()));
+
+        let (submit_tx, submit_rx) = bounded::<Pending>(cfg.queue_depth.max(1));
+        // Small buffer: workers pull batches as they free up, and a full
+        // channel backpressures the batcher (and through it, admission).
+        let (batch_tx, batch_rx) = bounded::<Batch>(cfg.workers.max(1) * 2);
+
+        let b_ledger = Arc::clone(&ledger);
+        let batcher = std::thread::Builder::new()
+            .name("odq-serve-batcher".into())
+            .spawn(move || batcher::run(submit_rx, batch_tx, cfg, b_ledger))
+            .expect("spawn batcher");
+
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let rx = batch_rx.clone();
+                let models = Arc::clone(&models);
+                let ledger = Arc::clone(&ledger);
+                let kind = self.engine;
+                std::thread::Builder::new()
+                    .name(format!("odq-serve-worker-{i}"))
+                    .spawn(move || worker::run(rx, models, kind, cfg, ledger))
+                    .expect("spawn worker")
+            })
+            .collect();
+        // The batcher's sender must be the only one left, or workers
+        // would never see a disconnect on shutdown.
+        drop(batch_rx);
+
+        Server { cfg, models, submit_tx: Some(submit_tx), batcher: Some(batcher), workers, ledger }
+    }
+}
+
+/// A running serving instance. Dropping it shuts down gracefully.
+pub struct Server {
+    cfg: ServeConfig,
+    models: Arc<HashMap<String, Model>>,
+    submit_tx: Option<Sender<Pending>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    ledger: Arc<Mutex<Ledger>>,
+}
+
+impl Server {
+    /// Configure and start a server.
+    pub fn builder(cfg: ServeConfig) -> ServerBuilder {
+        ServerBuilder::new(cfg)
+    }
+
+    /// Submit a request. Returns immediately: `Ok` with a handle to the
+    /// eventual response, or an admission error ([`ServeError::QueueFull`]
+    /// when the bounded queue is at capacity — the backpressure signal).
+    pub fn submit(&self, req: InferRequest) -> Result<ResponseHandle, ServeError> {
+        if let Err(e) = self.validate(&req) {
+            self.ledger.lock().expect("ledger poisoned").rejected_invalid += 1;
+            return Err(e);
+        }
+        let tx = self.submit_tx.as_ref().ok_or(ServeError::ShuttingDown)?;
+        let now = Instant::now();
+        let deadline = req.deadline.or(self.cfg.default_deadline).map(|d| now + d);
+        let (resp_tx, resp_rx) = bounded(1);
+        let pending = Pending { req, resp: resp_tx, enqueued: now, deadline };
+        match tx.try_send(pending) {
+            Ok(()) => Ok(ResponseHandle { rx: resp_rx }),
+            Err(TrySendError::Full(_)) => {
+                self.ledger.lock().expect("ledger poisoned").rejected_queue_full += 1;
+                Err(ServeError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    fn validate(&self, req: &InferRequest) -> Result<(), ServeError> {
+        let model = self
+            .models
+            .get(&req.model)
+            .ok_or_else(|| ServeError::UnknownModel(req.model.clone()))?;
+        let dims = req.input.dims();
+        let want = [1, model.cfg.in_channels, model.cfg.input_hw, model.cfg.input_hw];
+        if dims != want {
+            return Err(ServeError::BadInput(format!(
+                "expected shape {want:?} for model {:?}, got {dims:?}",
+                req.model
+            )));
+        }
+        Ok(())
+    }
+
+    /// Requests currently waiting in the submission queue.
+    pub fn queue_len(&self) -> usize {
+        self.submit_tx.as_ref().map_or(0, |tx| tx.len())
+    }
+
+    /// Aggregated ledger snapshot.
+    pub fn stats(&self) -> StatsSummary {
+        self.ledger.lock().expect("ledger poisoned").summary()
+    }
+
+    /// Copy of the per-batch ledger.
+    pub fn batch_records(&self) -> Vec<BatchRecord> {
+        self.ledger.lock().expect("ledger poisoned").batches.clone()
+    }
+
+    /// Graceful shutdown: close admission, let the batcher drain and
+    /// flush every admitted request, let workers finish all batches, join
+    /// all threads. Returns the final ledger summary.
+    pub fn shutdown(mut self) -> StatsSummary {
+        self.close();
+        self.stats()
+    }
+
+    fn close(&mut self) {
+        // Dropping the submission sender disconnects the batcher once the
+        // queue drains; the batcher then drops the batch sender, which
+        // stops the workers once the batch queue drains.
+        drop(self.submit_tx.take());
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::InferRequest;
+    use odq_nn::models::{Model, ModelCfg};
+    use odq_nn::Arch;
+    use odq_tensor::Tensor;
+    use std::time::Duration;
+
+    fn tiny_model() -> Model {
+        let mut cfg = ModelCfg::small(Arch::LeNet5, 4);
+        cfg.input_hw = 8;
+        Model::build(cfg)
+    }
+
+    fn input(seed: usize) -> Tensor {
+        let v: Vec<f32> = (0..3 * 64).map(|i| ((i * 7 + seed * 13) % 97) as f32 / 97.0).collect();
+        Tensor::from_vec(vec![1, 3, 8, 8], v)
+    }
+
+    fn server(cfg: ServeConfig) -> Server {
+        Server::builder(cfg).engine(EngineKind::Float).model("lenet", tiny_model()).start()
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let s = server(ServeConfig { max_wait: Duration::from_micros(200), ..Default::default() });
+        let h = s.submit(InferRequest::new("lenet", input(0))).unwrap();
+        let r = h.wait().unwrap();
+        assert_eq!(r.output.dims(), &[1, 4]);
+        assert!(r.timing.batch_size >= 1);
+        let sum = s.shutdown();
+        assert_eq!(sum.completed, 1);
+        assert_eq!(sum.batches, 1);
+    }
+
+    #[test]
+    fn unknown_model_and_bad_shape_rejected_at_admission() {
+        let s = server(ServeConfig::default());
+        let e = s.submit(InferRequest::new("nope", input(0))).unwrap_err();
+        assert!(matches!(e, ServeError::UnknownModel(_)));
+        let bad = Tensor::from_vec(vec![1, 3, 4, 4], vec![0.0; 48]);
+        let e = s.submit(InferRequest::new("lenet", bad)).unwrap_err();
+        assert!(matches!(e, ServeError::BadInput(_)));
+        let sum = s.shutdown();
+        assert_eq!(sum.rejected_invalid, 2);
+    }
+
+    #[test]
+    fn batch_input_must_be_single_image() {
+        let s = server(ServeConfig::default());
+        let two = Tensor::from_vec(vec![2, 3, 8, 8], vec![0.0; 2 * 3 * 64]);
+        let e = s.submit(InferRequest::new("lenet", two)).unwrap_err();
+        assert!(matches!(e, ServeError::BadInput(_)));
+    }
+
+    #[test]
+    fn queue_full_rejects_instead_of_blocking() {
+        // One worker, tiny queue, long max_wait: flood it.
+        let cfg = ServeConfig {
+            queue_depth: 2,
+            max_batch: 64,
+            max_wait: Duration::from_millis(250),
+            workers: 1,
+            ..Default::default()
+        };
+        let s = server(cfg);
+        let mut handles = Vec::new();
+        let mut rejected = 0u64;
+        for i in 0..64 {
+            match s.submit(InferRequest::new("lenet", input(i))) {
+                Ok(h) => handles.push(h),
+                Err(ServeError::QueueFull) => rejected += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(rejected > 0, "a 2-deep queue must reject a 64-request burst");
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let sum = s.shutdown();
+        assert_eq!(sum.rejected_queue_full, rejected);
+    }
+
+    #[test]
+    fn immediate_deadline_is_rejected_not_run() {
+        let cfg = ServeConfig { max_wait: Duration::from_millis(20), ..Default::default() };
+        let s = server(cfg);
+        let h =
+            s.submit(InferRequest::new("lenet", input(0)).with_deadline(Duration::ZERO)).unwrap();
+        assert_eq!(h.wait().unwrap_err(), ServeError::DeadlineExceeded);
+        let sum = s.shutdown();
+        assert_eq!(sum.rejected_deadline, 1);
+        assert_eq!(sum.completed, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests() {
+        let cfg = ServeConfig {
+            queue_depth: 32,
+            max_batch: 4,
+            max_wait: Duration::from_millis(100),
+            workers: 2,
+            ..Default::default()
+        };
+        let s = server(cfg);
+        let handles: Vec<_> =
+            (0..10).map(|i| s.submit(InferRequest::new("lenet", input(i))).unwrap()).collect();
+        // Shut down immediately; every admitted request must still answer.
+        let sum = s.shutdown();
+        assert_eq!(sum.completed, 10);
+        for h in handles {
+            assert!(h.wait().is_ok());
+        }
+    }
+}

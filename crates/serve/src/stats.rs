@@ -1,0 +1,208 @@
+//! The serving ledger: per-request and per-batch records plus summaries.
+
+use std::time::Duration;
+
+/// One served request's ledger entry.
+#[derive(Clone, Debug)]
+pub struct RequestRecord {
+    /// Model name.
+    pub model: String,
+    /// Submission → forward-pass start.
+    pub queue_wait: Duration,
+    /// Forward-pass duration (shared across the batch).
+    pub service: Duration,
+    /// Submission → response.
+    pub total: Duration,
+    /// Size of the batch this request rode in.
+    pub batch_size: usize,
+}
+
+/// Per-batch simulated accelerator cost, from `odq_accel`'s cycle-level
+/// simulator run on the batch's *measured* sensitivity profile.
+#[derive(Clone, Debug)]
+pub struct BatchSim {
+    /// Accelerator configuration name (Table 2).
+    pub config: String,
+    /// Simulated cycles per image.
+    pub cycles_per_image: f64,
+    /// Simulated cycles for the whole batch (per-image × batch size).
+    pub batch_cycles: f64,
+    /// Simulated execution time for the whole batch, seconds.
+    pub time_s: f64,
+    /// Simulated energy for the whole batch, nanojoules.
+    pub energy_nj: f64,
+}
+
+/// One executed batch's ledger entry.
+#[derive(Clone, Debug)]
+pub struct BatchRecord {
+    /// Model name.
+    pub model: String,
+    /// Engine label ([`crate::EngineKind::label`]).
+    pub engine: String,
+    /// Requests coalesced into this batch.
+    pub size: usize,
+    /// Forward-pass duration.
+    pub service: Duration,
+    /// Output-weighted sensitive-output fraction measured during the pass
+    /// (ODQ engines only).
+    pub sensitive_fraction: Option<f64>,
+    /// Simulated accelerator cost (when enabled).
+    pub sim: Option<BatchSim>,
+}
+
+/// Mutable ledger shared by the admission path and the workers.
+#[derive(Debug, Default)]
+pub(crate) struct Ledger {
+    pub requests: Vec<RequestRecord>,
+    pub batches: Vec<BatchRecord>,
+    pub rejected_queue_full: u64,
+    pub rejected_deadline: u64,
+    pub rejected_invalid: u64,
+}
+
+/// Aggregated view of the ledger at one point in time.
+#[derive(Clone, Debug)]
+pub struct StatsSummary {
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Requests rejected at admission because the queue was full.
+    pub rejected_queue_full: u64,
+    /// Requests dropped because their deadline passed before execution.
+    pub rejected_deadline: u64,
+    /// Requests rejected for unknown model / bad input shape.
+    pub rejected_invalid: u64,
+    /// Mean executed batch size.
+    pub mean_batch_size: f64,
+    /// Mean time requests spent queued before their forward pass.
+    pub mean_queue_wait: Duration,
+    /// Median end-to-end latency.
+    pub p50_latency: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub p99_latency: Duration,
+    /// Total simulated accelerator cycles across all batches.
+    pub sim_cycles: f64,
+    /// Total simulated accelerator energy across all batches, nanojoules.
+    pub sim_energy_nj: f64,
+    /// Output-weighted mean sensitive fraction across ODQ batches.
+    pub mean_sensitive_fraction: Option<f64>,
+}
+
+/// `q`-quantile (0.0..=1.0) of an unsorted sample by nearest-rank.
+pub fn percentile(samples: &[Duration], q: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut s: Vec<Duration> = samples.to_vec();
+    s.sort_unstable();
+    let rank = ((q.clamp(0.0, 1.0) * s.len() as f64).ceil() as usize).clamp(1, s.len());
+    s[rank - 1]
+}
+
+impl Ledger {
+    pub fn summary(&self) -> StatsSummary {
+        let totals: Vec<Duration> = self.requests.iter().map(|r| r.total).collect();
+        let n = self.requests.len();
+        let mean_queue_wait = if n == 0 {
+            Duration::ZERO
+        } else {
+            self.requests.iter().map(|r| r.queue_wait).sum::<Duration>() / n as u32
+        };
+        let mean_batch_size = if self.batches.is_empty() {
+            0.0
+        } else {
+            self.batches.iter().map(|b| b.size as f64).sum::<f64>() / self.batches.len() as f64
+        };
+        let sim_cycles: f64 =
+            self.batches.iter().filter_map(|b| b.sim.as_ref()).map(|s| s.batch_cycles).sum();
+        let sim_energy_nj: f64 =
+            self.batches.iter().filter_map(|b| b.sim.as_ref()).map(|s| s.energy_nj).sum();
+        let sens: Vec<(f64, f64)> = self
+            .batches
+            .iter()
+            .filter_map(|b| b.sensitive_fraction.map(|f| (f * b.size as f64, b.size as f64)))
+            .collect();
+        let mean_sensitive_fraction = if sens.is_empty() {
+            None
+        } else {
+            let (num, den): (f64, f64) =
+                sens.iter().fold((0.0, 0.0), |(a, b), (x, y)| (a + x, b + y));
+            Some(num / den)
+        };
+        StatsSummary {
+            completed: n as u64,
+            batches: self.batches.len() as u64,
+            rejected_queue_full: self.rejected_queue_full,
+            rejected_deadline: self.rejected_deadline,
+            rejected_invalid: self.rejected_invalid,
+            mean_batch_size,
+            mean_queue_wait,
+            p50_latency: percentile(&totals, 0.50),
+            p99_latency: percentile(&totals, 0.99),
+            sim_cycles,
+            sim_energy_nj,
+            mean_sensitive_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 0.50), Duration::from_millis(50));
+        assert_eq!(percentile(&ms, 0.99), Duration::from_millis(99));
+        assert_eq!(percentile(&ms, 1.0), Duration::from_millis(100));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        assert_eq!(percentile(&[Duration::from_secs(1)], 0.99), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let mut l = Ledger::default();
+        for i in 1..=4u64 {
+            l.requests.push(RequestRecord {
+                model: "m".into(),
+                queue_wait: Duration::from_millis(i),
+                service: Duration::from_millis(10),
+                total: Duration::from_millis(10 + i),
+                batch_size: 2,
+            });
+        }
+        l.batches.push(BatchRecord {
+            model: "m".into(),
+            engine: "odq".into(),
+            size: 2,
+            service: Duration::from_millis(10),
+            sensitive_fraction: Some(0.25),
+            sim: Some(BatchSim {
+                config: "ODQ".into(),
+                cycles_per_image: 100.0,
+                batch_cycles: 200.0,
+                time_s: 1e-6,
+                energy_nj: 5.0,
+            }),
+        });
+        l.batches.push(BatchRecord {
+            model: "m".into(),
+            engine: "odq".into(),
+            size: 2,
+            service: Duration::from_millis(10),
+            sensitive_fraction: Some(0.75),
+            sim: None,
+        });
+        let s = l.summary();
+        assert_eq!(s.completed, 4);
+        assert_eq!(s.batches, 2);
+        assert!((s.mean_batch_size - 2.0).abs() < 1e-12);
+        assert_eq!(s.sim_cycles, 200.0);
+        assert_eq!(s.sim_energy_nj, 5.0);
+        assert!((s.mean_sensitive_fraction.unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(s.p50_latency, Duration::from_millis(12));
+    }
+}

@@ -1,0 +1,197 @@
+//! Worker threads: each owns long-lived engines and executes batches.
+//!
+//! A worker keeps one engine instance *per model*, built lazily on the
+//! first batch it serves for that model. Keeping the engine alive across
+//! batches is what makes serving cheaper than per-request inference: the
+//! ODQ engine's fingerprinted quantized-weight cache quantizes each
+//! layer's weights once per worker, not once per request.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crossbeam::channel::Receiver;
+use odq_accel::{simulate_network, EnergyModel, LayerWorkload};
+use odq_nn::models::Model;
+use odq_tensor::Tensor;
+
+use crate::batcher::Batch;
+use crate::config::ServeConfig;
+use crate::engine::{EngineExec, EngineKind, Profiled};
+use crate::request::{InferResponse, RequestTiming, ServeError};
+use crate::stats::{BatchRecord, BatchSim, Ledger, RequestRecord};
+
+pub(crate) fn run(
+    rx: Receiver<Batch>,
+    models: Arc<HashMap<String, Model>>,
+    kind: EngineKind,
+    cfg: ServeConfig,
+    ledger: Arc<Mutex<Ledger>>,
+) {
+    let energy = EnergyModel::default();
+    let mut engines: HashMap<String, EngineExec> = HashMap::new();
+    while let Ok(batch) = rx.recv() {
+        serve_batch(batch, &models, kind, &cfg, &ledger, &mut engines, &energy);
+    }
+}
+
+fn serve_batch(
+    batch: Batch,
+    models: &HashMap<String, Model>,
+    kind: EngineKind,
+    cfg: &ServeConfig,
+    ledger: &Arc<Mutex<Ledger>>,
+    engines: &mut HashMap<String, EngineExec>,
+    energy: &EnergyModel,
+) {
+    // Last-chance deadline check: a batch can sit in the dispatch channel
+    // behind busy workers; anything already expired is answered as missed
+    // rather than burning a forward pass on it.
+    let now = Instant::now();
+    let (live, expired): (Vec<_>, Vec<_>) =
+        batch.items.into_iter().partition(|p| p.deadline.is_none_or(|d| d > now));
+    if !expired.is_empty() {
+        let mut led = ledger.lock().expect("ledger poisoned");
+        led.rejected_deadline += expired.len() as u64;
+        drop(led);
+        for p in expired {
+            let _ = p.resp.send(Err(ServeError::DeadlineExceeded));
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let batch = Batch { model: batch.model, items: live };
+
+    let n = batch.items.len();
+    let model = match models.get(&batch.model) {
+        Some(m) => m,
+        None => {
+            // Admission validates names; this can only mean a logic bug.
+            for p in batch.items {
+                let _ = p.resp.send(Err(ServeError::UnknownModel(batch.model.clone())));
+            }
+            return;
+        }
+    };
+
+    // Gather [1,C,H,W] inputs into one [N,C,H,W] tensor.
+    let per_image = batch.items[0].req.input.as_slice().len();
+    let mut data = Vec::with_capacity(n * per_image);
+    for p in &batch.items {
+        data.extend_from_slice(p.req.input.as_slice());
+    }
+    let mut dims = batch.items[0].req.input.dims().to_vec();
+    dims[0] = n;
+    let x = Tensor::from_vec(dims, data);
+
+    let exec = engines.entry(batch.model.clone()).or_insert_with(|| kind.build());
+    // Per-batch stats: clear any profile left from the previous batch.
+    match exec {
+        EngineExec::Odq(e) => e.reset_stats(),
+        EngineExec::Drq(e) => e.stats.clear(),
+        _ => {}
+    }
+
+    let start = Instant::now();
+    let mut prof = Profiled::new(exec);
+    let y = model.forward_eval(&x, &mut prof);
+    let service = start.elapsed();
+    let layer_geoms = std::mem::take(&mut prof.layers);
+
+    // Extract the batch's measured profile before responding.
+    let (sensitive_fraction, workloads) = profile(exec, &layer_geoms);
+    let sim = if cfg.simulate_accel && !workloads.is_empty() {
+        let accel = kind.accel_config();
+        let r = simulate_network(&accel, &workloads, energy);
+        Some(BatchSim {
+            config: accel.name,
+            cycles_per_image: r.total_cycles,
+            batch_cycles: r.total_cycles * n as f64,
+            time_s: r.time_s * n as f64,
+            energy_nj: r.energy.total_nj() * n as f64,
+        })
+    } else {
+        None
+    };
+
+    // Scatter output rows back to the requesters.
+    let classes = y.as_slice().len() / n;
+    let ys = y.as_slice();
+    let done = Instant::now();
+    let mut records = Vec::with_capacity(n);
+    for (i, p) in batch.items.into_iter().enumerate() {
+        let row = ys[i * classes..(i + 1) * classes].to_vec();
+        let timing = RequestTiming {
+            queue_wait: start.saturating_duration_since(p.enqueued),
+            service,
+            total: done.saturating_duration_since(p.enqueued),
+            batch_size: n,
+        };
+        records.push(RequestRecord {
+            model: batch.model.clone(),
+            queue_wait: timing.queue_wait,
+            service,
+            total: timing.total,
+            batch_size: n,
+        });
+        let _ = p
+            .resp
+            .send(Ok(InferResponse { output: Tensor::from_vec(vec![1, classes], row), timing }));
+    }
+
+    let mut led = ledger.lock().expect("ledger poisoned");
+    led.requests.extend(records);
+    led.batches.push(BatchRecord {
+        model: batch.model,
+        engine: kind.label(),
+        size: n,
+        service,
+        sensitive_fraction,
+        sim,
+    });
+}
+
+/// Turn the engine's per-pass measurements into simulator workloads.
+///
+/// ODQ supplies real per-(image, channel) sensitive counts; DRQ supplies
+/// per-layer high-precision MAC fractions; static/float engines run every
+/// output at full precision (fraction 1.0).
+fn profile(
+    exec: &mut EngineExec,
+    layer_geoms: &[(String, odq_tensor::ConvGeom)],
+) -> (Option<f64>, Vec<LayerWorkload>) {
+    match exec {
+        EngineExec::Odq(e) => {
+            let stats = e.stats.take();
+            let frac = stats.overall_sensitive_fraction();
+            let ws = stats
+                .layers
+                .iter()
+                .map(|l| LayerWorkload::from_channel_counts(&l.name, l.geom, &l.channel_counts))
+                .collect();
+            (Some(frac), ws)
+        }
+        EngineExec::Drq(e) => {
+            let ws = layer_geoms
+                .iter()
+                .map(|(name, geom)| {
+                    let frac = e
+                        .stats
+                        .iter()
+                        .find(|l| &l.name == name)
+                        .map_or(1.0, |l| l.hi_mac_fraction());
+                    LayerWorkload::uniform(name.clone(), *geom, frac)
+                })
+                .collect();
+            (None, ws)
+        }
+        EngineExec::Float(_) | EngineExec::Static(_) => {
+            let ws = layer_geoms
+                .iter()
+                .map(|(name, geom)| LayerWorkload::uniform(name.clone(), *geom, 1.0))
+                .collect();
+            (None, ws)
+        }
+    }
+}

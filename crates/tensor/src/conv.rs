@@ -210,13 +210,7 @@ pub fn max_pool2d(x: &Tensor, k: usize) -> (Tensor, Vec<u32>) {
 }
 
 /// Backward of [`max_pool2d`] using the saved argmax indices.
-pub fn max_pool2d_backward(
-    dy: &Tensor,
-    arg: &[u32],
-    k: usize,
-    in_h: usize,
-    in_w: usize,
-) -> Tensor {
+pub fn max_pool2d_backward(dy: &Tensor, arg: &[u32], k: usize, in_h: usize, in_w: usize) -> Tensor {
     let (n, c, oh, ow) = nchw(dy);
     assert_eq!(oh * k, in_h, "pool geometry mismatch");
     assert_eq!(ow * k, in_w, "pool geometry mismatch");

@@ -210,10 +210,7 @@ impl Tensor<f32> {
     /// Maximum absolute difference against another tensor of the same shape.
     pub fn max_abs_diff(&self, other: &Self) -> f32 {
         assert_eq!(self.shape, other.shape, "shape mismatch in max_abs_diff");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0f32, |m, (a, b)| m.max((a - b).abs()))
+        self.data.iter().zip(&other.data).fold(0.0f32, |m, (a, b)| m.max((a - b).abs()))
     }
 }
 

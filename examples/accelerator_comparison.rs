@@ -17,10 +17,12 @@ fn main() {
         Some("densenet") => Arch::DenseNet,
         _ => Arch::ResNet20,
     };
-    println!("workload: full-size {} on 32x32 inputs ({} conv layers, {:.1}M MACs/image)",
-             arch.name(),
-             arch.conv_geometries(32).len(),
-             arch.total_macs(32) as f64 / 1e6);
+    println!(
+        "workload: full-size {} on 32x32 inputs ({} conv layers, {:.1}M MACs/image)",
+        arch.name(),
+        arch.conv_geometries(32).len(),
+        arch.total_macs(32) as f64 / 1e6
+    );
 
     // Per-layer ODQ sensitive fractions: use a representative profile in the
     // paper's observed 8-50% range (bench binaries measure real profiles
@@ -36,8 +38,10 @@ fn main() {
         .collect();
 
     let em = EnergyModel::default();
-    println!("\n{:<8} {:>14} {:>10} {:>10} {:>12} {:>8}",
-             "config", "cycles", "time (us)", "idle PEs", "energy (uJ)", "norm.");
+    println!(
+        "\n{:<8} {:>14} {:>10} {:>10} {:>12} {:>8}",
+        "config", "cycles", "time (us)", "idle PEs", "energy (uJ)", "norm."
+    );
     let mut base_cycles = 0.0;
     let mut base_energy = 0.0;
     for cfg in AccelConfig::table2() {
@@ -46,13 +50,15 @@ fn main() {
             base_cycles = r.total_cycles;
             base_energy = r.energy.total_nj();
         }
-        println!("{:<8} {:>14.0} {:>10.1} {:>9.1}% {:>12.2} {:>8.3}",
-                 r.config,
-                 r.total_cycles,
-                 r.time_s * 1e6,
-                 100.0 * r.idle_fraction,
-                 r.energy.total_nj() / 1e3,
-                 r.total_cycles / base_cycles);
+        println!(
+            "{:<8} {:>14.0} {:>10.1} {:>9.1}% {:>12.2} {:>8.3}",
+            r.config,
+            r.total_cycles,
+            r.time_s * 1e6,
+            100.0 * r.idle_fraction,
+            r.energy.total_nj() / 1e3,
+            r.total_cycles / base_cycles
+        );
     }
 
     // Show ODQ's per-layer dynamic allocation decisions for a few layers.
@@ -60,12 +66,19 @@ fn main() {
     println!("\nODQ per-layer PE allocation (first 8 layers):");
     for l in odq.layers.iter().take(8) {
         let a = l.allocation.expect("odq allocation");
-        println!("  {:>4}: {:>2} predictor / {:>2} executor arrays, idle {:>4.1}%",
-                 l.name, a.predictor_arrays, a.executor_arrays, 100.0 * l.idle_fraction);
+        println!(
+            "  {:>4}: {:>2} predictor / {:>2} executor arrays, idle {:>4.1}%",
+            l.name,
+            a.predictor_arrays,
+            a.executor_arrays,
+            100.0 * l.idle_fraction
+        );
     }
-    println!("\nenergy breakdown for ODQ: DRAM {:.1}% / Buffer {:.1}% / Cores {:.1}%",
-             100.0 * odq.energy.dram_nj / odq.energy.total_nj(),
-             100.0 * odq.energy.buffer_nj / odq.energy.total_nj(),
-             100.0 * odq.energy.cores_nj / odq.energy.total_nj());
+    println!(
+        "\nenergy breakdown for ODQ: DRAM {:.1}% / Buffer {:.1}% / Cores {:.1}%",
+        100.0 * odq.energy.dram_nj / odq.energy.total_nj(),
+        100.0 * odq.energy.buffer_nj / odq.energy.total_nj(),
+        100.0 * odq.energy.cores_nj / odq.energy.total_nj()
+    );
     let _ = base_energy;
 }

@@ -71,9 +71,11 @@ fn main() {
     // Checkpoint round-trip through the ODQW format.
     let path = std::env::temp_dir().join("custom_cnn.odqw");
     odq::nn::serialize::save_model(&mut model, &path).expect("save");
-    println!("checkpoint saved to {} ({} bytes)",
-             path.display(),
-             std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0));
+    println!(
+        "checkpoint saved to {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+    );
 
     // ODQ inference. A custom network's layers have very different output
     // scales, so use the per-layer threshold search (the extension beyond
@@ -97,8 +99,12 @@ fn main() {
     let mut engine = OdqEngine::with_per_layer(map, mean_thr);
     let acc_odq = evaluate(&model, &test.images, &test.labels, 24, &mut engine);
 
-    println!("\nfloat accuracy {:.1}%   ODQ accuracy {:.1}% ({} search trial(s))",
-             100.0 * acc_float, 100.0 * acc_odq, trials.len());
+    println!(
+        "\nfloat accuracy {:.1}%   ODQ accuracy {:.1}% ({} search trial(s))",
+        100.0 * acc_float,
+        100.0 * acc_odq,
+        trials.len()
+    );
     for l in &engine.stats.layers {
         println!("  {:>3}: {:4.1}% insensitive", l.name, 100.0 * l.insensitive_fraction());
     }

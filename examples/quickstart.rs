@@ -19,8 +19,12 @@ fn main() {
     // 1. Synthetic 10-class dataset (stand-in for CIFAR-10; see DESIGN.md).
     let spec = SynthSpec::cifar10(12);
     let (train, test) = spec.generate_split(280, 120);
-    println!("dataset: {} train / {} test images of {:?}", train.len(), test.len(),
-             train.images.dims());
+    println!(
+        "dataset: {} train / {} test images of {:?}",
+        train.len(),
+        test.len(),
+        train.images.dims()
+    );
 
     // 2. Build a width-scaled ResNet-20 and train it: float epochs, then
     //    4-bit quantization-aware fine-tuning (the paper's DoReFa setup).
@@ -54,13 +58,23 @@ fn main() {
     let mut odq_engine = OdqEngine::new(thr);
     let acc_odq = evaluate(&model, &test.images, &test.labels, 24, &mut odq_engine);
 
-    println!("\nTop-1 accuracy:  float {:.1}%   INT4 static {:.1}%   ODQ {:.1}%",
-             100.0 * acc_float, 100.0 * acc_int4, 100.0 * acc_odq);
+    println!(
+        "\nTop-1 accuracy:  float {:.1}%   INT4 static {:.1}%   ODQ {:.1}%",
+        100.0 * acc_float,
+        100.0 * acc_int4,
+        100.0 * acc_odq
+    );
     println!("ODQ threshold {thr:.3}; per-layer insensitive fractions (skipped executor work):");
     for layer in &odq_engine.stats.layers {
-        println!("  {:>4}: {:5.1}% insensitive  ({} outputs)",
-                 layer.name, 100.0 * layer.insensitive_fraction(), layer.total_outputs);
+        println!(
+            "  {:>4}: {:5.1}% insensitive  ({} outputs)",
+            layer.name,
+            100.0 * layer.insensitive_fraction(),
+            layer.total_outputs
+        );
     }
-    println!("overall: {:.1}% of output features skipped the high-precision pass",
-             100.0 * (1.0 - odq_engine.stats.overall_sensitive_fraction()));
+    println!(
+        "overall: {:.1}% of output features skipped the high-precision pass",
+        100.0 * (1.0 - odq_engine.stats.overall_sensitive_fraction())
+    );
 }

@@ -54,8 +54,12 @@ fn main() {
     println!("\nINT4 static baseline accuracy: {:.1}%", 100.0 * result.baseline_accuracy);
     println!("{:<12} {:>12} {:>22}", "threshold", "ODQ acc %", "insensitive outputs %");
     for t in &result.trials {
-        println!("{:<12.4} {:>12.1} {:>22.1}",
-                 t.threshold, 100.0 * t.accuracy, 100.0 * t.insensitive_fraction);
+        println!(
+            "{:<12.4} {:>12.1} {:>22.1}",
+            t.threshold,
+            100.0 * t.accuracy,
+            100.0 * t.insensitive_fraction
+        );
     }
     println!(
         "\nselected threshold {:.4} ({}; {} trial(s))",

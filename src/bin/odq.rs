@@ -91,11 +91,14 @@ fn cmd_train(args: &Args) -> ExitCode {
     let (train, test) = spec.generate_split(n_train, n_train / 2);
     let mut rng = init_rng(args.usize("seed", 7) as u64 ^ 0x5EED);
     let params = model.param_count();
-    println!("training {} ({params} params) for {epochs} float + {} QAT epochs...",
-             model.name, epochs.div_ceil(2));
+    println!(
+        "training {} ({params} params) for {epochs} float + {} QAT epochs...",
+        model.name,
+        epochs.div_ceil(2)
+    );
     for e in 0..epochs {
-        let loss = train_epoch(&mut model, &train.images, &train.labels, 24,
-                               &SgdCfg::default(), &mut rng);
+        let loss =
+            train_epoch(&mut model, &train.images, &train.labels, 24, &SgdCfg::default(), &mut rng);
         println!("  epoch {e}: loss {loss:.3}");
     }
     model.set_qat(Some(QatCfg::int4()));

@@ -1,0 +1,183 @@
+//! serve_bench — drive the odq-serve subsystem with a mixed-model load.
+//!
+//! Registers scaled ResNet-20 (3×16×16 CIFAR-shaped inputs) and LeNet-5
+//! (1×16×16 MNIST-shaped inputs) behind one server and measures:
+//!
+//! * **closed loop** — a fixed number of in-flight requests, peak
+//!   sustainable throughput;
+//! * **open loop** — Poisson arrivals at a target rate with per-request
+//!   deadlines, showing admission-control rejections and deadline misses.
+//!
+//! Both phases report throughput, p50/p99 latency, mean batch size,
+//! rejections, and the per-batch simulated accelerator cost (cycles and
+//! energy on the engine's Table 2 configuration).
+//!
+//! ```sh
+//! cargo run --release --bin serve_bench -- \
+//!     [--engine odq|drq|int8|int16|float] [--workers N] [--requests N] \
+//!     [--max-batch N] [--rate RPS] [--seed S]
+//! ```
+
+use std::time::Duration;
+
+use odq::nn::models::{Model, ModelCfg};
+use odq::nn::Arch;
+use odq::serve::{
+    run_closed_loop, run_open_loop, EngineKind, LoadReport, LoadSpec, ServeConfig, Server,
+};
+
+struct Args {
+    engine: EngineKind,
+    workers: usize,
+    requests: usize,
+    max_batch: usize,
+    rate: f64,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        engine: EngineKind::Odq { threshold: 0.3 },
+        workers: 2,
+        requests: 96,
+        max_batch: 8,
+        rate: 400.0,
+        seed: 42,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("missing value for {flag}"));
+        match flag.as_str() {
+            "--engine" => {
+                args.engine = match val().as_str() {
+                    "odq" => EngineKind::Odq { threshold: 0.3 },
+                    "drq" => EngineKind::Drq { input_threshold: 0.1 },
+                    "int8" => EngineKind::Static { bits: 8 },
+                    "int16" => EngineKind::Static { bits: 16 },
+                    "float" => EngineKind::Float,
+                    other => panic!("unknown engine {other:?}"),
+                }
+            }
+            "--workers" => args.workers = val().parse().expect("--workers"),
+            "--requests" => args.requests = val().parse().expect("--requests"),
+            "--max-batch" => args.max_batch = val().parse().expect("--max-batch"),
+            "--rate" => args.rate = val().parse().expect("--rate"),
+            "--seed" => args.seed = val().parse().expect("--seed"),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    args
+}
+
+fn build_models() -> (Model, Model) {
+    let resnet = Model::build(ModelCfg::small(Arch::ResNet20, 10));
+    let mut lenet_cfg = ModelCfg::small(Arch::LeNet5, 10);
+    lenet_cfg.in_channels = 1;
+    let lenet = Model::build(lenet_cfg);
+    (resnet, lenet)
+}
+
+fn start_server(a: &Args) -> Server {
+    let cfg = ServeConfig {
+        queue_depth: 64,
+        max_batch: a.max_batch,
+        max_wait: Duration::from_millis(2),
+        workers: a.workers,
+        default_deadline: None,
+        simulate_accel: true,
+    };
+    let (resnet, lenet) = build_models();
+    Server::builder(cfg).engine(a.engine).model("resnet20", resnet).model("lenet5", lenet).start()
+}
+
+fn specs() -> Vec<LoadSpec> {
+    vec![
+        LoadSpec { model: "resnet20".into(), in_channels: 3, hw: 16, weight: 0.6 },
+        LoadSpec { model: "lenet5".into(), in_channels: 1, hw: 16, weight: 0.4 },
+    ]
+}
+
+fn print_phase(name: &str, r: &LoadReport, server: &Server) {
+    let s = server.stats();
+    println!("\n== {name} ==");
+    println!(
+        "{:<26} {:>10.1} req/s  ({} completed in {:.2}s)",
+        "throughput",
+        r.throughput(),
+        r.completed,
+        r.elapsed.as_secs_f64()
+    );
+    println!(
+        "{:<26} p50 {:>8.2} ms   p99 {:>8.2} ms",
+        "latency",
+        r.latency_percentile(0.50).as_secs_f64() * 1e3,
+        r.latency_percentile(0.99).as_secs_f64() * 1e3
+    );
+    println!("{:<26} {:>10.2}", "mean batch size", s.mean_batch_size);
+    println!(
+        "{:<26} {:>10} queue-full   {:>6} deadline",
+        "rejections", s.rejected_queue_full, s.rejected_deadline
+    );
+    if let Some(f) = s.mean_sensitive_fraction {
+        println!("{:<26} {:>10.3}", "mean sensitive fraction", f);
+    }
+    if s.batches > 0 && s.sim_cycles > 0.0 {
+        println!(
+            "{:<26} {:>10.0} cycles/batch   {:>8.1} uJ/batch",
+            "simulated accel (mean)",
+            s.sim_cycles / s.batches as f64,
+            s.sim_energy_nj / s.batches as f64 / 1e3
+        );
+    }
+}
+
+fn main() {
+    let a = parse_args();
+    println!(
+        "serve_bench: engine={} workers={} requests={} max_batch={} rate={} seed={}",
+        a.engine.label(),
+        a.workers,
+        a.requests,
+        a.max_batch,
+        a.rate,
+        a.seed
+    );
+    println!("models: resnet20 (3x16x16, 60% of load), lenet5 (1x16x16, 40% of load)");
+
+    // Phase 1: closed loop at 4x max_batch concurrency.
+    let server = start_server(&a);
+    let closed = run_closed_loop(&server, &specs(), a.requests, 4 * a.max_batch, a.seed);
+    print_phase("closed loop", &closed, &server);
+    let sum = server.shutdown();
+    assert_eq!(
+        sum.completed + sum.rejected_deadline,
+        closed.completed + closed.deadline_missed,
+        "ledger and load report must agree"
+    );
+
+    // Phase 2: open loop at the offered rate, 50 ms deadlines.
+    let server = start_server(&a);
+    let open = run_open_loop(
+        &server,
+        &specs(),
+        a.requests,
+        a.rate,
+        Some(Duration::from_millis(50)),
+        a.seed + 1,
+    );
+    print_phase(&format!("open loop @ {:.0} req/s", a.rate), &open, &server);
+    if open.rejected > 0 || open.deadline_missed > 0 {
+        println!(
+            "{:<26} {:>10} rejected   {:>6} missed deadline",
+            "load-shedding", open.rejected, open.deadline_missed
+        );
+    }
+    let _ = server.shutdown();
+
+    // Per-batch ledger sample.
+    println!(
+        "\ndone: closed-loop {} req/s, open-loop {} req/s",
+        closed.throughput() as u64,
+        open.throughput() as u64
+    );
+}

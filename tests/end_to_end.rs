@@ -98,9 +98,7 @@ fn engine_sensitive_fraction_tracks_accelerator_work() {
             .stats
             .layers
             .iter()
-            .map(|l| {
-                LayerWorkload::from_channel_counts(l.name.clone(), l.geom, &l.channel_counts)
-            })
+            .map(|l| LayerWorkload::from_channel_counts(l.name.clone(), l.geom, &l.channel_counts))
             .collect();
         cycles.push(simulate_network(&AccelConfig::odq(), &workloads, &em).total_cycles);
     }
@@ -119,11 +117,7 @@ fn all_architectures_run_under_odq() {
             cfg.in_channels = 1;
         }
         let model = Model::build(cfg);
-        let spec = if arch == Arch::LeNet5 {
-            SynthSpec::mnist(8)
-        } else {
-            SynthSpec::cifar10(8)
-        };
+        let spec = if arch == Arch::LeNet5 { SynthSpec::mnist(8) } else { SynthSpec::cifar10(8) };
         let data = spec.generate(4);
         let mut engine = OdqEngine::new(0.3);
         let y = model.forward_eval(&data.images, &mut engine);

@@ -2,9 +2,7 @@
 
 use odq::core::{odq_conv2d, OdqCfg};
 use odq::quant::qconv::{combine_planes, qconv2d_codes, qconv2d_planes, receptive_sums};
-use odq::quant::{
-    join_planes, quantize_activation, quantize_weights, split_codes, split_qtensor,
-};
+use odq::quant::{join_planes, quantize_activation, quantize_weights, split_codes, split_qtensor};
 use odq::tensor::im2col::{col2im, im2col};
 use odq::tensor::{ConvGeom, Tensor};
 use proptest::prelude::*;

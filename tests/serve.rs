@@ -1,0 +1,164 @@
+//! Serving-subsystem integration properties.
+//!
+//! 1. **Batching invariance** — whatever way the micro-batcher interleaves
+//!    and coalesces requests, every response is *element-wise identical*
+//!    (exact f32 equality, not approximate) to running that input alone
+//!    through a fresh engine. This holds because convolution is per-sample
+//!    im2col/GEMM and every quantization scale is batch-independent.
+//! 2. **Graceful shutdown** — shutting down immediately after a burst
+//!    drains the queue: every admitted request gets exactly one response,
+//!    none lost, none fabricated.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use odq::core::engine::OdqEngine;
+use odq::nn::executor::{ConvExecutor, FloatConvExecutor, StaticQuantExecutor};
+use odq::nn::models::{Model, ModelCfg};
+use odq::nn::Arch;
+use odq::serve::{EngineKind, InferRequest, ServeConfig, Server};
+use odq::tensor::Tensor;
+
+fn build_models() -> (Model, Model) {
+    let mut r_cfg = ModelCfg::small(Arch::ResNet20, 10);
+    r_cfg.input_hw = 8;
+    let resnet = Model::build(r_cfg);
+    let mut l_cfg = ModelCfg::small(Arch::LeNet5, 10);
+    l_cfg.input_hw = 8;
+    l_cfg.in_channels = 1;
+    let lenet = Model::build(l_cfg);
+    (resnet, lenet)
+}
+
+fn random_image(rng: &mut ChaCha8Rng, channels: usize, hw: usize) -> Tensor {
+    let v: Vec<f32> = (0..channels * hw * hw).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+    Tensor::from_vec(vec![1, channels, hw, hw], v)
+}
+
+fn solo_engine(kind: u8) -> Box<dyn ConvExecutor> {
+    match kind {
+        0 => Box::new(FloatConvExecutor),
+        1 => Box::new(StaticQuantExecutor::int(8)),
+        _ => Box::new(OdqEngine::new(0.3)),
+    }
+}
+
+fn serve_engine(kind: u8) -> EngineKind {
+    match kind {
+        0 => EngineKind::Float,
+        1 => EngineKind::Static { bits: 8 },
+        _ => EngineKind::Odq { threshold: 0.3 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any interleaving of requests across two models, any batch size and
+    /// worker count, any engine: batched output == solo output, exactly.
+    #[test]
+    fn batched_outputs_identical_to_solo(
+        seed in 0u64..1_000_000,
+        n_requests in 1usize..14,
+        max_batch in 1usize..6,
+        workers in 1usize..4,
+        engine_kind in 0u8..3,
+    ) {
+        let (resnet, lenet) = build_models();
+        let server = Server::builder(ServeConfig {
+            queue_depth: 64,
+            max_batch,
+            max_wait: Duration::from_micros(300),
+            workers,
+            default_deadline: None,
+            simulate_accel: false,
+        })
+        .engine(serve_engine(engine_kind))
+        .model("resnet", resnet)
+        .model("lenet", lenet)
+        .start();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut submitted = Vec::new();
+        for _ in 0..n_requests {
+            let (name, channels) = if rng.gen_bool(0.5) { ("resnet", 3) } else { ("lenet", 1) };
+            let img = random_image(&mut rng, channels, 8);
+            let h = server
+                .submit(InferRequest::new(name, img.clone()))
+                .expect("queue_depth covers the burst");
+            submitted.push((name, img, h));
+        }
+
+        // Solo references: a fresh engine per request.
+        let (resnet, lenet) = build_models();
+        for (name, img, h) in submitted {
+            let resp = h.wait().expect("no deadlines, no rejects");
+            let model = if name == "resnet" { &resnet } else { &lenet };
+            let expect = model.forward_eval(&img, &mut *solo_engine(engine_kind));
+            prop_assert_eq!(resp.output.dims(), expect.dims());
+            let got = resp.output.as_slice();
+            let want = expect.as_slice();
+            for (i, (g, w)) in got.iter().zip(want).enumerate() {
+                prop_assert!(
+                    g.to_bits() == w.to_bits(),
+                    "elem {} differs: batched {} vs solo {} (batch of {})",
+                    i, g, w, resp.timing.batch_size
+                );
+            }
+        }
+        server.shutdown();
+    }
+
+    /// Submit a burst and shut down immediately: every admitted request is
+    /// answered exactly once, and the ledger agrees.
+    #[test]
+    fn shutdown_drains_without_losing_or_duplicating(
+        seed in 0u64..1_000_000,
+        n_requests in 1usize..20,
+        max_batch in 1usize..6,
+        workers in 1usize..4,
+    ) {
+        let (resnet, lenet) = build_models();
+        let server = Server::builder(ServeConfig {
+            queue_depth: 64,
+            max_batch,
+            // Longer than the test: batches flush by size or by drain.
+            max_wait: Duration::from_secs(5),
+            workers,
+            default_deadline: None,
+            simulate_accel: false,
+        })
+        .engine(EngineKind::Float)
+        .model("resnet", resnet)
+        .model("lenet", lenet)
+        .start();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let handles: Vec<_> = (0..n_requests)
+            .map(|_| {
+                let (name, channels) = if rng.gen_bool(0.5) { ("resnet", 3) } else { ("lenet", 1) };
+                server
+                    .submit(InferRequest::new(name, random_image(&mut rng, channels, 8)))
+                    .expect("queue_depth covers the burst")
+            })
+            .collect();
+
+        let summary = server.shutdown();
+        prop_assert_eq!(summary.completed, n_requests as u64, "ledger counts every request");
+
+        for h in handles {
+            // Exactly one response per handle: the first wait succeeds...
+            let first = h.try_wait().expect("drained before shutdown returned");
+            prop_assert!(first.is_ok(), "no deadline was set: {:?}", first.err());
+            // ...and the response slot is now empty and disconnected.
+            prop_assert!(matches!(
+                h.try_wait(),
+                None | Some(Err(odq::serve::ServeError::WorkerLost))
+            ));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group`/`bench_with_input`/`finish`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros —
+//! with a simple wall-clock measurement loop (a short warmup, then enough
+//! iterations to cover a minimum measuring window) instead of criterion's
+//! statistical machinery. Output is one `name ... time/iter` line per
+//! bench.
+
+#![allow(clippy::all)]
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Bench registry / runner.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { measure_for: Duration::from_millis(200) }
+    }
+}
+
+/// Handed to bench closures; `iter` runs and times the workload.
+pub struct Bencher {
+    measure_for: Duration,
+    /// Measured nanoseconds per iteration, after `iter` returns.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, keeping its output alive via `black_box`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: one timed call.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.measure_for.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.ns_per_iter = t1.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher { measure_for: self.measure_for, ns_per_iter: 0.0 };
+        f(&mut b);
+        println!("{name:<48} {:>12}/iter", human_time(b.ns_per_iter));
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.to_string() }
+    }
+}
+
+/// Identifier for parameterized benches.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { text: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { text: parameter.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.c.run_one(&full, &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.text);
+        self.c.run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (formatting no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion { measure_for: Duration::from_millis(5) };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_and_ids() {
+        let mut c = Criterion { measure_for: Duration::from_millis(2) };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("a", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter("p=3"), &3u32, |b, &p| b.iter(|| p * 2));
+        group.finish();
+        assert_eq!(BenchmarkId::new("n", 7).text, "n/7");
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides [`channel`]: multi-producer multi-consumer channels with the
+//! `crossbeam-channel` API surface this workspace uses (`bounded`,
+//! `unbounded`, `try_send`, `recv_timeout`, disconnect semantics). The
+//! implementation is a mutex + condvar queue rather than crossbeam's
+//! lock-free design — correctness and API compatibility over raw speed,
+//! which is ample for the request granularity of `odq-serve` (whole DNN
+//! inferences, not individual messages per microsecond).
+
+#![allow(clippy::all)]
+pub mod channel;

@@ -1,0 +1,142 @@
+//! Offline stand-in for `rand_chacha`: a real ChaCha8 stream cipher used
+//! as an RNG. The keystream follows RFC 7539's block function with 8
+//! rounds; output word order may differ from upstream `rand_chacha`, so
+//! streams are reproducible *within* this workspace (same seed → same
+//! stream, forever) but not guaranteed to match the real crate's.
+
+#![allow(clippy::all)]
+use rand::{RngCore, SeedableRng};
+
+/// Re-export of the core RNG traits under the path upstream `rand_chacha`
+/// exposes them at (`rand_chacha::rand_core::SeedableRng`, ...).
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+/// ChaCha quarter round.
+#[inline]
+fn qr(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// The ChaCha8 random number generator: 256-bit key, 64-bit block counter,
+/// 8 rounds per 64-byte block.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    idx: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut s: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let init = s;
+        for _ in 0..4 {
+            // One double round: 4 column + 4 diagonal quarter rounds.
+            qr(&mut s, 0, 4, 8, 12);
+            qr(&mut s, 1, 5, 9, 13);
+            qr(&mut s, 2, 6, 10, 14);
+            qr(&mut s, 3, 7, 11, 15);
+            qr(&mut s, 0, 5, 10, 15);
+            qr(&mut s, 1, 6, 11, 12);
+            qr(&mut s, 2, 7, 8, 13);
+            qr(&mut s, 3, 4, 9, 14);
+        }
+        for (o, i) in s.iter_mut().zip(init.iter()) {
+            *o = o.wrapping_add(*i);
+        }
+        self.buf = s;
+        self.idx = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        Self { key, counter: 0, buf: [0; 16], idx: 16 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let va: Vec<u32> = (0..40).map(|_| a.next_u32()).collect();
+        let vb: Vec<u32> = (0..40).map(|_| b.next_u32()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn mean_is_centered() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn clone_continues_identically() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..10 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,99 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build container is single-core and has no crates-io access, so the
+//! `par_*` entry points used by this workspace map onto ordinary sequential
+//! iterators. This keeps call sites source-compatible with real rayon
+//! (the returned types are the std iterators, which provide `enumerate`,
+//! `map`, `for_each`, `collect`, …) and keeps results bit-deterministic.
+//! Thread-level parallelism in this repository comes from `odq-serve`'s
+//! worker pool instead.
+
+#![allow(clippy::all)]
+use std::ops::Range;
+
+/// Mirror of rayon's prelude: bring the `par_*` extension traits in scope.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// `par_chunks_mut` / `par_chunks` on slices.
+pub trait ParallelSliceMut<T> {
+    /// Sequential equivalent of rayon's `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// Shared-slice counterpart.
+pub trait ParallelSlice<T> {
+    /// Sequential equivalent of rayon's `par_chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `into_par_iter` on ranges (and anything else iterable).
+pub trait IntoParallelIterator {
+    /// The underlying sequential iterator type.
+    type Iter;
+    /// Sequential equivalent of rayon's `into_par_iter`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = Range<usize>;
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_covers_all_elements() {
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn into_par_iter_collects() {
+        let sq: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(sq, [0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde models serialization through a visitor `Serializer`; the
+//! only consumer in this workspace is `serde_json`, so the stand-in takes
+//! the direct route: [`Serialize`] converts a value into a JSON [`Value`]
+//! tree, which `serde_json` formats or parses. `#[derive(Serialize)]` is
+//! provided by the vendored `serde_derive` proc-macro and generates
+//! field-by-field [`Value::Object`] construction (externally tagged for
+//! enums, matching real serde's default representation).
+
+#![allow(clippy::all)]
+pub use serde_derive::Serialize;
+
+/// A JSON value tree.
+///
+/// Object fields keep insertion order (like `serde_json` with its
+/// `preserve_order` feature); integers keep 64-bit precision rather than
+/// flowing through `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// As an array, if this is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// As a string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As `f64` (integers convert), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(v) => Some(*v as f64),
+            Value::U64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// As `u64`, if a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::I64(v) if *v >= 0 => Some(*v as u64),
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// As `i64`, if an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// As `bool`, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// `value["key"]`, yielding `Null` for missing keys or non-objects
+    /// (matching `serde_json`'s indexing behavior).
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Conversion into a [`Value`] tree — the stand-in's serialization trait.
+pub trait Serialize {
+    /// Build the JSON value for `self`.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as u64;
+                match i64::try_from(v) {
+                    Ok(i) => Value::I64(i),
+                    Err(_) => Value::U64(v),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )+};
+}
+impl_ser_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(3u8.to_value(), Value::I64(3));
+        assert_eq!((-2i16).to_value(), Value::I64(-2));
+        assert_eq!(u64::MAX.to_value(), Value::U64(u64::MAX));
+        assert_eq!(1.5f64.to_value(), Value::F64(1.5));
+        assert_eq!("x".to_value(), Value::String("x".into()));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        assert_eq!(
+            vec![(1u8, 2u64)].to_value(),
+            Value::Array(vec![Value::Array(vec![Value::I64(1), Value::I64(2)])])
+        );
+    }
+
+    #[test]
+    fn indexing_and_accessors() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::F64(0.5)),
+            ("b".into(), Value::Array(vec![Value::I64(7)])),
+        ]);
+        assert_eq!(v["a"].as_f64(), Some(0.5));
+        assert_eq!(v["b"][0].as_u64(), Some(7));
+        assert_eq!(v["missing"], Value::Null);
+        assert!(v["missing"].as_str().is_none());
+    }
+}

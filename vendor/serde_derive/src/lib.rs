@@ -1,0 +1,217 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the shapes this workspace uses —
+//! structs with named fields, and enums with named-field or unit variants —
+//! by walking the raw token stream (the container has no `syn`/`quote`).
+//! Generated impls build the vendored `serde::Value` tree; enums use the
+//! real serde's default externally-tagged representation.
+
+#![allow(clippy::all)]
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the vendored Value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = match ident_at(&tokens, pos) {
+        Some(k) if k == "struct" || k == "enum" => {
+            pos += 1;
+            k
+        }
+        other => panic!("derive(Serialize) stand-in: expected struct/enum, found {other:?}"),
+    };
+    let name = ident_at(&tokens, pos)
+        .unwrap_or_else(|| panic!("derive(Serialize) stand-in: missing type name"));
+    pos += 1;
+
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize) stand-in: generic types are not supported (type {name})");
+    }
+
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "derive(Serialize) stand-in: expected braced body for {name}, found {other:?} \
+             (tuple/unit structs are not supported)"
+        ),
+    };
+
+    let code = if kind == "struct" {
+        let fields = parse_named_fields(body);
+        gen_struct_impl(&name, &fields)
+    } else {
+        let variants = parse_variants(body);
+        gen_enum_impl(&name, &variants)
+    };
+    code.parse().expect("derive(Serialize) stand-in: generated code failed to parse")
+}
+
+fn ident_at(tokens: &[TokenTree], pos: usize) -> Option<String> {
+    match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Skip `#[...]` attributes (including expanded doc comments).
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match (tokens.get(*pos), tokens.get(*pos + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(ident_at(tokens, *pos).as_deref(), Some("pub")) {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Skip a type (after `:`) up to a top-level `,`, tracking `<`/`>` depth.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Field names of a named-field body (struct or enum-variant).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0usize;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let name = ident_at(&tokens, pos)
+            .unwrap_or_else(|| panic!("derive(Serialize) stand-in: expected field name"));
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("derive(Serialize) stand-in: expected ':' after {name}, got {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        pos += 1; // consume the ',' (or run off the end)
+        fields.push(name);
+    }
+    fields
+}
+
+enum VariantShape {
+    Unit,
+    Named(Vec<String>),
+}
+
+/// Variants of an enum body (named-field and unit shapes only).
+fn parse_variants(body: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0usize;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        let name = ident_at(&tokens, pos)
+            .unwrap_or_else(|| panic!("derive(Serialize) stand-in: expected variant name"));
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("derive(Serialize) stand-in: tuple variant {name} is not supported");
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip to the variant separator (covers `= disc` too).
+        while pos < tokens.len() {
+            if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push((name, shape));
+    }
+    variants
+}
+
+fn gen_struct_impl(name: &str, fields: &[String]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&self.{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         ::serde::Value::Object(::std::vec![{}])\n\
+         }}\n\
+         }}",
+        entries.join(", ")
+    )
+}
+
+fn gen_enum_impl(name: &str, variants: &[(String, VariantShape)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, shape)| match shape {
+            VariantShape::Unit => format!(
+                "{name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+            ),
+            VariantShape::Named(fields) => {
+                let binds = fields.join(", ");
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{v}\"), \
+                     ::serde::Value::Object(::std::vec![{}]))]),",
+                    entries.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{}\n}}\n\
+         }}\n\
+         }}",
+        arms.join("\n")
+    )
+}

@@ -1,0 +1,521 @@
+//! Offline stand-in for `serde_json`, covering the workspace's usage:
+//! [`to_string_pretty`], [`from_str`] into a [`Value`] tree, and the
+//! [`json!`] macro for object/array literals with expression values.
+
+#![allow(clippy::all)]
+pub use serde::Value;
+
+/// Parse or serialization failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize any [`serde::Serialize`] value to 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // Keep floats recognizable as floats on re-parse.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no Inf/NaN; real serde_json emits null here too.
+        out.push_str("null");
+    }
+}
+
+fn write_scalar(v: &Value, out: &mut String) -> bool {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(n) => write_number_f64(*n, out),
+        Value::String(s) => write_escaped(s, out),
+        _ => return false,
+    }
+    true
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    if write_scalar(v, out) {
+        return;
+    }
+    match v {
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+        _ => unreachable!("scalar already handled"),
+    }
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    if write_scalar(v, out) {
+        return;
+    }
+    let pad = "  ".repeat(indent + 1);
+    let close_pad = "  ".repeat(indent);
+    match v {
+        Value::Array(items) if items.is_empty() => out.push_str("[]"),
+        Value::Array(items) => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                write_pretty(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Value::Object(fields) if fields.is_empty() => out.push_str("{}"),
+        Value::Object(fields) => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                out.push_str(&pad);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+        _ => unreachable!("scalar already handled"),
+    }
+}
+
+/// Parse JSON text into a [`Value`].
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected '{}' at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::new(format!("unexpected {other:?} at byte {}", self.pos))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("bad \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(Error::new(format!("bad escape {other:?}"))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::new("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number '{text}'")))
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(Error::new(format!("expected , or ] got {other:?}"))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => return Err(Error::new(format!("expected , or }} got {other:?}"))),
+            }
+        }
+    }
+}
+
+/// Build a [`Value`] from an object/array literal with expression values:
+/// `json!({ "k": expr, "n": 1 + 2 })`, `json!([a, b])`, `json!(expr)`.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+/// Recursive token muncher behind [`json!`] — not part of the public API.
+/// Structured after the upstream crate's `json_internal!`: arrays and
+/// objects are consumed token-by-token so nested `{...}`/`[...]` literals
+/// work at any depth.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    //////////////////// arrays ////////////////////
+    // Done: emit the accumulated elements.
+    (@array [$($elems:expr,)*]) => { ::std::vec![$($elems,)*] };
+    // Next element is `null`.
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Null,] $($rest)*)
+    };
+    // Next element is a nested array.
+    (@array [$($elems:expr,)*] [$($inner:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($inner)*]),] $($rest)*)
+    };
+    // Next element is a nested object.
+    (@array [$($elems:expr,)*] {$($inner:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($inner)*}),] $($rest)*)
+    };
+    // Next element is an expression followed by a comma.
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::to_value(&$next),] $($rest)*)
+    };
+    // Last element, no trailing comma.
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::to_value(&$last),])
+    };
+    // Comma separating elements already wrapped.
+    (@array [$($elems:expr,)*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    //////////////////// objects ////////////////////
+    // Done.
+    (@object $object:ident () () ()) => {};
+    // Insert the finished entry, trailing comma: keep munching.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        $object.push((::std::string::String::from($($key)+), $value));
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    // Insert the last entry, no trailing comma.
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        $object.push((::std::string::String::from($($key)+), $value));
+    };
+    // Value for the current key is `null`.
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::Value::Null) $($rest)*);
+    };
+    // Value is a nested array.
+    (@object $object:ident ($($key:tt)+) (: [$($inner:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!([$($inner)*])) $($rest)*
+        );
+    };
+    // Value is a nested object.
+    (@object $object:ident ($($key:tt)+) (: {$($inner:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!({$($inner)*})) $($rest)*
+        );
+    };
+    // Value is an expression followed by a comma.
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::to_value(&$value)) , $($rest)*);
+    };
+    // Value is the last expression, no trailing comma.
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::to_value(&$value)));
+    };
+    // Munch one token into the current key.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    //////////////////// entry points ////////////////////
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_internal!(@array [] $($tt)+)) };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+                ::std::vec::Vec::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Convert any serializable value into a [`Value`] (used by [`json!`]).
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_pretty() {
+        let v = json!({
+            "name": "resnet20",
+            "acc": 0.5,
+            "n": 3u32,
+            "flag": true,
+            "items": [1u8, 2u8],
+        });
+        let s = to_string_pretty(&v).unwrap();
+        let back = from_str(&s).unwrap();
+        assert_eq!(back["name"].as_str(), Some("resnet20"));
+        assert_eq!(back["acc"].as_f64(), Some(0.5));
+        assert_eq!(back["n"].as_u64(), Some(3));
+        assert_eq!(back["flag"].as_bool(), Some(true));
+        assert_eq!(back["items"].as_array().map(|a| a.len()), Some(2));
+    }
+
+    #[test]
+    fn json_macro_nests() {
+        let acc = 0.75f64;
+        let v = json!({
+            "global": {"acc": acc, "insensitive": 0.5},
+            "rows": [{"n": 1u32}, {"n": 2u32}],
+            "matrix": [[1u8, 2u8], [3u8]],
+            "none": null,
+            "trailing": [1u8, 2u8,],
+        });
+        assert_eq!(v["global"]["acc"].as_f64(), Some(0.75));
+        assert_eq!(v["global"]["insensitive"].as_f64(), Some(0.5));
+        assert_eq!(v["rows"][1]["n"].as_u64(), Some(2));
+        assert_eq!(v["matrix"][0].as_array().map(|a| a.len()), Some(2));
+        assert!(matches!(v["none"], Value::Null));
+        assert_eq!(v["trailing"].as_array().map(|a| a.len()), Some(2));
+        // Round-trips through the printer/parser.
+        let back = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(back["rows"][0]["n"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn parses_nested_and_escapes() {
+        let v = from_str(r#"{"a": [{"b": "x\ny"}, null], "c": -2.5e1}"#).unwrap();
+        assert_eq!(v["a"][0]["b"].as_str(), Some("x\ny"));
+        assert_eq!(v["a"][1], Value::Null);
+        assert_eq!(v["c"].as_f64(), Some(-25.0));
+    }
+
+    #[test]
+    fn float_formatting_reparses_as_float() {
+        let s = to_string(&2.0f64).unwrap();
+        assert_eq!(s, "2.0");
+        assert_eq!(from_str(&s).unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("{invalid}").is_err());
+        assert!(from_str("[1, 2").is_err());
+        assert!(from_str("1 2").is_err());
+    }
+}
