@@ -1,9 +1,14 @@
 //! Microbenchmarks for the compute kernels underlying every experiment:
-//! float/integer GEMM, im2col lowering, and quantization.
+//! float/integer GEMM, im2col lowering, quantization, and the planned vs
+//! per-call ODQ convolution drivers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use odq_core::{odq_conv2d, odq_conv2d_planned, OdqCfg};
+use odq_quant::plan::{PlanSpec, QConvPlan};
+use odq_quant::quantize_activation;
 use odq_tensor::gemm::{gemm_f32, gemm_i16_i32};
 use odq_tensor::im2col::im2col;
+use odq_tensor::workspace::WorkspacePool;
 use odq_tensor::{ConvGeom, Tensor};
 
 fn bench_gemm(c: &mut Criterion) {
@@ -42,5 +47,35 @@ fn bench_quantize(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gemm, bench_im2col, bench_quantize);
+/// Per-call ODQ conv (quantize + split weights and lower three times on
+/// every call) against the planned driver (prepacked `QConvPlan`, pooled
+/// scratch, one lowering per image) on one ResNet-style layer.
+fn bench_conv_plan(c: &mut Criterion) {
+    let g = ConvGeom::new(16, 16, 16, 16, 3, 1, 1);
+    let n = 4;
+    let x = Tensor::from_vec(
+        g.input_shape(n),
+        (0..n * 16 * 256).map(|i| (i % 100) as f32 / 100.0).collect::<Vec<_>>(),
+    );
+    let w = Tensor::from_vec(
+        g.weight_shape(),
+        (0..16 * 16 * 9).map(|i| (i % 200) as f32 / 100.0 - 1.0).collect::<Vec<_>>(),
+    );
+    let cfg = OdqCfg::int4(0.3);
+
+    let mut grp = c.benchmark_group("odq_conv 16x16x16 k3 n4");
+    grp.bench_function("per-call", |bch| bch.iter(|| odq_conv2d(&x, &w, None, &g, &cfg)));
+
+    let plan = QConvPlan::build(&w, PlanSpec::odq(cfg.w_bits, cfg.low_bits));
+    let pool = WorkspacePool::new();
+    grp.bench_function("planned", |bch| {
+        bch.iter(|| {
+            let qx = quantize_activation(&x, cfg.a_bits, cfg.a_clip);
+            odq_conv2d_planned(&qx, &plan, None, &g, &cfg, &pool)
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_im2col, bench_quantize, bench_conv_plan);
 criterion_main!(benches);

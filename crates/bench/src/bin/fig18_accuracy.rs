@@ -27,7 +27,7 @@ fn main() {
             // INT16 static baseline (activation codes capped at 15 bits by
             // the unsigned i16 representation; indistinguishable from FP32
             // at these scales).
-            let mut int16 = StaticQuantExecutor { w_bits: 16, a_bits: 15, a_clip: 1.0 };
+            let mut int16 = StaticQuantExecutor::with_bits(16, 15, 1.0);
             let acc16 = evaluate(&model, t.0, t.1, scale.batch, &mut int16);
             let mut int8 = StaticQuantExecutor::int(8);
             let acc8 = evaluate(&model, t.0, t.1, scale.batch, &mut int8);

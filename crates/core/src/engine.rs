@@ -1,12 +1,13 @@
 //! [`OdqEngine`] — run whole models under ODQ.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use odq_nn::executor::{ConvCtx, ConvExecutor};
-use odq_quant::{quantize_weights, QTensor};
+use odq_quant::plan::{PlanCache, PlanSpec};
 use odq_tensor::Tensor;
 
-use crate::odq_conv::{odq_conv2d_quantized, OdqCfg};
+use crate::odq_conv::{odq_conv2d_planned, odq_conv2d_sparse_planned, OdqCfg};
 use crate::stats::{LayerStats, OdqStats};
 
 /// Threshold policy: one global value (the paper's choice — "we use the
@@ -55,19 +56,28 @@ pub struct OdqEngine {
     pub sparse: bool,
     /// Accumulated statistics.
     pub stats: OdqStats,
-    weight_cache: HashMap<String, (u64, QTensor)>,
+    plans: Arc<PlanCache>,
+    stats_index: HashMap<String, usize>,
 }
 
 impl OdqEngine {
     /// Engine with a global threshold and the 4/2-bit configuration.
     pub fn new(threshold: f32) -> Self {
+        Self::with_plan_cache(threshold, Arc::new(PlanCache::new()))
+    }
+
+    /// Engine with a global threshold sharing an existing plan cache —
+    /// several engines (e.g. a serve worker fleet) pointed at one cache
+    /// quantize and bit-split each layer's weights exactly once.
+    pub fn with_plan_cache(threshold: f32, plans: Arc<PlanCache>) -> Self {
         Self {
             cfg: OdqCfg::int4(threshold),
             policy: ThresholdPolicy::Global(threshold),
             record: true,
             sparse: false,
             stats: OdqStats::default(),
-            weight_cache: HashMap::new(),
+            plans,
+            stats_index: HashMap::new(),
         }
     }
 
@@ -79,76 +89,64 @@ impl OdqEngine {
             record: true,
             sparse: false,
             stats: OdqStats::default(),
-            weight_cache: HashMap::new(),
+            plans: Arc::new(PlanCache::new()),
+            stats_index: HashMap::new(),
         }
     }
 
-    /// Drop cached quantized weights (call if model weights changed).
+    /// The shared plan cache (prepacked weights + workspace pool).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plans
+    }
+
+    /// Drop cached layer plans (call if model weights changed — though the
+    /// cache also self-invalidates via its full-content fingerprint).
     pub fn invalidate_weights(&mut self) {
-        self.weight_cache.clear();
+        self.plans.invalidate();
     }
 
     /// Clear accumulated statistics.
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+        self.stats_index.clear();
     }
 
     fn stats_entry(&mut self, ctx: &ConvCtx<'_>) -> &mut LayerStats {
-        if let Some(pos) = self.stats.layers.iter().position(|l| l.name == ctx.name) {
-            &mut self.stats.layers[pos]
-        } else {
-            self.stats.layers.push(LayerStats::new(ctx.name, ctx.geom));
-            self.stats.layers.last_mut().expect("just pushed")
+        // The index is advisory: callers may drain `stats` directly (the
+        // serve worker calls `stats.take()`), so validate before trusting
+        // it and rebuild the entry when it no longer points at `ctx.name`.
+        if let Some(&i) = self.stats_index.get(ctx.name) {
+            if self.stats.layers.get(i).is_some_and(|l| l.name == ctx.name) {
+                return &mut self.stats.layers[i];
+            }
         }
+        let idx = match self.stats.layers.iter().position(|l| l.name == ctx.name) {
+            Some(pos) => pos,
+            None => {
+                self.stats.layers.push(LayerStats::new(ctx.name, ctx.geom));
+                self.stats.layers.len() - 1
+            }
+        };
+        self.stats_index.insert(ctx.name.to_string(), idx);
+        &mut self.stats.layers[idx]
     }
-}
-
-/// Cheap weight fingerprint: length plus the bit patterns of a few sampled
-/// elements and a strided partial sum. Any gradient step perturbs it.
-fn weight_fingerprint(w: &Tensor) -> u64 {
-    let s = w.as_slice();
-    let mut h = s.len() as u64;
-    let mix = |h: u64, v: f32| (h ^ v.to_bits() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    if let Some(&v) = s.first() {
-        h = mix(h, v);
-    }
-    if let Some(&v) = s.get(s.len() / 2) {
-        h = mix(h, v);
-    }
-    if let Some(&v) = s.last() {
-        h = mix(h, v);
-    }
-    let mut acc = 0.0f32;
-    for &v in s.iter().step_by((s.len() / 16).max(1)) {
-        acc += v;
-    }
-    mix(h, acc)
 }
 
 impl ConvExecutor for OdqEngine {
     fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
         let threshold = self.policy.for_layer(ctx.name);
         let cfg = OdqCfg { threshold, ..self.cfg };
+        let spec = PlanSpec::odq(cfg.w_bits, cfg.low_bits);
+        let plan = self.plans.plan_for(ctx.name, ctx.weights, spec);
+        let pool = self.plans.pool();
 
         if self.sparse && !self.record {
-            let r = crate::odq_conv::odq_conv2d_sparse(x, ctx.weights, ctx.bias, &ctx.geom, &cfg);
+            let r = odq_conv2d_sparse_planned(x, &plan, ctx.bias, &ctx.geom, &cfg, pool);
             return r.output;
         }
 
-        // Cache quantized weights per layer, fingerprinted against the raw
-        // weights so retraining between passes cannot serve stale codes
-        // (sampling a few elements is enough to catch any SGD update).
-        // Refresh the entry if stale, then borrow it — no per-call clone of
-        // the code tensor.
-        let fp = weight_fingerprint(ctx.weights);
-        let stale = !matches!(self.weight_cache.get(ctx.name), Some((f, _)) if *f == fp);
-        if stale {
-            let qw = quantize_weights(ctx.weights, cfg.w_bits);
-            self.weight_cache.insert(ctx.name.to_string(), (fp, qw));
-        }
-        let qw = &self.weight_cache.get(ctx.name).expect("just ensured").1;
         let qx = odq_quant::quantize_activation(x, cfg.a_bits, cfg.a_clip);
-        let r = odq_conv2d_quantized(&qx, qw, ctx.bias, &ctx.geom, &cfg);
+        let r = odq_conv2d_planned(&qx, &plan, ctx.bias, &ctx.geom, &cfg, pool);
 
         if self.record {
             let spatial = ctx.geom.out_spatial();
@@ -257,6 +255,43 @@ mod tests {
         sparse.sparse = true;
         let ys = m.forward_eval(&data.images, &mut sparse);
         assert!(yd.max_abs_diff(&ys) < 1e-3, "diff {}", yd.max_abs_diff(&ys));
+    }
+
+    #[test]
+    fn forward_lowers_each_layer_image_pair_exactly_once() {
+        // The single-lowering invariant: an ODQ forward performs exactly
+        // one im2col per (conv layer, image), counted by the shared
+        // workspace pool — not the 3+ the unplanned pipeline needed.
+        let m = small_model();
+        let batch = 4;
+        let data = SynthSpec::cifar10(8).generate(batch);
+        let mut engine = OdqEngine::new(0.3);
+        let _ = m.forward_eval(&data.images, &mut engine);
+        let layers = engine.stats.layers.len() as u64;
+        assert!(layers > 1, "model must have several conv layers");
+        assert_eq!(
+            engine.plan_cache().pool().lowerings(),
+            layers * batch as u64,
+            "exactly one lowering per (layer, image)"
+        );
+        // Plans are built once per layer and reused across batches.
+        assert_eq!(engine.plan_cache().builds(), layers);
+        let _ = m.forward_eval(&data.images, &mut engine);
+        assert_eq!(engine.plan_cache().builds(), layers, "second pass must hit the plan cache");
+        assert_eq!(engine.plan_cache().pool().lowerings(), 2 * layers * batch as u64);
+    }
+
+    #[test]
+    fn shared_plan_cache_builds_each_layer_once_across_engines() {
+        let m = small_model();
+        let data = SynthSpec::cifar10(8).generate(2);
+        let plans = Arc::new(PlanCache::new());
+        let mut a = OdqEngine::with_plan_cache(0.3, Arc::clone(&plans));
+        let mut b = OdqEngine::with_plan_cache(0.3, Arc::clone(&plans));
+        let ya = m.forward_eval(&data.images, &mut a);
+        let yb = m.forward_eval(&data.images, &mut b);
+        assert_eq!(ya.as_slice(), yb.as_slice());
+        assert_eq!(plans.builds(), a.stats.layers.len() as u64, "one build per layer, shared");
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub mod threshold;
 
 pub use engine::OdqEngine;
 pub use mask::SensitivityMask;
-pub use odq_conv::{odq_conv2d, OdqCfg, OdqConvOutput};
+pub use odq_conv::{
+    odq_conv2d, odq_conv2d_planned, odq_conv2d_sparse_planned, OdqCfg, OdqConvOutput,
+};
 pub use stats::{LayerStats, OdqStats};
 pub use threshold::{
     search_per_layer_thresholds, search_threshold, threshold_sweep, SearchCfg, SweepPoint,

@@ -1,10 +1,16 @@
 //! The masked two-step ODQ convolution.
 
-use odq_quant::predict::{odq_predict, odq_predict_from_hh};
-use odq_quant::qconv::{combine_planes, qconv2d_planes, receptive_sums};
+use odq_quant::plan::QConvPlan;
+use odq_quant::predict::{odq_estimate_precomputed, odq_predict, odq_predict_from_hh};
+use odq_quant::qconv::{
+    accumulate_column_rows, combine_planes, qconv2d_planes, qconv2d_planes_fused, receptive_sums,
+};
 use odq_quant::{quantize_activation, quantize_weights, split_qtensor, QTensor};
+use odq_tensor::gemm::gemm_i16_i32;
 use odq_tensor::im2col::im2col;
+use odq_tensor::workspace::WorkspacePool;
 use odq_tensor::{ConvGeom, Tensor};
+use rayon::prelude::*;
 
 use odq_nn::executor::add_bias;
 
@@ -125,6 +131,86 @@ pub fn odq_conv2d_quantized(
     OdqConvOutput { output, mask: SensitivityMask::new(n, co, spatial, bits), reference }
 }
 
+/// [`odq_conv2d_quantized`] over a prepacked layer plan and a shared
+/// workspace pool: the weight planes and predictor constants come from the
+/// plan (built once per weight version), and each image's activations are
+/// lowered exactly once — the fused kernel feeds all four plane GEMMs and
+/// both receptive-sum accumulators from that single column matrix.
+///
+/// Bit-identical to the unplanned path: plane derivation in the column
+/// domain is exact, reduction orders are unchanged, and the estimate's f32
+/// arithmetic matches [`odq_predict_from_hh`] operation for operation.
+///
+/// # Panics
+/// Panics if the plan was not built for an ODQ spec matching `cfg`
+/// (`w_bits` and `low_bits` must agree).
+pub fn odq_conv2d_planned(
+    qx: &QTensor,
+    plan: &QConvPlan,
+    bias: Option<&[f32]>,
+    g: &ConvGeom,
+    cfg: &OdqCfg,
+    pool: &WorkspacePool,
+) -> OdqConvOutput {
+    let wp = plan.planes.as_ref().expect("plan lacks ODQ bit planes");
+    assert_eq!(wp.low_bits, cfg.low_bits, "plan low_bits mismatch");
+    assert_eq!(plan.spec.w_bits, cfg.w_bits, "plan w_bits mismatch");
+    let qw = &plan.qw;
+    let scale = qx.scale * qw.scale;
+
+    let lowered = qconv2d_planes_fused(&qx.codes, wp, g, pool);
+    let valid = plan.valid_taps(g);
+    let est = odq_estimate_precomputed(
+        &lowered.planes.hh,
+        &lowered.sa_h,
+        &plan.sum_nh,
+        &plan.sum_nl,
+        &valid,
+        cfg.low_bits,
+        qw.zero,
+        scale,
+        g,
+    );
+    let full_codes = combine_planes(&lowered.planes);
+
+    let n = qx.codes.dims()[0];
+    let spatial = g.out_spatial();
+    let co = g.out_channels;
+    let total = n * co * spatial;
+
+    let mut bits = vec![false; total];
+    let mut out = vec![0.0f32; total];
+    let mut reference = vec![0.0f32; total];
+    {
+        let est = est.as_slice();
+        let fc = full_codes.as_slice();
+        let sas = lowered.sa.as_slice();
+        for img in 0..n {
+            for f in 0..co {
+                let base = (img * co + f) * spatial;
+                for sp in 0..spatial {
+                    let i = base + sp;
+                    let full = scale * (fc[i] as f32 - qw.zero * sas[img * spatial + sp] as f32);
+                    let p_hat = est[i];
+                    let sensitive = p_hat.abs() >= cfg.threshold;
+                    bits[i] = sensitive;
+                    out[i] = if sensitive { full } else { p_hat };
+                    reference[i] = full;
+                }
+            }
+        }
+    }
+
+    let mut output = Tensor::from_vec(g.output_shape(n), out);
+    let mut reference = Tensor::from_vec(g.output_shape(n), reference);
+    if let Some(b) = bias {
+        add_bias(&mut output, b, g);
+        add_bias(&mut reference, b, g);
+    }
+
+    OdqConvOutput { output, mask: SensitivityMask::new(n, co, spatial, bits), reference }
+}
+
 /// Genuinely sparse ODQ execution: the predictor runs densely (it must —
 /// it produces the mask), then the executor computes the three remaining
 /// cross terms and the exact receptive sum **only** for sensitive outputs
@@ -209,6 +295,120 @@ pub fn odq_conv2d_sparse(
     // The sparse path skips the exact values for insensitive outputs (that
     // is its point), so `reference` simply mirrors `output` — use
     // `odq_conv2d` for instrumentation that needs the true INT4 reference.
+    let reference = output.clone();
+    OdqConvOutput { output, mask: SensitivityMask::new(n, co, spatial, bits), reference }
+}
+
+/// [`odq_conv2d_sparse`] over a prepacked plan and workspace pool. Each
+/// image is lowered exactly once; the predictor's `HH` GEMM, its `SaH`
+/// accumulator and the executor's per-sensitive-output dot products all
+/// read the same column matrix (and its derived planes), mirroring the
+/// accelerator's shared operand stream. Batch-parallel over images.
+///
+/// # Panics
+/// Panics if the plan was not built for an ODQ spec matching `cfg`.
+pub fn odq_conv2d_sparse_planned(
+    x: &Tensor,
+    plan: &QConvPlan,
+    bias: Option<&[f32]>,
+    g: &ConvGeom,
+    cfg: &OdqCfg,
+    pool: &WorkspacePool,
+) -> OdqConvOutput {
+    let wp = plan.planes.as_ref().expect("plan lacks ODQ bit planes");
+    assert_eq!(wp.low_bits, cfg.low_bits, "plan low_bits mismatch");
+    assert_eq!(plan.spec.w_bits, cfg.w_bits, "plan w_bits mismatch");
+    let qw = &plan.qw;
+    let qx = quantize_activation(x, cfg.a_bits, cfg.a_clip);
+    let scale = qx.scale * qw.scale;
+    let shift = cfg.low_bits;
+    let pow = 1i64 << shift;
+
+    let n = x.dims()[0];
+    let spatial = g.out_spatial();
+    let co = g.out_channels;
+    let col_len = g.col_len();
+    let per_img = co * spatial;
+    let valid = plan.valid_taps(g);
+
+    let wh = wp.high.as_slice();
+    let wl = wp.low.as_slice();
+    let per_image: Vec<(Vec<f32>, Vec<bool>)> = (0..n)
+        .into_par_iter()
+        .map(|img| {
+            pool.with(|wk| {
+                let (_, col_h, col_l) = wk.lower_i16_split(qx.codes.outer(img), g, shift);
+                // Predictor over this image's high plane: `HH` GEMM plus
+                // the `SaH` accumulator on the same operand stream.
+                let mut hh = Tensor::<i32>::zeros(g.output_shape(1));
+                gemm_i16_i32(wh, col_h, hh.as_mut_slice(), co, col_len, spatial);
+                let mut sa_h = Tensor::<i32>::zeros([1, g.out_h(), g.out_w()]);
+                accumulate_column_rows(col_h, sa_h.as_mut_slice(), col_len, spatial);
+                let est = odq_estimate_precomputed(
+                    &hh,
+                    &sa_h,
+                    &plan.sum_nh,
+                    &plan.sum_nl,
+                    &valid,
+                    shift,
+                    qw.zero,
+                    scale,
+                    g,
+                );
+
+                let hhs = hh.as_slice();
+                let sahs = sa_h.as_slice();
+                let ests = est.as_slice();
+                let mut out = vec![0.0f32; per_img];
+                let mut bits = vec![false; per_img];
+                for ch in 0..co {
+                    let w_h = &wh[ch * col_len..(ch + 1) * col_len];
+                    let w_l = &wl[ch * col_len..(ch + 1) * col_len];
+                    for sp in 0..spatial {
+                        let idx = ch * spatial + sp;
+                        let p_hat = ests[idx];
+                        let sensitive = p_hat.abs() >= cfg.threshold;
+                        bits[idx] = sensitive;
+                        if sensitive {
+                            // Remaining three cross terms + exact low-plane
+                            // sum, for this output only.
+                            let mut hl = 0i64;
+                            let mut lh = 0i64;
+                            let mut ll = 0i64;
+                            let mut sa_l = 0i64;
+                            for k in 0..col_len {
+                                let ah = col_h[k * spatial + sp] as i64;
+                                let al = col_l[k * spatial + sp] as i64;
+                                hl += ah * w_l[k] as i64;
+                                lh += al * w_h[k] as i64;
+                                ll += al * w_l[k] as i64;
+                                sa_l += al;
+                            }
+                            let hh_v = hhs[idx] as i64;
+                            let full_codes = (hh_v << (2 * shift)) + ((hl + lh) << shift) + ll;
+                            let sa = pow * sahs[sp] as i64 + sa_l;
+                            out[idx] = scale * (full_codes as f32 - qw.zero * sa as f32);
+                        } else {
+                            out[idx] = p_hat;
+                        }
+                    }
+                }
+                (out, bits)
+            })
+        })
+        .collect();
+
+    let mut out = vec![0.0f32; n * per_img];
+    let mut bits = vec![false; n * per_img];
+    for (img, (o, b)) in per_image.iter().enumerate() {
+        out[img * per_img..(img + 1) * per_img].copy_from_slice(o);
+        bits[img * per_img..(img + 1) * per_img].copy_from_slice(b);
+    }
+
+    let mut output = Tensor::from_vec(g.output_shape(n), out);
+    if let Some(b) = bias {
+        add_bias(&mut output, b, g);
+    }
     let reference = output.clone();
     OdqConvOutput { output, mask: SensitivityMask::new(n, co, spatial, bits), reference }
 }
@@ -357,6 +557,40 @@ mod tests {
         let full4 = odq_conv2d(&x, &w, None, &g, &OdqCfg::int4(0.0)).output;
         let e42 = r42.output.mean_abs_diff(&full4);
         assert!(e84 < e42, "8/4 predictor error {e84} should beat 4/2 {e42}");
+    }
+
+    #[test]
+    fn planned_matches_dense_bit_exact_with_one_lowering_per_image() {
+        use odq_quant::plan::PlanSpec;
+        let (x, w, g) = setup();
+        let cfg = OdqCfg::int4(0.3);
+        let qx = quantize_activation(&x, cfg.a_bits, cfg.a_clip);
+        let qw = quantize_weights(&w, cfg.w_bits);
+        let seed = odq_conv2d_quantized(&qx, &qw, None, &g, &cfg);
+
+        let plan = QConvPlan::build(&w, PlanSpec::odq(cfg.w_bits, cfg.low_bits));
+        let pool = WorkspacePool::new();
+        let planned = odq_conv2d_planned(&qx, &plan, None, &g, &cfg, &pool);
+
+        assert_eq!(planned.output.as_slice(), seed.output.as_slice(), "outputs bit-identical");
+        assert_eq!(planned.reference.as_slice(), seed.reference.as_slice());
+        assert_eq!(planned.mask, seed.mask);
+        assert_eq!(pool.lowerings(), 2, "one im2col per image for a batch of 2");
+    }
+
+    #[test]
+    fn sparse_planned_matches_sparse_bit_exact() {
+        use odq_quant::plan::PlanSpec;
+        let (x, w, g) = setup();
+        let plan = QConvPlan::build(&w, PlanSpec::odq(4, 2));
+        let pool = WorkspacePool::new();
+        for thr in [0.0f32, 0.25, 0.5] {
+            let cfg = OdqCfg::int4(thr);
+            let seed = odq_conv2d_sparse(&x, &w, None, &g, &cfg);
+            let planned = odq_conv2d_sparse_planned(&x, &plan, None, &g, &cfg, &pool);
+            assert_eq!(planned.output.as_slice(), seed.output.as_slice(), "thr={thr}");
+            assert_eq!(planned.mask, seed.mask, "thr={thr}");
+        }
     }
 
     #[test]

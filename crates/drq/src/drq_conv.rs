@@ -1,8 +1,12 @@
 //! The DRQ mixed-precision convolution.
 
 use odq_nn::executor::add_bias;
-use odq_quant::qconv::{qconv2d_codes, receptive_sums, requant_step, requantize_codes};
+use odq_quant::plan::QConvPlan;
+use odq_quant::qconv::{
+    qconv2d_codes, qconv2d_codes_with_sums, receptive_sums, requant_step, requantize_codes,
+};
 use odq_quant::{quantize_activation, quantize_weights};
+use odq_tensor::workspace::WorkspacePool;
 use odq_tensor::{ConvGeom, Tensor};
 
 /// DRQ configuration.
@@ -193,6 +197,87 @@ pub fn drq_conv2d(
     DrqConvOutput { output: out, input_mask, lp_share, reference_hp, reference_lp }
 }
 
+/// The planned DRQ forward's result: just what the engine's serving path
+/// consumes. The instrumented references ([`DrqConvOutput::reference_hp`]
+/// etc.) stay on the unplanned [`drq_conv2d`].
+pub struct DrqPlanned {
+    /// Mixed-precision outputs, dequantized, `[N, Co, OH, OW]`.
+    pub output: Tensor,
+    /// Per-input-feature sensitivity (true = high precision).
+    pub input_mask: Vec<bool>,
+}
+
+/// [`drq_conv2d`] over a prepacked plan (quantized + requantized weights
+/// built once per weight version) and a shared workspace pool. Skips the
+/// all-HP/all-LP reference convolutions — the engine's forward path never
+/// reads them — and fuses each path's products with its receptive sums so
+/// both precision branches lower each image exactly once.
+///
+/// Bit-identical to [`drq_conv2d`]'s `output`/`input_mask`: the same
+/// code-domain splits, GEMM reduction orders and affine dequantization.
+///
+/// # Panics
+/// Panics if the plan lacks requantized low-precision weights or its bit
+/// width disagrees with `cfg.hi_bits`.
+pub fn drq_conv2d_planned(
+    x: &Tensor,
+    plan: &QConvPlan,
+    bias: Option<&[f32]>,
+    g: &ConvGeom,
+    cfg: &DrqCfg,
+    pool: &WorkspacePool,
+) -> DrqPlanned {
+    assert_eq!(plan.spec.w_bits, cfg.hi_bits, "plan bit width mismatch");
+    let w_lo = plan.w_lo.as_ref().expect("plan lacks DRQ low-precision weights");
+    let qw = &plan.qw;
+    let n = x.dims()[0];
+    let qx = quantize_activation(x, cfg.hi_bits, cfg.a_clip);
+    let scale = qx.scale * qw.scale;
+    let zw = qw.zero;
+    let step = cfg.step();
+
+    let input_mask = region_sensitivity_mask(x, cfg.region, cfg.input_threshold);
+
+    let codes = qx.codes.as_slice();
+    let mut x_hi = vec![0i16; codes.len()];
+    let mut x_lo = vec![0i16; codes.len()];
+    for (i, (&c, &m)) in codes.iter().zip(&input_mask).enumerate() {
+        if m {
+            x_hi[i] = c;
+        } else {
+            x_lo[i] = ((c as f32 / step as f32).round() as i16) * step;
+        }
+    }
+    let x_hi = Tensor::from_vec(qx.codes.shape().clone(), x_hi);
+    let x_lo = Tensor::from_vec(qx.codes.shape().clone(), x_lo);
+
+    let (y_hi, sa_hi) = qconv2d_codes_with_sums(&x_hi, &qw.codes, g, pool);
+    let (y_lo, sa_lo) = qconv2d_codes_with_sums(&x_lo, w_lo, g, pool);
+
+    let spatial = g.out_spatial();
+    let co = g.out_channels;
+    let mut out = Tensor::zeros(g.output_shape(n));
+    {
+        let o = out.as_mut_slice();
+        let (yh, yl) = (y_hi.as_slice(), y_lo.as_slice());
+        let (sh, sl) = (sa_hi.as_slice(), sa_lo.as_slice());
+        for img in 0..n {
+            for f in 0..co {
+                let base = (img * co + f) * spatial;
+                for sp in 0..spatial {
+                    let code = (yh[base + sp] + yl[base + sp]) as f32;
+                    let sa = (sh[img * spatial + sp] + sl[img * spatial + sp]) as f32;
+                    o[base + sp] = scale * (code - zw * sa);
+                }
+            }
+        }
+    }
+    if let Some(b) = bias {
+        add_bias(&mut out, b, g);
+    }
+    DrqPlanned { output: out, input_mask }
+}
+
 /// For every output spatial position, the fraction of its receptive-field
 /// inputs (including zero padding, which is precision-neutral and counted
 /// as high precision) that are low precision.
@@ -318,6 +403,23 @@ mod tests {
         let e_hi = hi.output.mean_abs_diff(&hi.reference_hp) / hi.reference_hp.max_abs();
         let e_lo = lo.output.mean_abs_diff(&lo.reference_hp) / lo.reference_hp.max_abs();
         assert!(e_hi < e_lo, "8-4 error {e_hi} should beat 4-2 error {e_lo}");
+    }
+
+    #[test]
+    fn planned_matches_unplanned_bit_exact() {
+        use odq_quant::plan::PlanSpec;
+        let (x, w, g) = setup();
+        let bias = vec![0.5f32, -0.25, 0.0, 1.0];
+        for cfg in [DrqCfg::int8_int4(0.45), DrqCfg::int4_int2(0.4)] {
+            let seed = drq_conv2d(&x, &w, Some(&bias), &g, &cfg);
+            let plan = QConvPlan::build(&w, PlanSpec::drq(cfg.hi_bits, cfg.lo_bits));
+            let pool = WorkspacePool::new();
+            let planned = drq_conv2d_planned(&x, &plan, Some(&bias), &g, &cfg, &pool);
+            assert_eq!(planned.output.as_slice(), seed.output.as_slice(), "outputs bit-equal");
+            assert_eq!(planned.input_mask, seed.input_mask);
+            // One lowering per (precision path, image) for a batch of 2.
+            assert_eq!(pool.lowerings(), 4);
+        }
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! [`DrqEngine`] — run whole models under DRQ.
 
+use std::sync::Arc;
+
 use odq_nn::executor::{ConvCtx, ConvExecutor};
+use odq_quant::plan::{PlanCache, PlanSpec};
 use odq_tensor::Tensor;
 
-use crate::drq_conv::{drq_conv2d, DrqCfg};
+use crate::drq_conv::{drq_conv2d_planned, DrqCfg};
 
 /// Per-layer DRQ execution record.
 #[derive(Clone, Debug)]
@@ -46,12 +49,24 @@ pub struct DrqEngine {
     pub record: bool,
     /// Accumulated statistics in first-encounter order.
     pub stats: Vec<DrqLayerStats>,
+    plans: Arc<PlanCache>,
 }
 
 impl DrqEngine {
     /// Engine with the given configuration.
     pub fn new(cfg: DrqCfg) -> Self {
-        Self { cfg, record: true, stats: Vec::new() }
+        Self::with_plan_cache(cfg, Arc::new(PlanCache::new()))
+    }
+
+    /// Engine sharing an existing plan cache (prepacked weights built once
+    /// across every engine pointed at it).
+    pub fn with_plan_cache(cfg: DrqCfg, plans: Arc<PlanCache>) -> Self {
+        Self { cfg, record: true, stats: Vec::new(), plans }
+    }
+
+    /// The shared plan cache.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plans
     }
 
     /// Output-weighted fraction of high-precision MACs across layers.
@@ -67,7 +82,9 @@ impl DrqEngine {
 
 impl ConvExecutor for DrqEngine {
     fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
-        let r = drq_conv2d(x, ctx.weights, ctx.bias, &ctx.geom, &self.cfg);
+        let spec = PlanSpec::drq(self.cfg.hi_bits, self.cfg.lo_bits);
+        let plan = self.plans.plan_for(ctx.name, ctx.weights, spec);
+        let r = drq_conv2d_planned(x, &plan, ctx.bias, &ctx.geom, &self.cfg, self.plans.pool());
         if self.record {
             let hi_inputs = r.input_mask.iter().filter(|&&b| b).count() as u64;
             let total_inputs = r.input_mask.len() as u64;

@@ -6,6 +6,10 @@
 //! model inference hands every conv layer's raw float weights and input to
 //! the executor and uses whatever output it returns.
 
+use std::borrow::Cow;
+use std::sync::Arc;
+
+use odq_quant::plan::{PlanCache, PlanSpec};
 use odq_tensor::{ConvGeom, Tensor};
 
 use crate::layers::conv::QatCfg;
@@ -50,13 +54,16 @@ impl ConvExecutor for FloatConvExecutor {
 
 /// Apply a layer's QAT fake quantization to `(input, weights)` — shared by
 /// the float executor and the training forward pass.
-pub fn apply_qat(ctx: &ConvCtx<'_>, x: &Tensor) -> (Tensor, Tensor) {
+///
+/// Borrows the originals when the layer has no QAT config, so the common
+/// no-QAT inference path allocates nothing.
+pub fn apply_qat<'a>(ctx: &ConvCtx<'a>, x: &'a Tensor) -> (Cow<'a, Tensor>, Cow<'a, Tensor>) {
     match ctx.qat {
         Some(q) => (
-            odq_quant::fake_quantize_activation(x, q.a_bits, q.a_clip),
-            odq_quant::fake_quantize_weights(ctx.weights, q.w_bits),
+            Cow::Owned(odq_quant::fake_quantize_activation(x, q.a_bits, q.a_clip)),
+            Cow::Owned(odq_quant::fake_quantize_weights(ctx.weights, q.w_bits)),
         ),
-        None => (x.clone(), ctx.weights.clone()),
+        None => (Cow::Borrowed(x), Cow::Borrowed(ctx.weights)),
     }
 }
 
@@ -64,7 +71,10 @@ pub fn apply_qat(ctx: &ConvCtx<'_>, x: &Tensor) -> (Tensor, Tensor) {
 /// fixed bit widths regardless of the layer's QAT config. This is the
 /// "INT16 DoReFa-Net" / "INT8 DoReFa-Net" baseline of the paper's
 /// evaluation (Sec. 5.2).
-#[derive(Clone, Copy)]
+///
+/// Weights are quantized once per layer per weight version through a
+/// [`PlanCache`] (shareable across executors) instead of on every call.
+#[derive(Clone)]
 pub struct StaticQuantExecutor {
     /// Weight bit width.
     pub w_bits: u8,
@@ -72,12 +82,28 @@ pub struct StaticQuantExecutor {
     pub a_bits: u8,
     /// Activation clip range (DoReFa clips activations to `[0, clip]`).
     pub a_clip: f32,
+    plans: Arc<PlanCache>,
 }
 
 impl StaticQuantExecutor {
     /// INT-k static quantization with activation clip 1.0.
     pub fn int(bits: u8) -> Self {
-        Self { w_bits: bits, a_bits: bits, a_clip: 1.0 }
+        Self::with_bits(bits, bits, 1.0)
+    }
+
+    /// Static quantization with explicit weight/activation widths.
+    pub fn with_bits(w_bits: u8, a_bits: u8, a_clip: f32) -> Self {
+        Self { w_bits, a_bits, a_clip, plans: Arc::new(PlanCache::new()) }
+    }
+
+    /// Executor sharing an existing plan cache.
+    pub fn with_plan_cache(w_bits: u8, a_bits: u8, a_clip: f32, plans: Arc<PlanCache>) -> Self {
+        Self { w_bits, a_bits, a_clip, plans }
+    }
+
+    /// The shared plan cache.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plans
     }
 }
 
@@ -86,13 +112,10 @@ impl ConvExecutor for StaticQuantExecutor {
         let qx = odq_quant::quantize_activation(x, self.a_bits, self.a_clip);
         // Offset-binary coding up to 15 bits; at 16 bits the symmetric
         // grid's zero-collapse issue is irrelevant (32767 levels) and the
-        // signed coding keeps codes within i16.
-        let qw = if self.w_bits <= 15 {
-            odq_quant::quantize_weights(ctx.weights, self.w_bits)
-        } else {
-            odq_quant::quantize_weights_symmetric(ctx.weights, self.w_bits)
-        };
-        let mut y = odq_quant::qconv::qconv2d(&qx, &qw, &ctx.geom);
+        // signed coding keeps codes within i16. `PlanSpec::static_quant`
+        // encodes the same cutover.
+        let plan = self.plans.plan_for(ctx.name, ctx.weights, PlanSpec::static_quant(self.w_bits));
+        let mut y = odq_quant::qconv::qconv2d_with(&qx, &plan.qw, &ctx.geom, self.plans.pool());
         if let Some(b) = ctx.bias {
             add_bias(&mut y, b, &ctx.geom);
         }

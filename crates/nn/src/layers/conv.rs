@@ -174,10 +174,13 @@ impl Layer for Conv2d {
         let g = ctx.geom;
         let (x_eff, w_eff) = apply_qat(&ctx, x);
         let mut y = conv2d(&x_eff, &w_eff, ctx.bias, &g);
+        // Training caches owned copies for the backward pass; the Cow only
+        // saves the clone on the no-QAT *inference* path.
+        let cache = (x_eff.into_owned(), w_eff.into_owned(), g);
         if let Some(emu) = self.odq_emu {
             self.apply_odq_emulation(x, &mut y, &g, emu.threshold);
         }
-        self.cache = Some((x_eff, w_eff, g));
+        self.cache = Some(cache);
         y
     }
 

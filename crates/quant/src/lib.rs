@@ -17,6 +17,10 @@
 //!   (im2col + `i16`×`i16`→`i32/i64` GEMM) with offset-binary affine
 //!   corrections, the full product and the
 //!   per-bit-plane partial products of Eq. 3.
+//! * [`plan`] — per-layer convolution plans ([`plan::QConvPlan`]):
+//!   quantized weights, their bit planes and the predictor's per-filter
+//!   constants prepacked once per weight version and cached in a
+//!   [`plan::PlanCache`] keyed by a full-content fingerprint.
 
 //! # Example
 //!
@@ -47,6 +51,7 @@
 
 pub mod bitsplit;
 pub mod dorefa;
+pub mod plan;
 pub mod predict;
 pub mod qconv;
 pub mod qtensor;
@@ -57,5 +62,6 @@ pub use dorefa::{
     fake_quantize_activation, fake_quantize_weights, quantize_activation, quantize_weights,
     quantize_weights_symmetric,
 };
-pub use predict::{odq_predict, odq_predict_from_hh, OdqPrediction};
+pub use plan::{weight_fingerprint, PlanCache, PlanSpec, QConvPlan};
+pub use predict::{odq_estimate_precomputed, odq_predict, odq_predict_from_hh, OdqPrediction};
 pub use qtensor::{QScheme, QTensor};

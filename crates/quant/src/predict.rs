@@ -75,19 +75,48 @@ pub fn odq_predict_from_hh(
     scale: f32,
     g: &ConvGeom,
 ) -> OdqPrediction {
-    let d = w_planes.low_bits as u32;
-    let pow = (1u32 << d) as f32;
-    let mean_low = (pow - 1.0) / 2.0;
-    let k = g.col_len() as f32;
-
     let sa_h = receptive_sums(x_high, g);
     let valid = valid_tap_counts(g);
     let sum_nh = filter_code_sums(&w_planes.high, g.out_channels);
     let sum_nl = filter_code_sums(&w_planes.low, g.out_channels);
+    let estimate = odq_estimate_precomputed(
+        &hh,
+        &sa_h,
+        &sum_nh,
+        &sum_nl,
+        &valid,
+        w_planes.low_bits,
+        w_zero,
+        scale,
+        g,
+    );
+    OdqPrediction { hh, sa_h, estimate }
+}
 
-    let n = x_high.dims()[0];
+/// The predictor's estimate when every input is already in hand: the `HH`
+/// partial sums and `SaH` receptive sums from the lowered activations, and
+/// the per-filter code sums / valid-tap counts prepacked in a layer plan.
+/// This is the pure arithmetic core of [`odq_predict_from_hh`]; the f32
+/// operation order matches it exactly, so results are bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn odq_estimate_precomputed(
+    hh: &Tensor<i32>,
+    sa_h: &Tensor<i32>,
+    sum_nh: &[i32],
+    sum_nl: &[i32],
+    valid: &[u32],
+    low_bits: u8,
+    w_zero: f32,
+    scale: f32,
+    g: &ConvGeom,
+) -> Tensor {
+    let pow = (1u32 << low_bits as u32) as f32;
+    let mean_low = (pow - 1.0) / 2.0;
+    let k = g.col_len() as f32;
+
     let co = g.out_channels;
     let spatial = g.out_spatial();
+    let n = hh.numel() / (co * spatial);
     let mut est = Tensor::zeros(g.output_shape(n));
     {
         let e = est.as_mut_slice();
@@ -117,7 +146,7 @@ pub fn odq_predict_from_hh(
             }
         }
     }
-    OdqPrediction { hh, sa_h, estimate: est }
+    est
 }
 
 #[cfg(test)]

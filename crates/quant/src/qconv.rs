@@ -16,8 +16,9 @@
 //! hardware a single extra accumulator fed by the same operand stream.
 
 use odq_tensor::gemm::{gemm_i16_i32, gemm_i16_i64};
-use odq_tensor::im2col::im2col;
+use odq_tensor::workspace::WorkspacePool;
 use odq_tensor::{ConvGeom, Tensor};
+use rayon::prelude::*;
 
 use crate::bitsplit::BitPlanes;
 use crate::qtensor::QTensor;
@@ -27,6 +28,17 @@ use crate::qtensor::QTensor;
 /// `x`: quantized activations `[N, Ci, H, W]`; `w`: quantized weights
 /// `[Co, Ci, K, K]`. Output `[N, Co, OH, OW]` of code-domain products.
 pub fn qconv2d_codes(x: &Tensor<i16>, w: &Tensor<i16>, g: &ConvGeom) -> Tensor<i32> {
+    qconv2d_codes_with(x, w, g, &WorkspacePool::new())
+}
+
+/// [`qconv2d_codes`] drawing im2col scratch from a caller-owned pool,
+/// batch-parallel over images.
+pub fn qconv2d_codes_with(
+    x: &Tensor<i16>,
+    w: &Tensor<i16>,
+    g: &ConvGeom,
+    pool: &WorkspacePool,
+) -> Tensor<i32> {
     let n = x.dims()[0];
     assert_eq!(x.dims(), g.input_shape(n).0.as_slice(), "input shape mismatch");
     assert_eq!(w.dims(), g.weight_shape().0.as_slice(), "weight shape mismatch");
@@ -34,17 +46,29 @@ pub fn qconv2d_codes(x: &Tensor<i16>, w: &Tensor<i16>, g: &ConvGeom) -> Tensor<i
     let out_spatial = g.out_spatial();
     let per_img = g.out_channels * out_spatial;
     let mut y = Tensor::<i32>::zeros(g.output_shape(n));
-    for i in 0..n {
-        let col = im2col(x.outer(i), g);
-        let yi = &mut y.as_mut_slice()[i * per_img..(i + 1) * per_img];
-        gemm_i16_i32(w.as_slice(), &col, yi, g.out_channels, g.col_len(), out_spatial);
-    }
+    y.as_mut_slice().par_chunks_mut(per_img.max(1)).enumerate().for_each(|(i, yi)| {
+        pool.with(|wk| {
+            let col = wk.lower_i16(x.outer(i), g);
+            gemm_i16_i32(w.as_slice(), col, yi, g.out_channels, g.col_len(), out_spatial);
+        });
+    });
     y
 }
 
 /// Integer convolution with `i64` accumulation (wide static baselines:
 /// 15-bit products over deep reductions overflow `i32`).
 pub fn qconv2d_codes_wide(x: &Tensor<i16>, w: &Tensor<i16>, g: &ConvGeom) -> Tensor<i64> {
+    qconv2d_codes_wide_with(x, w, g, &WorkspacePool::new())
+}
+
+/// [`qconv2d_codes_wide`] drawing im2col scratch from a caller-owned
+/// pool, batch-parallel over images.
+pub fn qconv2d_codes_wide_with(
+    x: &Tensor<i16>,
+    w: &Tensor<i16>,
+    g: &ConvGeom,
+    pool: &WorkspacePool,
+) -> Tensor<i64> {
     let n = x.dims()[0];
     assert_eq!(x.dims(), g.input_shape(n).0.as_slice(), "input shape mismatch");
     assert_eq!(w.dims(), g.weight_shape().0.as_slice(), "weight shape mismatch");
@@ -52,11 +76,12 @@ pub fn qconv2d_codes_wide(x: &Tensor<i16>, w: &Tensor<i16>, g: &ConvGeom) -> Ten
     let out_spatial = g.out_spatial();
     let per_img = g.out_channels * out_spatial;
     let mut y = Tensor::<i64>::zeros(g.output_shape(n));
-    for i in 0..n {
-        let col = im2col(x.outer(i), g);
-        let yi = &mut y.as_mut_slice()[i * per_img..(i + 1) * per_img];
-        gemm_i16_i64(w.as_slice(), &col, yi, g.out_channels, g.col_len(), out_spatial);
-    }
+    y.as_mut_slice().par_chunks_mut(per_img.max(1)).enumerate().for_each(|(i, yi)| {
+        pool.with(|wk| {
+            let col = wk.lower_i16(x.outer(i), g);
+            gemm_i16_i64(w.as_slice(), col, yi, g.out_channels, g.col_len(), out_spatial);
+        });
+    });
     y
 }
 
@@ -64,22 +89,75 @@ pub fn qconv2d_codes_wide(x: &Tensor<i16>, w: &Tensor<i16>, g: &ConvGeom) -> Ten
 /// `[N, OH, OW]` (identical for every output channel, which all read the
 /// same window). Padded taps contribute 0.
 pub fn receptive_sums(x: &Tensor<i16>, g: &ConvGeom) -> Tensor<i32> {
+    receptive_sums_with(x, g, &WorkspacePool::new())
+}
+
+/// [`receptive_sums`] drawing im2col scratch from a caller-owned pool,
+/// batch-parallel over images.
+pub fn receptive_sums_with(x: &Tensor<i16>, g: &ConvGeom, pool: &WorkspacePool) -> Tensor<i32> {
     let n = x.dims()[0];
     assert_eq!(x.dims(), g.input_shape(n).0.as_slice(), "input shape mismatch");
     let out_spatial = g.out_spatial();
     let col_len = g.col_len();
     let mut y = Tensor::<i32>::zeros([n, g.out_h(), g.out_w()]);
-    for i in 0..n {
-        let col = im2col(x.outer(i), g);
-        let yi = &mut y.as_mut_slice()[i * out_spatial..(i + 1) * out_spatial];
-        for row in 0..col_len {
-            let r = &col[row * out_spatial..(row + 1) * out_spatial];
-            for (acc, &v) in yi.iter_mut().zip(r) {
-                *acc += v as i32;
-            }
+    y.as_mut_slice().par_chunks_mut(out_spatial.max(1)).enumerate().for_each(|(i, yi)| {
+        pool.with(|wk| {
+            let col = wk.lower_i16(x.outer(i), g);
+            accumulate_column_rows(col, yi, col_len, out_spatial);
+        });
+    });
+    y
+}
+
+/// Row-wise accumulation of a `[col_len, out_spatial]` column matrix into
+/// per-output sums — the same reduction order as [`receptive_sums`] always
+/// used, so results stay bit-identical (exact in `i32` regardless).
+pub fn accumulate_column_rows(col: &[i16], acc: &mut [i32], col_len: usize, out_spatial: usize) {
+    for row in 0..col_len {
+        let r = &col[row * out_spatial..(row + 1) * out_spatial];
+        for (a, &v) in acc.iter_mut().zip(r) {
+            *a += v as i32;
         }
     }
-    y
+}
+
+/// Fused integer convolution + receptive sums: one im2col per image feeds
+/// both the GEMM and the `Σ a` accumulator (the accelerator's shared
+/// operand stream). Returns `(Σ a·n, Σ a)`.
+pub fn qconv2d_codes_with_sums(
+    x: &Tensor<i16>,
+    w: &Tensor<i16>,
+    g: &ConvGeom,
+    pool: &WorkspacePool,
+) -> (Tensor<i32>, Tensor<i32>) {
+    let n = x.dims()[0];
+    assert_eq!(x.dims(), g.input_shape(n).0.as_slice(), "input shape mismatch");
+    assert_eq!(w.dims(), g.weight_shape().0.as_slice(), "weight shape mismatch");
+
+    let out_spatial = g.out_spatial();
+    let per_img = g.out_channels * out_spatial;
+    let col_len = g.col_len();
+    let mut y = Tensor::<i32>::zeros(g.output_shape(n));
+    let mut sa = Tensor::<i32>::zeros([n, g.out_h(), g.out_w()]);
+
+    let per_image: Vec<Vec<i32>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            pool.with(|wk| {
+                let col = wk.lower_i16(x.outer(i), g);
+                let mut buf = vec![0i32; per_img + out_spatial];
+                let (yi, si) = buf.split_at_mut(per_img);
+                gemm_i16_i32(w.as_slice(), col, yi, g.out_channels, col_len, out_spatial);
+                accumulate_column_rows(col, si, col_len, out_spatial);
+                buf
+            })
+        })
+        .collect();
+    for (i, buf) in per_image.iter().enumerate() {
+        y.as_mut_slice()[i * per_img..(i + 1) * per_img].copy_from_slice(&buf[..per_img]);
+        sa.as_mut_slice()[i * out_spatial..(i + 1) * out_spatial].copy_from_slice(&buf[per_img..]);
+    }
+    (y, sa)
 }
 
 /// Number of in-bounds (non-padding) taps in each output position's
@@ -134,6 +212,13 @@ pub fn filter_code_sums(w: &Tensor<i16>, out_channels: usize) -> Vec<i32> {
 /// Panics if the activation tensor has a nonzero zero point (zero padding
 /// is only value-correct for `z_a = 0`).
 pub fn qconv2d(x: &QTensor, w: &QTensor, g: &ConvGeom) -> Tensor {
+    qconv2d_with(x, w, g, &WorkspacePool::new())
+}
+
+/// [`qconv2d`] drawing im2col scratch from a caller-owned pool. On the
+/// narrow (`i32`) path with an offset-binary zero point, the products and
+/// receptive sums share a single lowering per image.
+pub fn qconv2d_with(x: &QTensor, w: &QTensor, g: &ConvGeom, pool: &WorkspacePool) -> Tensor {
     assert_eq!(x.zero, 0.0, "activation zero point must be 0 (zero padding)");
     let s = x.scale * w.scale;
     let zw = w.zero;
@@ -141,15 +226,18 @@ pub fn qconv2d(x: &QTensor, w: &QTensor, g: &ConvGeom) -> Tensor {
     let spatial = g.out_spatial();
     let co = g.out_channels;
 
-    let sa = if zw != 0.0 { Some(receptive_sums(&x.codes, g)) } else { None };
     let mut out = Tensor::zeros(g.output_shape(n));
 
     if x.scheme.bits as u32 + w.scheme.bits as u32 > 16 {
-        let p = qconv2d_codes_wide(&x.codes, &w.codes, g);
+        let sa = if zw != 0.0 { Some(receptive_sums_with(&x.codes, g, pool)) } else { None };
+        let p = qconv2d_codes_wide_with(&x.codes, &w.codes, g, pool);
         fill_affine(&mut out, p.as_slice(), sa.as_ref(), s, zw, n, co, spatial);
+    } else if zw != 0.0 {
+        let (p, sa) = qconv2d_codes_with_sums(&x.codes, &w.codes, g, pool);
+        fill_affine(&mut out, p.as_slice(), Some(&sa), s, zw, n, co, spatial);
     } else {
-        let p = qconv2d_codes(&x.codes, &w.codes, g);
-        fill_affine(&mut out, p.as_slice(), sa.as_ref(), s, zw, n, co, spatial);
+        let p = qconv2d_codes_with(&x.codes, &w.codes, g, pool);
+        fill_affine(&mut out, p.as_slice(), None, s, zw, n, co, spatial);
     }
     out
 }
@@ -237,6 +325,7 @@ impl PlaneProducts {
 /// (im2col) once per image and reused for both of its GEMMs.
 pub fn qconv2d_planes(x_planes: &BitPlanes, w_planes: &BitPlanes, g: &ConvGeom) -> PlaneProducts {
     assert_eq!(x_planes.low_bits, w_planes.low_bits, "low_bits mismatch between planes");
+    let pool = WorkspacePool::new();
     let n = x_planes.high.dims()[0];
     let out_spatial = g.out_spatial();
     let per_img = g.out_channels * out_spatial;
@@ -246,18 +335,116 @@ pub fn qconv2d_planes(x_planes: &BitPlanes, w_planes: &BitPlanes, g: &ConvGeom) 
     let mut hl = Tensor::<i32>::zeros(g.output_shape(n));
     let mut lh = Tensor::<i32>::zeros(g.output_shape(n));
     let mut ll = Tensor::<i32>::zeros(g.output_shape(n));
-    for i in 0..n {
-        let col_h = im2col(x_planes.high.outer(i), g);
-        let col_l = im2col(x_planes.low.outer(i), g);
+    let per_image: Vec<Vec<i32>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            pool.with(|wk| {
+                let wh = w_planes.high.as_slice();
+                let wl = w_planes.low.as_slice();
+                let mut buf = vec![0i32; 4 * per_img];
+                {
+                    let col_h = wk.lower_i16(x_planes.high.outer(i), g);
+                    let (b_hh, rest) = buf.split_at_mut(per_img);
+                    let (b_hl, _) = rest.split_at_mut(per_img);
+                    gemm_i16_i32(wh, col_h, b_hh, m, k, out_spatial);
+                    gemm_i16_i32(wl, col_h, b_hl, m, k, out_spatial);
+                }
+                {
+                    let col_l = wk.lower_i16(x_planes.low.outer(i), g);
+                    let (_, rest) = buf.split_at_mut(2 * per_img);
+                    let (b_lh, b_ll) = rest.split_at_mut(per_img);
+                    gemm_i16_i32(wh, col_l, b_lh, m, k, out_spatial);
+                    gemm_i16_i32(wl, col_l, b_ll, m, k, out_spatial);
+                }
+                buf
+            })
+        })
+        .collect();
+    for (i, buf) in per_image.iter().enumerate() {
         let r = i * per_img..(i + 1) * per_img;
-        let wh = w_planes.high.as_slice();
-        let wl = w_planes.low.as_slice();
-        gemm_i16_i32(wh, &col_h, &mut hh.as_mut_slice()[r.clone()], m, k, out_spatial);
-        gemm_i16_i32(wl, &col_h, &mut hl.as_mut_slice()[r.clone()], m, k, out_spatial);
-        gemm_i16_i32(wh, &col_l, &mut lh.as_mut_slice()[r.clone()], m, k, out_spatial);
-        gemm_i16_i32(wl, &col_l, &mut ll.as_mut_slice()[r], m, k, out_spatial);
+        hh.as_mut_slice()[r.clone()].copy_from_slice(&buf[..per_img]);
+        hl.as_mut_slice()[r.clone()].copy_from_slice(&buf[per_img..2 * per_img]);
+        lh.as_mut_slice()[r.clone()].copy_from_slice(&buf[2 * per_img..3 * per_img]);
+        ll.as_mut_slice()[r].copy_from_slice(&buf[3 * per_img..]);
     }
     PlaneProducts { hh, hl, lh, ll, low_bits: x_planes.low_bits }
+}
+
+/// Everything the ODQ predictor and executor need from one pass over the
+/// lowered activations: the four Eq. 3 plane products plus the receptive
+/// sums of the full codes (`Σ a`) and of the high plane (`Σ a_H`).
+pub struct OdqLoweredProducts {
+    /// The four unshifted Eq. 3 partial products.
+    pub planes: PlaneProducts,
+    /// `Σ a` per output position, `[N, OH, OW]` (offset-binary correction).
+    pub sa: Tensor<i32>,
+    /// `Σ a_H` per output position, `[N, OH, OW]` (predictor expectation).
+    pub sa_h: Tensor<i32>,
+}
+
+/// Fused single-lowering ODQ kernel: lower each image's codes **once**,
+/// derive the high/low activation planes in the column domain, and run the
+/// four plane GEMMs plus both receptive-sum reductions from that one
+/// column matrix — the accelerator's shared operand stream (Fig. 12).
+///
+/// Bit-identical to the unfused pipeline
+/// (`split_qtensor` → [`qconv2d_planes`] + [`receptive_sums`] × 2):
+/// zero-padded taps split to `(0, 0)`, reduction order per output element
+/// is unchanged, and all accumulation is exact `i32`.
+pub fn qconv2d_planes_fused(
+    x_codes: &Tensor<i16>,
+    w_planes: &BitPlanes,
+    g: &ConvGeom,
+    pool: &WorkspacePool,
+) -> OdqLoweredProducts {
+    let n = x_codes.dims()[0];
+    assert_eq!(x_codes.dims(), g.input_shape(n).0.as_slice(), "input shape mismatch");
+    let low_bits = w_planes.low_bits;
+    let out_spatial = g.out_spatial();
+    let per_img = g.out_channels * out_spatial;
+    let (m, k) = (g.out_channels, g.col_len());
+
+    let mut hh = Tensor::<i32>::zeros(g.output_shape(n));
+    let mut hl = Tensor::<i32>::zeros(g.output_shape(n));
+    let mut lh = Tensor::<i32>::zeros(g.output_shape(n));
+    let mut ll = Tensor::<i32>::zeros(g.output_shape(n));
+    let mut sa = Tensor::<i32>::zeros([n, g.out_h(), g.out_w()]);
+    let mut sa_h = Tensor::<i32>::zeros([n, g.out_h(), g.out_w()]);
+
+    let per_image: Vec<Vec<i32>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            pool.with(|wk| {
+                let (col, col_h, col_l) = wk.lower_i16_split(x_codes.outer(i), g, low_bits);
+                let wh = w_planes.high.as_slice();
+                let wl = w_planes.low.as_slice();
+                let mut buf = vec![0i32; 4 * per_img + 2 * out_spatial];
+                let (b_hh, rest) = buf.split_at_mut(per_img);
+                let (b_hl, rest) = rest.split_at_mut(per_img);
+                let (b_lh, rest) = rest.split_at_mut(per_img);
+                let (b_ll, rest) = rest.split_at_mut(per_img);
+                let (b_sa, b_sah) = rest.split_at_mut(out_spatial);
+                gemm_i16_i32(wh, col_h, b_hh, m, k, out_spatial);
+                gemm_i16_i32(wl, col_h, b_hl, m, k, out_spatial);
+                gemm_i16_i32(wh, col_l, b_lh, m, k, out_spatial);
+                gemm_i16_i32(wl, col_l, b_ll, m, k, out_spatial);
+                accumulate_column_rows(col, b_sa, k, out_spatial);
+                accumulate_column_rows(col_h, b_sah, k, out_spatial);
+                buf
+            })
+        })
+        .collect();
+    for (i, buf) in per_image.iter().enumerate() {
+        let r = i * per_img..(i + 1) * per_img;
+        hh.as_mut_slice()[r.clone()].copy_from_slice(&buf[..per_img]);
+        hl.as_mut_slice()[r.clone()].copy_from_slice(&buf[per_img..2 * per_img]);
+        lh.as_mut_slice()[r.clone()].copy_from_slice(&buf[2 * per_img..3 * per_img]);
+        ll.as_mut_slice()[r].copy_from_slice(&buf[3 * per_img..4 * per_img]);
+        let s = i * out_spatial..(i + 1) * out_spatial;
+        sa.as_mut_slice()[s.clone()].copy_from_slice(&buf[4 * per_img..4 * per_img + out_spatial]);
+        sa_h.as_mut_slice()[s].copy_from_slice(&buf[4 * per_img + out_spatial..]);
+    }
+    OdqLoweredProducts { planes: PlaneProducts { hh, hl, lh, ll, low_bits }, sa, sa_h }
 }
 
 /// Recombine the plane products into full code-domain products

@@ -2,14 +2,20 @@
 //!
 //! Everything behind `odq_nn`'s [`ConvExecutor`] seam can serve: the float
 //! reference, static DoReFa INT-k, DRQ (input-directed), and ODQ
-//! (output-directed). Workers own one engine instance per model, so
-//! stateful engines (ODQ's fingerprinted quantized-weight cache) amortize
-//! across every batch the worker serves.
+//! (output-directed). Workers own one engine instance per model, and every
+//! engine serving the same model shares one per-model
+//! [`PlanCache`](odq_quant::plan::PlanCache): layer weights are quantized,
+//! bit-split and summarized exactly once across the whole worker fleet,
+//! and every planned conv driver lowers through the cache's shared
+//! workspace pool.
+
+use std::sync::Arc;
 
 use odq_accel::AccelConfig;
 use odq_core::engine::OdqEngine;
 use odq_drq::{DrqCfg, DrqEngine};
 use odq_nn::executor::{ConvCtx, ConvExecutor, FloatConvExecutor, StaticQuantExecutor};
+use odq_quant::plan::PlanCache;
 use odq_tensor::{ConvGeom, Tensor};
 
 /// Which quantization engine the worker pool runs.
@@ -60,15 +66,21 @@ impl EngineKind {
         }
     }
 
-    /// Instantiate a fresh engine of this kind.
-    pub(crate) fn build(&self) -> EngineExec {
+    /// Instantiate a fresh engine of this kind over a (typically
+    /// per-model, fleet-shared) plan cache.
+    pub(crate) fn build(&self, plans: Arc<PlanCache>) -> EngineExec {
         match *self {
             EngineKind::Float => EngineExec::Float(FloatConvExecutor),
-            EngineKind::Static { bits } => EngineExec::Static(StaticQuantExecutor::int(bits)),
-            EngineKind::Drq { input_threshold } => {
-                EngineExec::Drq(DrqEngine::new(DrqCfg::int8_int4(input_threshold)))
+            EngineKind::Static { bits } => {
+                EngineExec::Static(StaticQuantExecutor::with_plan_cache(bits, bits, 1.0, plans))
             }
-            EngineKind::Odq { threshold } => EngineExec::Odq(OdqEngine::new(threshold)),
+            EngineKind::Drq { input_threshold } => EngineExec::Drq(DrqEngine::with_plan_cache(
+                DrqCfg::int8_int4(input_threshold),
+                plans,
+            )),
+            EngineKind::Odq { threshold } => {
+                EngineExec::Odq(OdqEngine::with_plan_cache(threshold, plans))
+            }
         }
     }
 }
@@ -146,7 +158,7 @@ mod tests {
 
     #[test]
     fn profiled_records_each_layer_once() {
-        let mut exec = EngineKind::Float.build();
+        let mut exec = EngineKind::Float.build(Arc::new(PlanCache::new()));
         let mut prof = Profiled::new(&mut exec);
         let g = ConvGeom::new(1, 2, 4, 4, 3, 1, 1);
         let x = Tensor::from_vec(g.input_shape(1), vec![0.5; 16]);

@@ -45,6 +45,10 @@ impl ServerBuilder {
     /// Start the batcher and worker threads and open admission.
     pub fn start(self) -> Server {
         let cfg = self.cfg;
+        // One plan cache per model, shared by every worker: each layer's
+        // weights are quantized and prepacked once for the whole fleet.
+        let plans: Arc<HashMap<String, Arc<odq_quant::plan::PlanCache>>> =
+            Arc::new(self.models.keys().map(|name| (name.clone(), Arc::default())).collect());
         let models = Arc::new(self.models);
         let ledger = Arc::new(Mutex::new(Ledger::default()));
 
@@ -64,10 +68,11 @@ impl ServerBuilder {
                 let rx = batch_rx.clone();
                 let models = Arc::clone(&models);
                 let ledger = Arc::clone(&ledger);
+                let plans = Arc::clone(&plans);
                 let kind = self.engine;
                 std::thread::Builder::new()
                     .name(format!("odq-serve-worker-{i}"))
-                    .spawn(move || worker::run(rx, models, kind, cfg, ledger))
+                    .spawn(move || worker::run(rx, models, kind, cfg, ledger, plans))
                     .expect("spawn worker")
             })
             .collect();

@@ -2,9 +2,12 @@
 //!
 //! A worker keeps one engine instance *per model*, built lazily on the
 //! first batch it serves for that model. Keeping the engine alive across
-//! batches is what makes serving cheaper than per-request inference: the
-//! ODQ engine's fingerprinted quantized-weight cache quantizes each
-//! layer's weights once per worker, not once per request.
+//! batches is what makes serving cheaper than per-request inference — and
+//! all of a model's engines, across every worker, point at one shared
+//! [`PlanCache`]: each layer's weights are quantized, bit-split and
+//! summarized once per weight version for the whole fleet, and every
+//! planned conv driver draws im2col scratch from the cache's workspace
+//! pool instead of allocating per call.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -13,6 +16,7 @@ use std::time::Instant;
 use crossbeam::channel::Receiver;
 use odq_accel::{simulate_network, EnergyModel, LayerWorkload};
 use odq_nn::models::Model;
+use odq_quant::plan::PlanCache;
 use odq_tensor::Tensor;
 
 use crate::batcher::Batch;
@@ -27,14 +31,16 @@ pub(crate) fn run(
     kind: EngineKind,
     cfg: ServeConfig,
     ledger: Arc<Mutex<Ledger>>,
+    plans: Arc<HashMap<String, Arc<PlanCache>>>,
 ) {
     let energy = EnergyModel::default();
     let mut engines: HashMap<String, EngineExec> = HashMap::new();
     while let Ok(batch) = rx.recv() {
-        serve_batch(batch, &models, kind, &cfg, &ledger, &mut engines, &energy);
+        serve_batch(batch, &models, kind, &cfg, &ledger, &mut engines, &energy, &plans);
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_batch(
     batch: Batch,
     models: &HashMap<String, Model>,
@@ -43,6 +49,7 @@ fn serve_batch(
     ledger: &Arc<Mutex<Ledger>>,
     engines: &mut HashMap<String, EngineExec>,
     energy: &EnergyModel,
+    plans: &HashMap<String, Arc<PlanCache>>,
 ) {
     // Last-chance deadline check: a batch can sit in the dispatch channel
     // behind busy workers; anything already expired is answered as missed
@@ -85,7 +92,9 @@ fn serve_batch(
     dims[0] = n;
     let x = Tensor::from_vec(dims, data);
 
-    let exec = engines.entry(batch.model.clone()).or_insert_with(|| kind.build());
+    let exec = engines
+        .entry(batch.model.clone())
+        .or_insert_with(|| kind.build(plans.get(&batch.model).cloned().unwrap_or_default()));
     // Per-batch stats: clear any profile left from the previous batch.
     match exec {
         EngineExec::Odq(e) => e.reset_stats(),

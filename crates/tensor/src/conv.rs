@@ -10,13 +10,34 @@ use crate::gemm::{gemm_f32, gemm_f32_at, gemm_f32_bt};
 use crate::im2col::{col2im, im2col};
 use crate::shape::ConvGeom;
 use crate::tensor::Tensor;
+use crate::workspace::WorkspacePool;
 
 /// Forward 2-D convolution: `x: [N, C, H, W]`, `w: [Co, Ci, K, K]`,
 /// optional per-output-channel `bias`, producing `[N, Co, OH, OW]`.
 ///
+/// Allocates a one-shot workspace pool; hot paths that call repeatedly
+/// should hold a [`WorkspacePool`] and use [`conv2d_with`].
+///
 /// # Panics
 /// Panics if shapes disagree with `g`.
 pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&[f32]>, g: &ConvGeom) -> Tensor {
+    conv2d_with(x, w, bias, g, &WorkspacePool::new())
+}
+
+/// [`conv2d`] drawing im2col scratch from a caller-owned pool.
+///
+/// Images are processed batch-parallel (one rayon task per image), each
+/// task lowering into a pooled workspace, so peak scratch is bounded by
+/// the thread count rather than the batch size. Results are bit-identical
+/// to the sequential per-call path: every output element is still reduced
+/// sequentially over its receptive field.
+pub fn conv2d_with(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&[f32]>,
+    g: &ConvGeom,
+    pool: &WorkspacePool,
+) -> Tensor {
     let n = x.dims()[0];
     check_conv_shapes(x, w, g);
     if let Some(b) = bias {
@@ -28,12 +49,11 @@ pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&[f32]>, g: &ConvGeom) -> Ten
     let per_img_out = g.out_channels * out_spatial;
     let ws = w.as_slice();
 
-    // Parallelism: the GEMM inside already parallelizes over output
-    // channels; iterate the (small) batch sequentially to bound memory.
-    for i in 0..n {
-        let col = im2col(x.outer(i), g);
-        let yi = &mut y.as_mut_slice()[i * per_img_out..(i + 1) * per_img_out];
-        gemm_f32(ws, &col, yi, g.out_channels, g.col_len(), out_spatial);
+    y.as_mut_slice().par_chunks_mut(per_img_out.max(1)).enumerate().for_each(|(i, yi)| {
+        pool.with(|wk| {
+            let col = wk.lower_f32(x.outer(i), g);
+            gemm_f32(ws, col, yi, g.out_channels, g.col_len(), out_spatial);
+        });
         if let Some(b) = bias {
             for (co, &bc) in b.iter().enumerate() {
                 for v in &mut yi[co * out_spatial..(co + 1) * out_spatial] {
@@ -41,7 +61,7 @@ pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&[f32]>, g: &ConvGeom) -> Ten
                 }
             }
         }
-    }
+    });
     y
 }
 
@@ -326,6 +346,21 @@ mod tests {
         let got = conv2d(&x, &w, None, &g);
         let want = conv_oracle(&x, &w, None, &g);
         assert!(got.max_abs_diff(&want) < 1e-4);
+    }
+
+    #[test]
+    fn conv2d_with_pool_bit_identical_one_lowering_per_image() {
+        let g = ConvGeom::new(3, 5, 7, 6, 3, 2, 1);
+        let x = Tensor::from_vec(g.input_shape(4), pseudo(4 * 3 * 7 * 6, 9));
+        let w = Tensor::from_vec(g.weight_shape(), pseudo(5 * 3 * 9, 10));
+        let b: Vec<f32> = pseudo(5, 11);
+        let pool = crate::workspace::WorkspacePool::new();
+        let fresh = conv2d(&x, &w, Some(&b), &g);
+        let pooled = conv2d_with(&x, &w, Some(&b), &g, &pool);
+        assert_eq!(fresh.as_slice(), pooled.as_slice());
+        assert_eq!(pool.lowerings(), 4, "one im2col per image");
+        let _ = conv2d_with(&x, &w, Some(&b), &g, &pool);
+        assert_eq!(pool.lowerings(), 8, "pool reuse must not change the count");
     }
 
     /// Finite-difference check for the convolution backward pass.

@@ -18,6 +18,9 @@
 //!   im2col + GEMM.
 //! * [`stats`] — summary statistics (quantiles, moments) used for threshold
 //!   calibration.
+//! * [`workspace`] — reusable im2col scratch ([`ConvWorkspace`]) and the
+//!   [`WorkspacePool`] that batch-parallel conv drivers draw per-task
+//!   scratch from, replacing per-call column allocations.
 //!
 //! Everything is deterministic: no global state, no hidden threading beyond
 //! rayon's data-parallel iterators (which preserve results bit-for-bit for the
@@ -29,9 +32,11 @@ pub mod im2col;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
+pub mod workspace;
 
 pub use shape::{ConvGeom, Shape};
 pub use tensor::Tensor;
+pub use workspace::{ConvWorkspace, WorkspacePool};
 
 /// Crate-wide floating point element type for model data.
 pub type Elem = f32;

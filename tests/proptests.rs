@@ -1,11 +1,28 @@
 //! Property-based tests on the core invariants of the reproduction.
 
 use odq::core::{odq_conv2d, OdqCfg};
-use odq::quant::qconv::{combine_planes, qconv2d_codes, qconv2d_planes, receptive_sums};
+use odq::quant::plan::{PlanSpec, QConvPlan};
+use odq::quant::qconv::{
+    combine_planes, qconv2d, qconv2d_codes, qconv2d_planes, qconv2d_planes_fused, qconv2d_with,
+    receptive_sums,
+};
 use odq::quant::{join_planes, quantize_activation, quantize_weights, split_codes, split_qtensor};
 use odq::tensor::im2col::{col2im, im2col};
+use odq::tensor::workspace::WorkspacePool;
 use odq::tensor::{ConvGeom, Tensor};
 use proptest::prelude::*;
+
+fn pseudo_unit(n: usize, seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32 / 1000.0)
+        .collect()
+}
+
+fn pseudo_signed(n: usize, seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i as u32).wrapping_mul(40503).wrapping_add(seed) % 1000) as f32 / 500.0 - 1.0)
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -178,5 +195,180 @@ proptest! {
         let a = Allocation::new(p, 27 - p);
         let s = max_sensitive_fraction(a);
         prop_assert!((s - (27 - p) as f64 / (3.0 * p as f64)).abs() < 1e-12);
+    }
+
+    /// Float conv through a *reused* workspace pool is bit-identical to a
+    /// fresh-pool call, even as geometry and batch size change between
+    /// lowerings (stale scratch from a previous shape must not leak).
+    #[test]
+    fn pooled_conv2d_bit_identical_across_geometries(
+        seed in 0u32..500,
+        n in 1usize..4,
+        channels in 1usize..3,
+        filters in 1usize..4,
+        kernel in 1usize..=3,
+        padding in 0usize..=1,
+    ) {
+        let pool = WorkspacePool::new();
+        // Two different geometries back to back through the same pool.
+        for (i, hw) in [5usize, 7].into_iter().enumerate() {
+            let g = ConvGeom::new(channels, filters, hw, hw, kernel, 1, padding);
+            let x = Tensor::from_vec(
+                g.input_shape(n), pseudo_unit(n * channels * hw * hw, seed + i as u32));
+            let w = Tensor::from_vec(
+                g.weight_shape(), pseudo_signed(filters * channels * kernel * kernel, seed));
+            let fresh = odq::tensor::conv::conv2d(&x, &w, None, &g);
+            let pooled = odq::tensor::conv::conv2d_with(&x, &w, None, &g, &pool);
+            prop_assert_eq!(fresh.as_slice(), pooled.as_slice());
+        }
+    }
+
+    /// Quantized conv through a reused pool (fused products+sums path)
+    /// matches the fresh-pool qconv2d bit for bit.
+    #[test]
+    fn pooled_qconv2d_bit_identical(
+        seed in 0u32..500,
+        n in 1usize..4,
+        channels in 1usize..3,
+        filters in 1usize..4,
+        bits in 2u8..=8,
+    ) {
+        let g = ConvGeom::new(channels, filters, 6, 6, 3, 1, 1);
+        let x = Tensor::from_vec(g.input_shape(n), pseudo_unit(n * channels * 36, seed));
+        let w = Tensor::from_vec(g.weight_shape(), pseudo_signed(filters * channels * 9, seed));
+        let qx = quantize_activation(&x, bits, 1.0);
+        let qw = quantize_weights(&w, bits);
+        let fresh = qconv2d(&qx, &qw, &g);
+        let pool = WorkspacePool::new();
+        let a = qconv2d_with(&qx, &qw, &g, &pool);
+        let b = qconv2d_with(&qx, &qw, &g, &pool); // reused scratch
+        prop_assert_eq!(fresh.as_slice(), a.as_slice());
+        prop_assert_eq!(fresh.as_slice(), b.as_slice());
+    }
+
+    /// The fused single-lowering ODQ kernel reproduces the unfused
+    /// pipeline (pre-split planes + separate receptive sums) exactly, and
+    /// performs exactly one lowering per image.
+    #[test]
+    fn fused_planes_match_unfused_pipeline(
+        seed in 0u32..500,
+        n in 1usize..4,
+        channels in 1usize..3,
+        filters in 1usize..4,
+        low_bits in 1u8..=3,
+    ) {
+        let g = ConvGeom::new(channels, filters, 6, 6, 3, 1, 1);
+        let x = Tensor::from_vec(g.input_shape(n), pseudo_unit(n * channels * 36, seed));
+        let w = Tensor::from_vec(g.weight_shape(), pseudo_signed(filters * channels * 9, seed));
+        let qx = quantize_activation(&x, 4, 1.0);
+        let qw = quantize_weights(&w, 4);
+        let xp = split_qtensor(&qx, low_bits);
+        let wp = split_qtensor(&qw, low_bits);
+        let unfused = qconv2d_planes(&xp, &wp, &g);
+        let sa = receptive_sums(&qx.codes, &g);
+        let sa_h = receptive_sums(&xp.high, &g);
+
+        let pool = WorkspacePool::new();
+        let fused = qconv2d_planes_fused(&qx.codes, &wp, &g, &pool);
+        prop_assert_eq!(fused.planes.hh.as_slice(), unfused.hh.as_slice());
+        prop_assert_eq!(fused.planes.hl.as_slice(), unfused.hl.as_slice());
+        prop_assert_eq!(fused.planes.lh.as_slice(), unfused.lh.as_slice());
+        prop_assert_eq!(fused.planes.ll.as_slice(), unfused.ll.as_slice());
+        prop_assert_eq!(fused.sa.as_slice(), sa.as_slice());
+        prop_assert_eq!(fused.sa_h.as_slice(), sa_h.as_slice());
+        prop_assert_eq!(pool.lowerings(), n as u64);
+    }
+
+    /// The planned ODQ kernel (prepacked weights, single lowering) is
+    /// bit-identical to the per-call seed kernel for any geometry, batch
+    /// size and threshold.
+    #[test]
+    fn planned_odq_conv_bit_identical_to_seed(
+        seed in 0u32..500,
+        n in 1usize..4,
+        channels in 1usize..3,
+        filters in 1usize..4,
+        thr in 0.0f32..1.0,
+    ) {
+        let g = ConvGeom::new(channels, filters, 6, 6, 3, 1, 1);
+        let x = Tensor::from_vec(g.input_shape(n), pseudo_unit(n * channels * 36, seed));
+        let w = Tensor::from_vec(g.weight_shape(), pseudo_signed(filters * channels * 9, seed));
+        let cfg = OdqCfg::int4(thr);
+        let seed_out = odq_conv2d(&x, &w, None, &g, &cfg);
+
+        let plan = QConvPlan::build(&w, PlanSpec::odq(cfg.w_bits, cfg.low_bits));
+        let pool = WorkspacePool::new();
+        let qx = quantize_activation(&x, cfg.a_bits, cfg.a_clip);
+        let planned = odq::core::odq_conv::odq_conv2d_planned(&qx, &plan, None, &g, &cfg, &pool);
+        prop_assert_eq!(seed_out.output.as_slice(), planned.output.as_slice());
+        prop_assert_eq!(seed_out.reference.as_slice(), planned.reference.as_slice());
+        prop_assert_eq!(seed_out.mask, planned.mask);
+    }
+}
+
+// Engine-level forwards run a whole model per case; keep the case count
+// low so the suite stays fast.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A full OdqEngine forward (planned path, shared plan cache) is
+    /// bit-identical to running the seed per-call kernel at every layer.
+    #[test]
+    fn odq_engine_forward_matches_seed_kernel(
+        batch in 1usize..4,
+        thr in 0.0f32..0.8,
+    ) {
+        use odq::nn::executor::{ConvCtx, ConvExecutor};
+        use odq::nn::models::{Model, ModelCfg};
+        use odq::nn::Arch;
+
+        struct SeedOdq(OdqCfg);
+        impl ConvExecutor for SeedOdq {
+            fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
+                odq_conv2d(x, ctx.weights, ctx.bias, &ctx.geom, &self.0).output
+            }
+        }
+
+        let mut cfg = ModelCfg::small(Arch::LeNet5, 4);
+        cfg.input_hw = 8;
+        let m = Model::build(cfg);
+        let x = Tensor::from_vec([batch, 3, 8, 8], pseudo_unit(batch * 3 * 64, 11));
+
+        let mut seed_exec = SeedOdq(OdqCfg::int4(thr));
+        let y_seed = m.forward_eval(&x, &mut seed_exec);
+        let mut engine = odq::core::engine::OdqEngine::new(thr);
+        let y_planned = m.forward_eval(&x, &mut engine);
+        prop_assert_eq!(y_seed.as_slice(), y_planned.as_slice());
+    }
+
+    /// A full DrqEngine forward (planned path) is bit-identical to the
+    /// seed per-call DRQ convolution at every layer.
+    #[test]
+    fn drq_engine_forward_matches_seed_kernel(
+        batch in 1usize..4,
+        thr in 0.0f32..0.8,
+    ) {
+        use odq::drq::{drq_conv2d, DrqCfg, DrqEngine};
+        use odq::nn::executor::{ConvCtx, ConvExecutor};
+        use odq::nn::models::{Model, ModelCfg};
+        use odq::nn::Arch;
+
+        struct SeedDrq(DrqCfg);
+        impl ConvExecutor for SeedDrq {
+            fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
+                drq_conv2d(x, ctx.weights, ctx.bias, &ctx.geom, &self.0).output
+            }
+        }
+
+        let mut cfg = ModelCfg::small(Arch::LeNet5, 4);
+        cfg.input_hw = 8;
+        let m = Model::build(cfg);
+        let x = Tensor::from_vec([batch, 3, 8, 8], pseudo_unit(batch * 3 * 64, 23));
+
+        let mut seed_exec = SeedDrq(DrqCfg::int8_int4(thr));
+        let y_seed = m.forward_eval(&x, &mut seed_exec);
+        let mut engine = DrqEngine::new(DrqCfg::int8_int4(thr));
+        let y_planned = m.forward_eval(&x, &mut engine);
+        prop_assert_eq!(y_seed.as_slice(), y_planned.as_slice());
     }
 }
