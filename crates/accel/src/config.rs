@@ -70,6 +70,18 @@ pub const EXECUTOR_CLUSTERS: usize = 3;
 
 const ONCHIP_BYTES: usize = (0.17 * 1024.0 * 1024.0) as usize;
 
+/// An invalid accelerator configuration request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid accelerator config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl AccelConfig {
     /// INT16 DoReFa-Net baseline: 120 native INT16 PEs.
     pub fn int16() -> Self {
@@ -125,16 +137,23 @@ impl AccelConfig {
     }
 
     /// ODQ with a *static* predictor/executor split (Fig. 11's study).
-    pub fn odq_static(predictor_arrays: usize) -> Self {
-        assert!(
-            (FIXED_PREDICTOR_ARRAYS..=FIXED_PREDICTOR_ARRAYS + RECONFIGURABLE_ARRAYS)
-                .contains(&predictor_arrays),
-            "predictor arrays must be within 9..=21"
-        );
+    ///
+    /// `predictor_arrays` often comes from user input (bench CLI flags,
+    /// sweep configs), so an out-of-range split is a recoverable
+    /// [`ConfigError`], not a panic.
+    pub fn odq_static(predictor_arrays: usize) -> Result<Self, ConfigError> {
+        let valid = FIXED_PREDICTOR_ARRAYS..=FIXED_PREDICTOR_ARRAYS + RECONFIGURABLE_ARRAYS;
+        if !valid.contains(&predictor_arrays) {
+            return Err(ConfigError(format!(
+                "predictor arrays must be within {}..={}, got {predictor_arrays}",
+                valid.start(),
+                valid.end()
+            )));
+        }
         let mut c = Self::odq();
         c.name = format!("ODQ-static-{predictor_arrays}p");
         c.kind = AccelKind::Odq { dynamic_alloc: false, static_predictor_arrays: predictor_arrays };
-        c
+        Ok(c)
     }
 
     /// All four Table 2 configurations in paper order.
@@ -200,7 +219,7 @@ mod tests {
 
     #[test]
     fn odq_static_bounds() {
-        let c = AccelConfig::odq_static(15);
+        let c = AccelConfig::odq_static(15).unwrap();
         match c.kind {
             AccelKind::Odq { dynamic_alloc, static_predictor_arrays } => {
                 assert!(!dynamic_alloc);
@@ -211,8 +230,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "within 9..=21")]
     fn odq_static_rejects_out_of_range() {
-        AccelConfig::odq_static(25);
+        let e = AccelConfig::odq_static(25).unwrap_err();
+        assert!(e.to_string().contains("9..=21"), "{e}");
+        assert!(AccelConfig::odq_static(8).is_err());
+        assert!(AccelConfig::odq_static(9).is_ok());
+        assert!(AccelConfig::odq_static(21).is_ok());
     }
 }

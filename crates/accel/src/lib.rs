@@ -41,7 +41,7 @@ pub mod sim;
 pub mod workload;
 
 pub use alloc::{choose_allocation, max_sensitive_fraction, Allocation};
-pub use config::{AccelConfig, AccelKind};
+pub use config::{AccelConfig, AccelKind, ConfigError};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use sim::{simulate_layer, simulate_network, LayerResult, NetworkResult};
 pub use workload::LayerWorkload;

@@ -327,7 +327,7 @@ mod tests {
         let em = EnergyModel::default();
         let ws = workloads(0.1); // few sensitive outputs
         let dynamic = simulate_network(&AccelConfig::odq(), &ws, &em);
-        let static12 = simulate_network(&AccelConfig::odq_static(12), &ws, &em);
+        let static12 = simulate_network(&AccelConfig::odq_static(12).unwrap(), &ws, &em);
         assert!(
             static12.idle_fraction > dynamic.idle_fraction + 0.05,
             "static {} vs dynamic {}",

@@ -12,8 +12,8 @@ fn main() {
     let scale = ExpScale::from_args();
     let workloads = measured_workloads(Arch::ResNet20, scale, 0x20, 0.7);
 
-    let cfg_a = AccelConfig::odq_static(15); // (a) 15 pred / 12 exec
-    let cfg_b = AccelConfig::odq_static(18); // (b) 18 pred / 9 exec
+    let cfg_a = AccelConfig::odq_static(15).expect("15 pred / 12 exec is in range"); // (a)
+    let cfg_b = AccelConfig::odq_static(18).expect("18 pred / 9 exec is in range"); // (b)
 
     let mut rows = Vec::new();
     let mut json = Vec::new();

@@ -19,7 +19,8 @@ fn main() {
         let s_max = max_sensitive_fraction(*a);
         // Validate by simulation: just below the bound the layer is
         // predictor-bound (no bubbles); 10% above it becomes executor-bound.
-        let cfg = AccelConfig::odq_static(a.predictor_arrays);
+        let cfg =
+            AccelConfig::odq_static(a.predictor_arrays).expect("Table 1 allocations are in range");
         let below = simulate_layer(&cfg, &LayerWorkload::uniform("t", g, (s_max * 0.98).min(1.0)));
         let above = simulate_layer(&cfg, &LayerWorkload::uniform("t", g, (s_max * 1.10).min(1.0)));
         let bubble_free = below.idle_fraction < 0.08;

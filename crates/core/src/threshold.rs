@@ -70,7 +70,11 @@ pub struct Trial {
 /// Result of [`search_threshold`].
 #[derive(Clone, Debug)]
 pub struct SearchResult {
-    /// The accepted threshold (the last trial's if none met tolerance).
+    /// The accepted threshold: the trial that met tolerance, or — when no
+    /// trial did — the *best-accuracy* trial (not simply the last, i.e.
+    /// smallest, threshold tried: halving past the accuracy sweet spot can
+    /// make later trials worse, and accepting them would discard a better
+    /// candidate that was already evaluated).
     pub threshold: f32,
     /// INT4 static-quantization baseline accuracy the trials compare to.
     pub baseline_accuracy: f32,
@@ -176,7 +180,18 @@ pub fn search_threshold(
         threshold /= 2.0;
     }
 
-    let accepted = trials.last().expect("at least one trial").threshold;
+    // Converged: the last trial is the one that met tolerance. Not
+    // converged: fall back to the best-accuracy trial among those
+    // evaluated (ties keep the earlier, i.e. larger/cheaper, threshold).
+    let accepted = if converged {
+        trials.last().expect("at least one trial").threshold
+    } else {
+        trials
+            .iter()
+            .reduce(|best, t| if t.accuracy > best.accuracy { t } else { best })
+            .expect("at least one trial")
+            .threshold
+    };
     SearchResult { threshold: accepted, baseline_accuracy, trials, converged }
 }
 
@@ -418,5 +433,38 @@ mod tests {
         let mut any_emu = false;
         m.net.visit_convs_mut(&mut |c| any_emu |= c.odq_emu.is_some());
         assert!(!any_emu, "search must clear odq_emu");
+    }
+
+    #[test]
+    fn non_converged_search_returns_best_accuracy_trial() {
+        let (mut m, train, test) = trained_model_and_data();
+        // An unreachable tolerance (accuracy can never beat baseline + 1)
+        // forces the halving loop to exhaust every trial.
+        let cfg = SearchCfg {
+            calib_images: 4,
+            retrain_epochs: 0,
+            max_halvings: 2,
+            acc_tolerance: -1.0,
+            ..Default::default()
+        };
+        let mut rng = init_rng(21);
+        let r = search_threshold(
+            &mut m,
+            (&train.images, &train.labels),
+            (&test.images, &test.labels),
+            &cfg,
+            &mut rng,
+        );
+        assert!(!r.converged);
+        assert_eq!(r.trials.len(), cfg.max_halvings + 1, "every halving was tried");
+        let best = r
+            .trials
+            .iter()
+            .reduce(|best, t| if t.accuracy > best.accuracy { t } else { best })
+            .unwrap();
+        assert_eq!(
+            r.threshold, best.threshold,
+            "non-converged search must accept the best-accuracy trial, not the smallest threshold"
+        );
     }
 }

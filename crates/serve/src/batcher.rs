@@ -2,10 +2,13 @@
 //!
 //! One thread pulls admitted requests off the bounded submission queue and
 //! groups them by *batch key* — model name plus input shape. A group is
-//! flushed to the worker pool when it reaches `max_batch`, or when its
-//! oldest member has waited `max_wait`. On shutdown (submission side
-//! disconnects) every remaining admitted request is flushed, so draining
-//! loses nothing.
+//! flushed to the worker pool when it reaches `max_batch`, when its oldest
+//! member has waited `max_wait`, or when the *earliest member deadline* is
+//! close enough that waiting any longer would risk missing it (a request
+//! whose deadline budget is shorter than the batching window must not sit
+//! out the full window only to expire — it is dispatched early instead).
+//! On shutdown (submission side disconnects) every remaining admitted
+//! request is flushed, so draining loses nothing.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -16,6 +19,7 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use crate::config::ServeConfig;
 use crate::request::{InferRequest, InferResponse, ServeError};
 use crate::stats::Ledger;
+use crate::worker::lock_ledger;
 
 /// An admitted request travelling through the pipeline.
 pub(crate) struct Pending {
@@ -41,6 +45,26 @@ pub(crate) struct Batch {
 /// input shape.
 type BatchKey = (String, Vec<usize>);
 
+/// When a forming group must flush: the oldest member's `max_wait` window,
+/// or earlier if any member's deadline demands it. A member with deadline
+/// `d` is dispatched no later than `d - max_wait`, reserving one batching
+/// window of slack for dispatch and execution — so a request whose
+/// deadline is shorter than `max_wait` flushes (effectively) immediately
+/// instead of waiting out a window it cannot survive.
+fn group_due(group: &[Pending], max_wait: Duration, now: Instant) -> Instant {
+    let mut due = match group.first() {
+        Some(p) => p.enqueued + max_wait,
+        None => return now + max_wait,
+    };
+    for p in group {
+        if let Some(d) = p.deadline {
+            let latest_dispatch = d.checked_sub(max_wait).unwrap_or(now);
+            due = due.min(latest_dispatch);
+        }
+    }
+    due
+}
+
 pub(crate) fn run(
     rx: Receiver<Pending>,
     batch_tx: Sender<Batch>,
@@ -50,12 +74,12 @@ pub(crate) fn run(
     let mut groups: HashMap<BatchKey, Vec<Pending>> = HashMap::new();
 
     loop {
-        // Sleep at most until the oldest forming batch must flush.
+        // Sleep at most until the earliest-due forming batch must flush
+        // (its max_wait window or an imminent member deadline).
         let now = Instant::now();
         let timeout = groups
             .values()
-            .filter_map(|g| g.first())
-            .map(|p| (p.enqueued + cfg.max_wait).saturating_duration_since(now))
+            .map(|g| group_due(g, cfg.max_wait, now).saturating_duration_since(now))
             .min()
             .unwrap_or(cfg.max_wait)
             .max(Duration::from_micros(50));
@@ -79,11 +103,12 @@ pub(crate) fn run(
             Err(RecvTimeoutError::Disconnected) => break,
         }
 
-        // Flush any group whose oldest request has waited long enough.
+        // Flush any group that has come due — oldest member waited out
+        // max_wait, or an earliest member deadline is imminent.
         let now = Instant::now();
         let due: Vec<BatchKey> = groups
             .iter()
-            .filter(|(_, g)| g.first().is_some_and(|p| now >= p.enqueued + cfg.max_wait))
+            .filter(|(_, g)| now >= group_due(g, cfg.max_wait, now))
             .map(|(k, _)| k.clone())
             .collect();
         for key in due {
@@ -100,7 +125,7 @@ pub(crate) fn run(
 }
 
 fn reject_expired(p: Pending, ledger: &Arc<Mutex<Ledger>>) {
-    ledger.lock().expect("ledger poisoned").rejected_deadline += 1;
+    lock_ledger(ledger).rejected_deadline += 1;
     let _ = p.resp.send(Err(ServeError::DeadlineExceeded));
 }
 
@@ -121,5 +146,59 @@ fn flush(items: Vec<Pending>, batch_tx: &Sender<Batch>, ledger: &Arc<Mutex<Ledge
         for p in e.into_inner().items {
             let _ = p.resp.send(Err(ServeError::WorkerLost));
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use odq_tensor::Tensor;
+
+    fn pending(enqueued: Instant, deadline: Option<Instant>) -> Pending {
+        // The receiver is dropped: these tests never send a response.
+        let (tx, _rx) = bounded(1);
+        Pending {
+            req: InferRequest::new("m", Tensor::from_vec(vec![1, 1, 1, 1], vec![0.0])),
+            resp: tx,
+            enqueued,
+            deadline,
+        }
+    }
+
+    #[test]
+    fn due_is_max_wait_without_deadlines() {
+        let now = Instant::now();
+        let w = Duration::from_millis(10);
+        let g = vec![pending(now, None), pending(now + w / 2, None)];
+        assert_eq!(group_due(&g, w, now), now + w);
+    }
+
+    #[test]
+    fn tight_deadline_pulls_due_before_the_window() {
+        let now = Instant::now();
+        let w = Duration::from_millis(250);
+        // Deadline (20 ms) far shorter than max_wait: due immediately.
+        let g = vec![pending(now, Some(now + Duration::from_millis(20)))];
+        assert!(group_due(&g, w, now) <= now);
+    }
+
+    #[test]
+    fn loose_deadline_leaves_the_window_alone() {
+        let now = Instant::now();
+        let w = Duration::from_millis(2);
+        let g = vec![pending(now, Some(now + Duration::from_secs(10)))];
+        assert_eq!(group_due(&g, w, now), now + w);
+    }
+
+    #[test]
+    fn earliest_member_deadline_wins() {
+        let now = Instant::now();
+        let w = Duration::from_millis(5);
+        let g = vec![
+            pending(now, Some(now + Duration::from_secs(1))),
+            pending(now, Some(now + Duration::from_millis(8))),
+        ];
+        assert_eq!(group_due(&g, w, now), now + Duration::from_millis(3));
     }
 }

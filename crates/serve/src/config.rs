@@ -28,6 +28,12 @@ pub struct ServeConfig {
     /// Run the cycle-level accelerator simulator on every batch's measured
     /// sensitivity profile and record cycles/energy in the ledger.
     pub simulate_accel: bool,
+    /// Fault injection (tests only): panic inside the worker when the Nth
+    /// batch (1-based, fleet-wide) starts executing. Exercises the
+    /// supervision path: the batch's requests must be answered with
+    /// [`crate::ServeError::Internal`] and the worker must restart with a
+    /// fresh engine. `None` (the default) injects nothing.
+    pub fault_panic_on_batch: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -39,6 +45,7 @@ impl Default for ServeConfig {
             workers: 2,
             default_deadline: None,
             simulate_accel: true,
+            fault_panic_on_batch: None,
         }
     }
 }

@@ -13,11 +13,13 @@
 //!    full)                           max_wait)          caches amortize)
 //!                                                          │
 //!                                                          ▼
-//!                                                    stats ledger
-//!                                              (queue wait, batch size,
-//!                                               service time, sensitive
-//!                                               fraction, simulated
-//!                                               accelerator cycles/energy)
+//!                                                  streaming stats ledger
+//!                                              (log-bucketed latency
+//!                                               histograms, outcome
+//!                                               counters, queue/batch
+//!                                               gauges, simulated
+//!                                               accelerator cycles/energy
+//!                                               — O(1) memory in requests)
 //! ```
 //!
 //! Requests carry one `[1, C, H, W]` image for a named model and an
@@ -38,6 +40,15 @@
 //! [`Server::shutdown`] is graceful: admission closes first, then the
 //! batcher drains and flushes every admitted request, then workers finish
 //! in-flight batches — no response is lost or duplicated.
+//!
+//! Workers are *supervised*: a panic during batch execution is caught,
+//! every request in the panicked batch is answered with
+//! [`ServeError::Internal`], the panic and restart are counted in the
+//! ledger, and the worker restarts with fresh engines so capacity
+//! recovers ([`ServeConfig::fault_panic_on_batch`] injects such a panic
+//! on demand so the recovery path stays tested). Requests whose deadline
+//! is shorter than the batching window are dispatched early by the
+//! deadline-aware batcher instead of expiring in it.
 
 #![warn(missing_docs)]
 
@@ -56,4 +67,4 @@ pub use engine::EngineKind;
 pub use loadgen::{run_closed_loop, run_open_loop, LoadReport, LoadSpec};
 pub use request::{InferRequest, InferResponse, RequestTiming, ResponseHandle, ServeError};
 pub use server::{Server, ServerBuilder};
-pub use stats::{BatchRecord, BatchSim, RequestRecord, StatsSummary};
+pub use stats::{BatchRecord, BatchSim, LatencyStats, LogHistogram, StatsSummary};

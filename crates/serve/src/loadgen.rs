@@ -46,6 +46,15 @@ pub struct LoadReport {
     pub rejected: u64,
     /// Answered with [`ServeError::DeadlineExceeded`].
     pub deadline_missed: u64,
+    /// Answered with a pipeline failure ([`ServeError::Internal`] after a
+    /// worker panic, or [`ServeError::WorkerLost`]).
+    pub failed: u64,
+    /// Submissions refused because the server was shutting down; the run
+    /// stops at the first one instead of panicking.
+    pub shutdown_rejected: u64,
+    /// Submissions rejected as invalid (unknown model / bad shape) —
+    /// a misconfigured spec, counted rather than panicked on.
+    pub invalid: u64,
     /// Successfully completed.
     pub completed: u64,
     /// Wall-clock duration of the run.
@@ -75,8 +84,24 @@ impl LoadReport {
                 self.latencies.push(lat);
             }
             Err(ServeError::DeadlineExceeded) => self.deadline_missed += 1,
-            Err(_) => {}
+            // Every other in-flight failure (worker panic, lost channel,
+            // drain) is a terminal outcome the generator must survive.
+            Err(_) => self.failed += 1,
         }
+    }
+
+    /// Record a submission rejection. Returns `false` when the run should
+    /// stop (the server is shutting down).
+    fn absorb_submit_error(&mut self, e: ServeError) -> bool {
+        match e {
+            ServeError::QueueFull => self.rejected += 1,
+            ServeError::ShuttingDown => {
+                self.shutdown_rejected += 1;
+                return false;
+            }
+            _ => self.invalid += 1,
+        }
+        true
     }
 }
 
@@ -143,7 +168,13 @@ pub fn run_closed_loop(
                     report.absorb(h.wait().map(|_| t0.elapsed()));
                 }
             }
-            Err(e) => panic!("load generator misconfigured: {e}"),
+            // A shutting-down server ends the run; anything else is a
+            // misconfigured spec, counted rather than panicked on.
+            Err(e) => {
+                if !report.absorb_submit_error(e) {
+                    break;
+                }
+            }
         }
     }
     for (t0, h) in inflight {
@@ -184,8 +215,11 @@ pub fn run_open_loop(
         report.submitted += 1;
         match server.submit(make_request(specs, &mut rng, deadline)) {
             Ok(h) => inflight.push((Instant::now(), h)),
-            Err(ServeError::QueueFull) => report.rejected += 1,
-            Err(e) => panic!("load generator misconfigured: {e}"),
+            Err(e) => {
+                if !report.absorb_submit_error(e) {
+                    break;
+                }
+            }
         }
     }
     for (t0, h) in inflight {
@@ -230,5 +264,19 @@ mod tests {
         assert_eq!(r.deadline_missed, 1);
         assert!((r.throughput() - 2.0).abs() < 1e-9);
         assert_eq!(r.latency_percentile(1.0), Duration::from_millis(8));
+    }
+
+    #[test]
+    fn report_absorbs_failures_and_submit_errors() {
+        let mut r = LoadReport::default();
+        r.absorb(Err(ServeError::Internal));
+        r.absorb(Err(ServeError::WorkerLost));
+        assert_eq!(r.failed, 2);
+        assert!(r.absorb_submit_error(ServeError::QueueFull), "queue-full keeps running");
+        assert!(r.absorb_submit_error(ServeError::UnknownModel("x".into())));
+        assert!(!r.absorb_submit_error(ServeError::ShuttingDown), "shutdown stops the run");
+        assert_eq!(r.rejected, 1);
+        assert_eq!(r.invalid, 1);
+        assert_eq!(r.shutdown_rejected, 1);
     }
 }

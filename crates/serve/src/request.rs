@@ -71,6 +71,9 @@ pub enum ServeError {
     ShuttingDown,
     /// The serving pipeline dropped the response channel (worker panic).
     WorkerLost,
+    /// A worker panicked while executing the batch this request rode in.
+    /// The worker was restarted with a fresh engine; retrying is safe.
+    Internal,
 }
 
 impl fmt::Display for ServeError {
@@ -82,6 +85,9 @@ impl fmt::Display for ServeError {
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::WorkerLost => write!(f, "serving pipeline dropped the response"),
+            ServeError::Internal => {
+                write!(f, "internal error: worker panicked while serving the batch")
+            }
         }
     }
 }

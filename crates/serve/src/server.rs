@@ -13,7 +13,7 @@ use crate::config::ServeConfig;
 use crate::engine::EngineKind;
 use crate::request::{InferRequest, ResponseHandle, ServeError};
 use crate::stats::{BatchRecord, Ledger, StatsSummary};
-use crate::worker;
+use crate::worker::{self, lock_ledger};
 
 /// Builder for [`Server`]: register models, pick an engine, start.
 pub struct ServerBuilder {
@@ -105,21 +105,35 @@ impl Server {
     /// when the bounded queue is at capacity — the backpressure signal).
     pub fn submit(&self, req: InferRequest) -> Result<ResponseHandle, ServeError> {
         if let Err(e) = self.validate(&req) {
-            self.ledger.lock().expect("ledger poisoned").rejected_invalid += 1;
+            lock_ledger(&self.ledger).rejected_invalid += 1;
             return Err(e);
         }
-        let tx = self.submit_tx.as_ref().ok_or(ServeError::ShuttingDown)?;
+        let tx = match self.submit_tx.as_ref() {
+            Some(tx) => tx,
+            None => {
+                lock_ledger(&self.ledger).rejected_shutdown += 1;
+                return Err(ServeError::ShuttingDown);
+            }
+        };
         let now = Instant::now();
         let deadline = req.deadline.or(self.cfg.default_deadline).map(|d| now + d);
         let (resp_tx, resp_rx) = bounded(1);
         let pending = Pending { req, resp: resp_tx, enqueued: now, deadline };
         match tx.try_send(pending) {
-            Ok(()) => Ok(ResponseHandle { rx: resp_rx }),
+            Ok(()) => {
+                let mut led = lock_ledger(&self.ledger);
+                led.admitted += 1;
+                led.note_queue_depth(tx.len());
+                Ok(ResponseHandle { rx: resp_rx })
+            }
             Err(TrySendError::Full(_)) => {
-                self.ledger.lock().expect("ledger poisoned").rejected_queue_full += 1;
+                lock_ledger(&self.ledger).rejected_queue_full += 1;
                 Err(ServeError::QueueFull)
             }
-            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+            Err(TrySendError::Disconnected(_)) => {
+                lock_ledger(&self.ledger).rejected_shutdown += 1;
+                Err(ServeError::ShuttingDown)
+            }
         }
     }
 
@@ -144,14 +158,27 @@ impl Server {
         self.submit_tx.as_ref().map_or(0, |tx| tx.len())
     }
 
-    /// Aggregated ledger snapshot.
+    /// Aggregated ledger snapshot. O(1) in requests served: the ledger
+    /// streams everything into fixed-footprint histograms and counters.
     pub fn stats(&self) -> StatsSummary {
-        self.ledger.lock().expect("ledger poisoned").summary()
+        lock_ledger(&self.ledger).summary()
     }
 
-    /// Copy of the per-batch ledger.
-    pub fn batch_records(&self) -> Vec<BatchRecord> {
-        self.ledger.lock().expect("ledger poisoned").batches.clone()
+    /// Ledger snapshot as pretty-printed JSON (durations in ms).
+    pub fn stats_json(&self) -> String {
+        serde_json::to_string_pretty(&self.stats()).expect("summary serializes")
+    }
+
+    /// The most recently executed batches (bounded ring, newest last).
+    pub fn recent_batches(&self) -> Vec<BatchRecord> {
+        lock_ledger(&self.ledger).recent_batches()
+    }
+
+    /// Approximate resident size of the stats ledger in bytes. Constant
+    /// in the number of requests served — the O(1)-memory guarantee the
+    /// streaming ledger exists for, and what tests pin down.
+    pub fn ledger_bytes(&self) -> usize {
+        lock_ledger(&self.ledger).approx_bytes()
     }
 
     /// Graceful shutdown: close admission, let the batcher drain and
@@ -213,9 +240,47 @@ mod tests {
         let r = h.wait().unwrap();
         assert_eq!(r.output.dims(), &[1, 4]);
         assert!(r.timing.batch_size >= 1);
+        // The worker records the batch after responding; wait it out.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while s.stats().batches < 1 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(s.recent_batches().len(), 1);
+        let json = s.stats_json();
+        assert!(json.contains("\"counters\""), "{json}");
         let sum = s.shutdown();
+        assert_eq!(sum.admitted, 1);
         assert_eq!(sum.completed, 1);
         assert_eq!(sum.batches, 1);
+    }
+
+    #[test]
+    fn shutdown_rejections_are_counted() {
+        let mut s = server(ServeConfig::default());
+        s.close();
+        let e = s.submit(InferRequest::new("lenet", input(0))).unwrap_err();
+        assert_eq!(e, ServeError::ShuttingDown);
+        assert_eq!(s.stats().rejected_shutdown, 1);
+    }
+
+    #[test]
+    fn tight_deadline_flushes_early_and_is_served() {
+        // Deadline far shorter than the batching window: the batcher must
+        // dispatch early on the member deadline, not wait out max_wait and
+        // then reject the request as expired.
+        let cfg =
+            ServeConfig { max_wait: Duration::from_secs(2), max_batch: 8, ..Default::default() };
+        let s = server(cfg);
+        let t0 = std::time::Instant::now();
+        let h = s
+            .submit(InferRequest::new("lenet", input(0)).with_deadline(Duration::from_millis(500)))
+            .unwrap();
+        let r = h.wait().expect("deadline-driven flush must serve this request");
+        assert!(t0.elapsed() < Duration::from_secs(2), "served before the max_wait window");
+        assert_eq!(r.output.dims(), &[1, 4]);
+        let sum = s.shutdown();
+        assert_eq!(sum.completed, 1);
+        assert_eq!(sum.rejected_deadline, 0);
     }
 
     #[test]

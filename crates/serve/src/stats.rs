@@ -1,20 +1,176 @@
-//! The serving ledger: per-request and per-batch records plus summaries.
+//! Streaming serving metrics: fixed-footprint histograms, counters, gauges.
+//!
+//! The ledger used to append one record per request and per batch, which
+//! means a server under sustained load grew without bound. It is now a set
+//! of *streaming* aggregates whose memory footprint is O(1) in the number
+//! of requests served:
+//!
+//! * **log-bucketed histograms** ([`LogHistogram`]) for queue-wait,
+//!   service, and end-to-end latency (plus batch size) — fixed bucket
+//!   arrays with ≤12.5% relative quantile error;
+//! * **monotone counters** for every admission/terminal outcome
+//!   (admitted, served, `rejected_{invalid,queue_full,deadline,shutdown}`,
+//!   internal errors, worker panics/restarts);
+//! * **gauges** for submission-queue depth and executed batch size;
+//! * **running sums** for simulated accelerator cycles/energy and the
+//!   output-weighted sensitive fraction;
+//! * a small fixed-capacity ring of the most recent [`BatchRecord`]s for
+//!   debugging (bounded at [`RECENT_BATCH_CAP`]).
+//!
+//! [`Ledger::summary`] snapshots everything into a [`StatsSummary`], which
+//! serializes to JSON for dashboards and the `serve_bench` report.
 
+use std::collections::VecDeque;
 use std::time::Duration;
 
-/// One served request's ledger entry.
-#[derive(Clone, Debug)]
-pub struct RequestRecord {
-    /// Model name.
-    pub model: String,
-    /// Submission → forward-pass start.
-    pub queue_wait: Duration,
-    /// Forward-pass duration (shared across the batch).
-    pub service: Duration,
-    /// Submission → response.
-    pub total: Duration,
-    /// Size of the batch this request rode in.
-    pub batch_size: usize,
+/// How many recently executed batches the ledger retains for inspection.
+pub const RECENT_BATCH_CAP: usize = 32;
+
+/// Sub-bucket resolution: 2^3 = 8 linear sub-buckets per power of two,
+/// bounding the relative error of any reported quantile at 1/8 = 12.5%.
+const SUB_BITS: usize = 3;
+const SUB: usize = 1 << SUB_BITS;
+/// Values `0..SUB` get exact buckets; each octave above contributes `SUB`.
+const BUCKETS: usize = SUB + (64 - SUB_BITS) * SUB;
+
+/// A fixed-footprint log-bucketed histogram of `u64` samples
+/// (HdrHistogram-style: power-of-two octaves with linear sub-buckets).
+///
+/// Recording is O(1); quantiles are O(buckets); memory is a constant
+/// ~4 KB regardless of how many samples are recorded.
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self { counts: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize;
+        let sub = ((v >> (exp - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        SUB + (exp - SUB_BITS) * SUB + sub
+    }
+}
+
+fn bucket_lower(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let exp = SUB_BITS + (i - SUB) / SUB;
+        let sub = ((i - SUB) % SUB) as u64;
+        (SUB as u64 + sub) << (exp - SUB_BITS)
+    }
+}
+
+impl LogHistogram {
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample recorded.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank `q`-quantile (`0.0..=1.0`), accurate to the bucket's
+    /// 12.5% relative width. Returns 0 when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket midpoint, clamped to the true observed maximum.
+                let lo = bucket_lower(i);
+                let width = if i < SUB { 1 } else { bucket_lower(i + 1) - lo };
+                return (lo + width / 2).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Duration-flavored view over a [`LogHistogram`] of nanosecond samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Median (nearest-rank over log buckets, ≤12.5% relative error).
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Largest sample (exact).
+    pub max: Duration,
+}
+
+impl LatencyStats {
+    fn from_nanos_histogram(h: &LogHistogram) -> Self {
+        let d = |ns: u64| Duration::from_nanos(ns);
+        Self {
+            count: h.count(),
+            mean: d(h.mean() as u64),
+            p50: d(h.value_at_quantile(0.50)),
+            p95: d(h.value_at_quantile(0.95)),
+            p99: d(h.value_at_quantile(0.99)),
+            max: d(h.max()),
+        }
+    }
+
+    fn to_json(self) -> serde_json::Value {
+        let ms = |d: Duration| serde_json::Value::F64(d.as_secs_f64() * 1e3);
+        serde_json::Value::Object(vec![
+            ("count".into(), serde_json::Value::U64(self.count)),
+            ("mean_ms".into(), ms(self.mean)),
+            ("p50_ms".into(), ms(self.p50)),
+            ("p95_ms".into(), ms(self.p95)),
+            ("p99_ms".into(), ms(self.p99)),
+            ("max_ms".into(), ms(self.max)),
+        ])
+    }
 }
 
 /// Per-batch simulated accelerator cost, from `odq_accel`'s cycle-level
@@ -33,7 +189,8 @@ pub struct BatchSim {
     pub energy_nj: f64,
 }
 
-/// One executed batch's ledger entry.
+/// One executed batch's ledger entry (retained only in the bounded
+/// recent-batches ring; aggregates are streamed into the histograms).
 #[derive(Clone, Debug)]
 pub struct BatchRecord {
     /// Model name.
@@ -51,22 +208,144 @@ pub struct BatchRecord {
     pub sim: Option<BatchSim>,
 }
 
-/// Mutable ledger shared by the admission path and the workers.
+/// Mutable streaming ledger shared by the admission path and the workers.
+/// Every field is a fixed-size aggregate: memory does not grow with the
+/// number of requests served.
 #[derive(Debug, Default)]
 pub(crate) struct Ledger {
-    pub requests: Vec<RequestRecord>,
-    pub batches: Vec<BatchRecord>,
+    // Counters.
+    pub admitted: u64,
+    pub served: u64,
+    pub batches: u64,
+    /// Batches whose execution *began* (used by fault injection; differs
+    /// from `batches` when a worker panics mid-batch).
+    pub batches_started: u64,
     pub rejected_queue_full: u64,
     pub rejected_deadline: u64,
     pub rejected_invalid: u64,
+    pub rejected_shutdown: u64,
+    /// Requests answered [`crate::ServeError::Internal`] after a panic.
+    pub internal_errors: u64,
+    pub worker_panics: u64,
+    pub worker_restarts: u64,
+    // Gauges.
+    pub last_queue_depth: u64,
+    pub max_queue_depth: u64,
+    // Histograms (nanoseconds; batch_size in requests).
+    queue_wait: LogHistogram,
+    service: LogHistogram,
+    total: LogHistogram,
+    batch_size: LogHistogram,
+    // Running sums.
+    sim_cycles: f64,
+    sim_energy_nj: f64,
+    sens_weighted: f64,
+    sens_weight: f64,
+    // Bounded debugging ring of the most recent batches.
+    recent: VecDeque<BatchRecord>,
 }
 
-/// Aggregated view of the ledger at one point in time.
+impl Ledger {
+    /// Record the submission-queue depth observed at admission.
+    pub fn note_queue_depth(&mut self, depth: usize) {
+        self.last_queue_depth = depth as u64;
+        self.max_queue_depth = self.max_queue_depth.max(depth as u64);
+    }
+
+    /// Stream one served request's timings into the histograms.
+    pub fn record_request(&mut self, queue_wait: Duration, service: Duration, total: Duration) {
+        self.served += 1;
+        self.queue_wait.record(queue_wait.as_nanos() as u64);
+        self.service.record(service.as_nanos() as u64);
+        self.total.record(total.as_nanos() as u64);
+    }
+
+    /// Stream one executed batch into the aggregates and the recent ring.
+    pub fn record_batch(&mut self, rec: BatchRecord) {
+        self.batches += 1;
+        self.batch_size.record(rec.size as u64);
+        if let Some(sim) = &rec.sim {
+            self.sim_cycles += sim.batch_cycles;
+            self.sim_energy_nj += sim.energy_nj;
+        }
+        if let Some(f) = rec.sensitive_fraction {
+            self.sens_weighted += f * rec.size as f64;
+            self.sens_weight += rec.size as f64;
+        }
+        if self.recent.len() == RECENT_BATCH_CAP {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(rec);
+    }
+
+    /// A worker panicked while serving `batch_len` requests: count the
+    /// panic and the internal-error responses those requests received.
+    pub fn record_worker_panic(&mut self, batch_len: usize) {
+        self.worker_panics += 1;
+        self.internal_errors += batch_len as u64;
+    }
+
+    /// Copy of the bounded recent-batches ring (newest last).
+    pub fn recent_batches(&self) -> Vec<BatchRecord> {
+        self.recent.iter().cloned().collect()
+    }
+
+    /// Approximate resident bytes of the ledger, including ring-buffer
+    /// heap. Constant-bounded by construction; the serve tests pin it.
+    pub fn approx_bytes(&self) -> usize {
+        let ring_heap: usize = self.recent.capacity() * std::mem::size_of::<BatchRecord>()
+            + self
+                .recent
+                .iter()
+                .map(|r| {
+                    r.model.capacity()
+                        + r.engine.capacity()
+                        + r.sim.as_ref().map_or(0, |s| s.config.capacity())
+                })
+                .sum::<usize>();
+        std::mem::size_of::<Self>() + ring_heap
+    }
+
+    pub fn summary(&self) -> StatsSummary {
+        let mean_sensitive_fraction =
+            if self.sens_weight > 0.0 { Some(self.sens_weighted / self.sens_weight) } else { None };
+        let latency = LatencyStats::from_nanos_histogram(&self.total);
+        StatsSummary {
+            admitted: self.admitted,
+            completed: self.served,
+            batches: self.batches,
+            rejected_queue_full: self.rejected_queue_full,
+            rejected_deadline: self.rejected_deadline,
+            rejected_invalid: self.rejected_invalid,
+            rejected_shutdown: self.rejected_shutdown,
+            internal_errors: self.internal_errors,
+            worker_panics: self.worker_panics,
+            worker_restarts: self.worker_restarts,
+            mean_batch_size: self.batch_size.mean(),
+            max_batch_size: self.batch_size.max(),
+            last_queue_depth: self.last_queue_depth,
+            max_queue_depth: self.max_queue_depth,
+            mean_queue_wait: Duration::from_nanos(self.queue_wait.mean() as u64),
+            queue_wait: LatencyStats::from_nanos_histogram(&self.queue_wait),
+            service: LatencyStats::from_nanos_histogram(&self.service),
+            latency,
+            p50_latency: latency.p50,
+            p99_latency: latency.p99,
+            sim_cycles: self.sim_cycles,
+            sim_energy_nj: self.sim_energy_nj,
+            mean_sensitive_fraction,
+        }
+    }
+}
+
+/// Point-in-time snapshot of the streaming ledger.
 #[derive(Clone, Debug)]
 pub struct StatsSummary {
+    /// Requests that passed admission into the queue.
+    pub admitted: u64,
     /// Requests answered successfully.
     pub completed: u64,
-    /// Batches executed.
+    /// Batches executed to completion.
     pub batches: u64,
     /// Requests rejected at admission because the queue was full.
     pub rejected_queue_full: u64,
@@ -74,13 +353,33 @@ pub struct StatsSummary {
     pub rejected_deadline: u64,
     /// Requests rejected for unknown model / bad input shape.
     pub rejected_invalid: u64,
+    /// Requests rejected because the server was shutting down.
+    pub rejected_shutdown: u64,
+    /// Requests answered [`crate::ServeError::Internal`] (worker panic).
+    pub internal_errors: u64,
+    /// Worker panics caught by the supervision shell.
+    pub worker_panics: u64,
+    /// Workers restarted with a fresh engine after a panic.
+    pub worker_restarts: u64,
     /// Mean executed batch size.
     pub mean_batch_size: f64,
+    /// Largest executed batch.
+    pub max_batch_size: u64,
+    /// Submission-queue depth at the last admission.
+    pub last_queue_depth: u64,
+    /// Highest submission-queue depth observed at admission.
+    pub max_queue_depth: u64,
     /// Mean time requests spent queued before their forward pass.
     pub mean_queue_wait: Duration,
-    /// Median end-to-end latency.
+    /// Queue-wait distribution (submission → dequeue by a worker).
+    pub queue_wait: LatencyStats,
+    /// Service distribution (forward-pass duration).
+    pub service: LatencyStats,
+    /// End-to-end latency distribution (submission → response).
+    pub latency: LatencyStats,
+    /// Median end-to-end latency (mirror of `latency.p50`).
     pub p50_latency: Duration,
-    /// 99th-percentile end-to-end latency.
+    /// 99th-percentile end-to-end latency (mirror of `latency.p99`).
     pub p99_latency: Duration,
     /// Total simulated accelerator cycles across all batches.
     pub sim_cycles: f64,
@@ -90,7 +389,59 @@ pub struct StatsSummary {
     pub mean_sensitive_fraction: Option<f64>,
 }
 
+impl StatsSummary {
+    /// Snapshot as a JSON tree (durations in milliseconds).
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde_json::Value;
+        let counters = Value::Object(vec![
+            ("admitted".into(), Value::U64(self.admitted)),
+            ("completed".into(), Value::U64(self.completed)),
+            ("batches".into(), Value::U64(self.batches)),
+            ("rejected_queue_full".into(), Value::U64(self.rejected_queue_full)),
+            ("rejected_deadline".into(), Value::U64(self.rejected_deadline)),
+            ("rejected_invalid".into(), Value::U64(self.rejected_invalid)),
+            ("rejected_shutdown".into(), Value::U64(self.rejected_shutdown)),
+            ("internal_errors".into(), Value::U64(self.internal_errors)),
+            ("worker_panics".into(), Value::U64(self.worker_panics)),
+            ("worker_restarts".into(), Value::U64(self.worker_restarts)),
+        ]);
+        let gauges = Value::Object(vec![
+            ("mean_batch_size".into(), Value::F64(self.mean_batch_size)),
+            ("max_batch_size".into(), Value::U64(self.max_batch_size)),
+            ("last_queue_depth".into(), Value::U64(self.last_queue_depth)),
+            ("max_queue_depth".into(), Value::U64(self.max_queue_depth)),
+        ]);
+        let latency = vec![
+            ("queue_wait".into(), self.queue_wait.to_json()),
+            ("service".into(), self.service.to_json()),
+            ("total".into(), self.latency.to_json()),
+        ];
+        let mut sim = vec![
+            ("cycles".into(), Value::F64(self.sim_cycles)),
+            ("energy_nj".into(), Value::F64(self.sim_energy_nj)),
+        ];
+        if let Some(f) = self.mean_sensitive_fraction {
+            sim.push(("mean_sensitive_fraction".into(), Value::F64(f)));
+        }
+        Value::Object(vec![
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("latency_ms".into(), Value::Object(latency)),
+            ("simulated_accel".into(), Value::Object(sim)),
+        ])
+    }
+}
+
+impl serde::Serialize for StatsSummary {
+    fn to_value(&self) -> serde_json::Value {
+        self.to_json()
+    }
+}
+
 /// `q`-quantile (0.0..=1.0) of an unsorted sample by nearest-rank.
+///
+/// Exact (sorts a copy); used by the load generators on their own bounded
+/// sample vectors. The server's ledger uses [`LogHistogram`] instead.
 pub fn percentile(samples: &[Duration], q: f64) -> Duration {
     if samples.is_empty() {
         return Duration::ZERO;
@@ -99,53 +450,6 @@ pub fn percentile(samples: &[Duration], q: f64) -> Duration {
     s.sort_unstable();
     let rank = ((q.clamp(0.0, 1.0) * s.len() as f64).ceil() as usize).clamp(1, s.len());
     s[rank - 1]
-}
-
-impl Ledger {
-    pub fn summary(&self) -> StatsSummary {
-        let totals: Vec<Duration> = self.requests.iter().map(|r| r.total).collect();
-        let n = self.requests.len();
-        let mean_queue_wait = if n == 0 {
-            Duration::ZERO
-        } else {
-            self.requests.iter().map(|r| r.queue_wait).sum::<Duration>() / n as u32
-        };
-        let mean_batch_size = if self.batches.is_empty() {
-            0.0
-        } else {
-            self.batches.iter().map(|b| b.size as f64).sum::<f64>() / self.batches.len() as f64
-        };
-        let sim_cycles: f64 =
-            self.batches.iter().filter_map(|b| b.sim.as_ref()).map(|s| s.batch_cycles).sum();
-        let sim_energy_nj: f64 =
-            self.batches.iter().filter_map(|b| b.sim.as_ref()).map(|s| s.energy_nj).sum();
-        let sens: Vec<(f64, f64)> = self
-            .batches
-            .iter()
-            .filter_map(|b| b.sensitive_fraction.map(|f| (f * b.size as f64, b.size as f64)))
-            .collect();
-        let mean_sensitive_fraction = if sens.is_empty() {
-            None
-        } else {
-            let (num, den): (f64, f64) =
-                sens.iter().fold((0.0, 0.0), |(a, b), (x, y)| (a + x, b + y));
-            Some(num / den)
-        };
-        StatsSummary {
-            completed: n as u64,
-            batches: self.batches.len() as u64,
-            rejected_queue_full: self.rejected_queue_full,
-            rejected_deadline: self.rejected_deadline,
-            rejected_invalid: self.rejected_invalid,
-            mean_batch_size,
-            mean_queue_wait,
-            p50_latency: percentile(&totals, 0.50),
-            p99_latency: percentile(&totals, 0.99),
-            sim_cycles,
-            sim_energy_nj,
-            mean_sensitive_fraction,
-        }
-    }
 }
 
 #[cfg(test)]
@@ -163,18 +467,58 @@ mod tests {
     }
 
     #[test]
-    fn summary_aggregates() {
+    fn bucket_index_and_lower_are_inverse_and_monotone() {
+        let mut prev = 0usize;
+        for v in [0u64, 1, 7, 8, 9, 15, 16, 100, 1000, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_lower(i) <= v, "lower({i}) must be <= {v}");
+            if i + 1 < BUCKETS {
+                assert!(bucket_lower(i + 1) > v, "next lower must exceed {v}");
+            }
+            assert!(i >= prev, "index must be monotone in value");
+            prev = i;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn histogram_quantiles_within_bucket_error() {
+        let mut h = LogHistogram::default();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100_000);
+        assert_eq!(h.max(), 100_000);
+        for (q, exact) in [(0.5, 50_000.0), (0.95, 95_000.0), (0.99, 99_000.0)] {
+            let got = h.value_at_quantile(q) as f64;
+            let rel = (got - exact).abs() / exact;
+            assert!(rel <= 0.125, "q={q}: got {got}, exact {exact}, rel err {rel}");
+        }
+        assert!((h.mean() - 50_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_is_fixed_footprint() {
+        // The whole point: size is independent of sample count.
+        let empty = std::mem::size_of::<LogHistogram>();
+        let mut h = LogHistogram::default();
+        for v in 0..1_000_000u64 {
+            h.record(v.wrapping_mul(2654435761));
+        }
+        assert_eq!(std::mem::size_of_val(&h), empty);
+    }
+
+    #[test]
+    fn ledger_streams_requests_and_batches() {
         let mut l = Ledger::default();
         for i in 1..=4u64 {
-            l.requests.push(RequestRecord {
-                model: "m".into(),
-                queue_wait: Duration::from_millis(i),
-                service: Duration::from_millis(10),
-                total: Duration::from_millis(10 + i),
-                batch_size: 2,
-            });
+            l.record_request(
+                Duration::from_millis(i),
+                Duration::from_millis(10),
+                Duration::from_millis(10 + i),
+            );
         }
-        l.batches.push(BatchRecord {
+        l.record_batch(BatchRecord {
             model: "m".into(),
             engine: "odq".into(),
             size: 2,
@@ -188,7 +532,7 @@ mod tests {
                 energy_nj: 5.0,
             }),
         });
-        l.batches.push(BatchRecord {
+        l.record_batch(BatchRecord {
             model: "m".into(),
             engine: "odq".into(),
             size: 2,
@@ -200,9 +544,48 @@ mod tests {
         assert_eq!(s.completed, 4);
         assert_eq!(s.batches, 2);
         assert!((s.mean_batch_size - 2.0).abs() < 1e-12);
+        assert_eq!(s.max_batch_size, 2);
         assert_eq!(s.sim_cycles, 200.0);
         assert_eq!(s.sim_energy_nj, 5.0);
         assert!((s.mean_sensitive_fraction.unwrap() - 0.5).abs() < 1e-12);
-        assert_eq!(s.p50_latency, Duration::from_millis(12));
+        // 12.5%-accurate median of {11, 12, 13, 14} ms.
+        let p50_ms = s.p50_latency.as_secs_f64() * 1e3;
+        assert!((p50_ms - 12.0).abs() / 12.0 <= 0.125, "p50 {p50_ms} ms");
+        assert_eq!(l.recent_batches().len(), 2);
+    }
+
+    #[test]
+    fn recent_ring_and_footprint_stay_bounded() {
+        let mut l = Ledger::default();
+        for i in 0..10_000u64 {
+            l.record_batch(BatchRecord {
+                model: format!("model-{}", i % 3),
+                engine: "float".into(),
+                size: 4,
+                service: Duration::from_micros(i),
+                sensitive_fraction: None,
+                sim: None,
+            });
+        }
+        assert_eq!(l.batches, 10_000);
+        assert_eq!(l.recent_batches().len(), RECENT_BATCH_CAP);
+        assert!(l.approx_bytes() < 64 * 1024, "ledger footprint {} bytes", l.approx_bytes());
+    }
+
+    #[test]
+    fn summary_serializes_to_json() {
+        let mut l = Ledger::default();
+        l.record_request(
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            Duration::from_millis(3),
+        );
+        l.rejected_shutdown = 7;
+        let s = l.summary();
+        let json = serde_json::to_string(&s).expect("serializable");
+        assert!(json.contains("\"rejected_shutdown\":7"), "{json}");
+        let v = s.to_json();
+        assert_eq!(v["counters"]["completed"], serde_json::Value::U64(1));
+        assert_eq!(v["counters"]["rejected_shutdown"], serde_json::Value::U64(7));
     }
 }

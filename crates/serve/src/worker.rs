@@ -8,8 +8,22 @@
 //! summarized once per weight version for the whole fleet, and every
 //! planned conv driver draws im2col scratch from the cache's workspace
 //! pool instead of allocating per call.
+//!
+//! # Supervision
+//!
+//! A panic anywhere inside batch execution (engine bug, model bug,
+//! injected fault) must not take serving capacity down with it, and must
+//! not leave the batch's clients hanging on a dead channel. Each worker
+//! runs a *self-restarting shell*: one "shift" ([`run_shift`]) owns the
+//! engines and serves batches with execution wrapped in `catch_unwind`.
+//! When a batch panics, the shell answers every request in that batch
+//! with [`ServeError::Internal`], records the panic in the ledger, throws
+//! the shift's engines away (their state is suspect mid-unwind), and
+//! starts a fresh shift — capacity recovers without the `Server` having
+//! to notice.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -23,7 +37,22 @@ use crate::batcher::Batch;
 use crate::config::ServeConfig;
 use crate::engine::{EngineExec, EngineKind, Profiled};
 use crate::request::{InferResponse, RequestTiming, ServeError};
-use crate::stats::{BatchRecord, BatchSim, Ledger, RequestRecord};
+use crate::stats::{BatchRecord, BatchSim, Ledger};
+
+/// Lock the ledger even if a previous holder panicked: the streaming
+/// counters stay individually consistent, and refusing to record after
+/// one panic would blind the very telemetry that reports panics.
+pub(crate) fn lock_ledger(ledger: &Mutex<Ledger>) -> std::sync::MutexGuard<'_, Ledger> {
+    ledger.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// How a worker shift ended.
+enum ShiftEnd {
+    /// The batch channel disconnected: the server is draining. Exit.
+    Disconnected,
+    /// A batch panicked: the shift's engines are suspect. Restart.
+    Panicked,
+}
 
 pub(crate) fn run(
     rx: Receiver<Batch>,
@@ -34,10 +63,43 @@ pub(crate) fn run(
     plans: Arc<HashMap<String, Arc<PlanCache>>>,
 ) {
     let energy = EnergyModel::default();
+    loop {
+        match run_shift(&rx, &models, kind, &cfg, &ledger, &energy, &plans) {
+            ShiftEnd::Disconnected => break,
+            ShiftEnd::Panicked => lock_ledger(&ledger).worker_restarts += 1,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_shift(
+    rx: &Receiver<Batch>,
+    models: &HashMap<String, Model>,
+    kind: EngineKind,
+    cfg: &ServeConfig,
+    ledger: &Arc<Mutex<Ledger>>,
+    energy: &EnergyModel,
+    plans: &HashMap<String, Arc<PlanCache>>,
+) -> ShiftEnd {
     let mut engines: HashMap<String, EngineExec> = HashMap::new();
     while let Ok(batch) = rx.recv() {
-        serve_batch(batch, &models, kind, &cfg, &ledger, &mut engines, &energy, &plans);
+        // Keep a second handle to every response channel so a panicking
+        // batch can still be answered after its `Pending`s unwound away.
+        let senders: Vec<_> = batch.items.iter().map(|p| p.resp.clone()).collect();
+        let executed = catch_unwind(AssertUnwindSafe(|| {
+            serve_batch(batch, models, kind, cfg, ledger, &mut engines, energy, plans);
+        }));
+        if executed.is_err() {
+            // `try_send`: a request answered before the panic has its
+            // single response slot full already — leave it be and count
+            // only the requests this error actually reaches.
+            let answered =
+                senders.iter().filter(|tx| tx.try_send(Err(ServeError::Internal)).is_ok()).count();
+            lock_ledger(ledger).record_worker_panic(answered);
+            return ShiftEnd::Panicked;
+        }
     }
+    ShiftEnd::Disconnected
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -51,16 +113,28 @@ fn serve_batch(
     energy: &EnergyModel,
     plans: &HashMap<String, Arc<PlanCache>>,
 ) {
+    // Dequeue timestamp: everything before this is queue wait, everything
+    // after it (expired-partition, input gather, forward pass, scatter) is
+    // the server working on the request.
+    let dequeued = Instant::now();
+
+    {
+        let mut led = lock_ledger(ledger);
+        led.batches_started += 1;
+        let nth = led.batches_started;
+        drop(led);
+        if cfg.fault_panic_on_batch == Some(nth) {
+            panic!("fault injection: panicking on batch {nth}");
+        }
+    }
+
     // Last-chance deadline check: a batch can sit in the dispatch channel
     // behind busy workers; anything already expired is answered as missed
     // rather than burning a forward pass on it.
-    let now = Instant::now();
     let (live, expired): (Vec<_>, Vec<_>) =
-        batch.items.into_iter().partition(|p| p.deadline.is_none_or(|d| d > now));
+        batch.items.into_iter().partition(|p| p.deadline.is_none_or(|d| d > dequeued));
     if !expired.is_empty() {
-        let mut led = ledger.lock().expect("ledger poisoned");
-        led.rejected_deadline += expired.len() as u64;
-        drop(led);
+        lock_ledger(ledger).rejected_deadline += expired.len() as u64;
         for p in expired {
             let _ = p.resp.send(Err(ServeError::DeadlineExceeded));
         }
@@ -128,30 +202,26 @@ fn serve_batch(
     let classes = y.as_slice().len() / n;
     let ys = y.as_slice();
     let done = Instant::now();
-    let mut records = Vec::with_capacity(n);
+    let mut timings = Vec::with_capacity(n);
     for (i, p) in batch.items.into_iter().enumerate() {
         let row = ys[i * classes..(i + 1) * classes].to_vec();
         let timing = RequestTiming {
-            queue_wait: start.saturating_duration_since(p.enqueued),
+            queue_wait: dequeued.saturating_duration_since(p.enqueued),
             service,
             total: done.saturating_duration_since(p.enqueued),
             batch_size: n,
         };
-        records.push(RequestRecord {
-            model: batch.model.clone(),
-            queue_wait: timing.queue_wait,
-            service,
-            total: timing.total,
-            batch_size: n,
-        });
+        timings.push(timing);
         let _ = p
             .resp
             .send(Ok(InferResponse { output: Tensor::from_vec(vec![1, classes], row), timing }));
     }
 
-    let mut led = ledger.lock().expect("ledger poisoned");
-    led.requests.extend(records);
-    led.batches.push(BatchRecord {
+    let mut led = lock_ledger(ledger);
+    for t in timings {
+        led.record_request(t.queue_wait, t.service, t.total);
+    }
+    led.record_batch(BatchRecord {
         model: batch.model,
         engine: kind.label(),
         size: n,

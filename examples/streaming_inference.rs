@@ -55,6 +55,7 @@ fn main() {
         workers: 2,
         default_deadline: Some(deadline),
         simulate_accel: true,
+        ..ServeConfig::default()
     })
     .engine(EngineKind::Odq { threshold: 0.3 })
     .model("camera", model)

@@ -12,10 +12,15 @@
 //! rejections, and the per-batch simulated accelerator cost (cycles and
 //! energy on the engine's Table 2 configuration).
 //!
+//! Percentiles come from two places: the load report's are exact
+//! (client-side, sorted samples), while the server ledger's are streamed
+//! through log-bucketed histograms with ≤12.5% relative error — see the
+//! README's "interpreting serve_bench percentiles" note.
+//!
 //! ```sh
 //! cargo run --release --bin serve_bench -- \
 //!     [--engine odq|drq|int8|int16|float] [--workers N] [--requests N] \
-//!     [--max-batch N] [--rate RPS] [--seed S]
+//!     [--max-batch N] [--rate RPS] [--seed S] [--json]
 //! ```
 
 use std::time::Duration;
@@ -33,6 +38,7 @@ struct Args {
     max_batch: usize,
     rate: f64,
     seed: u64,
+    json: bool,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +49,7 @@ fn parse_args() -> Args {
         max_batch: 8,
         rate: 400.0,
         seed: 42,
+        json: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -63,6 +70,7 @@ fn parse_args() -> Args {
             "--max-batch" => args.max_batch = val().parse().expect("--max-batch"),
             "--rate" => args.rate = val().parse().expect("--rate"),
             "--seed" => args.seed = val().parse().expect("--seed"),
+            "--json" => args.json = true,
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -83,8 +91,8 @@ fn start_server(a: &Args) -> Server {
         max_batch: a.max_batch,
         max_wait: Duration::from_millis(2),
         workers: a.workers,
-        default_deadline: None,
         simulate_accel: true,
+        ..ServeConfig::default()
     };
     let (resnet, lenet) = build_models();
     Server::builder(cfg).engine(a.engine).model("resnet20", resnet).model("lenet5", lenet).start()
@@ -97,7 +105,7 @@ fn specs() -> Vec<LoadSpec> {
     ]
 }
 
-fn print_phase(name: &str, r: &LoadReport, server: &Server) {
+fn print_phase(name: &str, r: &LoadReport, server: &Server, json: bool) {
     let s = server.stats();
     println!("\n== {name} ==");
     println!(
@@ -108,16 +116,37 @@ fn print_phase(name: &str, r: &LoadReport, server: &Server) {
         r.elapsed.as_secs_f64()
     );
     println!(
-        "{:<26} p50 {:>8.2} ms   p99 {:>8.2} ms",
+        "{:<26} p50 {:>8.2} ms   p95 {:>8.2} ms   p99 {:>8.2} ms  (exact, client-side)",
         "latency",
         r.latency_percentile(0.50).as_secs_f64() * 1e3,
+        r.latency_percentile(0.95).as_secs_f64() * 1e3,
         r.latency_percentile(0.99).as_secs_f64() * 1e3
     );
-    println!("{:<26} {:>10.2}", "mean batch size", s.mean_batch_size);
     println!(
-        "{:<26} {:>10} queue-full   {:>6} deadline",
-        "rejections", s.rejected_queue_full, s.rejected_deadline
+        "{:<26} p50 {:>8.2} ms   p95 {:>8.2} ms   p99 {:>8.2} ms  (ledger, log-bucketed)",
+        "  server ledger",
+        s.latency.p50.as_secs_f64() * 1e3,
+        s.latency.p95.as_secs_f64() * 1e3,
+        s.latency.p99.as_secs_f64() * 1e3
     );
+    println!(
+        "{:<26} p50 {:>8.2} ms   p95 {:>8.2} ms   (max queue depth {})",
+        "  queue wait",
+        s.queue_wait.p50.as_secs_f64() * 1e3,
+        s.queue_wait.p95.as_secs_f64() * 1e3,
+        s.max_queue_depth
+    );
+    println!("{:<26} {:>10.2}  (max {})", "mean batch size", s.mean_batch_size, s.max_batch_size);
+    println!(
+        "{:<26} {:>10} queue-full   {:>6} deadline   {:>4} shutdown",
+        "rejections", s.rejected_queue_full, s.rejected_deadline, s.rejected_shutdown
+    );
+    if s.worker_panics > 0 || s.internal_errors > 0 {
+        println!(
+            "{:<26} {:>10} panics   {:>6} restarts   {:>6} internal errors",
+            "worker faults", s.worker_panics, s.worker_restarts, s.internal_errors
+        );
+    }
     if let Some(f) = s.mean_sensitive_fraction {
         println!("{:<26} {:>10.3}", "mean sensitive fraction", f);
     }
@@ -128,6 +157,9 @@ fn print_phase(name: &str, r: &LoadReport, server: &Server) {
             s.sim_cycles / s.batches as f64,
             s.sim_energy_nj / s.batches as f64 / 1e3
         );
+    }
+    if json {
+        println!("{}", server.stats_json());
     }
 }
 
@@ -147,7 +179,7 @@ fn main() {
     // Phase 1: closed loop at 4x max_batch concurrency.
     let server = start_server(&a);
     let closed = run_closed_loop(&server, &specs(), a.requests, 4 * a.max_batch, a.seed);
-    print_phase("closed loop", &closed, &server);
+    print_phase("closed loop", &closed, &server, a.json);
     let sum = server.shutdown();
     assert_eq!(
         sum.completed + sum.rejected_deadline,
@@ -165,7 +197,7 @@ fn main() {
         Some(Duration::from_millis(50)),
         a.seed + 1,
     );
-    print_phase(&format!("open loop @ {:.0} req/s", a.rate), &open, &server);
+    print_phase(&format!("open loop @ {:.0} req/s", a.rate), &open, &server, a.json);
     if open.rejected > 0 || open.deadline_missed > 0 {
         println!(
             "{:<26} {:>10} rejected   {:>6} missed deadline",

@@ -20,7 +20,7 @@ use odq::core::engine::OdqEngine;
 use odq::nn::executor::{ConvExecutor, FloatConvExecutor, StaticQuantExecutor};
 use odq::nn::models::{Model, ModelCfg};
 use odq::nn::Arch;
-use odq::serve::{EngineKind, InferRequest, ServeConfig, Server};
+use odq::serve::{EngineKind, InferRequest, ServeConfig, ServeError, Server};
 use odq::tensor::Tensor;
 
 fn build_models() -> (Model, Model) {
@@ -55,6 +55,98 @@ fn serve_engine(kind: u8) -> EngineKind {
     }
 }
 
+/// Acceptance: the stats ledger is O(1) in requests. Drive 100k+ requests
+/// through the full pipeline and assert the ledger's resident footprint
+/// stays under a fixed byte budget and does not grow between the 200th and
+/// the 100_200th request, while counters and percentiles stay correct.
+///
+/// Most of the flood carries an already-expired deadline, so the batcher
+/// and workers process every request (admission, grouping, dequeue,
+/// rejection accounting) without paying for 100k debug-mode forward
+/// passes; a served prefix populates the latency histograms for real.
+#[test]
+fn ledger_memory_is_constant_over_100k_requests() {
+    const SERVED: u64 = 200;
+    const FLOOD: u64 = 100_000;
+    const BUDGET_BYTES: usize = 64 * 1024;
+
+    let (_, lenet) = build_models();
+    let server = Server::builder(ServeConfig {
+        queue_depth: 256,
+        max_batch: 64,
+        max_wait: Duration::from_micros(100),
+        workers: 2,
+        default_deadline: None,
+        simulate_accel: false,
+        ..ServeConfig::default()
+    })
+    .engine(EngineKind::Float)
+    .model("lenet", lenet)
+    .start();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let handles: Vec<_> = (0..SERVED)
+        .map(|_| {
+            server
+                .submit(InferRequest::new("lenet", random_image(&mut rng, 1, 8)))
+                .expect("queue_depth covers the served prefix")
+        })
+        .collect();
+    for h in handles {
+        h.wait().expect("no deadline set");
+    }
+    // The worker records each batch *after* responding; wait until the
+    // ledger has absorbed all served requests before sizing it.
+    let poll_deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.stats().completed < SERVED && std::time::Instant::now() < poll_deadline {
+        std::thread::yield_now();
+    }
+    let footprint_before_flood = server.ledger_bytes();
+    assert!(
+        footprint_before_flood < BUDGET_BYTES,
+        "ledger footprint {footprint_before_flood} B exceeds the {BUDGET_BYTES} B budget"
+    );
+
+    let img = random_image(&mut rng, 1, 8);
+    let mut admitted_flood = 0u64;
+    let mut queue_full = 0u64;
+    while admitted_flood < FLOOD {
+        match server.submit(InferRequest::new("lenet", img.clone()).with_deadline(Duration::ZERO)) {
+            // Handle dropped on purpose: the rejection is still counted.
+            Ok(_) => admitted_flood += 1,
+            Err(ServeError::QueueFull) => {
+                queue_full += 1;
+                std::thread::yield_now();
+            }
+            Err(e) => panic!("unexpected admission error {e}"),
+        }
+    }
+
+    let footprint_after_flood = server.ledger_bytes();
+    let sum = server.shutdown();
+
+    // O(1) memory: the flood left the footprint exactly where it was.
+    assert_eq!(
+        footprint_before_flood, footprint_after_flood,
+        "ledger footprint grew during a 100k-request flood"
+    );
+
+    // Counters: every admitted request is accounted for exactly once.
+    assert_eq!(sum.admitted, SERVED + admitted_flood);
+    assert_eq!(sum.completed, SERVED);
+    assert_eq!(sum.rejected_deadline, admitted_flood);
+    assert_eq!(sum.rejected_queue_full, queue_full);
+    assert_eq!(sum.internal_errors, 0);
+
+    // Percentiles: sane ordering from the log-bucketed histograms.
+    assert!(sum.latency.p50 > Duration::ZERO);
+    assert!(sum.latency.p50 <= sum.latency.p95);
+    assert!(sum.latency.p95 <= sum.latency.p99);
+    assert!(sum.latency.p99 <= sum.latency.max);
+    assert!(sum.queue_wait.p50 <= sum.queue_wait.max);
+    assert!(sum.mean_batch_size >= 1.0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -76,6 +168,7 @@ proptest! {
             workers,
             default_deadline: None,
             simulate_accel: false,
+            ..ServeConfig::default()
         })
         .engine(serve_engine(engine_kind))
         .model("resnet", resnet)
@@ -131,6 +224,7 @@ proptest! {
             workers,
             default_deadline: None,
             simulate_accel: false,
+            ..ServeConfig::default()
         })
         .engine(EngineKind::Float)
         .model("resnet", resnet)
