@@ -1,0 +1,252 @@
+//! Committed golden fixtures.
+//!
+//! A handful of small, deterministic layer cases whose oracle outputs are
+//! serialized (via `odq_nn::serialize`'s ODQT tensor container) and
+//! checked in under `tests/fixtures/`. Differential tests catch an engine
+//! drifting from the oracle; the committed goldens additionally catch the
+//! case where *both* sides drift together (an oracle edit that silently
+//! changes semantics, a refactor that "fixes" kernel and reference in the
+//! same commit).
+//!
+//! * `conformance_check --regen` rewrites the fixture files from the
+//!   current oracle (do this only when an output change is intended, and
+//!   say why in the commit message).
+//! * `conformance_check --verify-fixtures` (and the `conformance` CI job)
+//!   recomputes everything and fails on any drift: oracle outputs must
+//!   match the files bit for bit, and every engine path must still meet
+//!   its divergence bound against the stored goldens.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use odq_core::odq_conv::{odq_conv2d, OdqCfg};
+use odq_drq::drq_conv::drq_conv2d;
+use odq_nn::executor::{ConvExecutor, FloatConvExecutor, StaticQuantExecutor};
+use odq_nn::serialize::{load_tensors, save_tensors};
+use odq_nn::ConvCtx;
+use odq_tensor::{ConvGeom, Tensor};
+
+use crate::oracle::{
+    ref_add_bias, ref_conv2d, ref_drq_conv2d, ref_odq_conv2d, ref_qconv2d_affine,
+    ref_quantize_activation, ref_quantize_weights,
+};
+use crate::runner::{gen_bias, gen_input, gen_weights, ulp_diff, LayerSpec};
+
+/// One committed fixture case.
+pub struct FixtureCase {
+    /// File stem under `tests/fixtures/` (`{name}.odqt`).
+    pub name: &'static str,
+    /// The layer spec the fixture pins.
+    pub spec: LayerSpec,
+}
+
+/// The committed cases: small but collectively covering padding, stride,
+/// non-square maps, pointwise kernels and bias presence/absence.
+pub fn fixture_cases() -> Vec<FixtureCase> {
+    vec![
+        FixtureCase {
+            name: "conv3x3_pad1",
+            spec: LayerSpec {
+                geom: ConvGeom::new(3, 4, 8, 8, 3, 1, 1),
+                batch: 2,
+                seed: 11,
+                with_bias: true,
+            },
+        },
+        FixtureCase {
+            name: "stride2_nonsquare",
+            spec: LayerSpec {
+                geom: ConvGeom::new(2, 3, 9, 6, 3, 2, 1),
+                batch: 1,
+                seed: 12,
+                with_bias: true,
+            },
+        },
+        FixtureCase {
+            name: "pointwise_1x1",
+            spec: LayerSpec {
+                geom: ConvGeom::new(4, 5, 5, 5, 1, 1, 0),
+                batch: 2,
+                seed: 13,
+                with_bias: false,
+            },
+        },
+        FixtureCase {
+            name: "kernel5_pad2",
+            spec: LayerSpec {
+                geom: ConvGeom::new(2, 2, 7, 7, 5, 1, 2),
+                batch: 1,
+                seed: 14,
+                with_bias: true,
+            },
+        },
+    ]
+}
+
+/// The committed fixtures directory (`tests/fixtures/` at the workspace
+/// root).
+pub fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("tests/fixtures")
+}
+
+fn bool_tensor(shape: odq_tensor::Shape, bits: &[bool]) -> Tensor {
+    Tensor::from_vec(shape, bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect())
+}
+
+/// Oracle-computed fixture entries for one spec: the generated data plus
+/// each path family's golden outputs.
+pub fn compute_entries(spec: &LayerSpec) -> Vec<(String, Tensor)> {
+    let g = spec.geom;
+    let n = spec.batch;
+    let x = gen_input(spec);
+    let w = gen_weights(spec);
+    let bias_v = gen_bias(spec);
+    let bias = bias_v.as_deref();
+    let out_shape = g.output_shape(n);
+
+    let mut entries: Vec<(String, Tensor)> =
+        vec![("input".into(), x.clone()), ("weights".into(), w.clone())];
+    if let Some(b) = bias {
+        entries.push(("bias".into(), Tensor::from_vec([b.len()], b.to_vec())));
+    }
+
+    let float = ref_conv2d(x.as_slice(), w.as_slice(), bias, n, &g);
+    entries.push(("float".into(), Tensor::from_vec(out_shape.clone(), float)));
+
+    let qx = ref_quantize_activation(x.as_slice(), 8, 1.0);
+    let qw = ref_quantize_weights(w.as_slice(), 8);
+    let mut s8 = ref_qconv2d_affine(&qx, &qw, n, &g);
+    if let Some(b) = bias {
+        ref_add_bias(&mut s8, b, n, &g);
+    }
+    entries.push(("static8".into(), Tensor::from_vec(out_shape.clone(), s8)));
+
+    let ocfg = OdqCfg::int4(spec.odq_threshold());
+    let odq = ref_odq_conv2d(x.as_slice(), w.as_slice(), bias, n, &g, &ocfg);
+    entries.push(("odq_output".into(), Tensor::from_vec(out_shape.clone(), odq.output)));
+    entries.push(("odq_reference".into(), Tensor::from_vec(out_shape.clone(), odq.reference)));
+    entries.push(("odq_mask".into(), bool_tensor(out_shape.clone(), &odq.mask)));
+
+    let dcfg = spec.drq_cfg();
+    let drq = ref_drq_conv2d(x.as_slice(), w.as_slice(), bias, n, &g, &dcfg);
+    entries.push(("drq_output".into(), Tensor::from_vec(out_shape, drq.output)));
+    entries.push(("drq_mask".into(), bool_tensor(g.input_shape(n), &drq.input_mask)));
+
+    entries
+}
+
+/// Regenerate every fixture file into `dir`, returning the written paths.
+pub fn regenerate_into(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for case in fixture_cases() {
+        let entries = compute_entries(&case.spec);
+        let refs: Vec<(&str, &Tensor)> = entries.iter().map(|(n, t)| (n.as_str(), t)).collect();
+        let path = dir.join(format!("{}.odqt", case.name));
+        save_tensors(&path, &refs)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+fn bits_equal(a: &Tensor, b: &Tensor) -> bool {
+    a.dims() == b.dims()
+        && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn max_ulp(a: &Tensor, b: &Tensor) -> u64 {
+    a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| ulp_diff(x, y)).max().unwrap_or(0)
+}
+
+/// Verify every committed fixture in `dir` against (a) the current oracle
+/// — bit-exact — and (b) the current engines — each within its
+/// conformance bound. Returns a list of human-readable drift messages
+/// (empty = clean).
+pub fn verify_against(dir: &Path) -> Result<(), Vec<String>> {
+    let mut drift = Vec::new();
+    for case in fixture_cases() {
+        let path = dir.join(format!("{}.odqt", case.name));
+        let stored = match load_tensors(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                drift.push(format!("{}: cannot load fixture: {e}", case.name));
+                continue;
+            }
+        };
+        let lookup = |name: &str| stored.iter().find(|(n, _)| n == name).map(|(_, t)| t);
+
+        // (a) oracle drift: every entry must match the recomputation bit
+        // for bit (including the generated input/weights, pinning the
+        // deterministic generators themselves).
+        let fresh = compute_entries(&case.spec);
+        if fresh.len() != stored.len() {
+            drift.push(format!(
+                "{}: entry count changed ({} stored, {} recomputed) — regen needed?",
+                case.name,
+                stored.len(),
+                fresh.len()
+            ));
+        }
+        for (name, t) in &fresh {
+            match lookup(name) {
+                Some(s) if bits_equal(s, t) => {}
+                Some(_) => drift.push(format!("{}: oracle drift in entry `{name}`", case.name)),
+                None => drift.push(format!("{}: missing entry `{name}`", case.name)),
+            }
+        }
+
+        // (b) engine drift against the stored goldens.
+        let spec = &case.spec;
+        let g = spec.geom;
+        let x = gen_input(spec);
+        let w = gen_weights(spec);
+        let bias_v = gen_bias(spec);
+        let bias = bias_v.as_deref();
+        let ctx = ConvCtx { name: "fixture", geom: g, weights: &w, bias, qat: None };
+
+        let mut check = |label: &str, golden: &str, engine: &Tensor, bound: u64| match lookup(
+            golden,
+        ) {
+            Some(gold) => {
+                let u = max_ulp(gold, engine);
+                if u > bound || gold.dims() != engine.dims() {
+                    drift.push(format!(
+                            "{}: engine `{label}` diverges from golden `{golden}` by {u} ulp (bound {bound})",
+                            case.name
+                        ));
+                }
+            }
+            None => drift.push(format!("{}: golden `{golden}` missing", case.name)),
+        };
+
+        let y = FloatConvExecutor.conv(&ctx, &x);
+        check("float/executor", "float", &y, 1);
+        let y = StaticQuantExecutor::int(8).conv(&ctx, &x);
+        check("static8/executor", "static8", &y, 0);
+        let r = odq_conv2d(&x, &w, bias, &g, &OdqCfg::int4(spec.odq_threshold()));
+        check("odq/dense", "odq_output", &r.output, 0);
+        check("odq/reference", "odq_reference", &r.reference, 0);
+        check("odq/mask", "odq_mask", &bool_tensor(g.output_shape(spec.batch), r.mask.bits()), 0);
+        let r = drq_conv2d(&x, &w, bias, &g, &spec.drq_cfg());
+        check("drq/drq_conv2d", "drq_output", &r.output, 0);
+        check("drq/mask", "drq_mask", &bool_tensor(g.input_shape(spec.batch), &r.input_mask), 0);
+    }
+    if drift.is_empty() {
+        Ok(())
+    } else {
+        Err(drift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regen_then_verify_roundtrips() {
+        let dir = std::env::temp_dir().join("odq-conformance-fixture-test");
+        regenerate_into(&dir).unwrap();
+        verify_against(&dir).unwrap_or_else(|d| panic!("drift on fresh regen: {d:?}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

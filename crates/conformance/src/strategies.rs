@@ -1,0 +1,98 @@
+//! Shared proptest strategies for convolution layer geometry.
+//!
+//! One place defines what "a random conv layer" means for every
+//! conformance test: strides > 1, zero and nonzero padding, 1×1
+//! (pointwise) kernels, non-square feature maps, and 2–16 channels per
+//! side. Dilation is not a parameter — `ConvGeom` models the paper's
+//! accelerator, which is dilation-free, so all strategies fix it at 1.
+
+use odq_tensor::ConvGeom;
+use proptest::prelude::{Strategy, TestRng};
+use rand::Rng;
+
+use crate::runner::LayerSpec;
+
+/// Strategy over [`ConvGeom`] covering the geometry space the engines
+/// must agree on.
+#[derive(Clone, Copy, Debug)]
+pub struct GeomStrategy {
+    /// Inclusive channel bounds for both input and output channels.
+    pub channels: (usize, usize),
+    /// Inclusive spatial bound for each of `in_h`/`in_w` (lower bound is
+    /// the sampled kernel size, so every geometry is valid).
+    pub max_hw: usize,
+    /// Largest stride to sample.
+    pub max_stride: usize,
+}
+
+impl Default for GeomStrategy {
+    fn default() -> Self {
+        Self { channels: (2, 16), max_hw: 10, max_stride: 3 }
+    }
+}
+
+impl Strategy for GeomStrategy {
+    type Value = ConvGeom;
+
+    fn sample(&self, rng: &mut TestRng) -> ConvGeom {
+        let (cmin, cmax) = self.channels;
+        let kernel = *[1usize, 2, 3, 5].get(rng.gen_range(0usize..4)).unwrap();
+        let in_h = rng.gen_range(kernel..=self.max_hw.max(kernel));
+        let in_w = rng.gen_range(kernel..=self.max_hw.max(kernel));
+        let stride = rng.gen_range(1usize..=self.max_stride);
+        let padding = rng.gen_range(0usize..=kernel / 2 + 1);
+        ConvGeom::new(
+            rng.gen_range(cmin..=cmax),
+            rng.gen_range(cmin..=cmax),
+            in_h,
+            in_w,
+            kernel,
+            stride,
+            padding,
+        )
+    }
+}
+
+/// Strategy over full differential cases: geometry plus batch size, data
+/// seed and bias presence.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LayerSpecStrategy {
+    /// Geometry sub-strategy.
+    pub geom: GeomStrategy,
+}
+
+impl Strategy for LayerSpecStrategy {
+    type Value = LayerSpec;
+
+    fn sample(&self, rng: &mut TestRng) -> LayerSpec {
+        LayerSpec {
+            geom: self.geom.sample(rng),
+            batch: rng.gen_range(1usize..=3),
+            seed: rng.gen_range(0u64..=u64::MAX - 1),
+            with_bias: rng.gen_range(0u32..2) == 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_geometries_are_valid_and_varied() {
+        let mut rng = TestRng::new(0xC0FFEE);
+        let s = GeomStrategy::default();
+        let mut kernels = std::collections::HashSet::new();
+        let mut nonsquare = false;
+        for _ in 0..200 {
+            let g = s.sample(&mut rng);
+            assert!(g.out_h() >= 1 && g.out_w() >= 1);
+            assert!((2..=16).contains(&g.in_channels) && (2..=16).contains(&g.out_channels));
+            kernels.insert(g.kernel);
+            nonsquare |= g.in_h != g.in_w;
+        }
+        assert!(kernels.contains(&1), "1x1 kernels must be covered");
+        assert!(kernels.len() >= 3, "kernel variety");
+        assert!(nonsquare, "non-square maps must be covered");
+    }
+}

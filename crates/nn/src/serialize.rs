@@ -19,6 +19,8 @@ use std::io::{self, Read, Write};
 
 use std::path::Path;
 
+use odq_tensor::Tensor;
+
 use crate::models::Model;
 use crate::Layer as _;
 
@@ -212,6 +214,90 @@ pub fn load_model(model: &mut Model, path: impl AsRef<Path>) -> Result<(), Check
     load_model_from(model, &mut f)
 }
 
+const TENSORS_MAGIC: &[u8; 4] = b"ODQT";
+const TENSORS_VERSION: u32 = 1;
+
+/// Serialize a set of named tensors ("ODQT" format) — the container used
+/// by the conformance suite's committed golden fixtures:
+///
+/// ```text
+/// magic  b"ODQT"          4 bytes
+/// version u32 LE          4 bytes
+/// entry_count u32 LE      4 bytes
+/// for each entry: name_len u32 LE, name (UTF-8), ndim u32 LE,
+///                 each dim u32 LE, then numel f32 LE values
+/// ```
+///
+/// Bit patterns round-trip exactly (`to_le_bytes`/`from_le_bytes` on the
+/// raw f32s), which is what lets fixture verification compare outputs for
+/// bit equality rather than approximately.
+pub fn save_tensors_to(w: &mut impl Write, entries: &[(&str, &Tensor)]) -> io::Result<()> {
+    w.write_all(TENSORS_MAGIC)?;
+    write_u32(w, TENSORS_VERSION)?;
+    write_u32(w, entries.len() as u32)?;
+    for (name, t) in entries {
+        write_u32(w, name.len() as u32)?;
+        w.write_all(name.as_bytes())?;
+        let dims = t.dims();
+        write_u32(w, dims.len() as u32)?;
+        for &d in dims {
+            write_u32(w, d as u32)?;
+        }
+        write_f32s(w, t.as_slice())?;
+    }
+    Ok(())
+}
+
+/// [`save_tensors_to`] writing to a file path.
+pub fn save_tensors(path: impl AsRef<Path>, entries: &[(&str, &Tensor)]) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    save_tensors_to(&mut f, entries)
+}
+
+/// Deserialize a named-tensor set written by [`save_tensors_to`],
+/// preserving entry order.
+pub fn load_tensors_from(r: &mut impl Read) -> Result<Vec<(String, Tensor)>, CheckpointError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != TENSORS_MAGIC {
+        return Err(CheckpointError::Format("bad magic (not an ODQT tensor file)".into()));
+    }
+    let version = read_u32(r)?;
+    if version != TENSORS_VERSION {
+        return Err(CheckpointError::Format(format!("unsupported ODQT version {version}")));
+    }
+    let count = read_u32(r)? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(r)? as usize;
+        if name_len > 4096 {
+            return Err(CheckpointError::Format(format!("entry name too long ({name_len})")));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| CheckpointError::Format("entry name is not UTF-8".into()))?;
+        let ndim = read_u32(r)? as usize;
+        if ndim == 0 || ndim > 8 {
+            return Err(CheckpointError::Format(format!("bad rank {ndim} for entry {name}")));
+        }
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(read_u32(r)? as usize);
+        }
+        let numel: usize = dims.iter().product();
+        let data = read_f32s(r, numel)?;
+        out.push((name, Tensor::from_vec(dims, data)));
+    }
+    Ok(out)
+}
+
+/// [`load_tensors_from`] reading from a file path.
+pub fn load_tensors(path: impl AsRef<Path>) -> Result<Vec<(String, Tensor)>, CheckpointError> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    load_tensors_from(&mut f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +341,27 @@ mod tests {
     fn rejects_bad_magic() {
         let mut m = model();
         let err = load_model_from(&mut m, &mut io::Cursor::new(b"NOPE....".to_vec()));
+        assert!(matches!(err, Err(CheckpointError::Format(_))));
+    }
+
+    #[test]
+    fn tensor_set_roundtrips_bit_exactly() {
+        let a = Tensor::from_vec([2, 3], vec![0.1, -0.2, 3.5e-9, f32::MIN_POSITIVE, -0.0, 1.0]);
+        let b = Tensor::from_vec([4], vec![1.0, 2.0, 3.0, 4.0]);
+        let mut buf = Vec::new();
+        save_tensors_to(&mut buf, &[("a", &a), ("b", &b)]).unwrap();
+        let loaded = load_tensors_from(&mut io::Cursor::new(&buf)).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].0, "a");
+        assert_eq!(loaded[0].1.dims(), &[2, 3]);
+        let bits = |t: &Tensor| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&loaded[0].1), bits(&a));
+        assert_eq!(bits(&loaded[1].1), bits(&b));
+    }
+
+    #[test]
+    fn tensor_set_rejects_bad_magic() {
+        let err = load_tensors_from(&mut io::Cursor::new(b"NOPE....".to_vec()));
         assert!(matches!(err, Err(CheckpointError::Format(_))));
     }
 

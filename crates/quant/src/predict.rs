@@ -251,6 +251,94 @@ mod tests {
         assert!(recall > 0.7, "sensitive recall {recall:.3}");
     }
 
+    /// All-zero filter bank: `max|w| == 0` degenerates the weight scale to
+    /// 1.0 and every code to the (rounded) zero point. The predictor must
+    /// produce finite estimates — the per-filter code sums are constants,
+    /// not zeros, and nothing divides by them.
+    #[test]
+    fn all_zero_filter_predicts_finite_estimates() {
+        let g = ConvGeom::new(3, 2, 6, 6, 3, 1, 1);
+        let x = Tensor::from_vec(g.input_shape(1), pseudo(3 * 36, 5));
+        let w = Tensor::<f32>::zeros(g.weight_shape());
+        let qx = quantize_activation(&x, 4, 1.0);
+        let qw = quantize_weights(&w, 4);
+        let xp = split_qtensor(&qx, 2);
+        let wp = split_qtensor(&qw, 2);
+        let pred = odq_predict(&xp.high, &wp, qw.zero, qx.scale * qw.scale, &g);
+        assert!(pred.estimate.as_slice().iter().all(|v| v.is_finite()));
+        // Dequantized all-zero weights are a constant (code − zero)·scale
+        // per tap, so the exact code-domain output is that constant times
+        // Σa — and the estimate must track the same near-zero magnitude.
+        let full = qconv2d(&qx, &qw, &g);
+        let worst = pred
+            .estimate
+            .as_slice()
+            .iter()
+            .zip(full.as_slice())
+            .map(|(e, f)| (e - f).abs())
+            .fold(0.0f32, f32::max);
+        assert!(worst < 1.0, "estimate should stay near the exact output, worst gap {worst}");
+    }
+
+    /// Saturating INT2: inputs far above the clip all quantize to the top
+    /// code (3 = 0b11), so with a 1-bit split the high plane is all-ones
+    /// and `HH` at a fully-valid output equals the filter's high-plane
+    /// code sum exactly.
+    #[test]
+    fn saturating_int2_high_plane_sums_are_exact() {
+        let g = ConvGeom::new(2, 3, 4, 4, 3, 1, 0);
+        let x = Tensor::from_vec(g.input_shape(1), vec![7.5f32; 2 * 16]);
+        let w = Tensor::from_vec(g.weight_shape(), pseudo_signed(3 * 2 * 9, 9));
+        let qx = quantize_activation(&x, 2, 1.0);
+        assert!(qx.codes.as_slice().iter().all(|&c| c == 3), "all inputs must saturate");
+        let qw = quantize_weights(&w, 2);
+        let xp = split_qtensor(&qx, 1);
+        let wp = split_qtensor(&qw, 1);
+        let pred = odq_predict(&xp.high, &wp, qw.zero, qx.scale * qw.scale, &g);
+        let snh = filter_code_sums(&wp.high, g.out_channels);
+        let spatial = g.out_spatial();
+        for (f, &expected) in snh.iter().enumerate() {
+            for sp in 0..spatial {
+                assert_eq!(
+                    pred.hh.as_slice()[f * spatial + sp],
+                    expected,
+                    "filter {f} output {sp}: HH must equal Σ n_H when a_H ≡ 1"
+                );
+            }
+        }
+        assert!(pred.estimate.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// Single-pixel feature map with padding: a 1×1 input under a 1×1
+    /// kernel and padding 1 yields a 3×3 output where all eight border
+    /// outputs see *zero* in-bounds taps. Those outputs must take the
+    /// `valid == 0` guard (mean a_H is 0, not 0/0) and come out exactly
+    /// 0.0; only the centre carries signal.
+    #[test]
+    fn single_pixel_feature_map_padding_only_outputs_are_zero() {
+        let g = ConvGeom::new(2, 2, 1, 1, 1, 1, 1);
+        assert_eq!((g.out_h(), g.out_w()), (3, 3));
+        let x = Tensor::from_vec(g.input_shape(1), vec![0.9f32, 0.4]);
+        let w = Tensor::from_vec(g.weight_shape(), vec![0.7f32, -0.3, 0.5, 0.2]);
+        let qx = quantize_activation(&x, 4, 1.0);
+        let qw = quantize_weights(&w, 4);
+        let xp = split_qtensor(&qx, 2);
+        let wp = split_qtensor(&qw, 2);
+        let pred = odq_predict(&xp.high, &wp, qw.zero, qx.scale * qw.scale, &g);
+        let est = pred.estimate.as_slice();
+        let spatial = g.out_spatial();
+        for f in 0..g.out_channels {
+            for sp in 0..spatial {
+                let v = est[f * spatial + sp];
+                if sp == 4 {
+                    assert!(v.is_finite(), "centre estimate must be finite, got {v}");
+                } else {
+                    assert_eq!(v, 0.0, "filter {f} border output {sp} sees only padding");
+                }
+            }
+        }
+    }
+
     #[test]
     fn shapes() {
         let (x, w, g) = setup();

@@ -136,6 +136,50 @@ mod tests {
         assert!(off2 > sym2, "offset {off2:.1} dB vs symmetric {sym2:.1} dB");
     }
 
+    /// All-zero filter: both weight quantizers represent 0 exactly (the
+    /// degenerate `max|w| == 0` scale is 1.0 and every code lands on the
+    /// zero point), so signal and noise are both zero and the convention
+    /// is `-inf` — never NaN.
+    #[test]
+    fn all_zero_filter_reports_neg_infinity_not_nan() {
+        let zeros = Tensor::<f32>::zeros([3, 2, 3, 3]);
+        for bits in [2u8, 4, 8] {
+            let off = weight_sqnr_db(&zeros, bits);
+            let sym = weight_symmetric_sqnr_db(&zeros, bits);
+            assert_eq!(off, f32::NEG_INFINITY, "offset bits {bits}");
+            assert_eq!(sym, f32::NEG_INFINITY, "symmetric bits {bits}");
+            assert!(!off.is_nan() && !sym.is_nan());
+        }
+    }
+
+    /// Saturating INT2: activations far above the clip all collapse onto
+    /// the top code. SQNR must stay finite (clipping error, not NaN or a
+    /// divide blow-up) and be much worse than for in-range signals.
+    #[test]
+    fn saturating_int2_activations_have_finite_degraded_sqnr() {
+        let hot =
+            Tensor::from_vec([64], (0..64).map(|i| 2.0 + i as f32 * 0.25).collect::<Vec<_>>());
+        let s_hot = activation_sqnr_db(&hot, 2, 1.0);
+        assert!(s_hot.is_finite(), "saturated SQNR must be finite, got {s_hot}");
+        let s_ok = activation_sqnr_db(&ramp(64), 2, 1.0);
+        assert!(
+            s_ok > s_hot + 6.0,
+            "clipping should cost well over a bit: in-range {s_ok:.1} dB vs saturated {s_hot:.1} dB"
+        );
+    }
+
+    /// Single-pixel feature map: one-element tensors go through the same
+    /// code path. A value on the INT2 grid reconstructs exactly (`+inf`);
+    /// one off the grid yields a finite ratio.
+    #[test]
+    fn single_pixel_feature_map_sqnr() {
+        let on_grid = Tensor::from_vec([1, 1, 1, 1], vec![1.0f32 / 3.0]);
+        assert_eq!(activation_sqnr_db(&on_grid, 2, 1.0), f32::INFINITY);
+        let off_grid = Tensor::from_vec([1, 1, 1, 1], vec![0.5f32]);
+        let s = activation_sqnr_db(&off_grid, 2, 1.0);
+        assert!(s.is_finite() && s > 0.0, "got {s}");
+    }
+
     #[test]
     fn sqnr_monotone_in_bits() {
         let w = gaussianish(1024);

@@ -198,37 +198,45 @@ fn serve_batch(
         None
     };
 
-    // Scatter output rows back to the requesters.
+    // Record the batch in the ledger *before* scattering responses: a
+    // client that has observed its response is then guaranteed the stats
+    // already reflect it, so `wait()` doubles as a completion barrier and
+    // tests never need to poll the ledger.
     let classes = y.as_slice().len() / n;
     let ys = y.as_slice();
     let done = Instant::now();
-    let mut timings = Vec::with_capacity(n);
-    for (i, p) in batch.items.into_iter().enumerate() {
-        let row = ys[i * classes..(i + 1) * classes].to_vec();
-        let timing = RequestTiming {
+    let timings: Vec<RequestTiming> = batch
+        .items
+        .iter()
+        .map(|p| RequestTiming {
             queue_wait: dequeued.saturating_duration_since(p.enqueued),
             service,
             total: done.saturating_duration_since(p.enqueued),
             batch_size: n,
-        };
-        timings.push(timing);
+        })
+        .collect();
+    {
+        let mut led = lock_ledger(ledger);
+        for t in &timings {
+            led.record_request(t.queue_wait, t.service, t.total);
+        }
+        led.record_batch(BatchRecord {
+            model: batch.model,
+            engine: kind.label(),
+            size: n,
+            service,
+            sensitive_fraction,
+            sim,
+        });
+    }
+
+    // Scatter output rows back to the requesters.
+    for ((i, p), timing) in batch.items.into_iter().enumerate().zip(timings) {
+        let row = ys[i * classes..(i + 1) * classes].to_vec();
         let _ = p
             .resp
             .send(Ok(InferResponse { output: Tensor::from_vec(vec![1, classes], row), timing }));
     }
-
-    let mut led = lock_ledger(ledger);
-    for t in timings {
-        led.record_request(t.queue_wait, t.service, t.total);
-    }
-    led.record_batch(BatchRecord {
-        model: batch.model,
-        engine: kind.label(),
-        size: n,
-        service,
-        sensitive_fraction,
-        sim,
-    });
 }
 
 /// Turn the engine's per-pass measurements into simulator workloads.

@@ -1,0 +1,134 @@
+//! Cross-engine conformance suite (CI entry point).
+//!
+//! Everything here compares *engines* against the scalar golden oracle in
+//! `odq-conformance` — naive nested-loop transcriptions of the paper's
+//! equations with no im2col, no rayon, no fusion. Integer paths must be
+//! bit-exact; float paths get a 1-ulp allowance for accumulation-order
+//! headroom (in practice they are bit-exact too, because the oracle
+//! accumulates in im2col row order).
+//!
+//! Three layers of defense:
+//! 1. committed golden fixtures (`tests/fixtures/*.odqt`) — catch
+//!    oracle-and-engine drifting together;
+//! 2. a randomized differential sweep over layer geometry — catch any
+//!    engine path drifting from the oracle;
+//! 3. a serve round-trip — catch divergence introduced by batching,
+//!    plan caches, or worker scatter in `odq-serve`.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use odq::nn::models::{Model, ModelCfg};
+use odq::nn::Arch;
+use odq::serve::{EngineKind, InferRequest, ServeConfig, Server};
+use odq::tensor::Tensor;
+use odq_conformance::fixtures::{fixtures_dir, verify_against};
+use odq_conformance::{minimize, run_layer_diff, LayerSpecStrategy, OracleExecutor, OracleKind};
+
+/// The committed goldens must match the current oracle bit for bit, and
+/// every engine must still meet its bound against them. On intentional
+/// output changes, regenerate with `conformance_check --regen` and explain
+/// the change in the commit message.
+#[test]
+fn committed_fixtures_are_current() {
+    if let Err(drift) = verify_against(&fixtures_dir()) {
+        panic!("fixture drift ({} findings):\n  {}", drift.len(), drift.join("\n  "));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every engine path — per-call kernels, planned drivers, the sparse
+    /// executor, engine forwards — agrees with the scalar oracle on random
+    /// geometry (stride, padding, 1×1, non-square, 2–16 channels).
+    #[test]
+    fn engines_conform_to_scalar_oracle(spec in LayerSpecStrategy::default()) {
+        let report = run_layer_diff(&spec);
+        if !report.ok() {
+            let min = minimize(&spec);
+            let min_report = run_layer_diff(&min);
+            panic!(
+                "engine diverged from scalar oracle.\nfull case:\n{}\nminimized reproducer:\n{}",
+                report.render(),
+                min_report.render()
+            );
+        }
+    }
+}
+
+fn build_models() -> (Model, Model) {
+    let mut r_cfg = ModelCfg::small(Arch::ResNet20, 10);
+    r_cfg.input_hw = 8;
+    let resnet = Model::build(r_cfg);
+    let mut l_cfg = ModelCfg::small(Arch::LeNet5, 10);
+    l_cfg.input_hw = 8;
+    l_cfg.in_channels = 1;
+    let lenet = Model::build(l_cfg);
+    (resnet, lenet)
+}
+
+fn random_image(rng: &mut ChaCha8Rng, channels: usize, hw: usize) -> Tensor {
+    let v: Vec<f32> = (0..channels * hw * hw).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+    Tensor::from_vec(vec![1, channels, hw, hw], v)
+}
+
+/// Full serve round-trip vs the oracle: submit through the batched,
+/// multi-worker server and require the response to be bit-identical to a
+/// whole-model forward where *every* convolution is computed by the scalar
+/// oracle. Covers each `EngineKind` the server exposes.
+#[test]
+fn serve_round_trip_matches_oracle_forward() {
+    let engines: [(EngineKind, OracleKind); 4] = [
+        (EngineKind::Float, OracleKind::Float),
+        (EngineKind::Static { bits: 8 }, OracleKind::Static { bits: 8 }),
+        (EngineKind::Odq { threshold: 0.3 }, OracleKind::Odq { threshold: 0.3 }),
+        (EngineKind::Drq { input_threshold: 0.25 }, OracleKind::Drq { input_threshold: 0.25 }),
+    ];
+    for (engine, oracle_kind) in engines {
+        let (resnet, lenet) = build_models();
+        let server = Server::builder(ServeConfig {
+            queue_depth: 64,
+            max_batch: 4,
+            max_wait: Duration::from_micros(300),
+            workers: 2,
+            default_deadline: None,
+            simulate_accel: false,
+            ..ServeConfig::default()
+        })
+        .engine(engine)
+        .model("resnet", resnet)
+        .model("lenet", lenet)
+        .start();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5EED);
+        let mut submitted = Vec::new();
+        for _ in 0..8 {
+            let (name, channels) = if rng.gen_bool(0.5) { ("resnet", 3) } else { ("lenet", 1) };
+            let img = random_image(&mut rng, channels, 8);
+            let h = server
+                .submit(InferRequest::new(name, img.clone()))
+                .expect("queue_depth covers the burst");
+            submitted.push((name, img, h));
+        }
+
+        let (resnet, lenet) = build_models();
+        for (name, img, h) in submitted {
+            let resp = h.wait().expect("no deadlines set");
+            let model = if name == "resnet" { &resnet } else { &lenet };
+            let golden = model.forward_eval(&img, &mut OracleExecutor { kind: oracle_kind });
+            assert_eq!(resp.output.dims(), golden.dims());
+            for (i, (g, w)) in resp.output.as_slice().iter().zip(golden.as_slice()).enumerate() {
+                assert!(
+                    g.to_bits() == w.to_bits(),
+                    "engine {engine:?}, model {name}: elem {i} differs — served {g} vs oracle {w}"
+                );
+            }
+        }
+        server.shutdown();
+    }
+}

@@ -2,11 +2,17 @@
 //!
 //! Supports the subset this workspace's property tests use: the
 //! [`proptest!`] macro (with an optional `#![proptest_config(...)]`
-//! header), numeric range strategies, `prop::collection::vec`, and the
-//! `prop_assert!`/`prop_assert_eq!` macros. Differences from the real
-//! crate: cases are generated from a seed derived deterministically from
-//! the test name (fully reproducible, no persistence files), and failing
-//! inputs are reported but *not* shrunk.
+//! header), numeric range strategies, `prop::collection::vec`, the
+//! `prop_assert!`/`prop_assert_eq!` macros, and failing-case persistence
+//! ([`regression`]): when a case fails, its RNG state is appended to
+//! `<crate>/proptest-regressions/<source file stem>.txt`, and persisted
+//! states replay *before* the regular case stream on every later run —
+//! commit the file and CI re-checks the exact failing input forever.
+//! Differences from the real crate: cases are generated from a seed
+//! derived deterministically from the test name (fully reproducible), and
+//! failing inputs are reported but *not* shrunk — persistence stores the
+//! raw case, so pair it with a domain-level minimizer (see
+//! `odq-conformance`) when a smaller reproducer matters.
 
 #![allow(clippy::all)]
 use std::ops::{Range, RangeInclusive};
@@ -126,6 +132,98 @@ pub mod prop {
     }
 }
 
+/// Failing-case persistence, mirroring the real crate's
+/// `proptest-regressions/` files.
+///
+/// The vendored [`TestRng`] is a SplitMix64 whose raw state fully
+/// determines the remaining stream, so persisting the state captured
+/// *before* a case was sampled is enough to replay that case exactly.
+/// Entries live one file per source file, one line per case:
+/// `cc <module::test_name> <0x-prefixed state>`.
+pub mod regression {
+    use std::io::Write;
+    use std::path::{Path, PathBuf};
+
+    const HEADER: &str = "\
+# Seeds for failure cases the vendored proptest generated in the past.
+# Each `cc <test path> <rng state>` line replays one failing case: the
+# state re-seeds the test RNG before sampling, so the exact inputs are
+# regenerated and re-run *before* any novel cases on every test run.
+# Commit this file so CI replays the cases forever; delete a line only
+# when the property or strategy changed enough that the state no longer
+# reproduces anything meaningful.
+";
+
+    /// Store tied to one source file: entries live in
+    /// `<manifest_dir>/proptest-regressions/<source file stem>.txt`.
+    pub struct Store {
+        path: PathBuf,
+    }
+
+    impl Store {
+        /// Store for a crate's manifest dir and a `file!()` path.
+        pub fn new(manifest_dir: &str, source_file: &str) -> Self {
+            let stem =
+                Path::new(source_file).file_stem().and_then(|s| s.to_str()).unwrap_or("unknown");
+            let path =
+                Path::new(manifest_dir).join("proptest-regressions").join(format!("{stem}.txt"));
+            Self { path }
+        }
+
+        /// The file this store reads and writes.
+        pub fn path(&self) -> &Path {
+            &self.path
+        }
+
+        /// Persisted RNG states for `test_name` (empty when no file or no
+        /// entries; malformed lines are skipped, not fatal).
+        pub fn load(&self, test_name: &str) -> Vec<u64> {
+            let Ok(text) = std::fs::read_to_string(&self.path) else {
+                return Vec::new();
+            };
+            let mut states = Vec::new();
+            for line in text.lines() {
+                let mut parts = line.split_whitespace();
+                if parts.next() != Some("cc") || parts.next() != Some(test_name) {
+                    continue;
+                }
+                let state = parts
+                    .next()
+                    .and_then(|h| u64::from_str_radix(h.trim_start_matches("0x"), 16).ok());
+                if let Some(s) = state {
+                    states.push(s);
+                }
+            }
+            states
+        }
+
+        /// Append a failing state, creating the file (with an explanatory
+        /// header) on first use. Deduplicates; honours
+        /// `PROPTEST_DONT_PERSIST` for runs that must not touch the tree.
+        pub fn record(&self, test_name: &str, state: u64) -> std::io::Result<PathBuf> {
+            if std::env::var_os("PROPTEST_DONT_PERSIST").is_some() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "persistence disabled by PROPTEST_DONT_PERSIST",
+                ));
+            }
+            if self.load(test_name).contains(&state) {
+                return Ok(self.path.clone());
+            }
+            if let Some(dir) = self.path.parent() {
+                std::fs::create_dir_all(dir)?;
+            }
+            let fresh = !self.path.exists();
+            let mut f = std::fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
+            if fresh {
+                f.write_all(HEADER.as_bytes())?;
+            }
+            writeln!(f, "cc {test_name} {state:#018x}")?;
+            Ok(self.path.clone())
+        }
+    }
+}
+
 /// Everything a proptest file needs in scope.
 pub mod prelude {
     pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
@@ -206,27 +304,66 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
-                let mut rng =
-                    $crate::TestRng::new($crate::seed_for(concat!(module_path!(), "::", stringify!($name))));
-                for __case in 0..config.cases {
-                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let __test_name = concat!(module_path!(), "::", stringify!($name));
+                let __store = $crate::regression::Store::new(env!("CARGO_MANIFEST_DIR"), file!());
+                let mut __run_case = |__rng: &mut $crate::TestRng|
+                    -> ::std::result::Result<
+                        (),
+                        (::std::string::String, ::std::boxed::Box<dyn ::std::any::Any + ::std::marker::Send>),
+                    >
+                {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __rng);)+
                     // Render the case up front: the body may move the args.
                     let mut __case_desc = ::std::string::String::new();
                     $(__case_desc.push_str(
                         &::std::format!("  {} = {:?}\n", stringify!($arg), &$arg),
                     );)+
-                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
                         $body
-                    }));
-                    if let Err(err) = result {
+                    })) {
+                        ::std::result::Result::Ok(_) => ::std::result::Result::Ok(()),
+                        ::std::result::Result::Err(e) => {
+                            ::std::result::Result::Err((__case_desc, e))
+                        }
+                    }
+                };
+                // Replay persisted regressions before any novel cases, as
+                // the real crate does.
+                for __state in __store.load(__test_name) {
+                    let mut __rng = $crate::TestRng::new(__state);
+                    if let ::std::result::Result::Err((__desc, __err)) = __run_case(&mut __rng) {
                         eprintln!(
-                            "proptest case {}/{} failed for {}:\n{}",
+                            "persisted regression {:#018x} (from {}) still fails for {}:\n{}",
+                            __state,
+                            __store.path().display(),
+                            __test_name,
+                            __desc,
+                        );
+                        ::std::panic::resume_unwind(__err);
+                    }
+                }
+                let mut __rng = $crate::TestRng::new($crate::seed_for(__test_name));
+                for __case in 0..config.cases {
+                    // The RNG state captured *before* sampling replays this
+                    // exact case when fed back in via the regressions file.
+                    let __state = __rng.state();
+                    if let ::std::result::Result::Err((__desc, __err)) = __run_case(&mut __rng) {
+                        let __where = match __store.record(__test_name, __state) {
+                            ::std::result::Result::Ok(p) => {
+                                ::std::format!(", persisted to {}", p.display())
+                            }
+                            ::std::result::Result::Err(_) => ::std::string::String::new(),
+                        };
+                        eprintln!(
+                            "proptest case {}/{} failed for {} (rng state {:#018x}{}):\n{}",
                             __case + 1,
                             config.cases,
-                            stringify!($name),
-                            __case_desc,
+                            __test_name,
+                            __state,
+                            __where,
+                            __desc,
                         );
-                        ::std::panic::resume_unwind(err);
+                        ::std::panic::resume_unwind(__err);
                     }
                 }
             }
@@ -262,9 +399,18 @@ mod tests {
         assert_eq!(crate::seed_for("a"), crate::seed_for("a"));
     }
 
+    /// `PROPTEST_DONT_PERSIST` is process-global: serialize the two tests
+    /// that touch it (one sets it, one needs it unset).
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     #[should_panic]
     fn failing_property_panics() {
+        // Held across the deliberate panic; the other holder recovers the
+        // poisoned lock.
+        let _guard = ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Deliberate failure: don't let it seed a regressions file.
+        std::env::set_var("PROPTEST_DONT_PERSIST", "1");
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(8))]
             fn always_fails(x in 0u32..10) {
@@ -272,5 +418,31 @@ mod tests {
             }
         }
         always_fails();
+    }
+
+    #[test]
+    fn regression_store_roundtrips_and_dedups() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::env::remove_var("PROPTEST_DONT_PERSIST");
+        let dir = std::env::temp_dir().join("odq-proptest-regression-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = crate::regression::Store::new(dir.to_str().unwrap(), "tests/example.rs");
+        assert!(store.load("m::t").is_empty(), "no file yet");
+        store.record("m::t", 0xDEAD_BEEF).unwrap();
+        store.record("m::t", 0xDEAD_BEEF).unwrap(); // dedup
+        store.record("m::t", 7).unwrap();
+        store.record("m::other", 9).unwrap();
+        assert_eq!(store.load("m::t"), vec![0xDEAD_BEEF, 7]);
+        assert_eq!(store.load("m::other"), vec![9]);
+        let text = std::fs::read_to_string(store.path()).unwrap();
+        assert!(text.starts_with("# Seeds"), "header present:\n{text}");
+        assert_eq!(text.matches("cc m::t ").count(), 2, "deduped:\n{text}");
+        // A replayed state regenerates the same case the live stream saw.
+        let mut live = TestRng::new(42);
+        let state = live.state();
+        let sampled = live.next();
+        let mut replay = TestRng::new(state);
+        assert_eq!(replay.next(), sampled);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -83,6 +83,14 @@ impl SplitMix64 {
         Self { state }
     }
 
+    /// Current raw state. `SplitMix64::new(state)` reproduces the stream
+    /// from this point exactly (`next` advances the state before hashing),
+    /// which is what proptest's regression persistence relies on to replay
+    /// a failing case.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next 64-bit output.
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
