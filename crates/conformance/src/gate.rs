@@ -1,0 +1,143 @@
+//! The oracle-backed publish gate: a registry candidate must forward
+//! bit-identically to the scalar golden oracle before it becomes routable.
+
+use odq_core::engine::OdqEngine;
+use odq_drq::{DrqCfg, DrqEngine};
+use odq_nn::executor::{ConvExecutor, FloatConvExecutor, StaticQuantExecutor};
+use odq_nn::models::Model;
+use odq_quant::plan::PlanCache;
+use odq_registry::PublishGate;
+use odq_tensor::Tensor;
+
+use crate::runner::{compare, OracleExecutor, OracleKind};
+
+/// A [`PublishGate`] that forwards a deterministic probe batch through the
+/// candidate model twice — once on the real engine matching
+/// [`OracleKind`], once on the scalar [`OracleExecutor`] — and rejects the
+/// publish unless the logits agree bit-for-bit.
+///
+/// This closes the gap the registry's [`FiniteGate`](odq_registry::
+/// FiniteGate) leaves open: weights can be perfectly finite and still be
+/// the *wrong artifact* (saved mid-refactor, truncated, produced by a
+/// miscompiled trainer). Pinning the candidate's end-to-end forward to the
+/// independent scalar reference at the registry door means a version that
+/// publishes is a version whose serving-time arithmetic is already proven
+/// conformant on this host.
+///
+/// QAT fake-quantization is serve-time-invisible (engines quantize for
+/// themselves), and the oracle deliberately does not model it — the gate
+/// probes with QAT cleared and restores the candidate's config afterwards.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleGate {
+    /// Which engine/oracle pair vets the candidate.
+    pub kind: OracleKind,
+    /// Probe batch size (≥1; each sample gets a distinct input pattern).
+    pub probes: usize,
+}
+
+impl OracleGate {
+    /// Gate on the float engine with a 2-sample probe — the cheapest
+    /// configuration that still exercises batch handling.
+    pub fn float() -> Self {
+        Self { kind: OracleKind::Float, probes: 2 }
+    }
+
+    /// The engine executor mirroring `self.kind`.
+    fn engine(&self) -> Box<dyn ConvExecutor> {
+        let plans = std::sync::Arc::new(PlanCache::new());
+        match self.kind {
+            OracleKind::Float => Box::new(FloatConvExecutor),
+            OracleKind::Static { bits } => {
+                Box::new(StaticQuantExecutor::with_plan_cache(bits, bits, 1.0, plans))
+            }
+            OracleKind::Odq { threshold } => Box::new(OdqEngine::with_plan_cache(threshold, plans)),
+            OracleKind::Drq { input_threshold } => {
+                Box::new(DrqEngine::with_plan_cache(DrqCfg::int8_int4(input_threshold), plans))
+            }
+        }
+    }
+}
+
+/// Deterministic probe batch covering the input range the activations are
+/// clipped to: a per-sample-offset Weyl sequence in [0, 1).
+fn probe_input(n: usize, c: usize, hw: usize) -> Tensor {
+    let numel = n * c * hw * hw;
+    let data: Vec<f32> = (0..numel)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40;
+            (x as f32) / (1u64 << 24) as f32
+        })
+        .collect();
+    Tensor::from_vec(vec![n, c, hw, hw], data)
+}
+
+impl PublishGate for OracleGate {
+    fn label(&self) -> &str {
+        "oracle-conformance"
+    }
+
+    fn check(&self, _name: &str, model: &mut Model) -> Result<(), String> {
+        let qat = model.cfg.qat;
+        model.set_qat(None);
+        let x = probe_input(self.probes.max(1), model.cfg.in_channels, model.cfg.input_hw);
+        let engine_out = model.forward_eval(&x, self.engine().as_mut());
+        let oracle_out = model.forward_eval(&x, &mut OracleExecutor { kind: self.kind });
+        model.set_qat(qat);
+
+        let div = compare(oracle_out.as_slice(), engine_out.as_slice());
+        if div.max_ulp == 0 {
+            Ok(())
+        } else {
+            Err(format!(
+                "engine logits diverge from the scalar oracle: max {} ulp \
+                 (abs {:.3e}) at flat index {}",
+                div.max_ulp, div.max_abs, div.worst_index
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odq_nn::layers::QatCfg;
+    use odq_nn::models::ModelCfg;
+    use odq_nn::Arch;
+    use odq_registry::ModelRegistry;
+
+    fn model() -> Model {
+        let mut cfg = ModelCfg::small(Arch::LeNet5, 4);
+        cfg.input_hw = 8;
+        cfg.in_channels = 1;
+        Model::build(cfg)
+    }
+
+    #[test]
+    fn oracle_gate_passes_conformant_models_on_every_kind() {
+        for kind in [
+            OracleKind::Float,
+            OracleKind::Static { bits: 8 },
+            OracleKind::Odq { threshold: 0.3 },
+            OracleKind::Drq { input_threshold: 0.1 },
+        ] {
+            let gate = OracleGate { kind, probes: 2 };
+            gate.check("m", &mut model())
+                .unwrap_or_else(|e| panic!("{kind:?} gate rejected a healthy model: {e}"));
+        }
+    }
+
+    #[test]
+    fn oracle_gate_restores_qat_config_after_probing() {
+        let mut m = model();
+        let qat = QatCfg { w_bits: 4, a_bits: 4, a_clip: 1.0 };
+        m.set_qat(Some(qat));
+        OracleGate::float().check("m", &mut m).unwrap();
+        assert_eq!(m.cfg.qat, Some(qat), "gate must leave the candidate's QAT config intact");
+    }
+
+    #[test]
+    fn registry_publishes_through_the_oracle_gate() {
+        let reg = ModelRegistry::gated(OracleGate::float());
+        assert_eq!(reg.publish("lenet", model(), vec![]).unwrap(), 1);
+    }
+}

@@ -32,10 +32,12 @@
 //! (manual triage, `--regen`, `--verify-fixtures`).
 
 pub mod fixtures;
+pub mod gate;
 pub mod oracle;
 pub mod runner;
 pub mod strategies;
 
+pub use gate::OracleGate;
 pub use runner::{
     compare, minimize, run_layer_diff, ulp_diff, DiffReport, Divergence, LayerSpec, OracleExecutor,
     OracleKind, PathClass, PathReport,

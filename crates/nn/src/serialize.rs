@@ -21,7 +21,9 @@ use std::path::Path;
 
 use odq_tensor::Tensor;
 
-use crate::models::Model;
+use crate::layers::QatCfg;
+use crate::models::{Model, ModelCfg};
+use crate::Arch;
 use crate::Layer as _;
 
 const MAGIC: &[u8; 4] = b"ODQW";
@@ -298,6 +300,263 @@ pub fn load_tensors(path: impl AsRef<Path>) -> Result<Vec<(String, Tensor)>, Che
     load_tensors_from(&mut f)
 }
 
+const MANIFEST_MAGIC: &[u8; 4] = b"ODQM";
+const MANIFEST_VERSION: u32 = 1;
+
+/// A whole-model checkpoint: enough to rebuild the model from nothing.
+///
+/// Unlike the positional "ODQW" format (which requires an already-built
+/// model of the right configuration), a manifest carries the architecture
+/// descriptor itself, so [`load_manifest_from`] can reconstruct the model
+/// and then install the weights — the unit a model registry versions,
+/// ships, and rolls back.
+pub struct ModelManifest {
+    /// The rebuilt model with the manifest's weights installed.
+    pub model: Model,
+    /// Free-form metadata recorded at save time (training notes,
+    /// threshold-search results, provenance), in saved order.
+    pub meta: Vec<(String, String)>,
+}
+
+fn arch_tag(arch: Arch) -> u32 {
+    match arch {
+        Arch::LeNet5 => 0,
+        Arch::ResNet20 => 1,
+        Arch::ResNet56 => 2,
+        Arch::Vgg16 => 3,
+        Arch::DenseNet => 4,
+    }
+}
+
+fn tag_arch(tag: u32) -> Result<Arch, CheckpointError> {
+    Ok(match tag {
+        0 => Arch::LeNet5,
+        1 => Arch::ResNet20,
+        2 => Arch::ResNet56,
+        3 => Arch::Vgg16,
+        4 => Arch::DenseNet,
+        other => return Err(CheckpointError::Format(format!("unknown architecture tag {other}"))),
+    })
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_str(r: &mut impl Read, what: &str) -> Result<String, CheckpointError> {
+    let len = read_u32(r)? as usize;
+    if len > 1 << 20 {
+        return Err(CheckpointError::Format(format!("{what} too long ({len})")));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| CheckpointError::Format(format!("{what} is not UTF-8")))
+}
+
+/// Serialize a whole-model "ODQM" manifest: architecture descriptor
+/// (everything [`Model::build`] needs), free-form metadata, then the
+/// model's named weights and BN statistics as an embedded ODQT tensor set.
+///
+/// ```text
+/// magic  b"ODQM"          4 bytes
+/// version u32 LE          4 bytes
+/// arch_tag, input_hw, in_channels, num_classes,
+///     width_div, depth_div   u32 LE each
+/// seed u64 LE             8 bytes
+/// act_clip: flag u32 LE, then f32 bit pattern u32 LE when 1
+/// qat:      flag u32 LE, then w_bits u32, a_bits u32, a_clip bits u32
+/// meta_count u32 LE, then (key, value) length-prefixed UTF-8 pairs
+/// embedded ODQT set: params "p0", "p1", ... in visitor order, then
+///     "bn0.mean", "bn0.var", ... in visitor order
+/// ```
+///
+/// Weight bit patterns round-trip exactly (the ODQT container stores raw
+/// f32 little-endian bytes), so a manifest save/load is bit-reproducible:
+/// the reloaded model's forward pass is element-wise identical.
+pub fn save_manifest_to(
+    model: &mut Model,
+    meta: &[(String, String)],
+    w: &mut impl Write,
+) -> io::Result<()> {
+    let cfg = model.cfg;
+    w.write_all(MANIFEST_MAGIC)?;
+    write_u32(w, MANIFEST_VERSION)?;
+    write_u32(w, arch_tag(cfg.arch))?;
+    write_u32(w, cfg.input_hw as u32)?;
+    write_u32(w, cfg.in_channels as u32)?;
+    write_u32(w, cfg.num_classes as u32)?;
+    write_u32(w, cfg.width_div as u32)?;
+    write_u32(w, cfg.depth_div as u32)?;
+    w.write_all(&cfg.seed.to_le_bytes())?;
+    match cfg.act_clip {
+        Some(c) => {
+            write_u32(w, 1)?;
+            write_u32(w, c.to_bits())?;
+        }
+        None => write_u32(w, 0)?,
+    }
+    match cfg.qat {
+        Some(q) => {
+            write_u32(w, 1)?;
+            write_u32(w, q.w_bits as u32)?;
+            write_u32(w, q.a_bits as u32)?;
+            write_u32(w, q.a_clip.to_bits())?;
+        }
+        None => write_u32(w, 0)?,
+    }
+    write_u32(w, meta.len() as u32)?;
+    for (k, v) in meta {
+        write_str(w, k)?;
+        write_str(w, v)?;
+    }
+
+    // Gather the named state, then write it as one ODQT set.
+    let mut names: Vec<String> = Vec::new();
+    let mut tensors: Vec<Tensor> = Vec::new();
+    let mut i = 0usize;
+    model.visit_params(&mut |p| {
+        names.push(format!("p{i}"));
+        tensors.push(p.value.clone());
+        i += 1;
+    });
+    let mut j = 0usize;
+    model.net.visit_bns_mut(&mut |bn| {
+        names.push(format!("bn{j}.mean"));
+        tensors.push(Tensor::from_vec(vec![bn.running_mean.len()], bn.running_mean.clone()));
+        names.push(format!("bn{j}.var"));
+        tensors.push(Tensor::from_vec(vec![bn.running_var.len()], bn.running_var.clone()));
+        j += 1;
+    });
+    let entries: Vec<(&str, &Tensor)> =
+        names.iter().map(String::as_str).zip(tensors.iter()).collect();
+    save_tensors_to(w, &entries)
+}
+
+/// Save a whole-model manifest to a file.
+pub fn save_manifest(
+    model: &mut Model,
+    meta: &[(String, String)],
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    save_manifest_to(model, meta, &mut f)?;
+    f.flush()
+}
+
+/// Rebuild a model from an "ODQM" manifest written by
+/// [`save_manifest_to`]: construct the architecture from the descriptor,
+/// then install every named tensor, verifying names and shapes.
+pub fn load_manifest_from(r: &mut impl Read) -> Result<ModelManifest, CheckpointError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MANIFEST_MAGIC {
+        return Err(CheckpointError::Format("bad magic (not an ODQM manifest)".into()));
+    }
+    let version = read_u32(r)?;
+    if version != MANIFEST_VERSION {
+        return Err(CheckpointError::Format(format!("unsupported ODQM version {version}")));
+    }
+    let arch = tag_arch(read_u32(r)?)?;
+    let input_hw = read_u32(r)? as usize;
+    let in_channels = read_u32(r)? as usize;
+    let num_classes = read_u32(r)? as usize;
+    let width_div = read_u32(r)? as usize;
+    let depth_div = read_u32(r)? as usize;
+    let mut seed_bytes = [0u8; 8];
+    r.read_exact(&mut seed_bytes)?;
+    let seed = u64::from_le_bytes(seed_bytes);
+    let act_clip = match read_u32(r)? {
+        0 => None,
+        1 => Some(f32::from_bits(read_u32(r)?)),
+        other => return Err(CheckpointError::Format(format!("bad act_clip flag {other}"))),
+    };
+    let qat = match read_u32(r)? {
+        0 => None,
+        1 => {
+            let w_bits = read_u32(r)? as u8;
+            let a_bits = read_u32(r)? as u8;
+            let a_clip = f32::from_bits(read_u32(r)?);
+            Some(QatCfg { w_bits, a_bits, a_clip })
+        }
+        other => return Err(CheckpointError::Format(format!("bad qat flag {other}"))),
+    };
+    let meta_count = read_u32(r)? as usize;
+    if meta_count > 1 << 16 {
+        return Err(CheckpointError::Format(format!("implausible meta count {meta_count}")));
+    }
+    let mut meta = Vec::with_capacity(meta_count);
+    for _ in 0..meta_count {
+        let k = read_str(r, "meta key")?;
+        let v = read_str(r, "meta value")?;
+        meta.push((k, v));
+    }
+
+    let cfg = ModelCfg {
+        arch,
+        input_hw,
+        in_channels,
+        num_classes,
+        width_div,
+        depth_div,
+        act_clip,
+        qat,
+        seed,
+    };
+    let mut model = Model::build(cfg);
+    let tensors = load_tensors_from(r)?;
+    let mut cursor = tensors.into_iter();
+    let mut failure: Option<CheckpointError> = None;
+    let mut next = |want_name: &str, want_len: usize| -> Option<Tensor> {
+        match cursor.next() {
+            Some((name, t)) if name == want_name && t.numel() == want_len => Some(t),
+            Some((name, t)) => {
+                failure.get_or_insert(CheckpointError::Mismatch(format!(
+                    "expected entry {want_name} ({want_len} values), found {name} ({})",
+                    t.numel()
+                )));
+                None
+            }
+            None => {
+                failure.get_or_insert(CheckpointError::Mismatch(format!(
+                    "manifest ends before entry {want_name}"
+                )));
+                None
+            }
+        }
+    };
+    let mut i = 0usize;
+    model.visit_params(&mut |p| {
+        if let Some(t) = next(&format!("p{i}"), p.value.numel()) {
+            p.value.as_mut_slice().copy_from_slice(t.as_slice());
+        }
+        i += 1;
+    });
+    let mut j = 0usize;
+    model.net.visit_bns_mut(&mut |bn| {
+        if let Some(t) = next(&format!("bn{j}.mean"), bn.running_mean.len()) {
+            bn.running_mean.copy_from_slice(t.as_slice());
+        }
+        if let Some(t) = next(&format!("bn{j}.var"), bn.running_var.len()) {
+            bn.running_var.copy_from_slice(t.as_slice());
+        }
+        j += 1;
+    });
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    if let Some((name, _)) = cursor.next() {
+        return Err(CheckpointError::Mismatch(format!("unexpected trailing entry {name}")));
+    }
+    Ok(ModelManifest { model, meta })
+}
+
+/// Load a whole-model manifest from a file.
+pub fn load_manifest(path: impl AsRef<Path>) -> Result<ModelManifest, CheckpointError> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    load_manifest_from(&mut f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +646,71 @@ mod tests {
         let mut b = model();
         let err = load_model_from(&mut b, &mut io::Cursor::new(&buf));
         assert!(matches!(err, Err(CheckpointError::Io(_))));
+    }
+
+    #[test]
+    fn manifest_roundtrip_is_bit_exact_and_needs_no_prebuilt_model() {
+        let mut a = model();
+        a.visit_params(&mut |p| {
+            for (i, v) in p.value.as_mut_slice().iter_mut().enumerate() {
+                *v += ((i % 13) as f32 - 6.0) * 1e-3;
+            }
+        });
+        a.net.visit_bns_mut(&mut |bn| {
+            for (i, m) in bn.running_mean.iter_mut().enumerate() {
+                *m = (i as f32) * 0.01 - 0.05;
+            }
+        });
+        let meta =
+            vec![("trained_epochs".to_string(), "12".to_string()), ("note".into(), "ε≤1".into())];
+        let mut buf = Vec::new();
+        save_manifest_to(&mut a, &meta, &mut buf).unwrap();
+
+        // No model is built beforehand: the manifest carries the descriptor.
+        let loaded = load_manifest_from(&mut io::Cursor::new(&buf)).unwrap();
+        assert_eq!(loaded.meta, meta);
+        let mut b = loaded.model;
+        assert_eq!(b.cfg.arch, a.cfg.arch);
+        assert_eq!(b.cfg.input_hw, a.cfg.input_hw);
+
+        let x = input();
+        let ya = a.forward_eval(&x, &mut FloatConvExecutor);
+        let yb = b.forward_eval(&x, &mut FloatConvExecutor);
+        let bits = |t: &Tensor| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&ya), bits(&yb), "manifest roundtrip must be bit-exact");
+        // BN statistics survive too.
+        let mut means_a = Vec::new();
+        a.net.visit_bns_mut(&mut |bn| means_a.push(bn.running_mean.clone()));
+        let mut means_b = Vec::new();
+        b.net.visit_bns_mut(&mut |bn| means_b.push(bn.running_mean.clone()));
+        assert_eq!(means_a, means_b);
+    }
+
+    #[test]
+    fn manifest_preserves_qat_and_act_clip_descriptor() {
+        let mut cfg = ModelCfg::small(Arch::LeNet5, 4);
+        cfg.input_hw = 8;
+        cfg.qat = Some(crate::layers::QatCfg::int4());
+        cfg.act_clip = None;
+        let mut m = Model::build(cfg);
+        let mut buf = Vec::new();
+        save_manifest_to(&mut m, &[], &mut buf).unwrap();
+        let loaded = load_manifest_from(&mut io::Cursor::new(&buf)).unwrap();
+        assert_eq!(loaded.model.cfg.qat, Some(crate::layers::QatCfg::int4()));
+        assert_eq!(loaded.model.cfg.act_clip, None);
+        assert_eq!(loaded.model.cfg.seed, cfg.seed);
+    }
+
+    #[test]
+    fn manifest_rejects_bad_magic_and_truncation() {
+        let err = load_manifest_from(&mut io::Cursor::new(b"NOPE....".to_vec()));
+        assert!(matches!(err, Err(CheckpointError::Format(_))));
+        let mut m = model();
+        let mut buf = Vec::new();
+        save_manifest_to(&mut m, &[], &mut buf).unwrap();
+        buf.truncate(buf.len() - 9);
+        let err = load_manifest_from(&mut io::Cursor::new(&buf));
+        assert!(err.is_err(), "truncated manifest must not load");
     }
 
     #[test]

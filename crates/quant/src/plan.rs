@@ -206,6 +206,24 @@ impl PlanCache {
     pub fn invalidate(&self) {
         self.entries.lock().expect("plan cache poisoned").clear();
     }
+
+    /// Adopt every plan entry from `other` (sharing the prepacked plans
+    /// via `Arc`, not copying them). Entries keep their fingerprints, so a
+    /// layer whose weights changed since `other` was built is rebuilt on
+    /// first use while unchanged layers hit immediately — this is how a
+    /// hot-swapped model version pays only for the plans of the layers a
+    /// retrain actually touched.
+    pub fn seed_from(&self, other: &PlanCache) {
+        let src = other.entries.lock().expect("plan cache poisoned");
+        let mut dst = self.entries.lock().expect("plan cache poisoned");
+        for (name, e) in src.iter() {
+            dst.entry(name.clone()).or_insert_with(|| PlanEntry {
+                spec: e.spec,
+                fingerprint: e.fingerprint,
+                plan: Arc::clone(&e.plan),
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +298,31 @@ mod tests {
         let short = Tensor::from_vec([1, 1, 1, 1], vec![0.0f32]);
         let long = Tensor::from_vec([1, 1, 1, 2], vec![0.0f32, 0.0]);
         assert_ne!(weight_fingerprint(&short), weight_fingerprint(&long));
+    }
+
+    #[test]
+    fn seed_from_shares_unchanged_plans_and_rebuilds_changed_ones() {
+        let old = PlanCache::new();
+        let spec = PlanSpec::odq(4, 2);
+        let w1 = weights();
+        let mut w2 = weights();
+        w2.as_mut_slice()[3] -= 0.5;
+        let p1 = old.plan_for("c1", &w1, spec);
+        let p2 = old.plan_for("c2", &w2, spec);
+
+        // New version: c1 unchanged, c2 retrained.
+        let mut w2_new = w2.clone();
+        w2_new.as_mut_slice()[0] += 0.25;
+        let fresh = PlanCache::new();
+        fresh.seed_from(&old);
+        assert_eq!(fresh.len(), 2);
+        assert_eq!(fresh.builds(), 0, "seeding copies, it does not build");
+
+        let q1 = fresh.plan_for("c1", &w1, spec);
+        assert!(Arc::ptr_eq(&p1, &q1), "unchanged layer must hit the seeded plan");
+        let q2 = fresh.plan_for("c2", &w2_new, spec);
+        assert!(!Arc::ptr_eq(&p2, &q2), "changed layer must rebuild");
+        assert_eq!(fresh.builds(), 1, "swap cost is exactly the changed layers");
     }
 
     #[test]

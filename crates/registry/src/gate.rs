@@ -1,0 +1,96 @@
+//! Publish gates: checks a candidate model must pass to become routable.
+
+use odq_nn::models::Model;
+use odq_nn::Layer;
+
+/// A check run against a candidate model during
+/// [`publish`](crate::ModelRegistry::publish), *before* the version is
+/// recorded. A failing gate rejects the publish atomically — the registry
+/// is left exactly as it was, and the candidate never becomes routable.
+///
+/// The model is handed over `&mut` because the parameter visitors
+/// (`Model::visit_params`) require it; gates must not mutate state they
+/// inspect. The conformance crate implements an oracle-backed gate on this
+/// trait that forwards a deterministic probe through both the candidate
+/// and the scalar golden oracle and demands bit-equality.
+pub trait PublishGate: Send + Sync {
+    /// Short label for error messages and logs.
+    fn label(&self) -> &str {
+        "gate"
+    }
+
+    /// Vet `model` (about to be published under `name`). Return an
+    /// explanation of the defect to reject the publish.
+    fn check(&self, name: &str, model: &mut Model) -> Result<(), String>;
+}
+
+/// The baseline gate: every parameter and BN statistic must be finite.
+///
+/// A NaN or infinity anywhere in a checkpoint poisons every forward pass
+/// through it; this gate refuses such artifacts at the registry door
+/// instead of letting them take over live traffic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FiniteGate;
+
+impl PublishGate for FiniteGate {
+    fn label(&self) -> &str {
+        "finite-weights"
+    }
+
+    fn check(&self, _name: &str, model: &mut Model) -> Result<(), String> {
+        let mut bad: Option<String> = None;
+        let mut idx = 0usize;
+        model.visit_params(&mut |p| {
+            if bad.is_none() {
+                if let Some(pos) = p.value.as_slice().iter().position(|v| !v.is_finite()) {
+                    bad = Some(format!("parameter {idx} has non-finite value at offset {pos}"));
+                }
+            }
+            idx += 1;
+        });
+        let mut bn_idx = 0usize;
+        model.net.visit_bns_mut(&mut |bn| {
+            if bad.is_none() {
+                let mean_bad = bn.running_mean.iter().any(|v| !v.is_finite());
+                let var_bad = bn.running_var.iter().any(|v| !v.is_finite() || *v < 0.0);
+                if mean_bad || var_bad {
+                    bad = Some(format!("bn {bn_idx} has non-finite or negative statistics"));
+                }
+            }
+            bn_idx += 1;
+        });
+        match bad {
+            Some(why) => Err(why),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odq_nn::models::ModelCfg;
+    use odq_nn::Arch;
+
+    fn model() -> Model {
+        let mut cfg = ModelCfg::small(Arch::ResNet20, 4);
+        cfg.input_hw = 8;
+        Model::build(cfg)
+    }
+
+    #[test]
+    fn finite_gate_accepts_a_healthy_model() {
+        assert_eq!(FiniteGate.check("m", &mut model()), Ok(()));
+    }
+
+    #[test]
+    fn finite_gate_rejects_nan_weights_and_negative_variance() {
+        let mut m = model();
+        m.visit_params(&mut |p| p.value.as_mut_slice()[0] = f32::NAN);
+        assert!(FiniteGate.check("m", &mut m).is_err());
+
+        let mut m = model();
+        m.net.visit_bns_mut(&mut |bn| bn.running_var[0] = -1.0);
+        assert!(FiniteGate.check("m", &mut m).is_err());
+    }
+}

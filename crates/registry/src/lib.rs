@@ -1,0 +1,39 @@
+//! odq-registry — a versioned model registry for the serving stack.
+//!
+//! The serving subsystem treats model weights as long-lived, swappable
+//! artifacts rather than something bound once at startup. This crate is
+//! the source of truth those swaps draw from:
+//!
+//! * **versions** — each registered name holds a monotonically increasing
+//!   sequence of published versions, every one pinned by a full-content
+//!   FNV-1a fingerprint over all parameters and BN statistics, so two
+//!   versions with identical state are detectably identical and a stale
+//!   artifact can never masquerade as a new one;
+//! * **atomic lifecycle** — [`ModelRegistry::publish`],
+//!   [`ModelRegistry::rollback`] and [`ModelRegistry::retire`] each mutate
+//!   the registry under one lock acquisition; readers see either the old
+//!   state or the new, never a half-applied transition;
+//! * **publish gates** — an optional [`PublishGate`] vets every candidate
+//!   *before* it becomes routable (the conformance crate provides an
+//!   oracle-backed gate that checks a candidate's forward pass bit-for-bit
+//!   against the scalar golden oracle);
+//! * **retention** — old published versions beyond a configurable window
+//!   are retired automatically, releasing their weights while keeping the
+//!   version record (fingerprint, metadata) for audit.
+//!
+//! Checkpoints move through `odq_nn::serialize`'s whole-model "ODQM"
+//! manifests (architecture descriptor + named weights + metadata,
+//! bit-exact roundtrip); [`ModelRegistry::publish_manifest`] loads one and
+//! publishes it in a single call.
+//!
+//! The serve crate layers zero-downtime deployment on top: a `Server`
+//! resolves a `(name, version)` pair here, snapshots it into an immutable
+//! deployment, and swaps traffic onto it atomically.
+
+#![warn(missing_docs)]
+
+pub mod gate;
+pub mod registry;
+
+pub use gate::{FiniteGate, PublishGate};
+pub use registry::{model_fingerprint, ModelRegistry, RegistryError, VersionInfo, VersionState};

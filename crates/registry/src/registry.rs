@@ -1,0 +1,437 @@
+//! The versioned registry: named models × monotone versions.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::io::Read;
+use std::sync::{Arc, Mutex};
+
+use odq_nn::models::Model;
+use odq_nn::serialize::{load_manifest_from, CheckpointError};
+use odq_quant::plan::weight_fingerprint;
+use odq_tensor::Tensor;
+
+use crate::gate::PublishGate;
+
+/// Full-content fingerprint over a model's entire mutable state: all
+/// parameters and BN running statistics, in deterministic visitor order.
+///
+/// Built on the same FNV-1a digest the plan cache pins layer weights with
+/// ([`weight_fingerprint`]), so any single-element change anywhere in the
+/// model produces a different pin — the property that lets a registry
+/// version vouch for exactly one set of weights.
+pub fn model_fingerprint(model: &mut Model) -> u64 {
+    let state = model.snapshot_state();
+    let len = state.len();
+    weight_fingerprint(&Tensor::from_vec(
+        vec![len.max(1)],
+        if len == 0 { vec![0.0] } else { state },
+    ))
+}
+
+/// Lifecycle state of a registered version.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VersionState {
+    /// Routable: [`ModelRegistry::get`] returns its weights.
+    Published,
+    /// Withdrawn: the record (fingerprint, metadata) remains for audit,
+    /// but the weights are released and the version is not routable.
+    Retired,
+}
+
+/// Audit view of one registered version.
+#[derive(Clone, Debug)]
+pub struct VersionInfo {
+    /// Monotone version number (1-based per name).
+    pub version: u64,
+    /// Full-content state fingerprint pinning this version's weights.
+    pub fingerprint: u64,
+    /// Current lifecycle state.
+    pub state: VersionState,
+    /// Metadata recorded at publish time.
+    pub meta: Vec<(String, String)>,
+}
+
+/// Why a registry operation failed.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// No versions have ever been published under this name.
+    UnknownModel(String),
+    /// The name exists but this version was never published.
+    UnknownVersion(String, u64),
+    /// The version exists but has been retired; its weights are gone.
+    VersionRetired(String, u64),
+    /// The publish gate rejected the candidate.
+    GateRejected {
+        /// The gate's label.
+        gate: String,
+        /// The gate's explanation.
+        why: String,
+    },
+    /// Rollback needs at least two published versions.
+    NothingToRollBack(String),
+    /// A manifest failed to load.
+    Checkpoint(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownModel(n) => write!(f, "no model registered under {n:?}"),
+            RegistryError::UnknownVersion(n, v) => write!(f, "model {n:?} has no version {v}"),
+            RegistryError::VersionRetired(n, v) => write!(f, "model {n:?} version {v} is retired"),
+            RegistryError::GateRejected { gate, why } => {
+                write!(f, "publish gate {gate:?} rejected the candidate: {why}")
+            }
+            RegistryError::NothingToRollBack(n) => {
+                write!(f, "model {n:?} has no earlier published version to roll back to")
+            }
+            RegistryError::Checkpoint(why) => write!(f, "manifest rejected: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<CheckpointError> for RegistryError {
+    fn from(e: CheckpointError) -> Self {
+        RegistryError::Checkpoint(e.to_string())
+    }
+}
+
+struct VersionRecord {
+    /// The weights; `None` once retired (released, record kept).
+    model: Option<Arc<Model>>,
+    fingerprint: u64,
+    state: VersionState,
+    meta: Vec<(String, String)>,
+}
+
+#[derive(Default)]
+struct ModelEntry {
+    /// Next version to assign; versions start at 1 and never repeat even
+    /// across retirements.
+    next_version: u64,
+    versions: BTreeMap<u64, VersionRecord>,
+}
+
+/// A thread-safe versioned model registry.
+///
+/// All mutations happen under one internal lock, so every operation is
+/// atomic: concurrent readers observe either the pre- or post-state of a
+/// publish/rollback/retire, never an intermediate. Weights are shared out
+/// as `Arc<Model>` — a serving deployment that still holds a retired
+/// version's `Arc` finishes its in-flight work unaffected.
+pub struct ModelRegistry {
+    inner: Mutex<HashMap<String, ModelEntry>>,
+    gate: Option<Box<dyn PublishGate>>,
+    /// Maximum *published* versions retained per name (0 = unlimited).
+    /// Publishing past the window auto-retires the oldest published
+    /// version.
+    retention: usize,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelRegistry {
+    /// An ungated registry with unlimited retention.
+    pub fn new() -> Self {
+        Self { inner: Mutex::new(HashMap::new()), gate: None, retention: 0 }
+    }
+
+    /// A registry whose every publish must pass `gate` first.
+    pub fn gated(gate: impl PublishGate + 'static) -> Self {
+        Self { inner: Mutex::new(HashMap::new()), gate: Some(Box::new(gate)), retention: 0 }
+    }
+
+    /// Keep at most `n` published versions per name (0 = unlimited);
+    /// publishing past the window retires the oldest published version.
+    pub fn with_retention(mut self, n: usize) -> Self {
+        self.retention = n;
+        self
+    }
+
+    /// Publish `model` as the next version of `name`. Runs the publish
+    /// gate (if any) first; a rejected candidate leaves the registry
+    /// untouched. Returns the assigned version number.
+    pub fn publish(
+        &self,
+        name: &str,
+        mut model: Model,
+        meta: Vec<(String, String)>,
+    ) -> Result<u64, RegistryError> {
+        if let Some(gate) = &self.gate {
+            gate.check(name, &mut model).map_err(|why| RegistryError::GateRejected {
+                gate: gate.label().to_string(),
+                why,
+            })?;
+        }
+        let fingerprint = model_fingerprint(&mut model);
+        let model = Arc::new(model);
+
+        let mut inner = self.inner.lock().expect("registry lock");
+        let entry = inner.entry(name.to_string()).or_default();
+        entry.next_version += 1;
+        let version = entry.next_version;
+        entry.versions.insert(
+            version,
+            VersionRecord { model: Some(model), fingerprint, state: VersionState::Published, meta },
+        );
+        if self.retention > 0 {
+            let published: Vec<u64> = entry
+                .versions
+                .iter()
+                .filter(|(_, r)| r.state == VersionState::Published)
+                .map(|(&v, _)| v)
+                .collect();
+            for &old in published.iter().rev().skip(self.retention) {
+                let r = entry.versions.get_mut(&old).expect("listed version exists");
+                r.state = VersionState::Retired;
+                r.model = None;
+            }
+        }
+        Ok(version)
+    }
+
+    /// Load an "ODQM" manifest from `r` and publish it under `name`,
+    /// carrying the manifest's metadata into the version record.
+    pub fn publish_manifest(&self, name: &str, r: &mut impl Read) -> Result<u64, RegistryError> {
+        let manifest = load_manifest_from(r)?;
+        self.publish(name, manifest.model, manifest.meta)
+    }
+
+    /// The weights of a published version.
+    pub fn get(&self, name: &str, version: u64) -> Result<Arc<Model>, RegistryError> {
+        let inner = self.inner.lock().expect("registry lock");
+        let entry = inner.get(name).ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+        let rec = entry
+            .versions
+            .get(&version)
+            .ok_or_else(|| RegistryError::UnknownVersion(name.to_string(), version))?;
+        match &rec.model {
+            Some(m) => Ok(Arc::clone(m)),
+            None => Err(RegistryError::VersionRetired(name.to_string(), version)),
+        }
+    }
+
+    /// The newest published version of `name`, if any.
+    pub fn latest(&self, name: &str) -> Option<u64> {
+        let inner = self.inner.lock().expect("registry lock");
+        inner.get(name).and_then(|e| {
+            e.versions
+                .iter()
+                .rev()
+                .find(|(_, r)| r.state == VersionState::Published)
+                .map(|(&v, _)| v)
+        })
+    }
+
+    /// The newest published version strictly older than `before`.
+    pub fn previous(&self, name: &str, before: u64) -> Option<u64> {
+        let inner = self.inner.lock().expect("registry lock");
+        inner.get(name).and_then(|e| {
+            e.versions
+                .range(..before)
+                .rev()
+                .find(|(_, r)| r.state == VersionState::Published)
+                .map(|(&v, _)| v)
+        })
+    }
+
+    /// Retire the newest published version (withdrawing a bad release)
+    /// and return the version that is now latest. Fails unless at least
+    /// two versions are published — rollback never leaves a name with
+    /// nothing routable.
+    pub fn rollback(&self, name: &str) -> Result<u64, RegistryError> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        let entry =
+            inner.get_mut(name).ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+        let mut published = entry
+            .versions
+            .iter()
+            .filter(|(_, r)| r.state == VersionState::Published)
+            .map(|(&v, _)| v);
+        let (newest, prev) = {
+            let mut rev: Vec<u64> = published.by_ref().collect();
+            rev.reverse();
+            match (rev.first(), rev.get(1)) {
+                (Some(&n), Some(&p)) => (n, p),
+                _ => return Err(RegistryError::NothingToRollBack(name.to_string())),
+            }
+        };
+        let rec = entry.versions.get_mut(&newest).expect("newest exists");
+        rec.state = VersionState::Retired;
+        rec.model = None;
+        Ok(prev)
+    }
+
+    /// Retire a specific version: its weights are released, its record
+    /// (fingerprint, metadata) stays for audit.
+    pub fn retire(&self, name: &str, version: u64) -> Result<(), RegistryError> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        let entry =
+            inner.get_mut(name).ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+        let rec = entry
+            .versions
+            .get_mut(&version)
+            .ok_or_else(|| RegistryError::UnknownVersion(name.to_string(), version))?;
+        rec.state = VersionState::Retired;
+        rec.model = None;
+        Ok(())
+    }
+
+    /// The fingerprint a version was pinned with at publish time
+    /// (available for retired versions too).
+    pub fn fingerprint(&self, name: &str, version: u64) -> Result<u64, RegistryError> {
+        let inner = self.inner.lock().expect("registry lock");
+        let entry = inner.get(name).ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+        entry
+            .versions
+            .get(&version)
+            .map(|r| r.fingerprint)
+            .ok_or_else(|| RegistryError::UnknownVersion(name.to_string(), version))
+    }
+
+    /// Audit listing of every version of `name`, oldest first.
+    pub fn versions(&self, name: &str) -> Vec<VersionInfo> {
+        let inner = self.inner.lock().expect("registry lock");
+        inner.get(name).map_or_else(Vec::new, |e| {
+            e.versions
+                .iter()
+                .map(|(&version, r)| VersionInfo {
+                    version,
+                    fingerprint: r.fingerprint,
+                    state: r.state,
+                    meta: r.meta.clone(),
+                })
+                .collect()
+        })
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut names: Vec<String> = inner.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::FiniteGate;
+    use odq_nn::models::ModelCfg;
+    use odq_nn::serialize::save_manifest_to;
+    use odq_nn::Arch;
+
+    fn model(delta: f32) -> Model {
+        let mut cfg = ModelCfg::small(Arch::LeNet5, 4);
+        cfg.input_hw = 8;
+        cfg.in_channels = 1;
+        let mut m = Model::build(cfg);
+        m.visit_params(&mut |p| {
+            for v in p.value.as_mut_slice() {
+                *v += delta;
+            }
+        });
+        m
+    }
+
+    #[test]
+    fn versions_are_monotone_and_fingerprint_pinned() {
+        let reg = ModelRegistry::new();
+        let v1 = reg.publish("m", model(0.0), vec![]).unwrap();
+        let v2 = reg.publish("m", model(0.01), vec![]).unwrap();
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!(reg.latest("m"), Some(2));
+        assert_eq!(reg.previous("m", 2), Some(1));
+        assert_ne!(
+            reg.fingerprint("m", 1).unwrap(),
+            reg.fingerprint("m", 2).unwrap(),
+            "different weights must pin differently"
+        );
+        // Identical state pins identically.
+        let v3 = reg.publish("m", model(0.0), vec![]).unwrap();
+        assert_eq!(reg.fingerprint("m", v3).unwrap(), reg.fingerprint("m", 1).unwrap());
+    }
+
+    #[test]
+    fn rollback_retires_newest_and_returns_previous() {
+        let reg = ModelRegistry::new();
+        reg.publish("m", model(0.0), vec![]).unwrap();
+        reg.publish("m", model(0.01), vec![]).unwrap();
+        assert_eq!(reg.rollback("m").unwrap(), 1);
+        assert_eq!(reg.latest("m"), Some(1));
+        assert!(matches!(reg.get("m", 2), Err(RegistryError::VersionRetired(_, 2))));
+        // A single published version cannot roll back further.
+        assert!(matches!(reg.rollback("m"), Err(RegistryError::NothingToRollBack(_))));
+    }
+
+    #[test]
+    fn retention_retires_old_versions_but_keeps_their_records() {
+        let reg = ModelRegistry::new().with_retention(2);
+        for i in 0..4 {
+            reg.publish("m", model(i as f32 * 0.01), vec![]).unwrap();
+        }
+        assert_eq!(reg.latest("m"), Some(4));
+        let infos = reg.versions("m");
+        assert_eq!(infos.len(), 4, "records survive retirement");
+        let states: Vec<VersionState> = infos.iter().map(|i| i.state).collect();
+        assert_eq!(
+            states,
+            vec![
+                VersionState::Retired,
+                VersionState::Retired,
+                VersionState::Published,
+                VersionState::Published
+            ]
+        );
+        assert!(reg.get("m", 1).is_err());
+        assert!(reg.get("m", 3).is_ok());
+    }
+
+    #[test]
+    fn gate_rejection_leaves_registry_untouched() {
+        let reg = ModelRegistry::gated(FiniteGate);
+        let mut bad = model(0.0);
+        bad.visit_params(&mut |p| p.value.as_mut_slice()[0] = f32::INFINITY);
+        let err = reg.publish("m", bad, vec![]).unwrap_err();
+        assert!(matches!(err, RegistryError::GateRejected { .. }), "{err}");
+        assert_eq!(reg.latest("m"), None);
+        assert!(reg.versions("m").is_empty());
+        // A healthy candidate still goes through.
+        assert_eq!(reg.publish("m", model(0.0), vec![]).unwrap(), 1);
+    }
+
+    #[test]
+    fn publish_manifest_roundtrips_weights_and_meta() {
+        let mut m = model(0.25);
+        let meta = vec![("origin".to_string(), "retrain-7".to_string())];
+        let mut buf = Vec::new();
+        save_manifest_to(&mut m, &meta, &mut buf).unwrap();
+
+        let reg = ModelRegistry::new();
+        let v = reg.publish_manifest("m", &mut std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(reg.versions("m")[0].meta, meta);
+        // The published weights are bit-identical to the saved model.
+        assert_eq!(reg.fingerprint("m", v).unwrap(), model_fingerprint(&mut m));
+        // And garbage does not publish.
+        assert!(reg.publish_manifest("m", &mut std::io::Cursor::new(b"JUNK".to_vec())).is_err());
+        assert_eq!(reg.latest("m"), Some(1));
+    }
+
+    #[test]
+    fn unknown_names_and_versions_error_cleanly() {
+        let reg = ModelRegistry::new();
+        assert!(matches!(reg.get("ghost", 1), Err(RegistryError::UnknownModel(_))));
+        reg.publish("m", model(0.0), vec![]).unwrap();
+        assert!(matches!(reg.get("m", 9), Err(RegistryError::UnknownVersion(_, 9))));
+        assert!(reg.retire("m", 1).is_ok());
+        assert!(matches!(reg.get("m", 1), Err(RegistryError::VersionRetired(_, 1))));
+    }
+}

@@ -1,7 +1,9 @@
 //! The micro-batcher: coalesces compatible requests into batches.
 //!
 //! One thread pulls admitted requests off the bounded submission queue and
-//! groups them by *batch key* — model name plus input shape. A group is
+//! groups them by *batch key* — model name, deployment version, and input
+//! shape. The version is part of the key, so a hot swap or canary split
+//! never mixes two weight versions in one forward pass. A group is
 //! flushed to the worker pool when it reaches `max_batch`, when its oldest
 //! member has waited `max_wait`, or when the *earliest member deadline* is
 //! close enough that waiting any longer would risk missing it (a request
@@ -17,13 +19,18 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use crate::config::ServeConfig;
+use crate::deploy::Deployment;
 use crate::request::{InferRequest, InferResponse, ServeError};
 use crate::stats::Ledger;
 use crate::worker::lock_ledger;
 
-/// An admitted request travelling through the pipeline.
+/// An admitted request travelling through the pipeline, pinned to the
+/// deployment snapshot admission resolved for it — the version decision
+/// is made exactly once, so a swap mid-flight cannot tear the request.
 pub(crate) struct Pending {
     pub req: InferRequest,
+    /// The deployment (weights + plans) that will execute this request.
+    pub dep: Arc<Deployment>,
     pub resp: Sender<Result<InferResponse, ServeError>>,
     pub enqueued: Instant,
     pub deadline: Option<Instant>,
@@ -35,15 +42,16 @@ impl Pending {
     }
 }
 
-/// A flushed batch: same model, same input shape.
+/// A flushed batch: same model, same deployment version, same input shape.
 pub(crate) struct Batch {
-    pub model: String,
+    /// The deployment every item in this batch executes on.
+    pub dep: Arc<Deployment>,
     pub items: Vec<Pending>,
 }
 
-/// Requests batch together iff they ask for the same model with the same
-/// input shape.
-type BatchKey = (String, Vec<usize>);
+/// Requests batch together iff they ask for the same model at the same
+/// deployment version with the same input shape.
+type BatchKey = (String, u64, Vec<usize>);
 
 /// When a forming group must flush: the oldest member's `max_wait` window,
 /// or earlier if any member's deadline demands it. A member with deadline
@@ -89,11 +97,10 @@ pub(crate) fn run(
                 if p.expired(Instant::now()) {
                     reject_expired(p, &ledger);
                 } else {
-                    let key = (p.req.model.clone(), p.req.input.dims().to_vec());
-                    let group = groups.entry(key).or_default();
+                    let key = (p.dep.name.clone(), p.dep.version, p.req.input.dims().to_vec());
+                    let group = groups.entry(key.clone()).or_default();
                     group.push(p);
                     if group.len() >= cfg.max_batch {
-                        let key = (group[0].req.model.clone(), group[0].req.input.dims().to_vec());
                         let items = groups.remove(&key).expect("group just filled");
                         flush(items, &batch_tx, &ledger);
                     }
@@ -139,10 +146,10 @@ fn flush(items: Vec<Pending>, batch_tx: &Sender<Batch>, ledger: &Arc<Mutex<Ledge
     if live.is_empty() {
         return;
     }
-    let model = live[0].req.model.clone();
+    let dep = Arc::clone(&live[0].dep);
     // A worker-side disconnect can only happen after the pool stopped;
     // answer the items as lost rather than panicking.
-    if let Err(e) = batch_tx.send(Batch { model, items: live }) {
+    if let Err(e) = batch_tx.send(Batch { dep, items: live }) {
         for p in e.into_inner().items {
             let _ = p.resp.send(Err(ServeError::WorkerLost));
         }
@@ -156,10 +163,20 @@ mod tests {
     use odq_tensor::Tensor;
 
     fn pending(enqueued: Instant, deadline: Option<Instant>) -> Pending {
+        use odq_nn::models::{Model, ModelCfg};
+        // Any deployment will do: group_due never executes it.
+        let dep = Arc::new(Deployment {
+            name: "m".into(),
+            version: 1,
+            model: Arc::new(Model::build(ModelCfg::small(odq_nn::Arch::LeNet5, 2))),
+            plans: Arc::default(),
+            fingerprint: 0,
+        });
         // The receiver is dropped: these tests never send a response.
         let (tx, _rx) = bounded(1);
         Pending {
             req: InferRequest::new("m", Tensor::from_vec(vec![1, 1, 1, 1], vec![0.0])),
+            dep,
             resp: tx,
             enqueued,
             deadline,

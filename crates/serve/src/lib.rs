@@ -41,6 +41,18 @@
 //! batcher drains and flushes every admitted request, then workers finish
 //! in-flight batches — no response is lost or duplicated.
 //!
+//! Models are *versioned*: every server is backed by an
+//! `odq_registry::ModelRegistry`, admission resolves each request to an
+//! immutable [`Deployment`] snapshot (weights + per-version plan cache)
+//! exactly once, and [`Server::deploy`] / [`Server::rollback`] swap the
+//! route atomically with zero downtime — in-flight requests finish on the
+//! version they were admitted under, batches never mix versions, and the
+//! incoming plan cache is seeded from the outgoing one so a swap costs
+//! only the plan rebuilds of layers whose weights changed.
+//! [`Server::canary`] routes a deterministic, seeded fraction of request
+//! ids ([`TrafficSplit`]) to a candidate version, with per-version
+//! completions and service latency split out in the stats ledger.
+//!
 //! Workers are *supervised*: a panic during batch execution is caught,
 //! every request in the panicked batch is answered with
 //! [`ServeError::Internal`], the panic and restart are counted in the
@@ -53,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod deploy;
 pub mod engine;
 pub mod loadgen;
 pub mod request;
@@ -63,8 +76,11 @@ mod batcher;
 mod worker;
 
 pub use config::ServeConfig;
+pub use deploy::{DeployError, Deployment, TrafficSplit};
 pub use engine::EngineKind;
 pub use loadgen::{run_closed_loop, run_open_loop, LoadReport, LoadSpec};
 pub use request::{InferRequest, InferResponse, RequestTiming, ResponseHandle, ServeError};
 pub use server::{Server, ServerBuilder};
-pub use stats::{BatchRecord, BatchSim, LatencyStats, LogHistogram, StatsSummary};
+pub use stats::{
+    BatchRecord, BatchSim, LatencyStats, LogHistogram, ModelVersionStats, StatsSummary,
+};

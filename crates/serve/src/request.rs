@@ -18,17 +18,28 @@ pub struct InferRequest {
     /// or batched when its deadline passes is answered with
     /// [`ServeError::DeadlineExceeded`] instead of being run.
     pub deadline: Option<Duration>,
+    /// Optional caller-chosen request id. Canary routing hashes this id
+    /// (deterministically, see [`crate::TrafficSplit`]), so resubmitting
+    /// with the same id lands on the same version. When `None` the server
+    /// assigns the next value of an internal sequence.
+    pub id: Option<u64>,
 }
 
 impl InferRequest {
     /// Request without a deadline.
     pub fn new(model: impl Into<String>, input: Tensor) -> Self {
-        Self { model: model.into(), input, deadline: None }
+        Self { model: model.into(), input, deadline: None, id: None }
     }
 
     /// Attach a deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach an explicit request id (the canary-routing key).
+    pub fn with_id(mut self, id: u64) -> Self {
+        self.id = Some(id);
         self
     }
 }

@@ -1,15 +1,18 @@
-//! The server: admission control, thread lifecycle, graceful shutdown.
+//! The server: admission control, versioned routing, hot swap, shutdown.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use odq_nn::models::Model;
+use odq_registry::ModelRegistry;
 
 use crate::batcher::{self, Batch, Pending};
 use crate::config::ServeConfig;
+use crate::deploy::{DeployError, Deployment, ModelRoute, TrafficSplit};
 use crate::engine::EngineKind;
 use crate::request::{InferRequest, ResponseHandle, ServeError};
 use crate::stats::{BatchRecord, Ledger, StatsSummary};
@@ -19,14 +22,22 @@ use crate::worker::{self, lock_ledger};
 pub struct ServerBuilder {
     cfg: ServeConfig,
     engine: EngineKind,
-    models: HashMap<String, Model>,
+    registry: Arc<ModelRegistry>,
+    models: Vec<(String, Model)>,
+    serve_names: Vec<String>,
 }
 
 impl ServerBuilder {
     /// Builder with the given config, defaulting to the ODQ engine at the
-    /// paper's nominal threshold.
+    /// paper's nominal threshold and a private ungated registry.
     pub fn new(cfg: ServeConfig) -> Self {
-        Self { cfg, engine: EngineKind::Odq { threshold: 0.3 }, models: HashMap::new() }
+        Self {
+            cfg,
+            engine: EngineKind::Odq { threshold: 0.3 },
+            registry: Arc::new(ModelRegistry::new()),
+            models: Vec::new(),
+            serve_names: Vec::new(),
+        }
     }
 
     /// Select the engine every worker runs.
@@ -35,21 +46,59 @@ impl ServerBuilder {
         self
     }
 
-    /// Register a model under `name`. Requests address models by this
-    /// name; two registrations with the same name keep the later one.
-    pub fn model(mut self, name: impl Into<String>, model: Model) -> Self {
-        self.models.insert(name.into(), model);
+    /// Back the server with an external (possibly gated, possibly shared)
+    /// registry instead of a private one. Versions published to it — by
+    /// this process or any other holder of the `Arc` — become deployable
+    /// via [`Server::deploy`].
+    pub fn registry(mut self, registry: Arc<ModelRegistry>) -> Self {
+        self.registry = registry;
         self
     }
 
-    /// Start the batcher and worker threads and open admission.
-    pub fn start(self) -> Server {
+    /// Register a model under `name`: at start it is published to the
+    /// registry as the next version of `name` and deployed. Requests
+    /// address models by this name.
+    pub fn model(mut self, name: impl Into<String>, model: Model) -> Self {
+        self.models.push((name.into(), model));
+        self
+    }
+
+    /// Route `name` from the registry's latest already-published version
+    /// at start, without publishing anything new (for servers sharing a
+    /// pre-populated registry).
+    pub fn serve(mut self, name: impl Into<String>) -> Self {
+        self.serve_names.push(name.into());
+        self
+    }
+
+    /// Start the batcher and worker threads and open admission, or report
+    /// why the initial deployments could not be built (a publish gate
+    /// rejected a model, a `serve` name has nothing published).
+    pub fn try_start(self) -> Result<Server, DeployError> {
         let cfg = self.cfg;
-        // One plan cache per model, shared by every worker: each layer's
-        // weights are quantized and prepacked once for the whole fleet.
-        let plans: Arc<HashMap<String, Arc<odq_quant::plan::PlanCache>>> =
-            Arc::new(self.models.keys().map(|name| (name.clone(), Arc::default())).collect());
-        let models = Arc::new(self.models);
+        let registry = self.registry;
+
+        let mut names: Vec<String> = Vec::new();
+        for (name, model) in self.models {
+            registry.publish(&name, model, vec![])?;
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+        for name in self.serve_names {
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+
+        let mut routes = HashMap::new();
+        for name in names {
+            let version =
+                registry.latest(&name).ok_or_else(|| DeployError::UnknownModel(name.clone()))?;
+            let dep = Deployment::from_registry(&registry, &name, version)?;
+            routes.insert(name, ModelRoute::new(dep));
+        }
+        let routes = Arc::new(routes);
         let ledger = Arc::new(Mutex::new(Ledger::default()));
 
         let (submit_tx, submit_rx) = bounded::<Pending>(cfg.queue_depth.max(1));
@@ -66,13 +115,11 @@ impl ServerBuilder {
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
                 let rx = batch_rx.clone();
-                let models = Arc::clone(&models);
                 let ledger = Arc::clone(&ledger);
-                let plans = Arc::clone(&plans);
                 let kind = self.engine;
                 std::thread::Builder::new()
                     .name(format!("odq-serve-worker-{i}"))
-                    .spawn(move || worker::run(rx, models, kind, cfg, ledger, plans))
+                    .spawn(move || worker::run(rx, kind, cfg, ledger))
                     .expect("spawn worker")
             })
             .collect();
@@ -80,14 +127,31 @@ impl ServerBuilder {
         // would never see a disconnect on shutdown.
         drop(batch_rx);
 
-        Server { cfg, models, submit_tx: Some(submit_tx), batcher: Some(batcher), workers, ledger }
+        Ok(Server {
+            cfg,
+            registry,
+            routes,
+            seq: AtomicU64::new(0),
+            submit_tx: Some(submit_tx),
+            batcher: Some(batcher),
+            workers,
+            ledger,
+        })
+    }
+
+    /// [`try_start`](Self::try_start), panicking on failure.
+    pub fn start(self) -> Server {
+        self.try_start().expect("server start")
     }
 }
 
 /// A running serving instance. Dropping it shuts down gracefully.
 pub struct Server {
     cfg: ServeConfig,
-    models: Arc<HashMap<String, Model>>,
+    registry: Arc<ModelRegistry>,
+    routes: Arc<HashMap<String, ModelRoute>>,
+    /// Request-id sequence for submissions that don't bring their own.
+    seq: AtomicU64,
     submit_tx: Option<Sender<Pending>>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -100,14 +164,29 @@ impl Server {
         ServerBuilder::new(cfg)
     }
 
+    /// The registry backing this server. Publish retrained checkpoints
+    /// here, then [`deploy`](Self::deploy) them.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
     /// Submit a request. Returns immediately: `Ok` with a handle to the
     /// eventual response, or an admission error ([`ServeError::QueueFull`]
     /// when the bounded queue is at capacity — the backpressure signal).
+    ///
+    /// The model version is decided here, exactly once: the resolved
+    /// deployment snapshot rides with the request, so a concurrent
+    /// [`deploy`](Self::deploy) or [`rollback`](Self::rollback) can never
+    /// tear it — it executes wholly on the version admission chose.
     pub fn submit(&self, req: InferRequest) -> Result<ResponseHandle, ServeError> {
-        if let Err(e) = self.validate(&req) {
-            lock_ledger(&self.ledger).rejected_invalid += 1;
-            return Err(e);
-        }
+        let id = req.id.unwrap_or_else(|| self.seq.fetch_add(1, Ordering::Relaxed));
+        let dep = match self.admit(&req, id) {
+            Ok(dep) => dep,
+            Err(e) => {
+                lock_ledger(&self.ledger).rejected_invalid += 1;
+                return Err(e);
+            }
+        };
         let tx = match self.submit_tx.as_ref() {
             Some(tx) => tx,
             None => {
@@ -118,7 +197,7 @@ impl Server {
         let now = Instant::now();
         let deadline = req.deadline.or(self.cfg.default_deadline).map(|d| now + d);
         let (resp_tx, resp_rx) = bounded(1);
-        let pending = Pending { req, resp: resp_tx, enqueued: now, deadline };
+        let pending = Pending { req, dep, resp: resp_tx, enqueued: now, deadline };
         match tx.try_send(pending) {
             Ok(()) => {
                 let mut led = lock_ledger(&self.ledger);
@@ -137,20 +216,77 @@ impl Server {
         }
     }
 
-    fn validate(&self, req: &InferRequest) -> Result<(), ServeError> {
-        let model = self
-            .models
+    /// Resolve the deployment that will serve this request and validate
+    /// the input against *that* deployment's configuration.
+    fn admit(&self, req: &InferRequest, id: u64) -> Result<Arc<Deployment>, ServeError> {
+        let route = self
+            .routes
             .get(&req.model)
             .ok_or_else(|| ServeError::UnknownModel(req.model.clone()))?;
+        let dep = route.resolve(id);
         let dims = req.input.dims();
-        let want = [1, model.cfg.in_channels, model.cfg.input_hw, model.cfg.input_hw];
+        let cfg = &dep.model.cfg;
+        let want = [1, cfg.in_channels, cfg.input_hw, cfg.input_hw];
         if dims != want {
             return Err(ServeError::BadInput(format!(
-                "expected shape {want:?} for model {:?}, got {dims:?}",
-                req.model
+                "expected shape {want:?} for model {:?} v{}, got {dims:?}",
+                req.model, dep.version
             )));
         }
+        Ok(dep)
+    }
+
+    /// Hot-swap `name` to registry `version` with zero downtime: the new
+    /// deployment's plan cache is seeded from the outgoing one, so the
+    /// swap's total cost is exactly the plan rebuild of the layers whose
+    /// weights actually changed. In-flight and already-admitted requests
+    /// finish on the version they were admitted under; every admission
+    /// after this call returns routes to `version`.
+    pub fn deploy(&self, name: &str, version: u64) -> Result<(), DeployError> {
+        let route =
+            self.routes.get(name).ok_or_else(|| DeployError::UnknownModel(name.to_string()))?;
+        let dep = Deployment::from_registry(&self.registry, name, version)?;
+        dep.plans.seed_from(&route.current().plans);
+        route.deploy(dep);
         Ok(())
+    }
+
+    /// Swap `name` back to the deployment that was current before the
+    /// last [`deploy`](Self::deploy) — kept warm, plan caches intact, so
+    /// rollback costs no plan rebuilds at all. Returns the version now
+    /// serving. Clears any canary.
+    pub fn rollback(&self, name: &str) -> Result<u64, DeployError> {
+        let route =
+            self.routes.get(name).ok_or_else(|| DeployError::UnknownModel(name.to_string()))?;
+        Ok(route.rollback(name)?.version)
+    }
+
+    /// Route a deterministic fraction of `name`'s traffic to registry
+    /// `version` (see [`TrafficSplit`]); the remainder stays on the
+    /// current deployment. Promote the candidate by calling
+    /// [`deploy`](Self::deploy) with the same version, or abandon it with
+    /// [`clear_canary`](Self::clear_canary).
+    pub fn canary(&self, name: &str, version: u64, split: TrafficSplit) -> Result<(), DeployError> {
+        let route =
+            self.routes.get(name).ok_or_else(|| DeployError::UnknownModel(name.to_string()))?;
+        let dep = Deployment::from_registry(&self.registry, name, version)?;
+        dep.plans.seed_from(&route.current().plans);
+        route.set_canary(dep, split);
+        Ok(())
+    }
+
+    /// Remove `name`'s canary; all traffic returns to the current
+    /// deployment.
+    pub fn clear_canary(&self, name: &str) -> Result<(), DeployError> {
+        let route =
+            self.routes.get(name).ok_or_else(|| DeployError::UnknownModel(name.to_string()))?;
+        route.clear_canary();
+        Ok(())
+    }
+
+    /// The version new (non-canary) admissions of `name` execute.
+    pub fn current_version(&self, name: &str) -> Option<u64> {
+        self.routes.get(name).map(|r| r.current_version())
     }
 
     /// Requests currently waiting in the submission queue.
@@ -164,7 +300,8 @@ impl Server {
         lock_ledger(&self.ledger).summary()
     }
 
-    /// Ledger snapshot as pretty-printed JSON (durations in ms).
+    /// Ledger snapshot as pretty-printed JSON (durations in ms),
+    /// including server uptime and the per-(model, version) breakdown.
     pub fn stats_json(&self) -> String {
         serde_json::to_string_pretty(&self.stats()).expect("summary serializes")
     }
@@ -219,8 +356,13 @@ mod tests {
     use std::time::Duration;
 
     fn tiny_model() -> Model {
+        tiny_model_seeded(0x0d9)
+    }
+
+    fn tiny_model_seeded(seed: u64) -> Model {
         let mut cfg = ModelCfg::small(Arch::LeNet5, 4);
         cfg.input_hw = 8;
+        cfg.seed = seed;
         Model::build(cfg)
     }
 
@@ -244,12 +386,18 @@ mod tests {
         // wait() guarantees the ledger has absorbed it — no polling.
         assert_eq!(s.stats().batches, 1);
         assert_eq!(s.recent_batches().len(), 1);
+        assert_eq!(s.recent_batches()[0].version, 1);
         let json = s.stats_json();
         assert!(json.contains("\"counters\""), "{json}");
+        assert!(json.contains("\"uptime_ms\""), "{json}");
+        assert!(json.contains("\"models\""), "{json}");
         let sum = s.shutdown();
         assert_eq!(sum.admitted, 1);
         assert_eq!(sum.completed, 1);
         assert_eq!(sum.batches, 1);
+        assert_eq!(sum.models.len(), 1);
+        assert_eq!((sum.models[0].model.as_str(), sum.models[0].version), ("lenet", 1));
+        assert_eq!(sum.models[0].completed, 1);
     }
 
     #[test]
@@ -359,5 +507,81 @@ mod tests {
         for h in handles {
             assert!(h.wait().is_ok());
         }
+    }
+
+    #[test]
+    fn deploy_swaps_and_rollback_restores_bit_exactly() {
+        let s = server(ServeConfig { max_wait: Duration::from_micros(200), ..Default::default() });
+        let v1_logits = s.submit(InferRequest::new("lenet", input(3))).unwrap().wait().unwrap();
+
+        // Publish a retrained checkpoint and hot-swap to it.
+        let v2 = s.registry().publish("lenet", tiny_model_seeded(777), vec![]).unwrap();
+        s.deploy("lenet", v2).unwrap();
+        assert_eq!(s.current_version("lenet"), Some(v2));
+        let v2_logits = s.submit(InferRequest::new("lenet", input(3))).unwrap().wait().unwrap();
+        assert_ne!(
+            v1_logits.output.as_slice(),
+            v2_logits.output.as_slice(),
+            "different weights must answer differently"
+        );
+
+        // Rollback: answers are bit-identical to the original version's.
+        assert_eq!(s.rollback("lenet").unwrap(), 1);
+        let back = s.submit(InferRequest::new("lenet", input(3))).unwrap().wait().unwrap();
+        let bits = |t: &Tensor| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&v1_logits.output), bits(&back.output));
+
+        let sum = s.shutdown();
+        let versions: Vec<u64> = sum.models.iter().map(|m| m.version).collect();
+        assert_eq!(versions, vec![1, 2], "both versions served and are accounted separately");
+        assert_eq!(sum.models.iter().map(|m| m.completed).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn deploying_unknown_or_retired_versions_fails_cleanly() {
+        let s = server(ServeConfig::default());
+        assert!(matches!(s.deploy("ghost", 1), Err(DeployError::UnknownModel(_))));
+        assert!(matches!(s.deploy("lenet", 99), Err(DeployError::Registry(_))));
+        assert!(matches!(s.rollback("lenet"), Err(DeployError::NoPreviousVersion(_))));
+        // A server can't start serving a name with nothing published.
+        let r = Server::builder(ServeConfig::default()).serve("empty").try_start();
+        assert!(matches!(r, Err(DeployError::UnknownModel(_))));
+    }
+
+    #[test]
+    fn canary_splits_traffic_deterministically() {
+        let s = server(ServeConfig { max_wait: Duration::from_micros(100), ..Default::default() });
+        let v2 = s.registry().publish("lenet", tiny_model_seeded(42), vec![]).unwrap();
+        s.canary("lenet", v2, TrafficSplit::new(0.5).with_seed(9)).unwrap();
+        assert_eq!(s.current_version("lenet"), Some(1), "canary must not move current");
+
+        // Solo references for both versions.
+        let m1 = s.registry().get("lenet", 1).unwrap();
+        let m2 = s.registry().get("lenet", v2).unwrap();
+        let mut fl = crate::engine::EngineKind::Float.build(Arc::default());
+        let split = TrafficSplit::new(0.5).with_seed(9);
+        let mut canaried = 0;
+        for id in 0..24u64 {
+            let r = s
+                .submit(InferRequest::new("lenet", input(id as usize)).with_id(id))
+                .unwrap()
+                .wait()
+                .unwrap();
+            let expect = if split.picks_canary(id) {
+                canaried += 1;
+                m2.forward_eval(&input(id as usize), &mut fl)
+            } else {
+                m1.forward_eval(&input(id as usize), &mut fl)
+            };
+            assert_eq!(
+                r.output.as_slice(),
+                expect.as_slice(),
+                "request {id} must land exactly where the split says"
+            );
+        }
+        assert!(canaried > 0, "a 50% split over 24 ids routes some to the canary");
+        s.clear_canary("lenet").unwrap();
+        let sum = s.shutdown();
+        assert_eq!(sum.models.len(), 2, "canary traffic is accounted under its own version");
     }
 }

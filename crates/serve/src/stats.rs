@@ -20,8 +20,8 @@
 //! [`Ledger::summary`] snapshots everything into a [`StatsSummary`], which
 //! serializes to JSON for dashboards and the `serve_bench` report.
 
-use std::collections::VecDeque;
-use std::time::Duration;
+use std::collections::{BTreeMap, VecDeque};
+use std::time::{Duration, Instant};
 
 /// How many recently executed batches the ledger retains for inspection.
 pub const RECENT_BATCH_CAP: usize = 32;
@@ -195,6 +195,10 @@ pub struct BatchSim {
 pub struct BatchRecord {
     /// Model name.
     pub model: String,
+    /// Deployment version whose weights executed this batch — the audit
+    /// trail a hot swap leaves behind: the ring shows exactly which
+    /// batches ran on which version around the swap point.
+    pub version: u64,
     /// Engine label ([`crate::EngineKind::label`]).
     pub engine: String,
     /// Requests coalesced into this batch.
@@ -208,11 +212,23 @@ pub struct BatchRecord {
     pub sim: Option<BatchSim>,
 }
 
+/// Per-(model, version) streaming aggregates: completion counts and the
+/// service-latency distribution. One entry per *deployment* ever executed
+/// — the map grows with swaps, never with requests.
+#[derive(Clone, Debug, Default)]
+struct VersionLedger {
+    completed: u64,
+    batches: u64,
+    service: LogHistogram,
+}
+
 /// Mutable streaming ledger shared by the admission path and the workers.
 /// Every field is a fixed-size aggregate: memory does not grow with the
 /// number of requests served.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct Ledger {
+    /// When this ledger (the server) came up.
+    pub started: Instant,
     // Counters.
     pub admitted: u64,
     pub served: u64,
@@ -243,6 +259,39 @@ pub(crate) struct Ledger {
     sens_weight: f64,
     // Bounded debugging ring of the most recent batches.
     recent: VecDeque<BatchRecord>,
+    // Per-deployment aggregates (grows with swaps, not requests).
+    per_model: BTreeMap<(String, u64), VersionLedger>,
+}
+
+impl Default for Ledger {
+    fn default() -> Self {
+        Self {
+            started: Instant::now(),
+            admitted: 0,
+            served: 0,
+            batches: 0,
+            batches_started: 0,
+            rejected_queue_full: 0,
+            rejected_deadline: 0,
+            rejected_invalid: 0,
+            rejected_shutdown: 0,
+            internal_errors: 0,
+            worker_panics: 0,
+            worker_restarts: 0,
+            last_queue_depth: 0,
+            max_queue_depth: 0,
+            queue_wait: LogHistogram::default(),
+            service: LogHistogram::default(),
+            total: LogHistogram::default(),
+            batch_size: LogHistogram::default(),
+            sim_cycles: 0.0,
+            sim_energy_nj: 0.0,
+            sens_weighted: 0.0,
+            sens_weight: 0.0,
+            recent: VecDeque::new(),
+            per_model: BTreeMap::new(),
+        }
+    }
 }
 
 impl Ledger {
@@ -264,6 +313,10 @@ impl Ledger {
     pub fn record_batch(&mut self, rec: BatchRecord) {
         self.batches += 1;
         self.batch_size.record(rec.size as u64);
+        let vl = self.per_model.entry((rec.model.clone(), rec.version)).or_default();
+        vl.completed += rec.size as u64;
+        vl.batches += 1;
+        vl.service.record(rec.service.as_nanos() as u64);
         if let Some(sim) = &rec.sim {
             self.sim_cycles += sim.batch_cycles;
             self.sim_energy_nj += sim.energy_nj;
@@ -303,14 +356,34 @@ impl Ledger {
                         + r.sim.as_ref().map_or(0, |s| s.config.capacity())
                 })
                 .sum::<usize>();
-        std::mem::size_of::<Self>() + ring_heap
+        let per_model_heap: usize = self
+            .per_model
+            .iter()
+            .map(|((name, _), _)| {
+                name.capacity() + std::mem::size_of::<((String, u64), VersionLedger)>()
+            })
+            .sum();
+        std::mem::size_of::<Self>() + ring_heap + per_model_heap
     }
 
     pub fn summary(&self) -> StatsSummary {
         let mean_sensitive_fraction =
             if self.sens_weight > 0.0 { Some(self.sens_weighted / self.sens_weight) } else { None };
         let latency = LatencyStats::from_nanos_histogram(&self.total);
+        let models = self
+            .per_model
+            .iter()
+            .map(|((model, version), vl)| ModelVersionStats {
+                model: model.clone(),
+                version: *version,
+                completed: vl.completed,
+                batches: vl.batches,
+                service: LatencyStats::from_nanos_histogram(&vl.service),
+            })
+            .collect();
         StatsSummary {
+            uptime: self.started.elapsed(),
+            models,
             admitted: self.admitted,
             completed: self.served,
             batches: self.batches,
@@ -338,9 +411,32 @@ impl Ledger {
     }
 }
 
+/// Per-deployment slice of the snapshot: what one (model, version) pair
+/// has served. A canary experiment and a hot swap both read their outcome
+/// here — completions and service latency split by exactly which weights
+/// answered.
+#[derive(Clone, Debug)]
+pub struct ModelVersionStats {
+    /// Model name.
+    pub model: String,
+    /// Deployment version.
+    pub version: u64,
+    /// Requests answered by this version.
+    pub completed: u64,
+    /// Batches executed by this version.
+    pub batches: u64,
+    /// Forward-pass latency distribution for this version.
+    pub service: LatencyStats,
+}
+
 /// Point-in-time snapshot of the streaming ledger.
 #[derive(Clone, Debug)]
 pub struct StatsSummary {
+    /// How long the server has been up.
+    pub uptime: Duration,
+    /// Per-(model, version) completions and service latency, sorted by
+    /// name then version.
+    pub models: Vec<ModelVersionStats>,
     /// Requests that passed admission into the queue.
     pub admitted: u64,
     /// Requests answered successfully.
@@ -423,11 +519,27 @@ impl StatsSummary {
         if let Some(f) = self.mean_sensitive_fraction {
             sim.push(("mean_sensitive_fraction".into(), Value::F64(f)));
         }
+        let models = Value::Array(
+            self.models
+                .iter()
+                .map(|m| {
+                    Value::Object(vec![
+                        ("model".into(), Value::String(m.model.clone())),
+                        ("version".into(), Value::U64(m.version)),
+                        ("completed".into(), Value::U64(m.completed)),
+                        ("batches".into(), Value::U64(m.batches)),
+                        ("service_ms".into(), m.service.to_json()),
+                    ])
+                })
+                .collect(),
+        );
         Value::Object(vec![
+            ("uptime_ms".into(), Value::F64(self.uptime.as_secs_f64() * 1e3)),
             ("counters".into(), counters),
             ("gauges".into(), gauges),
             ("latency_ms".into(), Value::Object(latency)),
             ("simulated_accel".into(), Value::Object(sim)),
+            ("models".into(), models),
         ])
     }
 }
@@ -520,6 +632,7 @@ mod tests {
         }
         l.record_batch(BatchRecord {
             model: "m".into(),
+            version: 1,
             engine: "odq".into(),
             size: 2,
             service: Duration::from_millis(10),
@@ -534,6 +647,7 @@ mod tests {
         });
         l.record_batch(BatchRecord {
             model: "m".into(),
+            version: 2,
             engine: "odq".into(),
             size: 2,
             service: Duration::from_millis(10),
@@ -560,6 +674,7 @@ mod tests {
         for i in 0..10_000u64 {
             l.record_batch(BatchRecord {
                 model: format!("model-{}", i % 3),
+                version: 1,
                 engine: "float".into(),
                 size: 4,
                 service: Duration::from_micros(i),

@@ -1,13 +1,17 @@
 //! Worker threads: each owns long-lived engines and executes batches.
 //!
-//! A worker keeps one engine instance *per model*, built lazily on the
-//! first batch it serves for that model. Keeping the engine alive across
-//! batches is what makes serving cheaper than per-request inference — and
-//! all of a model's engines, across every worker, point at one shared
-//! [`PlanCache`]: each layer's weights are quantized, bit-split and
-//! summarized once per weight version for the whole fleet, and every
-//! planned conv driver draws im2col scratch from the cache's workspace
-//! pool instead of allocating per call.
+//! A worker keeps one engine instance per *(model, version)* deployment,
+//! built lazily on the first batch it serves for that deployment. Keeping
+//! the engine alive across batches is what makes serving cheaper than
+//! per-request inference — and all of a deployment's engines, across every
+//! worker, point at that deployment's shared
+//! [`PlanCache`](odq_quant::plan::PlanCache): each layer's weights are
+//! quantized, bit-split and summarized once per weight version for the
+//! whole fleet, and every planned conv driver draws im2col scratch from
+//! the cache's workspace pool instead of allocating per call. The batch
+//! itself carries its `Arc<Deployment>` (weights + plans + version), so a
+//! hot swap needs no worker coordination at all: old batches execute
+//! their old snapshot, new batches bring the new one.
 //!
 //! # Supervision
 //!
@@ -29,8 +33,6 @@ use std::time::Instant;
 
 use crossbeam::channel::Receiver;
 use odq_accel::{simulate_network, EnergyModel, LayerWorkload};
-use odq_nn::models::Model;
-use odq_quant::plan::PlanCache;
 use odq_tensor::Tensor;
 
 use crate::batcher::Batch;
@@ -54,40 +56,41 @@ enum ShiftEnd {
     Panicked,
 }
 
+/// How many engines a worker keeps alive per model name. Two is the
+/// steady-state need (current + canary or current + draining predecessor);
+/// anything older is evicted so a long swap history cannot grow the
+/// worker's footprint.
+const ENGINES_PER_MODEL: usize = 2;
+
 pub(crate) fn run(
     rx: Receiver<Batch>,
-    models: Arc<HashMap<String, Model>>,
     kind: EngineKind,
     cfg: ServeConfig,
     ledger: Arc<Mutex<Ledger>>,
-    plans: Arc<HashMap<String, Arc<PlanCache>>>,
 ) {
     let energy = EnergyModel::default();
     loop {
-        match run_shift(&rx, &models, kind, &cfg, &ledger, &energy, &plans) {
+        match run_shift(&rx, kind, &cfg, &ledger, &energy) {
             ShiftEnd::Disconnected => break,
             ShiftEnd::Panicked => lock_ledger(&ledger).worker_restarts += 1,
         }
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn run_shift(
     rx: &Receiver<Batch>,
-    models: &HashMap<String, Model>,
     kind: EngineKind,
     cfg: &ServeConfig,
     ledger: &Arc<Mutex<Ledger>>,
     energy: &EnergyModel,
-    plans: &HashMap<String, Arc<PlanCache>>,
 ) -> ShiftEnd {
-    let mut engines: HashMap<String, EngineExec> = HashMap::new();
+    let mut engines: HashMap<(String, u64), EngineExec> = HashMap::new();
     while let Ok(batch) = rx.recv() {
         // Keep a second handle to every response channel so a panicking
         // batch can still be answered after its `Pending`s unwound away.
         let senders: Vec<_> = batch.items.iter().map(|p| p.resp.clone()).collect();
         let executed = catch_unwind(AssertUnwindSafe(|| {
-            serve_batch(batch, models, kind, cfg, ledger, &mut engines, energy, plans);
+            serve_batch(batch, kind, cfg, ledger, &mut engines, energy);
         }));
         if executed.is_err() {
             // `try_send`: a request answered before the panic has its
@@ -102,16 +105,13 @@ fn run_shift(
     ShiftEnd::Disconnected
 }
 
-#[allow(clippy::too_many_arguments)]
 fn serve_batch(
     batch: Batch,
-    models: &HashMap<String, Model>,
     kind: EngineKind,
     cfg: &ServeConfig,
     ledger: &Arc<Mutex<Ledger>>,
-    engines: &mut HashMap<String, EngineExec>,
+    engines: &mut HashMap<(String, u64), EngineExec>,
     energy: &EnergyModel,
-    plans: &HashMap<String, Arc<PlanCache>>,
 ) {
     // Dequeue timestamp: everything before this is queue wait, everything
     // after it (expired-partition, input gather, forward pass, scatter) is
@@ -142,19 +142,11 @@ fn serve_batch(
     if live.is_empty() {
         return;
     }
-    let batch = Batch { model: batch.model, items: live };
+    let batch = Batch { dep: batch.dep, items: live };
 
     let n = batch.items.len();
-    let model = match models.get(&batch.model) {
-        Some(m) => m,
-        None => {
-            // Admission validates names; this can only mean a logic bug.
-            for p in batch.items {
-                let _ = p.resp.send(Err(ServeError::UnknownModel(batch.model.clone())));
-            }
-            return;
-        }
-    };
+    let dep = &batch.dep;
+    let model = &*dep.model;
 
     // Gather [1,C,H,W] inputs into one [N,C,H,W] tensor.
     let per_image = batch.items[0].req.input.as_slice().len();
@@ -166,9 +158,20 @@ fn serve_batch(
     dims[0] = n;
     let x = Tensor::from_vec(dims, data);
 
-    let exec = engines
-        .entry(batch.model.clone())
-        .or_insert_with(|| kind.build(plans.get(&batch.model).cloned().unwrap_or_default()));
+    let key = (dep.name.clone(), dep.version);
+    if !engines.contains_key(&key) {
+        // Evict this model's stalest version beyond the cap before
+        // building: superseded deployments drain quickly and never
+        // come back, while current + canary stay hot.
+        let mut versions: Vec<u64> =
+            engines.keys().filter(|(m, _)| *m == dep.name).map(|&(_, v)| v).collect();
+        versions.sort_unstable();
+        for &v in versions.iter().rev().skip(ENGINES_PER_MODEL - 1) {
+            engines.remove(&(dep.name.clone(), v));
+        }
+        engines.insert(key.clone(), kind.build(Arc::clone(&dep.plans)));
+    }
+    let exec = engines.get_mut(&key).expect("engine just ensured");
     // Per-batch stats: clear any profile left from the previous batch.
     match exec {
         EngineExec::Odq(e) => e.reset_stats(),
@@ -221,7 +224,8 @@ fn serve_batch(
             led.record_request(t.queue_wait, t.service, t.total);
         }
         led.record_batch(BatchRecord {
-            model: batch.model,
+            model: dep.name.clone(),
+            version: dep.version,
             engine: kind.label(),
             size: n,
             service,

@@ -1,0 +1,119 @@
+//! Zero-downtime weight reload: publish → serve → canary → deploy →
+//! rollback, all against one running [`odq::serve::Server`].
+//!
+//! The registry ([`odq::registry::ModelRegistry`]) owns the versioned
+//! weights; the server routes each admitted request to exactly one
+//! published version. A deploy is an atomic routing swap — in-flight
+//! requests finish on the version they were admitted under, and the
+//! predecessor stays warm (plan caches intact) so rollback is instant.
+//!
+//! ```sh
+//! cargo run --release --example hot_reload
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use odq::nn::models::{Model, ModelCfg};
+use odq::nn::param::init_rng;
+use odq::nn::train::{train_epoch, SgdCfg};
+use odq::nn::Arch;
+use odq::registry::{FiniteGate, ModelRegistry};
+use odq::serve::{EngineKind, InferRequest, ServeConfig, Server, TrafficSplit};
+use odq::tensor::Tensor;
+
+/// Deterministic synthetic "camera frame".
+fn frame(i: usize, channels: usize, hw: usize) -> Tensor {
+    let len = channels * hw * hw;
+    let v: Vec<f32> = (0..len).map(|j| ((j * 31 + i * 97) % 251) as f32 / 251.0).collect();
+    Tensor::from_vec(vec![1, channels, hw, hw], v)
+}
+
+/// A freshly "trained" candidate: same architecture, new weights.
+fn train_candidate(seed: u64, epochs: usize) -> Model {
+    let mut cfg = ModelCfg::small(Arch::LeNet5, 4);
+    cfg.input_hw = 8;
+    cfg.in_channels = 1;
+    cfg.seed = seed;
+    let mut model = Model::build(cfg);
+    let spec = odq::data::SynthSpec { num_classes: 4, channels: 1, hw: 8, noise: 0.1, seed };
+    let (train, _) = spec.generate_split(64, 8);
+    let mut rng = init_rng(seed);
+    for _ in 0..epochs {
+        train_epoch(&mut model, &train.images, &train.labels, 16, &SgdCfg::default(), &mut rng);
+    }
+    model
+}
+
+fn serve_some(server: &Server, name: &str, ids: std::ops::Range<u64>) {
+    for id in ids {
+        let input = frame(id as usize, 1, 8);
+        let req = InferRequest::new(name, input).with_deadline(Duration::from_secs(2)).with_id(id);
+        let resp = server.submit(req).expect("admitted").wait().expect("served");
+        let top = resp
+            .output
+            .as_slice()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(c, _)| c)
+            .unwrap();
+        println!(
+            "  request {id:>2} -> class {top} (batch of {}, {:>6.1?} total)",
+            resp.timing.batch_size, resp.timing.total
+        );
+    }
+}
+
+fn main() {
+    // 1. A gated registry: candidates with non-finite weights never
+    //    become routable. Swap in `odq::conformance::OracleGate` to also
+    //    pin every publish to the scalar golden oracle.
+    let registry = Arc::new(ModelRegistry::gated(FiniteGate));
+    let v1 = registry.publish("lenet", train_candidate(7, 2), vec![]).unwrap();
+    println!(
+        "published lenet v{v1} (fingerprint {:#018x})",
+        registry.fingerprint("lenet", v1).unwrap()
+    );
+
+    // 2. Serve the latest published version.
+    let server = Server::builder(ServeConfig::default())
+        .engine(EngineKind::Odq { threshold: 0.3 })
+        .registry(Arc::clone(&registry))
+        .serve("lenet")
+        .try_start()
+        .expect("latest version is publishable");
+    println!("serving lenet v{}", server.current_version("lenet").unwrap());
+    serve_some(&server, "lenet", 0..4);
+
+    // 3. Retraining finished: publish v2 into the same registry. The
+    //    running server is untouched — publishing is not deploying.
+    let v2 = server.registry().publish("lenet", train_candidate(8, 3), vec![]).unwrap();
+    println!(
+        "\npublished lenet v{v2}; still serving v{}",
+        server.current_version("lenet").unwrap()
+    );
+
+    // 4. Canary: route a deterministic 25% of request ids to v2. The
+    //    ledger accounts each version separately, so the canary's service
+    //    latencies are directly comparable to the incumbent's.
+    server.canary("lenet", v2, TrafficSplit::new(0.25).with_seed(42)).unwrap();
+    println!("canarying v{v2} at 25%:");
+    serve_some(&server, "lenet", 4..12);
+
+    // 5. Promote: atomically make v2 current. In-flight requests finish
+    //    on v1; v1 stays warm as the rollback target.
+    server.deploy("lenet", v2).unwrap();
+    println!("\ndeployed v{v2}:");
+    serve_some(&server, "lenet", 12..16);
+
+    // 6. Regret it: rollback swaps v1 back in — a pointer swap, no plan
+    //    rebuilds, no dropped requests.
+    let back = server.rollback("lenet").unwrap();
+    println!("\nrolled back to v{back}:");
+    serve_some(&server, "lenet", 16..20);
+
+    // 7. The ledger shows every version that served traffic.
+    println!("\nstats: {}", server.stats_json());
+    server.shutdown();
+}

@@ -17,10 +17,16 @@
 //! through log-bucketed histograms with ≤12.5% relative error — see the
 //! README's "interpreting serve_bench percentiles" note.
 //!
+//! After both phases the bench writes a machine-readable snapshot
+//! (`BENCH_serve.json` by default, `--out PATH` to move it, `--out -` to
+//! skip): per-phase throughput, exact client-side p50/p95/p99, reject and
+//! deadline-miss counts, plus the server's own ledger JSON — the file CI
+//! and regression tooling diff against the committed snapshot.
+//!
 //! ```sh
 //! cargo run --release --bin serve_bench -- \
 //!     [--engine odq|drq|int8|int16|float] [--workers N] [--requests N] \
-//!     [--max-batch N] [--rate RPS] [--seed S] [--json]
+//!     [--max-batch N] [--rate RPS] [--seed S] [--json] [--out PATH]
 //! ```
 
 use std::time::Duration;
@@ -29,7 +35,9 @@ use odq::nn::models::{Model, ModelCfg};
 use odq::nn::Arch;
 use odq::serve::{
     run_closed_loop, run_open_loop, EngineKind, LoadReport, LoadSpec, ServeConfig, Server,
+    StatsSummary,
 };
+use serde_json::Value;
 
 struct Args {
     engine: EngineKind,
@@ -39,6 +47,7 @@ struct Args {
     rate: f64,
     seed: u64,
     json: bool,
+    out: String,
 }
 
 fn parse_args() -> Args {
@@ -50,6 +59,7 @@ fn parse_args() -> Args {
         rate: 400.0,
         seed: 42,
         json: false,
+        out: "BENCH_serve.json".into(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -71,6 +81,7 @@ fn parse_args() -> Args {
             "--rate" => args.rate = val().parse().expect("--rate"),
             "--seed" => args.seed = val().parse().expect("--seed"),
             "--json" => args.json = true,
+            "--out" => args.out = val(),
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -163,6 +174,47 @@ fn print_phase(name: &str, r: &LoadReport, server: &Server, json: bool) {
     }
 }
 
+/// One phase's snapshot entry: client-side exact percentiles and outcome
+/// counts, plus the server ledger's own JSON tree.
+fn phase_json(r: &LoadReport, sum: &StatsSummary) -> Value {
+    let ms = |d: std::time::Duration| Value::F64(d.as_secs_f64() * 1e3);
+    Value::Object(vec![
+        ("throughput_rps".into(), Value::F64(r.throughput())),
+        ("submitted".into(), Value::U64(r.submitted)),
+        ("completed".into(), Value::U64(r.completed)),
+        ("rejected_queue_full".into(), Value::U64(r.rejected)),
+        ("deadline_missed".into(), Value::U64(r.deadline_missed)),
+        ("failed".into(), Value::U64(r.failed)),
+        ("p50_ms".into(), ms(r.latency_percentile(0.50))),
+        ("p95_ms".into(), ms(r.latency_percentile(0.95))),
+        ("p99_ms".into(), ms(r.latency_percentile(0.99))),
+        ("elapsed_s".into(), Value::F64(r.elapsed.as_secs_f64())),
+        ("server".into(), sum.to_json()),
+    ])
+}
+
+fn write_snapshot(path: &str, a: &Args, closed: Value, open: Value) {
+    let snapshot = Value::Object(vec![
+        (
+            "config".into(),
+            Value::Object(vec![
+                ("engine".into(), Value::String(a.engine.label())),
+                ("workers".into(), Value::U64(a.workers as u64)),
+                ("requests".into(), Value::U64(a.requests as u64)),
+                ("max_batch".into(), Value::U64(a.max_batch as u64)),
+                ("rate_rps".into(), Value::F64(a.rate)),
+                ("seed".into(), Value::U64(a.seed)),
+            ]),
+        ),
+        ("closed_loop".into(), closed),
+        ("open_loop".into(), open),
+    ]);
+    let mut text = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    text.push('\n');
+    std::fs::write(path, text).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("snapshot written to {path}");
+}
+
 fn main() {
     let a = parse_args();
     println!(
@@ -186,6 +238,7 @@ fn main() {
         closed.completed + closed.deadline_missed,
         "ledger and load report must agree"
     );
+    let closed_json = phase_json(&closed, &sum);
 
     // Phase 2: open loop at the offered rate, 50 ms deadlines.
     let server = start_server(&a);
@@ -204,9 +257,13 @@ fn main() {
             "load-shedding", open.rejected, open.deadline_missed
         );
     }
-    let _ = server.shutdown();
+    let open_sum = server.shutdown();
+    let open_json = phase_json(&open, &open_sum);
 
-    // Per-batch ledger sample.
+    if a.out != "-" {
+        write_snapshot(&a.out, &a, closed_json, open_json);
+    }
+
     println!(
         "\ndone: closed-loop {} req/s, open-loop {} req/s",
         closed.throughput() as u64,

@@ -42,5 +42,6 @@ pub use odq_data as data;
 pub use odq_drq as drq;
 pub use odq_nn as nn;
 pub use odq_quant as quant;
+pub use odq_registry as registry;
 pub use odq_serve as serve;
 pub use odq_tensor as tensor;
