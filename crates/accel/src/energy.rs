@@ -1,6 +1,6 @@
 //! CACTI-style energy model (45 nm-class constants).
 //!
-//! The paper measures power with CACTI [14] on a 45 nm library; we use
+//! The paper measures power with CACTI \[14] on a 45 nm library; we use
 //! representative per-operation energies from the same technology class
 //! (Horowitz-style numbers). Absolute joules are *not* the claim — the
 //! experiments (Fig. 21) compare normalized energy, which depends only on

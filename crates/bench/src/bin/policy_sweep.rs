@@ -1,0 +1,255 @@
+//! Policy sweep — the cost/accuracy frontier of auto-built per-layer
+//! precision policies.
+//!
+//! For a grid of [`AutoPolicyCfg`] knobs (ODQ routing ceiling × weight
+//! SQNR floor) this builds the greedy cheapest-bits policy from recorded
+//! ODQ sensitivity, evaluates Top-1 accuracy under the routed engines,
+//! and costs each route group on its Table 2 accelerator — the same
+//! per-route attribution `odq-serve` reports in `stats_json`. The
+//! uniform INT16 policy anchors the frontier.
+//!
+//! ```sh
+//! cargo run --release --bin policy_sweep            # quick scale
+//! cargo run --release --bin policy_sweep -- --full
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use odq_accel::{simulate_network, AccelConfig, EnergyModel, LayerWorkload};
+use odq_bench::{print_table, trained_model, write_json, ExpScale};
+use odq_core::OdqEngine;
+use odq_drq::{DrqCfg, DrqEngine};
+use odq_nn::executor::{ConvCtx, ConvExecutor, FloatConvExecutor, StaticQuantExecutor};
+use odq_nn::models::Model;
+use odq_nn::policy::{auto_policy, AutoPolicyCfg, PrecisionPolicy, Route};
+use odq_nn::train::evaluate;
+use odq_nn::Arch;
+use odq_quant::plan::PlanCache;
+use odq_tensor::{ConvGeom, Tensor};
+
+/// One route's engine, shaped like `odq-serve`'s executor so per-route
+/// statistics stay reachable after evaluation.
+enum Exec {
+    Float(FloatConvExecutor),
+    Static(StaticQuantExecutor),
+    Drq(DrqEngine),
+    Odq(OdqEngine),
+}
+
+impl Exec {
+    fn build(route: Route, plans: Arc<PlanCache>) -> Self {
+        match route {
+            Route::Float => Exec::Float(FloatConvExecutor),
+            Route::Static { w_bits, a_bits, a_clip } => {
+                Exec::Static(StaticQuantExecutor::with_plan_cache(w_bits, a_bits, a_clip, plans))
+            }
+            Route::Drq { hi_bits, lo_bits, a_clip, region, input_threshold } => {
+                Exec::Drq(DrqEngine::with_plan_cache(
+                    DrqCfg { hi_bits, lo_bits, a_clip, region: region as usize, input_threshold },
+                    plans,
+                ))
+            }
+            Route::Odq { threshold, sparse } => {
+                let mut e = OdqEngine::with_plan_cache(threshold, plans);
+                e.sparse = sparse;
+                Exec::Odq(e)
+            }
+        }
+    }
+
+    fn as_executor(&mut self) -> &mut dyn ConvExecutor {
+        match self {
+            Exec::Float(e) => e,
+            Exec::Static(e) => e,
+            Exec::Drq(e) => e,
+            Exec::Odq(e) => e,
+        }
+    }
+}
+
+/// The Table 2 configuration a route is costed on (mirrors
+/// `odq-serve::route_accel_config`).
+fn route_accel_config(route: Route) -> AccelConfig {
+    match route {
+        Route::Float => AccelConfig::int16(),
+        Route::Static { w_bits, .. } if w_bits <= 8 => AccelConfig::int8(),
+        Route::Static { .. } => AccelConfig::int16(),
+        Route::Drq { .. } => AccelConfig::drq(),
+        Route::Odq { .. } => AccelConfig::odq(),
+    }
+}
+
+/// A minimal policy-routed executor: one engine per distinct route, all
+/// sharing one plan cache, with every layer's geometry and dispatch
+/// remembered for per-route cost attribution afterwards.
+struct RoutedExec {
+    policy: Arc<PrecisionPolicy>,
+    plans: Arc<PlanCache>,
+    engines: Vec<(Route, Exec)>,
+    dispatch: HashMap<String, usize>,
+    geoms: Vec<(String, ConvGeom)>,
+}
+
+impl RoutedExec {
+    fn new(policy: Arc<PrecisionPolicy>) -> Self {
+        Self {
+            policy,
+            plans: Arc::new(PlanCache::new()),
+            engines: Vec::new(),
+            dispatch: HashMap::new(),
+            geoms: Vec::new(),
+        }
+    }
+
+    /// Fold per-engine measurements into `(label, accel, workloads)`
+    /// groups: ODQ routes from real channel counts, DRQ routes from
+    /// measured high-precision MAC fractions, float/static routes as
+    /// uniform full-precision work.
+    fn route_groups(&mut self) -> Vec<(String, AccelConfig, Vec<LayerWorkload>)> {
+        let dispatch = &self.dispatch;
+        let geoms = &self.geoms;
+        let mut groups = Vec::new();
+        for (i, (route, exec)) in self.engines.iter_mut().enumerate() {
+            let mine = || geoms.iter().filter(|(n, _)| dispatch.get(n) == Some(&i));
+            let ws: Vec<LayerWorkload> = match exec {
+                Exec::Odq(e) => e
+                    .stats
+                    .layers
+                    .iter()
+                    .map(|l| LayerWorkload::from_channel_counts(&l.name, l.geom, &l.channel_counts))
+                    .collect(),
+                Exec::Drq(e) => mine()
+                    .map(|(name, geom)| {
+                        let frac = e
+                            .stats
+                            .iter()
+                            .find(|l| &l.name == name)
+                            .map_or(1.0, |l| l.hi_mac_fraction());
+                        LayerWorkload::uniform(name.clone(), *geom, frac)
+                    })
+                    .collect(),
+                Exec::Float(_) | Exec::Static(_) => mine()
+                    .map(|(name, geom)| LayerWorkload::uniform(name.clone(), *geom, 1.0))
+                    .collect(),
+            };
+            if !ws.is_empty() {
+                groups.push((route.label().into_owned(), route_accel_config(*route), ws));
+            }
+        }
+        groups
+    }
+}
+
+impl ConvExecutor for RoutedExec {
+    fn begin_pass(&mut self) {
+        for (_, e) in &mut self.engines {
+            e.as_executor().begin_pass();
+        }
+    }
+
+    fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
+        let i = match self.dispatch.get(ctx.name) {
+            Some(&i) => i,
+            None => {
+                let route = self.policy.route_for(ctx.name);
+                let i = self.engines.iter().position(|(r, _)| *r == route).unwrap_or_else(|| {
+                    self.engines.push((route, Exec::build(route, Arc::clone(&self.plans))));
+                    self.engines.len() - 1
+                });
+                self.dispatch.insert(ctx.name.to_string(), i);
+                self.geoms.push((ctx.name.to_string(), ctx.geom));
+                i
+            }
+        };
+        self.engines[i].1.as_executor().conv(ctx, x)
+    }
+}
+
+/// Accuracy + summed per-route accelerator cost of one policy.
+fn run_policy(
+    model: &Model,
+    test: (&Tensor, &[usize]),
+    batch: usize,
+    policy: PrecisionPolicy,
+    em: &EnergyModel,
+) -> (f32, f64, f64, Vec<(String, f64)>) {
+    let mut exec = RoutedExec::new(Arc::new(policy));
+    let acc = evaluate(model, test.0, test.1, batch, &mut exec);
+    let mut cycles = 0.0;
+    let mut energy = 0.0;
+    let mut per_route = Vec::new();
+    for (label, accel, ws) in exec.route_groups() {
+        let r = simulate_network(&accel, &ws, em);
+        cycles += r.total_cycles;
+        energy += r.energy.total_nj();
+        per_route.push((label, r.total_cycles));
+    }
+    (acc, cycles, energy, per_route)
+}
+
+fn main() {
+    let scale = ExpScale::from_args();
+    println!("Policy sweep: auto-policy cost/accuracy frontier (ResNet-20)");
+    let em = EnergyModel::default();
+    let (model, _train, test) = trained_model(Arch::ResNet20, 10, scale, 0x9011);
+    let t = (&test.images, test.labels.as_slice());
+
+    // Calibrate: record each conv layer's sensitive-output fraction under
+    // ODQ on the test set (stand-in for a held-out calibration split).
+    let mut recorder = OdqEngine::new(0.3);
+    let _ = evaluate(&model, t.0, t.1, scale.batch, &mut recorder);
+    let sensitivity: Vec<(String, f64)> =
+        recorder.stats.layers.iter().map(|l| (l.name.clone(), l.sensitive_fraction())).collect();
+
+    // The uniform INT16 anchor every policy is normalized against.
+    let mut model = model;
+    let anchor = PrecisionPolicy::uniform(Route::Static { w_bits: 16, a_bits: 15, a_clip: 1.0 });
+    let (acc16, cyc16, nrg16, _) = run_policy(&model, t, scale.batch, anchor, &em);
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    rows.push(vec![
+        "uniform int16 (anchor)".to_string(),
+        format!("{:.1}", 100.0 * acc16),
+        "1.000".to_string(),
+        "1.000".to_string(),
+        "int16: all layers".to_string(),
+    ]);
+    for odq_ceiling in [0.0, 0.4, 0.6, 0.8] {
+        for sqnr_floor_db in [10.0f32, 16.0, 24.0] {
+            let cfg = AutoPolicyCfg { odq_ceiling, sqnr_floor_db, ..Default::default() };
+            let policy = auto_policy(&mut model, &sensitivity, &cfg);
+            let mut mix: HashMap<String, usize> = HashMap::new();
+            for (_, route) in policy.layers() {
+                *mix.entry(route.label().into_owned()).or_default() += 1;
+            }
+            let mut mix: Vec<_> = mix.into_iter().collect();
+            mix.sort();
+            let mix_s = mix.iter().map(|(l, n)| format!("{l}:{n}")).collect::<Vec<_>>().join(" ");
+            let (acc, cycles, energy, per_route) = run_policy(&model, t, scale.batch, policy, &em);
+            rows.push(vec![
+                format!("ceil {odq_ceiling:.1} / floor {sqnr_floor_db:.0} dB"),
+                format!("{:.1}", 100.0 * acc),
+                format!("{:.3}", cycles / cyc16),
+                format!("{:.3}", energy / nrg16),
+                mix_s.clone(),
+            ]);
+            json.push(serde_json::json!({
+                "odq_ceiling": odq_ceiling, "sqnr_floor_db": sqnr_floor_db,
+                "accuracy": acc, "cycles": cycles, "energy_nj": energy,
+                "cycles_vs_int16": cycles / cyc16, "energy_vs_int16": energy / nrg16,
+                "route_mix": mix_s,
+                "per_route_cycles": per_route.iter()
+                    .map(|(l, c)| serde_json::json!({"route": l, "cycles": c}))
+                    .collect::<Vec<_>>(),
+            }));
+        }
+    }
+    print_table(
+        "auto-policy frontier (normalized to uniform INT16)",
+        &["policy knobs", "top-1 %", "cycles", "energy", "route mix"],
+        &rows,
+    );
+    write_json("policy_sweep", &json);
+}

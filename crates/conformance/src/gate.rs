@@ -16,8 +16,9 @@ use crate::runner::{compare, OracleExecutor, OracleKind};
 /// [`OracleKind`], once on the scalar [`OracleExecutor`] — and rejects the
 /// publish unless the logits agree bit-for-bit.
 ///
-/// This closes the gap the registry's [`FiniteGate`](odq_registry::
-/// FiniteGate) leaves open: weights can be perfectly finite and still be
+/// This closes the gap the registry's
+/// [`FiniteGate`](odq_registry::FiniteGate) leaves open: weights can be
+/// perfectly finite and still be
 /// the *wrong artifact* (saved mid-refactor, truncated, produced by a
 /// miscompiled trainer). Pinning the candidate's end-to-end forward to the
 /// independent scalar reference at the registry door means a version that
@@ -60,7 +61,7 @@ impl OracleGate {
 
 /// Deterministic probe batch covering the input range the activations are
 /// clipped to: a per-sample-offset Weyl sequence in [0, 1).
-fn probe_input(n: usize, c: usize, hw: usize) -> Tensor {
+pub(crate) fn probe_input(n: usize, c: usize, hw: usize) -> Tensor {
     let numel = n * c * hw * hw;
     let data: Vec<f32> = (0..numel)
         .map(|i| {

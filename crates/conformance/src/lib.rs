@@ -22,6 +22,10 @@
 //!   ([`runner::minimize`]) and an oracle-backed `ConvExecutor`
 //!   ([`runner::OracleExecutor`]) for pinning whole-model forwards (the
 //!   serve round-trip) to the oracle.
+//! * [`policy`] — per-layer precision-policy conformance: a routed
+//!   scalar oracle ([`PolicyOracleExecutor`]), a routed real-engine
+//!   executor mirroring serving's `PolicyExecutor` ([`RoutedEngine`]),
+//!   and the policy-aware publish gate ([`PolicyOracleGate`]).
 //! * [`fixtures`] — small deterministic golden tensors committed under
 //!   `tests/fixtures/` (ODQT files written by `odq_nn::serialize`), so a
 //!   refactor that changes kernel *and* reference together is still
@@ -34,10 +38,12 @@
 pub mod fixtures;
 pub mod gate;
 pub mod oracle;
+pub mod policy;
 pub mod runner;
 pub mod strategies;
 
 pub use gate::OracleGate;
+pub use policy::{PolicyOracleExecutor, PolicyOracleGate, RoutedEngine};
 pub use runner::{
     compare, minimize, run_layer_diff, ulp_diff, DiffReport, Divergence, LayerSpec, OracleExecutor,
     OracleKind, PathClass, PathReport,

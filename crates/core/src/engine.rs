@@ -83,13 +83,25 @@ impl OdqEngine {
 
     /// Engine with per-layer thresholds.
     pub fn with_per_layer(map: HashMap<String, f32>, default: f32) -> Self {
+        Self::with_per_layer_plan_cache(map, default, Arc::new(PlanCache::new()))
+    }
+
+    /// Engine with per-layer thresholds sharing an existing plan cache —
+    /// the per-layer analogue of [`with_plan_cache`](Self::with_plan_cache),
+    /// used when a routed executor or serve worker points several engines
+    /// at one model's cache.
+    pub fn with_per_layer_plan_cache(
+        map: HashMap<String, f32>,
+        default: f32,
+        plans: Arc<PlanCache>,
+    ) -> Self {
         Self {
             cfg: OdqCfg::int4(default),
             policy: ThresholdPolicy::PerLayer { map, default },
             record: true,
             sparse: false,
             stats: OdqStats::default(),
-            plans: Arc::new(PlanCache::new()),
+            plans,
             stats_index: HashMap::new(),
         }
     }

@@ -7,7 +7,7 @@
 //!    only) and pick a relatively large initial threshold from the output
 //!    distribution;
 //! 3. retrain with the threshold in the loop (our
-//!    [`OdqEmuCfg`](odq_nn::layers::OdqEmuCfg) emulation);
+//!    [`OdqEmuCfg`] emulation);
 //! 4. if ODQ accuracy meets the expectation, stop; otherwise halve the
 //!    threshold and repeat.
 

@@ -3,7 +3,7 @@
 //! Every layer implements [`Layer`]:
 //!
 //! * `forward_eval` — inference without caches; convolution layers delegate
-//!   to a [`ConvExecutor`](crate::executor::ConvExecutor), which is how the
+//!   to a [`crate::executor::ConvExecutor`], which is how the
 //!   quantization engines hook in.
 //! * `forward_train` / `backward` — training passes with internal caches
 //!   and gradient accumulation into [`Param`]s.
@@ -54,11 +54,11 @@ pub trait Layer: Send + Sync {
     /// Visit every trainable parameter (for the optimizer / grad clearing).
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
 
-    /// Visit every [`Conv2d`](conv::Conv2d) in the subtree (used to install
+    /// Visit every [`conv::Conv2d`] in the subtree (used to install
     /// QAT / ODQ-emulation configs on a built model).
     fn visit_convs_mut(&mut self, _f: &mut dyn FnMut(&mut conv::Conv2d)) {}
 
-    /// Visit every [`BatchNorm2d`](bn::BatchNorm2d) in the subtree (used to
+    /// Visit every [`bn::BatchNorm2d`] in the subtree (used to
     /// snapshot/restore running statistics alongside parameters).
     fn visit_bns_mut(&mut self, _f: &mut dyn FnMut(&mut bn::BatchNorm2d)) {}
 

@@ -26,6 +26,7 @@ pub mod layers;
 pub mod loss;
 pub mod models;
 pub mod param;
+pub mod policy;
 pub mod serialize;
 pub mod train;
 pub mod util;
@@ -35,3 +36,4 @@ pub use executor::{ConvCtx, ConvExecutor, FloatConvExecutor};
 pub use layers::{Layer, Sequential};
 pub use models::Model;
 pub use param::Param;
+pub use policy::{auto_policy, AutoPolicyCfg, PrecisionPolicy, Route};

@@ -23,6 +23,7 @@ use odq_tensor::Tensor;
 
 use crate::layers::QatCfg;
 use crate::models::{Model, ModelCfg};
+use crate::policy::PrecisionPolicy;
 use crate::Arch;
 use crate::Layer as _;
 
@@ -58,7 +59,7 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
-fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+pub(crate) fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
@@ -70,7 +71,7 @@ fn write_f32s(w: &mut impl Write, vs: &[f32]) -> io::Result<()> {
     w.write_all(&buf)
 }
 
-fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+pub(crate) fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
@@ -301,7 +302,10 @@ pub fn load_tensors(path: impl AsRef<Path>) -> Result<Vec<(String, Tensor)>, Che
 }
 
 const MANIFEST_MAGIC: &[u8; 4] = b"ODQM";
-const MANIFEST_VERSION: u32 = 1;
+/// Current ODQM manifest version. Version 2 appends an optional
+/// [`PrecisionPolicy`] chunk after the metadata section; version-1
+/// manifests (no policy) still load.
+const MANIFEST_VERSION: u32 = 2;
 
 /// A whole-model checkpoint: enough to rebuild the model from nothing.
 ///
@@ -316,6 +320,9 @@ pub struct ModelManifest {
     /// Free-form metadata recorded at save time (training notes,
     /// threshold-search results, provenance), in saved order.
     pub meta: Vec<(String, String)>,
+    /// The per-layer precision policy published with the model, if any
+    /// (manifest version ≥ 2).
+    pub policy: Option<PrecisionPolicy>,
 }
 
 fn arch_tag(arch: Arch) -> u32 {
@@ -339,12 +346,12 @@ fn tag_arch(tag: u32) -> Result<Arch, CheckpointError> {
     })
 }
 
-fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+pub(crate) fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
     write_u32(w, s.len() as u32)?;
     w.write_all(s.as_bytes())
 }
 
-fn read_str(r: &mut impl Read, what: &str) -> Result<String, CheckpointError> {
+pub(crate) fn read_str(r: &mut impl Read, what: &str) -> Result<String, CheckpointError> {
     let len = read_u32(r)? as usize;
     if len > 1 << 20 {
         return Err(CheckpointError::Format(format!("{what} too long ({len})")));
@@ -367,16 +374,31 @@ fn read_str(r: &mut impl Read, what: &str) -> Result<String, CheckpointError> {
 /// act_clip: flag u32 LE, then f32 bit pattern u32 LE when 1
 /// qat:      flag u32 LE, then w_bits u32, a_bits u32, a_clip bits u32
 /// meta_count u32 LE, then (key, value) length-prefixed UTF-8 pairs
+/// policy:   flag u32 LE, then a versioned policy chunk when 1 (v2+)
 /// embedded ODQT set: params "p0", "p1", ... in visitor order, then
 ///     "bn0.mean", "bn0.var", ... in visitor order
 /// ```
 ///
 /// Weight bit patterns round-trip exactly (the ODQT container stores raw
 /// f32 little-endian bytes), so a manifest save/load is bit-reproducible:
-/// the reloaded model's forward pass is element-wise identical.
+/// the reloaded model's forward pass is element-wise identical. The policy
+/// chunk stores its f32 fields as raw bit patterns, so an embedded
+/// [`PrecisionPolicy`] round-trips bit-exactly too.
 pub fn save_manifest_to(
     model: &mut Model,
     meta: &[(String, String)],
+    w: &mut impl Write,
+) -> io::Result<()> {
+    save_manifest_with_policy_to(model, meta, None, w)
+}
+
+/// [`save_manifest_to`] with an optional embedded [`PrecisionPolicy`], so
+/// a per-layer precision assignment versions, publishes, and rolls back
+/// with the weights it was tuned for.
+pub fn save_manifest_with_policy_to(
+    model: &mut Model,
+    meta: &[(String, String)],
+    policy: Option<&PrecisionPolicy>,
     w: &mut impl Write,
 ) -> io::Result<()> {
     let cfg = model.cfg;
@@ -410,6 +432,13 @@ pub fn save_manifest_to(
         write_str(w, k)?;
         write_str(w, v)?;
     }
+    match policy {
+        Some(p) => {
+            write_u32(w, 1)?;
+            p.write_to(w)?;
+        }
+        None => write_u32(w, 0)?,
+    }
 
     // Gather the named state, then write it as one ODQT set.
     let mut names: Vec<String> = Vec::new();
@@ -439,8 +468,18 @@ pub fn save_manifest(
     meta: &[(String, String)],
     path: impl AsRef<Path>,
 ) -> io::Result<()> {
+    save_manifest_with_policy(model, meta, None, path)
+}
+
+/// Save a whole-model manifest with an embedded policy to a file.
+pub fn save_manifest_with_policy(
+    model: &mut Model,
+    meta: &[(String, String)],
+    policy: Option<&PrecisionPolicy>,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
     let mut f = io::BufWriter::new(std::fs::File::create(path)?);
-    save_manifest_to(model, meta, &mut f)?;
+    save_manifest_with_policy_to(model, meta, policy, &mut f)?;
     f.flush()
 }
 
@@ -454,7 +493,7 @@ pub fn load_manifest_from(r: &mut impl Read) -> Result<ModelManifest, Checkpoint
         return Err(CheckpointError::Format("bad magic (not an ODQM manifest)".into()));
     }
     let version = read_u32(r)?;
-    if version != MANIFEST_VERSION {
+    if version == 0 || version > MANIFEST_VERSION {
         return Err(CheckpointError::Format(format!("unsupported ODQM version {version}")));
     }
     let arch = tag_arch(read_u32(r)?)?;
@@ -491,6 +530,15 @@ pub fn load_manifest_from(r: &mut impl Read) -> Result<ModelManifest, Checkpoint
         let v = read_str(r, "meta value")?;
         meta.push((k, v));
     }
+    let policy = if version >= 2 {
+        match read_u32(r)? {
+            0 => None,
+            1 => Some(PrecisionPolicy::read_from(r)?),
+            other => return Err(CheckpointError::Format(format!("bad policy flag {other}"))),
+        }
+    } else {
+        None
+    };
 
     let cfg = ModelCfg {
         arch,
@@ -548,7 +596,7 @@ pub fn load_manifest_from(r: &mut impl Read) -> Result<ModelManifest, Checkpoint
     if let Some((name, _)) = cursor.next() {
         return Err(CheckpointError::Mismatch(format!("unexpected trailing entry {name}")));
     }
-    Ok(ModelManifest { model, meta })
+    Ok(ModelManifest { model, meta, policy })
 }
 
 /// Load a whole-model manifest from a file.
@@ -699,6 +747,94 @@ mod tests {
         assert_eq!(loaded.model.cfg.qat, Some(crate::layers::QatCfg::int4()));
         assert_eq!(loaded.model.cfg.act_clip, None);
         assert_eq!(loaded.model.cfg.seed, cfg.seed);
+    }
+
+    #[test]
+    fn manifest_embedded_policy_roundtrips_bit_exactly() {
+        use crate::policy::{PrecisionPolicy, Route};
+        let mut m = model();
+        let policy = PrecisionPolicy::uniform(Route::Static { w_bits: 8, a_bits: 8, a_clip: 1.0 })
+            .with("C1", Route::Odq { threshold: 0.3, sparse: false })
+            .with(
+                "C2",
+                Route::Drq { hi_bits: 8, lo_bits: 4, a_clip: 1.0, region: 2, input_threshold: 0.1 },
+            )
+            .with("C3", Route::Float);
+        let mut buf = Vec::new();
+        save_manifest_with_policy_to(&mut m, &[], Some(&policy), &mut buf).unwrap();
+        let loaded = load_manifest_from(&mut io::Cursor::new(&buf)).unwrap();
+        assert_eq!(loaded.policy.as_ref(), Some(&policy));
+        // Saving the reloaded manifest reproduces identical bytes: the
+        // policy chunk (and everything else) is canonical.
+        let mut again = loaded.model;
+        let mut buf2 = Vec::new();
+        save_manifest_with_policy_to(&mut again, &[], loaded.policy.as_ref(), &mut buf2).unwrap();
+        assert_eq!(buf, buf2, "manifest with embedded policy must round-trip bit-exactly");
+    }
+
+    #[test]
+    fn manifest_without_policy_loads_as_none() {
+        let mut m = model();
+        let mut buf = Vec::new();
+        save_manifest_to(&mut m, &[], &mut buf).unwrap();
+        let loaded = load_manifest_from(&mut io::Cursor::new(&buf)).unwrap();
+        assert!(loaded.policy.is_none());
+    }
+
+    #[test]
+    fn version1_manifest_still_loads() {
+        // Hand-write a version-1 manifest (no policy section) and check the
+        // loader accepts it — committed v1 fixtures must keep loading.
+        let mut m = model();
+        let cfg = m.cfg;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MANIFEST_MAGIC);
+        write_u32(&mut buf, 1).unwrap();
+        write_u32(&mut buf, arch_tag(cfg.arch)).unwrap();
+        write_u32(&mut buf, cfg.input_hw as u32).unwrap();
+        write_u32(&mut buf, cfg.in_channels as u32).unwrap();
+        write_u32(&mut buf, cfg.num_classes as u32).unwrap();
+        write_u32(&mut buf, cfg.width_div as u32).unwrap();
+        write_u32(&mut buf, cfg.depth_div as u32).unwrap();
+        buf.extend_from_slice(&cfg.seed.to_le_bytes());
+        match cfg.act_clip {
+            Some(c) => {
+                write_u32(&mut buf, 1).unwrap();
+                write_u32(&mut buf, c.to_bits()).unwrap();
+            }
+            None => write_u32(&mut buf, 0).unwrap(),
+        }
+        assert!(cfg.qat.is_none(), "test model is not QAT-configured");
+        write_u32(&mut buf, 0).unwrap(); // qat flag
+        write_u32(&mut buf, 0).unwrap(); // meta count
+                                         // No policy flag in v1: the ODQT set follows immediately.
+        let mut names: Vec<String> = Vec::new();
+        let mut tensors: Vec<Tensor> = Vec::new();
+        let mut i = 0usize;
+        m.visit_params(&mut |p| {
+            names.push(format!("p{i}"));
+            tensors.push(p.value.clone());
+            i += 1;
+        });
+        let mut j = 0usize;
+        m.net.visit_bns_mut(&mut |bn| {
+            names.push(format!("bn{j}.mean"));
+            tensors.push(Tensor::from_vec(vec![bn.running_mean.len()], bn.running_mean.clone()));
+            names.push(format!("bn{j}.var"));
+            tensors.push(Tensor::from_vec(vec![bn.running_var.len()], bn.running_var.clone()));
+            j += 1;
+        });
+        let entries: Vec<(&str, &Tensor)> =
+            names.iter().map(String::as_str).zip(tensors.iter()).collect();
+        save_tensors_to(&mut buf, &entries).unwrap();
+
+        let loaded = load_manifest_from(&mut io::Cursor::new(&buf)).unwrap();
+        assert!(loaded.policy.is_none());
+        let x = input();
+        let b = loaded.model;
+        let ya = m.forward_eval(&x, &mut FloatConvExecutor);
+        let yb = b.forward_eval(&x, &mut FloatConvExecutor);
+        assert_eq!(ya.as_slice(), yb.as_slice());
     }
 
     #[test]

@@ -46,6 +46,16 @@ pub fn weight_symmetric_sqnr_db(w: &Tensor, bits: u8) -> f32 {
     sqnr_db(w, &quantize_weights_symmetric(w, bits).dequantize())
 }
 
+/// The smallest bit width in `min_bits..=max_bits` whose offset-binary
+/// weight SQNR reaches `floor_db`, or `None` if even `max_bits` falls
+/// short. This is the greedy "cheapest bits subject to a quality floor"
+/// primitive the auto-policy builder assigns static widths with; SQNR is
+/// monotone in bits (pinned by `sqnr_monotone_in_bits`), so the first
+/// width that clears the floor is the cheapest.
+pub fn weight_bits_for_sqnr(w: &Tensor, floor_db: f32, min_bits: u8, max_bits: u8) -> Option<u8> {
+    (min_bits..=max_bits).find(|&bits| weight_sqnr_db(w, bits) >= floor_db)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +199,18 @@ mod tests {
             assert!(s > last, "bits {bits}: {s} should exceed {last}");
             last = s;
         }
+    }
+
+    #[test]
+    fn bits_for_sqnr_picks_cheapest_width_that_clears_floor() {
+        let w = gaussianish(1024);
+        let bits = weight_bits_for_sqnr(&w, 20.0, 2, 8).expect("8 bits should clear 20 dB");
+        assert!(weight_sqnr_db(&w, bits) >= 20.0);
+        if bits > 2 {
+            assert!(weight_sqnr_db(&w, bits - 1) < 20.0, "bits-1 would also have cleared");
+        }
+        // Unreachable floor → None; trivial floor → min width.
+        assert_eq!(weight_bits_for_sqnr(&w, 1e6, 2, 8), None);
+        assert_eq!(weight_bits_for_sqnr(&w, f32::NEG_INFINITY, 3, 8), Some(3));
     }
 }

@@ -6,6 +6,7 @@ use std::io::Read;
 use std::sync::{Arc, Mutex};
 
 use odq_nn::models::Model;
+use odq_nn::policy::PrecisionPolicy;
 use odq_nn::serialize::{load_manifest_from, CheckpointError};
 use odq_quant::plan::weight_fingerprint;
 use odq_tensor::Tensor;
@@ -71,6 +72,9 @@ pub enum RegistryError {
     NothingToRollBack(String),
     /// A manifest failed to load.
     Checkpoint(String),
+    /// The precision policy published with the candidate is invalid (a
+    /// route is malformed, or it names a conv layer the model lacks).
+    InvalidPolicy(String),
 }
 
 impl fmt::Display for RegistryError {
@@ -86,6 +90,7 @@ impl fmt::Display for RegistryError {
                 write!(f, "model {n:?} has no earlier published version to roll back to")
             }
             RegistryError::Checkpoint(why) => write!(f, "manifest rejected: {why}"),
+            RegistryError::InvalidPolicy(why) => write!(f, "precision policy rejected: {why}"),
         }
     }
 }
@@ -104,6 +109,9 @@ struct VersionRecord {
     fingerprint: u64,
     state: VersionState,
     meta: Vec<(String, String)>,
+    /// The per-layer precision policy published with this version, if
+    /// any. Kept through retirement (audit, like the fingerprint).
+    policy: Option<Arc<PrecisionPolicy>>,
 }
 
 #[derive(Default)]
@@ -160,9 +168,28 @@ impl ModelRegistry {
     pub fn publish(
         &self,
         name: &str,
-        mut model: Model,
+        model: Model,
         meta: Vec<(String, String)>,
     ) -> Result<u64, RegistryError> {
+        self.publish_with_policy(name, model, meta, None)
+    }
+
+    /// Publish `model` together with a per-layer [`PrecisionPolicy`]. The
+    /// policy is validated against the candidate first — every route must
+    /// be well-formed and every named layer must be a real conv layer of
+    /// this model — so a version can never carry a policy it cannot
+    /// execute. The validated policy rides on the version record and
+    /// deploys with it (see `odq-serve`'s `Deployment`).
+    pub fn publish_with_policy(
+        &self,
+        name: &str,
+        mut model: Model,
+        meta: Vec<(String, String)>,
+        policy: Option<PrecisionPolicy>,
+    ) -> Result<u64, RegistryError> {
+        if let Some(p) = &policy {
+            p.validate(&mut model).map_err(RegistryError::InvalidPolicy)?;
+        }
         if let Some(gate) = &self.gate {
             gate.check(name, &mut model).map_err(|why| RegistryError::GateRejected {
                 gate: gate.label().to_string(),
@@ -171,6 +198,7 @@ impl ModelRegistry {
         }
         let fingerprint = model_fingerprint(&mut model);
         let model = Arc::new(model);
+        let policy = policy.map(Arc::new);
 
         let mut inner = self.inner.lock().expect("registry lock");
         let entry = inner.entry(name.to_string()).or_default();
@@ -178,7 +206,13 @@ impl ModelRegistry {
         let version = entry.next_version;
         entry.versions.insert(
             version,
-            VersionRecord { model: Some(model), fingerprint, state: VersionState::Published, meta },
+            VersionRecord {
+                model: Some(model),
+                fingerprint,
+                state: VersionState::Published,
+                meta,
+                policy,
+            },
         );
         if self.retention > 0 {
             let published: Vec<u64> = entry
@@ -197,10 +231,11 @@ impl ModelRegistry {
     }
 
     /// Load an "ODQM" manifest from `r` and publish it under `name`,
-    /// carrying the manifest's metadata into the version record.
+    /// carrying the manifest's metadata — and, for version-2 manifests,
+    /// its embedded precision policy — into the version record.
     pub fn publish_manifest(&self, name: &str, r: &mut impl Read) -> Result<u64, RegistryError> {
         let manifest = load_manifest_from(r)?;
-        self.publish(name, manifest.model, manifest.meta)
+        self.publish_with_policy(name, manifest.model, manifest.meta, manifest.policy)
     }
 
     /// The weights of a published version.
@@ -281,6 +316,22 @@ impl ModelRegistry {
         rec.state = VersionState::Retired;
         rec.model = None;
         Ok(())
+    }
+
+    /// The precision policy a version was published with, if any
+    /// (available for retired versions too, like the fingerprint).
+    pub fn policy(
+        &self,
+        name: &str,
+        version: u64,
+    ) -> Result<Option<Arc<PrecisionPolicy>>, RegistryError> {
+        let inner = self.inner.lock().expect("registry lock");
+        let entry = inner.get(name).ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+        entry
+            .versions
+            .get(&version)
+            .map(|r| r.policy.clone())
+            .ok_or_else(|| RegistryError::UnknownVersion(name.to_string(), version))
     }
 
     /// The fingerprint a version was pinned with at publish time
@@ -423,6 +474,40 @@ mod tests {
         // And garbage does not publish.
         assert!(reg.publish_manifest("m", &mut std::io::Cursor::new(b"JUNK".to_vec())).is_err());
         assert_eq!(reg.latest("m"), Some(1));
+    }
+
+    #[test]
+    fn publish_with_policy_validates_and_stores() {
+        use odq_nn::policy::{PrecisionPolicy, Route};
+        let reg = ModelRegistry::new();
+        let good = PrecisionPolicy::uniform(Route::Float)
+            .with("C1", Route::Odq { threshold: 0.3, sparse: false });
+        let v = reg.publish_with_policy("m", model(0.0), vec![], Some(good.clone())).unwrap();
+        assert_eq!(reg.policy("m", v).unwrap().as_deref(), Some(&good));
+        // Plain publishes carry no policy.
+        let v2 = reg.publish("m", model(0.01), vec![]).unwrap();
+        assert!(reg.policy("m", v2).unwrap().is_none());
+
+        // A policy naming a ghost layer never becomes a version.
+        let ghost = PrecisionPolicy::uniform(Route::Float).with("C99", Route::Float);
+        let err = reg.publish_with_policy("m", model(0.0), vec![], Some(ghost)).unwrap_err();
+        assert!(matches!(err, RegistryError::InvalidPolicy(_)), "{err}");
+        assert_eq!(reg.latest("m"), Some(2), "rejected publish leaves the registry untouched");
+        assert!(matches!(reg.policy("ghost", 1), Err(RegistryError::UnknownModel(_))));
+    }
+
+    #[test]
+    fn publish_manifest_carries_embedded_policy() {
+        use odq_nn::policy::{PrecisionPolicy, Route};
+        use odq_nn::serialize::save_manifest_with_policy_to;
+        let mut m = model(0.1);
+        let policy = PrecisionPolicy::uniform(Route::Static { w_bits: 8, a_bits: 8, a_clip: 1.0 })
+            .with("C2", Route::Odq { threshold: 0.25, sparse: true });
+        let mut buf = Vec::new();
+        save_manifest_with_policy_to(&mut m, &[], Some(&policy), &mut buf).unwrap();
+        let reg = ModelRegistry::new();
+        let v = reg.publish_manifest("m", &mut std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(reg.policy("m", v).unwrap().as_deref(), Some(&policy));
     }
 
     #[test]

@@ -171,6 +171,7 @@ mod tests {
             model: Arc::new(Model::build(ModelCfg::small(odq_nn::Arch::LeNet5, 2))),
             plans: Arc::default(),
             fingerprint: 0,
+            policy: None,
         });
         // The receiver is dropped: these tests never send a response.
         let (tx, _rx) = bounded(1);

@@ -9,7 +9,7 @@
 //! admissions finish on the old snapshot, new admissions route to the new
 //! one, and a batch (whose key includes the version) never mixes the two.
 //!
-//! [`ModelRoute`] holds the mutable routing decision per model name:
+//! `ModelRoute` holds the mutable routing decision per model name:
 //! the current deployment, the previous one (kept warm for instant
 //! rollback, plan caches intact), and an optional canary — a candidate
 //! deployment receiving a configurable fraction of traffic, chosen by a
@@ -20,6 +20,7 @@
 use std::sync::{Arc, Mutex};
 
 use odq_nn::models::Model;
+use odq_nn::policy::PrecisionPolicy;
 use odq_quant::plan::PlanCache;
 use odq_registry::{ModelRegistry, RegistryError};
 
@@ -36,6 +37,11 @@ pub struct Deployment {
     pub plans: Arc<PlanCache>,
     /// The registry's full-content weight fingerprint for this version.
     pub fingerprint: u64,
+    /// The precision policy published with this version, if any. A
+    /// `Policy`-kind engine executes under this — so a hot swap to a
+    /// version published with a different policy swaps weights and
+    /// per-layer precision atomically.
+    pub policy: Option<Arc<PrecisionPolicy>>,
 }
 
 impl Deployment {
@@ -49,12 +55,14 @@ impl Deployment {
     ) -> Result<Arc<Self>, DeployError> {
         let model = registry.get(name, version)?;
         let fingerprint = registry.fingerprint(name, version)?;
+        let policy = registry.policy(name, version)?;
         Ok(Arc::new(Self {
             name: name.to_string(),
             version,
             model,
             plans: Arc::new(PlanCache::new()),
             fingerprint,
+            policy,
         }))
     }
 }

@@ -1,25 +1,32 @@
-//! Engine selection and the per-pass profiling wrapper.
+//! Engine selection, per-layer policy routing, and the per-pass profiler.
 //!
 //! Everything behind `odq_nn`'s [`ConvExecutor`] seam can serve: the float
-//! reference, static DoReFa INT-k, DRQ (input-directed), and ODQ
-//! (output-directed). Workers own one engine instance per model, and every
-//! engine serving the same model shares one per-model
-//! [`PlanCache`](odq_quant::plan::PlanCache): layer weights are quantized,
+//! reference, static DoReFa INT-k, DRQ (input-directed), ODQ
+//! (output-directed) — and, through [`PolicyExecutor`], any per-layer
+//! mixture of them described by an `odq_nn` [`PrecisionPolicy`]. Workers
+//! own one engine instance per model, and every engine serving the same
+//! model shares one per-model
+//! [`PlanCache`]: layer weights are quantized,
 //! bit-split and summarized exactly once across the whole worker fleet,
 //! and every planned conv driver lowers through the cache's shared
-//! workspace pool.
+//! workspace pool. A policy's sub-engines share that same cache — each
+//! layer runs under exactly one route, so the cache still holds one plan
+//! per layer and routing adds no thrash.
 
+use std::borrow::Cow;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use odq_accel::AccelConfig;
+use odq_accel::{AccelConfig, LayerWorkload};
 use odq_core::engine::OdqEngine;
 use odq_drq::{DrqCfg, DrqEngine};
 use odq_nn::executor::{ConvCtx, ConvExecutor, FloatConvExecutor, StaticQuantExecutor};
+use odq_nn::policy::{PrecisionPolicy, Route};
 use odq_quant::plan::PlanCache;
 use odq_tensor::{ConvGeom, Tensor};
 
 /// Which quantization engine the worker pool runs.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum EngineKind {
     /// Float reference executor (honors QAT fake-quantization).
     Float,
@@ -38,16 +45,24 @@ pub enum EngineKind {
         /// Output sensitivity threshold.
         threshold: f32,
     },
+    /// Per-layer mixed precision: each conv layer executes under the route
+    /// its [`PrecisionPolicy`] assigns. This kind's policy is the
+    /// *fallback*; a deployment whose registry version was published with
+    /// its own policy executes under that published policy instead, so
+    /// hot-swapping versions swaps policies atomically with the weights.
+    Policy(Arc<PrecisionPolicy>),
 }
 
 impl EngineKind {
-    /// Short label for ledgers and reports.
-    pub fn label(&self) -> String {
+    /// Short label for ledgers and reports. Borrowed for the fixed kinds,
+    /// so recording a batch does not allocate.
+    pub fn label(&self) -> Cow<'static, str> {
         match self {
-            EngineKind::Float => "float".into(),
-            EngineKind::Static { bits } => format!("int{bits}"),
-            EngineKind::Drq { .. } => "drq".into(),
-            EngineKind::Odq { .. } => "odq".into(),
+            EngineKind::Float => Cow::Borrowed("float"),
+            EngineKind::Static { bits } => Cow::Owned(format!("int{bits}")),
+            EngineKind::Drq { .. } => Cow::Borrowed("drq"),
+            EngineKind::Odq { .. } => Cow::Borrowed("odq"),
+            EngineKind::Policy(_) => Cow::Borrowed("policy"),
         }
     }
 
@@ -55,7 +70,9 @@ impl EngineKind {
     /// simulation: static INT16/INT8 run on the fixed-precision arrays,
     /// DRQ and ODQ on their reconfigurable designs. The float engine has
     /// no accelerator of its own in the paper; it is costed as INT16 (the
-    /// highest-precision design).
+    /// highest-precision design). A policy has no single configuration —
+    /// each route is costed on its own accelerator (see
+    /// `route_accel_config`) — so this returns the *default* route's.
     pub fn accel_config(&self) -> AccelConfig {
         match self {
             EngineKind::Float => AccelConfig::int16(),
@@ -63,26 +80,218 @@ impl EngineKind {
             EngineKind::Static { .. } => AccelConfig::int16(),
             EngineKind::Drq { .. } => AccelConfig::drq(),
             EngineKind::Odq { .. } => AccelConfig::odq(),
+            EngineKind::Policy(p) => route_accel_config(p.default_route()),
         }
     }
 
     /// Instantiate a fresh engine of this kind over a (typically
-    /// per-model, fleet-shared) plan cache.
-    pub(crate) fn build(&self, plans: Arc<PlanCache>) -> EngineExec {
-        match *self {
+    /// per-model, fleet-shared) plan cache, honoring `published`: when
+    /// this kind is [`EngineKind::Policy`] and the deployment carries a
+    /// policy published with its registry version, the published policy
+    /// wins over the kind's fallback.
+    pub(crate) fn build_for(
+        &self,
+        published: Option<&Arc<PrecisionPolicy>>,
+        plans: Arc<PlanCache>,
+    ) -> EngineExec {
+        match self {
+            EngineKind::Policy(fallback) => {
+                let policy = published.unwrap_or(fallback);
+                EngineExec::Policy(PolicyExecutor::new(Arc::clone(policy), plans))
+            }
             EngineKind::Float => EngineExec::Float(FloatConvExecutor),
             EngineKind::Static { bits } => {
-                EngineExec::Static(StaticQuantExecutor::with_plan_cache(bits, bits, 1.0, plans))
+                EngineExec::Static(StaticQuantExecutor::with_plan_cache(*bits, *bits, 1.0, plans))
             }
             EngineKind::Drq { input_threshold } => EngineExec::Drq(DrqEngine::with_plan_cache(
-                DrqCfg::int8_int4(input_threshold),
+                DrqCfg::int8_int4(*input_threshold),
                 plans,
             )),
             EngineKind::Odq { threshold } => {
-                EngineExec::Odq(OdqEngine::with_plan_cache(threshold, plans))
+                EngineExec::Odq(OdqEngine::with_plan_cache(*threshold, plans))
             }
         }
     }
+
+    /// [`build_for`](Self::build_for) with no published policy.
+    #[cfg(test)]
+    pub(crate) fn build(&self, plans: Arc<PlanCache>) -> EngineExec {
+        self.build_for(None, plans)
+    }
+}
+
+/// The Table 2 accelerator configuration one policy route is costed on,
+/// mirroring [`EngineKind::accel_config`] route-by-route.
+pub(crate) fn route_accel_config(route: Route) -> AccelConfig {
+    match route {
+        Route::Float => AccelConfig::int16(),
+        Route::Static { w_bits, .. } if w_bits <= 8 => AccelConfig::int8(),
+        Route::Static { .. } => AccelConfig::int16(),
+        Route::Drq { .. } => AccelConfig::drq(),
+        Route::Odq { .. } => AccelConfig::odq(),
+    }
+}
+
+/// Build the engine executing one policy route over a shared plan cache.
+fn build_route(route: Route, plans: Arc<PlanCache>) -> EngineExec {
+    match route {
+        Route::Float => EngineExec::Float(FloatConvExecutor),
+        Route::Static { w_bits, a_bits, a_clip } => {
+            EngineExec::Static(StaticQuantExecutor::with_plan_cache(w_bits, a_bits, a_clip, plans))
+        }
+        Route::Drq { hi_bits, lo_bits, a_clip, region, input_threshold } => {
+            EngineExec::Drq(DrqEngine::with_plan_cache(
+                DrqCfg { hi_bits, lo_bits, a_clip, region: region as usize, input_threshold },
+                plans,
+            ))
+        }
+        Route::Odq { threshold, sparse } => {
+            let mut e = OdqEngine::with_plan_cache(threshold, plans);
+            e.sparse = sparse;
+            EngineExec::Odq(e)
+        }
+    }
+}
+
+/// A [`ConvExecutor`] that routes each conv layer to the engine its
+/// [`PrecisionPolicy`] assigns.
+///
+/// Sub-engines are built lazily, one per *distinct route* (two layers
+/// routed identically share an engine instance), and all of them share
+/// the model's single plan cache and workspace pool — each layer runs
+/// under exactly one route, so the cache keeps exactly one plan per layer
+/// no matter how many routes the policy mixes. Dispatch is memoized by
+/// layer name after the first pass.
+pub struct PolicyExecutor {
+    policy: Arc<PrecisionPolicy>,
+    plans: Arc<PlanCache>,
+    /// One lazily-built engine per distinct route encountered so far.
+    engines: Vec<(Route, EngineExec)>,
+    /// Layer name → index into `engines`.
+    dispatch: HashMap<String, usize>,
+}
+
+impl PolicyExecutor {
+    /// A routed executor over `policy`, all sub-engines sharing `plans`.
+    pub fn new(policy: Arc<PrecisionPolicy>, plans: Arc<PlanCache>) -> Self {
+        Self { policy, plans, engines: Vec::new(), dispatch: HashMap::new() }
+    }
+
+    /// The policy this executor routes by.
+    pub fn policy(&self) -> &Arc<PrecisionPolicy> {
+        &self.policy
+    }
+
+    /// Sub-engines built so far (one per distinct route encountered).
+    pub fn engine_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    fn engine_index_for(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.dispatch.get(name) {
+            return i;
+        }
+        let route = self.policy.route_for(name);
+        let i = match self.engines.iter().position(|(r, _)| *r == route) {
+            Some(i) => i,
+            None => {
+                self.engines.push((route, build_route(route, Arc::clone(&self.plans))));
+                self.engines.len() - 1
+            }
+        };
+        self.dispatch.insert(name.to_string(), i);
+        i
+    }
+
+    /// Clear per-batch statistics on every sub-engine.
+    pub(crate) fn reset_stats(&mut self) {
+        for (_, e) in &mut self.engines {
+            e.reset_batch_stats();
+        }
+    }
+
+    /// Fold each sub-engine's per-pass measurements into one profile
+    /// group per route: ODQ routes report their real per-channel
+    /// sensitive counts (and contribute to the overall sensitive
+    /// fraction), DRQ routes their high-precision MAC fractions, and
+    /// float/static routes uniform full-precision workloads over the
+    /// layers dispatched to them.
+    pub(crate) fn route_profiles(
+        &mut self,
+        layer_geoms: &[(String, ConvGeom)],
+    ) -> (Option<f64>, Vec<RouteProfile>) {
+        let mut sens_num = 0u64;
+        let mut sens_den = 0u64;
+        let mut profiles = Vec::new();
+        let dispatch = &self.dispatch;
+        for (i, (route, exec)) in self.engines.iter_mut().enumerate() {
+            let mine = || layer_geoms.iter().filter(|(n, _)| dispatch.get(n) == Some(&i));
+            let workloads: Vec<LayerWorkload> = match exec {
+                EngineExec::Odq(e) => {
+                    let stats = e.stats.take();
+                    for l in &stats.layers {
+                        sens_num += l.sensitive_outputs;
+                        sens_den += l.total_outputs;
+                    }
+                    stats
+                        .layers
+                        .iter()
+                        .map(|l| {
+                            LayerWorkload::from_channel_counts(&l.name, l.geom, &l.channel_counts)
+                        })
+                        .collect()
+                }
+                EngineExec::Drq(e) => mine()
+                    .map(|(name, geom)| {
+                        let frac = e
+                            .stats
+                            .iter()
+                            .find(|l| &l.name == name)
+                            .map_or(1.0, |l| l.hi_mac_fraction());
+                        LayerWorkload::uniform(name.clone(), *geom, frac)
+                    })
+                    .collect(),
+                EngineExec::Float(_) | EngineExec::Static(_) => mine()
+                    .map(|(name, geom)| LayerWorkload::uniform(name.clone(), *geom, 1.0))
+                    .collect(),
+                EngineExec::Policy(_) => unreachable!("policy sub-engines are never policies"),
+            };
+            if workloads.is_empty() {
+                continue;
+            }
+            profiles.push(RouteProfile {
+                label: route.label().into_owned(),
+                accel: route_accel_config(*route),
+                workloads,
+            });
+        }
+        let frac = if sens_den > 0 { Some(sens_num as f64 / sens_den as f64) } else { None };
+        (frac, profiles)
+    }
+}
+
+impl ConvExecutor for PolicyExecutor {
+    fn begin_pass(&mut self) {
+        for (_, e) in &mut self.engines {
+            e.begin_pass();
+        }
+    }
+
+    fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
+        let i = self.engine_index_for(ctx.name);
+        self.engines[i].1.conv(ctx, x)
+    }
+}
+
+/// One route's share of a batch: the layers it executed, as simulator
+/// workloads, and the accelerator configuration that costs them.
+pub(crate) struct RouteProfile {
+    /// Route label (`"odq"`, `"int4"`, ...), the per-route stats key.
+    pub label: String,
+    /// Accelerator configuration this route is costed on.
+    pub accel: AccelConfig,
+    /// Measured per-layer workloads.
+    pub workloads: Vec<LayerWorkload>,
 }
 
 /// A worker-owned engine instance.
@@ -91,6 +300,19 @@ pub(crate) enum EngineExec {
     Static(StaticQuantExecutor),
     Drq(DrqEngine),
     Odq(OdqEngine),
+    Policy(PolicyExecutor),
+}
+
+impl EngineExec {
+    /// Clear any per-batch profile left from the previous batch.
+    pub(crate) fn reset_batch_stats(&mut self) {
+        match self {
+            EngineExec::Odq(e) => e.reset_stats(),
+            EngineExec::Drq(e) => e.stats.clear(),
+            EngineExec::Policy(p) => p.reset_stats(),
+            EngineExec::Float(_) | EngineExec::Static(_) => {}
+        }
+    }
 }
 
 impl ConvExecutor for EngineExec {
@@ -100,6 +322,7 @@ impl ConvExecutor for EngineExec {
             EngineExec::Static(e) => e.begin_pass(),
             EngineExec::Drq(e) => e.begin_pass(),
             EngineExec::Odq(e) => e.begin_pass(),
+            EngineExec::Policy(e) => e.begin_pass(),
         }
     }
 
@@ -109,6 +332,7 @@ impl ConvExecutor for EngineExec {
             EngineExec::Static(e) => e.conv(ctx, x),
             EngineExec::Drq(e) => e.conv(ctx, x),
             EngineExec::Odq(e) => e.conv(ctx, x),
+            EngineExec::Policy(e) => e.conv(ctx, x),
         }
     }
 }
@@ -120,22 +344,27 @@ pub(crate) struct Profiled<'a> {
     inner: &'a mut EngineExec,
     /// Conv layers seen this pass, in first-encounter order.
     pub layers: Vec<(String, ConvGeom)>,
+    /// O(1) duplicate check for `layers` (a deep model would otherwise
+    /// pay a linear scan on every conv call).
+    seen: HashSet<String>,
 }
 
 impl<'a> Profiled<'a> {
     pub fn new(inner: &'a mut EngineExec) -> Self {
-        Self { inner, layers: Vec::new() }
+        Self { inner, layers: Vec::new(), seen: HashSet::new() }
     }
 }
 
 impl ConvExecutor for Profiled<'_> {
     fn begin_pass(&mut self) {
         self.layers.clear();
+        self.seen.clear();
         self.inner.begin_pass();
     }
 
     fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
-        if !self.layers.iter().any(|(n, _)| n == ctx.name) {
+        if !self.seen.contains(ctx.name) {
+            self.seen.insert(ctx.name.to_string());
             self.layers.push((ctx.name.to_string(), ctx.geom));
         }
         self.inner.conv(ctx, x)
@@ -154,6 +383,15 @@ mod tests {
         assert_eq!(EngineKind::Static { bits: 16 }.accel_config().name, "INT16");
         assert_eq!(EngineKind::Odq { threshold: 0.3 }.label(), "odq");
         assert_eq!(EngineKind::Drq { input_threshold: 0.1 }.label(), "drq");
+        let policy =
+            Arc::new(PrecisionPolicy::uniform(Route::Odq { threshold: 0.3, sparse: false }));
+        assert_eq!(EngineKind::Policy(Arc::clone(&policy)).label(), "policy");
+        assert_eq!(EngineKind::Policy(policy).accel_config().name, "ODQ");
+        assert_eq!(
+            route_accel_config(Route::Static { w_bits: 4, a_bits: 4, a_clip: 1.0 }).name,
+            "INT8"
+        );
+        assert_eq!(route_accel_config(Route::Float).name, "INT16");
     }
 
     #[test]
@@ -169,5 +407,40 @@ mod tests {
         let _ = prof.conv(&ctx, &x);
         assert_eq!(prof.layers.len(), 1);
         assert_eq!(prof.layers[0].0, "C1");
+    }
+
+    #[test]
+    fn policy_executor_shares_engines_across_identically_routed_layers() {
+        let policy = PrecisionPolicy::uniform(Route::Float)
+            .with("C1", Route::Odq { threshold: 0.3, sparse: false })
+            .with("C2", Route::Odq { threshold: 0.3, sparse: false })
+            .with("C3", Route::Static { w_bits: 8, a_bits: 8, a_clip: 1.0 });
+        let mut exec = PolicyExecutor::new(Arc::new(policy), Arc::new(PlanCache::new()));
+        let g = ConvGeom::new(2, 2, 4, 4, 3, 1, 1);
+        let x = Tensor::from_vec(g.input_shape(1), vec![0.5; 2 * 16]);
+        let w = Tensor::from_vec(g.weight_shape(), vec![0.1; 2 * 2 * 9]);
+        exec.begin_pass();
+        for name in ["C1", "C2", "C3", "C9"] {
+            let ctx = ConvCtx { name, geom: g, weights: &w, bias: None, qat: None };
+            let _ = exec.conv(&ctx, &x);
+        }
+        // C1 and C2 share one ODQ engine; C3 gets static; C9 the default.
+        assert_eq!(exec.engine_count(), 3);
+    }
+
+    #[test]
+    fn deployment_policy_overrides_the_kinds_fallback() {
+        let fallback = Arc::new(PrecisionPolicy::uniform(Route::Float));
+        let published =
+            Arc::new(PrecisionPolicy::uniform(Route::Odq { threshold: 0.5, sparse: false }));
+        let kind = EngineKind::Policy(Arc::clone(&fallback));
+        match kind.build_for(Some(&published), Arc::new(PlanCache::new())) {
+            EngineExec::Policy(p) => assert_eq!(p.policy().as_ref(), published.as_ref()),
+            _ => panic!("policy kind must build a policy executor"),
+        }
+        match kind.build(Arc::new(PlanCache::new())) {
+            EngineExec::Policy(p) => assert_eq!(p.policy().as_ref(), fallback.as_ref()),
+            _ => panic!("policy kind must build a policy executor"),
+        }
     }
 }

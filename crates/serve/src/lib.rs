@@ -26,16 +26,22 @@
 //! optional deadline. The batcher coalesces *compatible* requests (same
 //! model, same input shape) into one `[N, C, H, W]` tensor; a worker runs
 //! one forward pass through its engine ([`EngineKind`] selects float,
-//! static INT-k, DRQ, or ODQ — anything behind `odq_nn`'s `ConvExecutor`
-//! seam) and scatters the `[N, classes]` output back to the per-request
-//! response channels. Batching is exact: per-sample im2col/GEMM and
-//! batch-independent quantization scales make the batched outputs
-//! element-wise identical to solo runs (asserted by this crate's tests).
+//! static INT-k, DRQ, ODQ, or a per-layer mixed-precision
+//! [`odq_nn::policy::PrecisionPolicy`] routed by [`PolicyExecutor`] —
+//! anything behind `odq_nn`'s `ConvExecutor` seam) and scatters the
+//! `[N, classes]` output back to the per-request response channels.
+//! Batching is exact: per-sample im2col/GEMM and batch-independent
+//! quantization scales make the batched outputs element-wise identical to
+//! solo runs (asserted by this crate's tests).
 //!
 //! Per batch, the worker also feeds the measured sensitivity profile (for
 //! ODQ, the engine's per-channel counts; for others, uniform workloads)
 //! through `odq_accel`'s cycle-level simulator, so the ledger reports what
-//! each served batch *would* cost on the paper's accelerator.
+//! each served batch *would* cost on the paper's accelerator. Under a
+//! precision policy, each route is costed on its own accelerator
+//! configuration and the ledger splits cycles and energy per route
+//! ([`RouteStats`] / the `simulated_accel.routes` section of
+//! [`Server::stats_json`]).
 //!
 //! [`Server::shutdown`] is graceful: admission closes first, then the
 //! batcher drains and flushes every admitted request, then workers finish
@@ -77,10 +83,11 @@ mod worker;
 
 pub use config::ServeConfig;
 pub use deploy::{DeployError, Deployment, TrafficSplit};
-pub use engine::EngineKind;
+pub use engine::{EngineKind, PolicyExecutor};
 pub use loadgen::{run_closed_loop, run_open_loop, LoadReport, LoadSpec};
 pub use request::{InferRequest, InferResponse, RequestTiming, ResponseHandle, ServeError};
 pub use server::{Server, ServerBuilder};
 pub use stats::{
-    BatchRecord, BatchSim, LatencyStats, LogHistogram, ModelVersionStats, StatsSummary,
+    BatchRecord, BatchSim, LatencyStats, LogHistogram, ModelVersionStats, RouteSim, RouteStats,
+    StatsSummary,
 };

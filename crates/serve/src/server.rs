@@ -116,7 +116,7 @@ impl ServerBuilder {
             .map(|i| {
                 let rx = batch_rx.clone();
                 let ledger = Arc::clone(&ledger);
-                let kind = self.engine;
+                let kind = self.engine.clone();
                 std::thread::Builder::new()
                     .name(format!("odq-serve-worker-{i}"))
                     .spawn(move || worker::run(rx, kind, cfg, ledger))

@@ -17,10 +17,11 @@
 //! * a small fixed-capacity ring of the most recent [`BatchRecord`]s for
 //!   debugging (bounded at [`RECENT_BATCH_CAP`]).
 //!
-//! [`Ledger::summary`] snapshots everything into a [`StatsSummary`], which
+//! `Ledger::summary` snapshots everything into a [`StatsSummary`], which
 //! serializes to JSON for dashboards and the `serve_bench` report.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How many recently executed batches the ledger retains for inspection.
@@ -177,7 +178,8 @@ impl LatencyStats {
 /// simulator run on the batch's *measured* sensitivity profile.
 #[derive(Clone, Debug)]
 pub struct BatchSim {
-    /// Accelerator configuration name (Table 2).
+    /// Accelerator configuration name (Table 2), or `"mixed"` when a
+    /// precision policy costed the batch across several configurations.
     pub config: String,
     /// Simulated cycles per image.
     pub cycles_per_image: f64,
@@ -186,6 +188,24 @@ pub struct BatchSim {
     /// Simulated execution time for the whole batch, seconds.
     pub time_s: f64,
     /// Simulated energy for the whole batch, nanojoules.
+    pub energy_nj: f64,
+    /// Per-route breakdown. Single-engine kinds report one entry; a
+    /// policy-routed batch reports one per route that executed layers.
+    pub routes: Vec<RouteSim>,
+}
+
+/// One precision route's share of a batch's simulated cost.
+#[derive(Clone, Debug)]
+pub struct RouteSim {
+    /// Route label (`"odq"`, `"int4"`, `"float"`, ...).
+    pub route: String,
+    /// Accelerator configuration the route was costed on.
+    pub config: String,
+    /// Conv layers this route executed during the pass.
+    pub layers: usize,
+    /// Simulated cycles for this route's layers across the whole batch.
+    pub batch_cycles: f64,
+    /// Simulated energy for this route's layers, nanojoules.
     pub energy_nj: f64,
 }
 
@@ -199,8 +219,9 @@ pub struct BatchRecord {
     /// trail a hot swap leaves behind: the ring shows exactly which
     /// batches ran on which version around the swap point.
     pub version: u64,
-    /// Engine label ([`crate::EngineKind::label`]).
-    pub engine: String,
+    /// Engine label ([`crate::EngineKind::label`]); shared, not cloned,
+    /// across every record a worker writes.
+    pub engine: Arc<str>,
     /// Requests coalesced into this batch.
     pub size: usize,
     /// Forward-pass duration.
@@ -220,6 +241,17 @@ struct VersionLedger {
     completed: u64,
     batches: u64,
     service: LogHistogram,
+}
+
+/// Per-route streaming aggregates. One entry per distinct route label ever
+/// executed — bounded by the number of routes policies mention, never by
+/// the number of requests.
+#[derive(Clone, Debug, Default)]
+struct RouteAgg {
+    batches: u64,
+    layers: u64,
+    cycles: f64,
+    energy_nj: f64,
 }
 
 /// Mutable streaming ledger shared by the admission path and the workers.
@@ -261,6 +293,8 @@ pub(crate) struct Ledger {
     recent: VecDeque<BatchRecord>,
     // Per-deployment aggregates (grows with swaps, not requests).
     per_model: BTreeMap<(String, u64), VersionLedger>,
+    // Per-route aggregates (grows with distinct route labels).
+    per_route: BTreeMap<String, RouteAgg>,
 }
 
 impl Default for Ledger {
@@ -290,6 +324,7 @@ impl Default for Ledger {
             sens_weight: 0.0,
             recent: VecDeque::new(),
             per_model: BTreeMap::new(),
+            per_route: BTreeMap::new(),
         }
     }
 }
@@ -320,6 +355,13 @@ impl Ledger {
         if let Some(sim) = &rec.sim {
             self.sim_cycles += sim.batch_cycles;
             self.sim_energy_nj += sim.energy_nj;
+            for r in &sim.routes {
+                let agg = self.per_route.entry(r.route.clone()).or_default();
+                agg.batches += 1;
+                agg.layers += r.layers as u64;
+                agg.cycles += r.batch_cycles;
+                agg.energy_nj += r.energy_nj;
+            }
         }
         if let Some(f) = rec.sensitive_fraction {
             self.sens_weighted += f * rec.size as f64;
@@ -346,15 +388,16 @@ impl Ledger {
     /// Approximate resident bytes of the ledger, including ring-buffer
     /// heap. Constant-bounded by construction; the serve tests pin it.
     pub fn approx_bytes(&self) -> usize {
+        let sim_heap = |s: &BatchSim| {
+            s.config.capacity()
+                + s.routes.capacity() * std::mem::size_of::<RouteSim>()
+                + s.routes.iter().map(|r| r.route.capacity() + r.config.capacity()).sum::<usize>()
+        };
         let ring_heap: usize = self.recent.capacity() * std::mem::size_of::<BatchRecord>()
             + self
                 .recent
                 .iter()
-                .map(|r| {
-                    r.model.capacity()
-                        + r.engine.capacity()
-                        + r.sim.as_ref().map_or(0, |s| s.config.capacity())
-                })
+                .map(|r| r.model.capacity() + r.engine.len() + r.sim.as_ref().map_or(0, sim_heap))
                 .sum::<usize>();
         let per_model_heap: usize = self
             .per_model
@@ -363,7 +406,12 @@ impl Ledger {
                 name.capacity() + std::mem::size_of::<((String, u64), VersionLedger)>()
             })
             .sum();
-        std::mem::size_of::<Self>() + ring_heap + per_model_heap
+        let per_route_heap: usize = self
+            .per_route
+            .keys()
+            .map(|route| route.capacity() + std::mem::size_of::<(String, RouteAgg)>())
+            .sum();
+        std::mem::size_of::<Self>() + ring_heap + per_model_heap + per_route_heap
     }
 
     pub fn summary(&self) -> StatsSummary {
@@ -379,6 +427,17 @@ impl Ledger {
                 completed: vl.completed,
                 batches: vl.batches,
                 service: LatencyStats::from_nanos_histogram(&vl.service),
+            })
+            .collect();
+        let routes = self
+            .per_route
+            .iter()
+            .map(|(route, agg)| RouteStats {
+                route: route.clone(),
+                batches: agg.batches,
+                layers: agg.layers,
+                cycles: agg.cycles,
+                energy_nj: agg.energy_nj,
             })
             .collect();
         StatsSummary {
@@ -407,8 +466,28 @@ impl Ledger {
             sim_cycles: self.sim_cycles,
             sim_energy_nj: self.sim_energy_nj,
             mean_sensitive_fraction,
+            routes,
         }
     }
+}
+
+/// Per-route slice of the snapshot: the simulated cost one precision
+/// route (by label) has accumulated across all batches. Single-engine
+/// deployments show one row; a policy-routed deployment shows one per
+/// route its policies ever executed, which is how a mixed-precision
+/// sweep reads where the cycles and energy went.
+#[derive(Clone, Debug)]
+pub struct RouteStats {
+    /// Route label (`"odq"`, `"int4"`, `"float"`, ...).
+    pub route: String,
+    /// Batches in which this route executed at least one layer.
+    pub batches: u64,
+    /// Total conv-layer executions attributed to this route.
+    pub layers: u64,
+    /// Total simulated cycles attributed to this route.
+    pub cycles: f64,
+    /// Total simulated energy attributed to this route, nanojoules.
+    pub energy_nj: f64,
 }
 
 /// Per-deployment slice of the snapshot: what one (model, version) pair
@@ -483,6 +562,8 @@ pub struct StatsSummary {
     pub sim_energy_nj: f64,
     /// Output-weighted mean sensitive fraction across ODQ batches.
     pub mean_sensitive_fraction: Option<f64>,
+    /// Simulated cost split by precision route, sorted by route label.
+    pub routes: Vec<RouteStats>,
 }
 
 impl StatsSummary {
@@ -518,6 +599,24 @@ impl StatsSummary {
         ];
         if let Some(f) = self.mean_sensitive_fraction {
             sim.push(("mean_sensitive_fraction".into(), Value::F64(f)));
+        }
+        if !self.routes.is_empty() {
+            let routes = self
+                .routes
+                .iter()
+                .map(|r| {
+                    (
+                        r.route.clone(),
+                        Value::Object(vec![
+                            ("batches".into(), Value::U64(r.batches)),
+                            ("layers".into(), Value::U64(r.layers)),
+                            ("cycles".into(), Value::F64(r.cycles)),
+                            ("energy_nj".into(), Value::F64(r.energy_nj)),
+                        ]),
+                    )
+                })
+                .collect();
+            sim.push(("routes".into(), Value::Object(routes)));
         }
         let models = Value::Array(
             self.models
@@ -643,6 +742,13 @@ mod tests {
                 batch_cycles: 200.0,
                 time_s: 1e-6,
                 energy_nj: 5.0,
+                routes: vec![RouteSim {
+                    route: "odq".into(),
+                    config: "ODQ".into(),
+                    layers: 3,
+                    batch_cycles: 200.0,
+                    energy_nj: 5.0,
+                }],
             }),
         });
         l.record_batch(BatchRecord {
@@ -662,6 +768,16 @@ mod tests {
         assert_eq!(s.sim_cycles, 200.0);
         assert_eq!(s.sim_energy_nj, 5.0);
         assert!((s.mean_sensitive_fraction.unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(s.routes.len(), 1);
+        assert_eq!(s.routes[0].route, "odq");
+        assert_eq!(s.routes[0].batches, 1);
+        assert_eq!(s.routes[0].layers, 3);
+        assert_eq!(s.routes[0].cycles, 200.0);
+        let json = s.to_json();
+        assert_eq!(
+            json["simulated_accel"]["routes"]["odq"]["cycles"],
+            serde_json::Value::F64(200.0)
+        );
         // 12.5%-accurate median of {11, 12, 13, 14} ms.
         let p50_ms = s.p50_latency.as_secs_f64() * 1e3;
         assert!((p50_ms - 12.0).abs() / 12.0 <= 0.125, "p50 {p50_ms} ms");

@@ -37,9 +37,9 @@ use odq_tensor::Tensor;
 
 use crate::batcher::Batch;
 use crate::config::ServeConfig;
-use crate::engine::{EngineExec, EngineKind, Profiled};
+use crate::engine::{EngineExec, EngineKind, Profiled, RouteProfile};
 use crate::request::{InferResponse, RequestTiming, ServeError};
-use crate::stats::{BatchRecord, BatchSim, Ledger};
+use crate::stats::{BatchRecord, BatchSim, Ledger, RouteSim};
 
 /// Lock the ledger even if a previous holder panicked: the streaming
 /// counters stay individually consistent, and refusing to record after
@@ -69,8 +69,11 @@ pub(crate) fn run(
     ledger: Arc<Mutex<Ledger>>,
 ) {
     let energy = EnergyModel::default();
+    // The ledger label is the same for every batch this worker ever
+    // serves: intern it once instead of allocating a String per record.
+    let label: Arc<str> = Arc::from(kind.label().as_ref());
     loop {
-        match run_shift(&rx, kind, &cfg, &ledger, &energy) {
+        match run_shift(&rx, &kind, &label, &cfg, &ledger, &energy) {
             ShiftEnd::Disconnected => break,
             ShiftEnd::Panicked => lock_ledger(&ledger).worker_restarts += 1,
         }
@@ -79,7 +82,8 @@ pub(crate) fn run(
 
 fn run_shift(
     rx: &Receiver<Batch>,
-    kind: EngineKind,
+    kind: &EngineKind,
+    label: &Arc<str>,
     cfg: &ServeConfig,
     ledger: &Arc<Mutex<Ledger>>,
     energy: &EnergyModel,
@@ -90,7 +94,7 @@ fn run_shift(
         // batch can still be answered after its `Pending`s unwound away.
         let senders: Vec<_> = batch.items.iter().map(|p| p.resp.clone()).collect();
         let executed = catch_unwind(AssertUnwindSafe(|| {
-            serve_batch(batch, kind, cfg, ledger, &mut engines, energy);
+            serve_batch(batch, kind, label, cfg, ledger, &mut engines, energy);
         }));
         if executed.is_err() {
             // `try_send`: a request answered before the panic has its
@@ -107,7 +111,8 @@ fn run_shift(
 
 fn serve_batch(
     batch: Batch,
-    kind: EngineKind,
+    kind: &EngineKind,
+    label: &Arc<str>,
     cfg: &ServeConfig,
     ledger: &Arc<Mutex<Ledger>>,
     engines: &mut HashMap<(String, u64), EngineExec>,
@@ -169,15 +174,14 @@ fn serve_batch(
         for &v in versions.iter().rev().skip(ENGINES_PER_MODEL - 1) {
             engines.remove(&(dep.name.clone(), v));
         }
-        engines.insert(key.clone(), kind.build(Arc::clone(&dep.plans)));
+        // A `Policy` kind defers to the deployment's published policy, so
+        // the engine a hot swap brings in routes by the *new* version's
+        // policy — weights and precision policy swap atomically.
+        engines.insert(key.clone(), kind.build_for(dep.policy.as_ref(), Arc::clone(&dep.plans)));
     }
     let exec = engines.get_mut(&key).expect("engine just ensured");
     // Per-batch stats: clear any profile left from the previous batch.
-    match exec {
-        EngineExec::Odq(e) => e.reset_stats(),
-        EngineExec::Drq(e) => e.stats.clear(),
-        _ => {}
-    }
+    exec.reset_batch_stats();
 
     let start = Instant::now();
     let mut prof = Profiled::new(exec);
@@ -185,17 +189,37 @@ fn serve_batch(
     let service = start.elapsed();
     let layer_geoms = std::mem::take(&mut prof.layers);
 
-    // Extract the batch's measured profile before responding.
-    let (sensitive_fraction, workloads) = profile(exec, &layer_geoms);
-    let sim = if cfg.simulate_accel && !workloads.is_empty() {
-        let accel = kind.accel_config();
-        let r = simulate_network(&accel, &workloads, energy);
+    // Extract the batch's measured profile before responding. A policy
+    // engine yields one group per route, each costed on its own
+    // accelerator configuration; single-engine kinds yield one group.
+    let (sensitive_fraction, groups) = profile(exec, kind, &layer_geoms);
+    let sim = if cfg.simulate_accel && !groups.is_empty() {
+        let mut cycles = 0.0f64;
+        let mut time_s = 0.0f64;
+        let mut energy_nj = 0.0f64;
+        let mut routes = Vec::with_capacity(groups.len());
+        for rp in &groups {
+            let r = simulate_network(&rp.accel, &rp.workloads, energy);
+            cycles += r.total_cycles;
+            time_s += r.time_s;
+            energy_nj += r.energy.total_nj();
+            routes.push(RouteSim {
+                route: rp.label.clone(),
+                config: rp.accel.name.clone(),
+                layers: rp.workloads.len(),
+                batch_cycles: r.total_cycles * n as f64,
+                energy_nj: r.energy.total_nj() * n as f64,
+            });
+        }
+        let config =
+            if groups.len() == 1 { groups[0].accel.name.clone() } else { "mixed".to_string() };
         Some(BatchSim {
-            config: accel.name,
-            cycles_per_image: r.total_cycles,
-            batch_cycles: r.total_cycles * n as f64,
-            time_s: r.time_s * n as f64,
-            energy_nj: r.energy.total_nj() * n as f64,
+            config,
+            cycles_per_image: cycles,
+            batch_cycles: cycles * n as f64,
+            time_s: time_s * n as f64,
+            energy_nj: energy_nj * n as f64,
+            routes,
         })
     } else {
         None
@@ -226,7 +250,7 @@ fn serve_batch(
         led.record_batch(BatchRecord {
             model: dep.name.clone(),
             version: dep.version,
-            engine: kind.label(),
+            engine: Arc::clone(label),
             size: n,
             service,
             sensitive_fraction,
@@ -243,20 +267,24 @@ fn serve_batch(
     }
 }
 
-/// Turn the engine's per-pass measurements into simulator workloads.
+/// Turn the engine's per-pass measurements into per-route workload groups.
 ///
 /// ODQ supplies real per-(image, channel) sensitive counts; DRQ supplies
 /// per-layer high-precision MAC fractions; static/float engines run every
-/// output at full precision (fraction 1.0).
+/// output at full precision (fraction 1.0). A policy engine folds each
+/// sub-engine's measurements into its own group so every route is costed
+/// on its own accelerator; every other kind yields exactly one group.
 fn profile(
     exec: &mut EngineExec,
+    kind: &EngineKind,
     layer_geoms: &[(String, odq_tensor::ConvGeom)],
-) -> (Option<f64>, Vec<LayerWorkload>) {
-    match exec {
+) -> (Option<f64>, Vec<RouteProfile>) {
+    let (frac, workloads) = match exec {
+        EngineExec::Policy(p) => return p.route_profiles(layer_geoms),
         EngineExec::Odq(e) => {
             let stats = e.stats.take();
             let frac = stats.overall_sensitive_fraction();
-            let ws = stats
+            let ws: Vec<LayerWorkload> = stats
                 .layers
                 .iter()
                 .map(|l| LayerWorkload::from_channel_counts(&l.name, l.geom, &l.channel_counts))
@@ -284,5 +312,15 @@ fn profile(
                 .collect();
             (None, ws)
         }
-    }
+    };
+    let groups = if workloads.is_empty() {
+        Vec::new()
+    } else {
+        vec![RouteProfile {
+            label: kind.label().into_owned(),
+            accel: kind.accel_config(),
+            workloads,
+        }]
+    };
+    (frac, groups)
 }

@@ -106,7 +106,11 @@ fn start_server(a: &Args) -> Server {
         ..ServeConfig::default()
     };
     let (resnet, lenet) = build_models();
-    Server::builder(cfg).engine(a.engine).model("resnet20", resnet).model("lenet5", lenet).start()
+    Server::builder(cfg)
+        .engine(a.engine.clone())
+        .model("resnet20", resnet)
+        .model("lenet5", lenet)
+        .start()
 }
 
 fn specs() -> Vec<LoadSpec> {
@@ -198,7 +202,7 @@ fn write_snapshot(path: &str, a: &Args, closed: Value, open: Value) {
         (
             "config".into(),
             Value::Object(vec![
-                ("engine".into(), Value::String(a.engine.label())),
+                ("engine".into(), Value::String(a.engine.label().into_owned())),
                 ("workers".into(), Value::U64(a.workers as u64)),
                 ("requests".into(), Value::U64(a.requests as u64)),
                 ("max_batch".into(), Value::U64(a.max_batch as u64)),

@@ -100,7 +100,7 @@ fn serve_round_trip_matches_oracle_forward() {
             simulate_accel: false,
             ..ServeConfig::default()
         })
-        .engine(engine)
+        .engine(engine.clone())
         .model("resnet", resnet)
         .model("lenet", lenet)
         .start();
@@ -131,4 +131,130 @@ fn serve_round_trip_matches_oracle_forward() {
         }
         server.shutdown();
     }
+}
+
+// --- per-layer precision-policy differentials ---------------------------
+
+use std::sync::Arc;
+
+use odq::nn::executor::{ConvCtx, ConvExecutor};
+use odq::nn::policy::{PrecisionPolicy, Route};
+use odq::quant::plan::PlanCache;
+use odq_conformance::{ulp_diff, PolicyOracleExecutor, RoutedEngine};
+
+/// A mixed policy exercising every route family on ResNet20's layer names.
+fn mixed_policy() -> Arc<PrecisionPolicy> {
+    Arc::new(
+        PrecisionPolicy::uniform(Route::Static { w_bits: 8, a_bits: 8, a_clip: 1.0 })
+            .with("C1", Route::Odq { threshold: 0.3, sparse: false })
+            .with("C2", Route::Float)
+            .with(
+                "C3",
+                Route::Drq {
+                    hi_bits: 8,
+                    lo_bits: 4,
+                    a_clip: 1.0,
+                    region: 2,
+                    input_threshold: 0.25,
+                },
+            )
+            .with("C4", Route::Static { w_bits: 4, a_bits: 4, a_clip: 1.0 })
+            .with("C5", Route::Odq { threshold: 0.1, sparse: true }),
+    )
+}
+
+/// Wraps the mixed routed engine and, at every conv layer, recomputes the
+/// layer with a *freshly built standalone single-route engine* on the same
+/// input — asserting the mixed forward is exactly the composition of
+/// single-engine layer outputs (integer routes bit-exact, float ≤ 1 ulp).
+struct StitchCheck {
+    mixed: RoutedEngine,
+    policy: Arc<PrecisionPolicy>,
+    convs_checked: usize,
+}
+
+impl ConvExecutor for StitchCheck {
+    fn begin_pass(&mut self) {
+        self.mixed.begin_pass();
+    }
+
+    fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
+        let y = self.mixed.conv(ctx, x);
+        let route = self.policy.route_for(ctx.name);
+        let mut solo = RoutedEngine::build_route(route, Arc::new(PlanCache::new()));
+        let y_solo = solo.conv(ctx, x);
+        let allowance = match route {
+            Route::Float => 1,
+            _ => 0,
+        };
+        for (i, (a, b)) in y.as_slice().iter().zip(y_solo.as_slice()).enumerate() {
+            let u = ulp_diff(*a, *b);
+            assert!(
+                u <= allowance,
+                "layer {} ({route:?}): elem {i} diverges by {u} ulp — mixed {a} vs solo {b}",
+                ctx.name
+            );
+        }
+        self.convs_checked += 1;
+        y
+    }
+}
+
+/// The tentpole differential: a whole-model forward under a mixed
+/// `PrecisionPolicy` is bit-identical to stitching each layer's
+/// single-engine output, and bit-identical to the routed scalar oracle.
+#[test]
+fn mixed_policy_forward_equals_stitched_single_engine_layers() {
+    let policy = mixed_policy();
+    let (resnet, lenet) = build_models();
+    let mut rng = ChaCha8Rng::seed_from_u64(0xD1FF);
+    for (model, channels) in [(&resnet, 3), (&lenet, 1)] {
+        let x = random_image(&mut rng, channels, 8);
+        let mut stitch = StitchCheck {
+            mixed: RoutedEngine::new(Arc::clone(&policy)),
+            policy: Arc::clone(&policy),
+            convs_checked: 0,
+        };
+        let y_mixed = model.forward_eval(&x, &mut stitch);
+        assert!(stitch.convs_checked >= 2, "model must exercise several routed convs");
+
+        // The same forward pinned to the layer-by-layer scalar oracle.
+        let y_oracle =
+            model.forward_eval(&x, &mut PolicyOracleExecutor { policy: Arc::clone(&policy) });
+        for (i, (a, b)) in y_mixed.as_slice().iter().zip(y_oracle.as_slice()).enumerate() {
+            assert!(ulp_diff(*a, *b) <= 1, "elem {i}: mixed forward {a} vs routed oracle {b}");
+        }
+    }
+}
+
+/// An ODQM manifest with an embedded policy round-trips bit-exactly:
+/// byte-identical re-serialization, equal policy, bit-identical forward.
+#[test]
+fn manifest_with_policy_roundtrips_bit_exactly() {
+    use odq::nn::serialize::{load_manifest_from, save_manifest_with_policy_to};
+
+    let policy = mixed_policy();
+    let (mut resnet, _) = build_models();
+    let meta = vec![("trained_by".to_string(), "conformance".to_string())];
+
+    let mut bytes = Vec::new();
+    save_manifest_with_policy_to(&mut resnet, &meta, Some(&policy), &mut bytes).unwrap();
+    let loaded = load_manifest_from(&mut std::io::Cursor::new(&bytes)).unwrap();
+    assert_eq!(loaded.policy.as_ref(), Some(policy.as_ref()));
+    assert_eq!(loaded.meta, meta);
+
+    let mut again = Vec::new();
+    let mut reloaded = loaded.model;
+    save_manifest_with_policy_to(&mut reloaded, &loaded.meta, loaded.policy.as_ref(), &mut again)
+        .unwrap();
+    assert_eq!(bytes, again, "save → load → save must be byte-identical");
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0x0D0_12D);
+    let x = random_image(&mut rng, 3, 8);
+    let ya = resnet.forward_eval(&x, &mut RoutedEngine::new(Arc::clone(&policy)));
+    let yb = reloaded.forward_eval(&x, &mut RoutedEngine::new(policy));
+    assert_eq!(
+        ya.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        yb.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+    );
 }

@@ -42,11 +42,15 @@ fn image(i: usize) -> Tensor {
     Tensor::from_vec(vec![1, 1, 8, 8], v)
 }
 
-fn solo_engine(kind: EngineKind) -> Box<dyn ConvExecutor> {
+fn solo_engine(kind: &EngineKind) -> Box<dyn ConvExecutor> {
     match kind {
         EngineKind::Float => Box::new(FloatConvExecutor),
-        EngineKind::Static { bits } => Box::new(StaticQuantExecutor::with_bits(bits, bits, 1.0)),
-        EngineKind::Odq { threshold } => Box::new(OdqEngine::new(threshold)),
+        EngineKind::Static { bits } => Box::new(StaticQuantExecutor::with_bits(*bits, *bits, 1.0)),
+        EngineKind::Odq { threshold } => Box::new(OdqEngine::new(*threshold)),
+        EngineKind::Policy(p) => Box::new(odq::serve::PolicyExecutor::new(
+            Arc::clone(p),
+            Arc::new(odq::quant::plan::PlanCache::new()),
+        )),
         EngineKind::Drq { .. } => unimplemented!("not exercised here"),
     }
 }
@@ -62,7 +66,7 @@ fn references(
     name: &str,
     versions: &[u64],
     inputs: usize,
-    kind: EngineKind,
+    kind: &EngineKind,
 ) -> HashMap<(u64, usize), Vec<u32>> {
     let mut refs = HashMap::new();
     for &v in versions {
@@ -110,7 +114,7 @@ fn hot_swap_under_sustained_load_never_tears_a_response() {
     let v2 = server.registry().publish("lenet", lenet(2), vec![]).unwrap();
     let versions = vec![1, v2];
     let inputs = 8;
-    let refs = references(server.registry(), "lenet", &versions, inputs, EngineKind::Float);
+    let refs = references(server.registry(), "lenet", &versions, inputs, &EngineKind::Float);
 
     // Two client threads keep the server busy for the whole experiment.
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -250,12 +254,12 @@ proptest! {
             workers: 2,
             ..Default::default()
         };
-        let server = Server::builder(cfg).engine(kind).model("m", lenet(1)).start();
+        let server = Server::builder(cfg).engine(kind.clone()).model("m", lenet(1)).start();
         let v2 = server.registry().publish("m", lenet(2), vec![]).unwrap();
         let v3 = server.registry().publish("m", lenet(3), vec![]).unwrap();
         let versions = vec![1, v2, v3];
         let inputs = 6;
-        let refs = references(server.registry(), "m", &versions, inputs, kind);
+        let refs = references(server.registry(), "m", &versions, inputs, &kind);
 
         let mut handles = Vec::new();
         let mut submitted = 0usize;
@@ -315,7 +319,7 @@ fn canary_split_is_deterministic_and_accounted_per_version() {
 
     let versions = vec![1, v2];
     let inputs = 5;
-    let refs = references(server.registry(), "m", &versions, inputs, EngineKind::Float);
+    let refs = references(server.registry(), "m", &versions, inputs, &EngineKind::Float);
 
     let mut expected: HashMap<u64, u64> = HashMap::new();
     for id in 0..40u64 {
