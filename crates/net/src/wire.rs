@@ -1,0 +1,803 @@
+//! The `ODQ1` wire protocol: length-prefixed binary frames.
+//!
+//! Every frame is a 9-byte header followed by a body:
+//!
+//! ```text
+//!   offset  size  field
+//!   0       4     magic "ODQ1"
+//!   4       1     kind   (1 = Request, 2 = Response, 3 = Error)
+//!   5       4     body_len, u32 little-endian
+//!   9       ..    body (exactly body_len bytes)
+//! ```
+//!
+//! All multi-byte integers are little-endian. Tensor payloads are raw
+//! `f32` little-endian words, so a round trip preserves every bit pattern
+//! (including NaNs) — the bit-exactness the differential tests pin down.
+//!
+//! **Request** body (client → server):
+//!
+//! ```text
+//!   id           u64    caller-chosen request id (the canary-routing key)
+//!   flags        u8     bit 0: deadline present; other bits must be zero
+//!   deadline_ms  u64    only when flags bit 0 is set
+//!   name_len     u8     model-name length in bytes
+//!   name         ..     UTF-8 model name
+//!   ndims        u8     number of tensor dimensions (1 ..= max_dims)
+//!   dims         u32×n  each dimension, all nonzero
+//!   payload      f32×k  k = product(dims); must exactly fill the body
+//! ```
+//!
+//! **Response** body (server → client): `id` u64, then the timing
+//! breakdown (`queue_wait_ns` u64, `service_ns` u64, `total_ns` u64,
+//! `batch_size` u32), then the output tensor in the same
+//! `ndims`/`dims`/payload layout.
+//!
+//! **Error** body (server → client): `id` u64 (`u64::MAX` when the error
+//! is not attributable to one request — a malformed frame, a refused
+//! connection), `code` u16 ([`WireErrorCode`]), `msg_len` u16, UTF-8
+//! message.
+//!
+//! Decoding is hardened: the magic, kind, and declared `body_len` are
+//! validated **before any payload allocation** (an oversized declaration
+//! is rejected as [`WireError::TooLarge`] without reserving a byte), every
+//! body field is bounds-checked as it is cursored over, the dim product is
+//! overflow-checked and must exactly match the remaining payload bytes,
+//! and trailing garbage is rejected. No input, however hostile, panics
+//! the decoder.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use odq_serve::{InferRequest, RequestTiming, ServeError};
+use odq_tensor::Tensor;
+
+/// The 4-byte frame magic: protocol `ODQ`, revision `1`.
+pub const MAGIC: [u8; 4] = *b"ODQ1";
+
+/// Bytes in the fixed frame header (magic + kind + body_len).
+pub const HEADER_LEN: usize = 9;
+
+/// `id` value used in error frames that are not attributable to any
+/// single request (malformed input, a refused connection).
+pub const NO_REQUEST_ID: u64 = u64::MAX;
+
+const KIND_REQUEST: u8 = 1;
+const KIND_RESPONSE: u8 = 2;
+const KIND_ERROR: u8 = 3;
+
+const FLAG_DEADLINE: u8 = 0b0000_0001;
+
+/// Decoder hardening limits. Everything a peer declares is checked
+/// against these *before* any allocation happens on its behalf.
+#[derive(Clone, Copy, Debug)]
+pub struct WireLimits {
+    /// Maximum accepted body length in bytes. A frame declaring more is
+    /// rejected as [`WireError::TooLarge`] without reading or allocating
+    /// its body. Default 16 MiB — a `[64, 3, 256, 256]` f32 batch fits.
+    pub max_body: usize,
+    /// Maximum tensor rank. Default 8.
+    pub max_dims: usize,
+}
+
+impl Default for WireLimits {
+    fn default() -> Self {
+        Self { max_body: 16 << 20, max_dims: 8 }
+    }
+}
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug)]
+pub enum WireError {
+    /// The first four bytes were not [`MAGIC`] — not an ODQ1 peer.
+    BadMagic([u8; 4]),
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// The declared body length exceeds [`WireLimits::max_body`];
+    /// rejected before any allocation.
+    TooLarge {
+        /// Length the frame declared.
+        declared: usize,
+        /// The limit it exceeded.
+        max_body: usize,
+    },
+    /// The body did not parse: a field overran the body, a length or
+    /// count was inconsistent, a name was not UTF-8, or trailing bytes
+    /// were left over.
+    Malformed(String),
+    /// The underlying transport failed (including EOF mid-frame).
+    Io(io::Error),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:?} (expected \"ODQ1\")"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::TooLarge { declared, max_body } => {
+                write!(f, "declared body of {declared} bytes exceeds the {max_body}-byte limit")
+            }
+            WireError::Malformed(why) => write!(f, "malformed frame: {why}"),
+            WireError::Io(e) => write!(f, "transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Typed error codes carried in error frames — one per [`ServeError`]
+/// variant, plus transport-level rejections the server itself raises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum WireErrorCode {
+    /// [`ServeError::QueueFull`] — backpressure, retry later.
+    QueueFull = 1,
+    /// [`ServeError::UnknownModel`].
+    UnknownModel = 2,
+    /// [`ServeError::BadInput`].
+    BadInput = 3,
+    /// [`ServeError::DeadlineExceeded`].
+    DeadlineExceeded = 4,
+    /// [`ServeError::ShuttingDown`].
+    ShuttingDown = 5,
+    /// [`ServeError::WorkerLost`].
+    WorkerLost = 6,
+    /// [`ServeError::Internal`].
+    Internal = 7,
+    /// The frame did not parse; the connection is closed (framing cannot
+    /// be trusted after a parse failure).
+    Malformed = 8,
+    /// The declared body exceeded the receiver's limit; connection closed.
+    TooLarge = 9,
+    /// The server's connection cap was reached; this connection was
+    /// refused at accept time.
+    TooManyConnections = 10,
+}
+
+impl WireErrorCode {
+    /// Decode a code from the wire; `None` for unknown values.
+    pub fn from_u16(v: u16) -> Option<Self> {
+        Some(match v {
+            1 => Self::QueueFull,
+            2 => Self::UnknownModel,
+            3 => Self::BadInput,
+            4 => Self::DeadlineExceeded,
+            5 => Self::ShuttingDown,
+            6 => Self::WorkerLost,
+            7 => Self::Internal,
+            8 => Self::Malformed,
+            9 => Self::TooLarge,
+            10 => Self::TooManyConnections,
+            _ => return None,
+        })
+    }
+
+    /// The code an admission or pipeline error travels the wire as.
+    pub fn from_serve_error(e: &ServeError) -> Self {
+        match e {
+            ServeError::QueueFull => Self::QueueFull,
+            ServeError::UnknownModel(_) => Self::UnknownModel,
+            ServeError::BadInput(_) => Self::BadInput,
+            ServeError::DeadlineExceeded => Self::DeadlineExceeded,
+            ServeError::ShuttingDown => Self::ShuttingDown,
+            ServeError::WorkerLost => Self::WorkerLost,
+            ServeError::Internal => Self::Internal,
+        }
+    }
+
+    /// The [`ServeError`] a client resolves this code to. The
+    /// transport-level codes map onto the closest admission semantics:
+    /// `TooManyConnections` is backpressure (→ `QueueFull`), `Malformed`
+    /// / `TooLarge` mean the server judged what we sent invalid
+    /// (→ `BadInput`).
+    pub fn to_serve_error(self, msg: &str) -> ServeError {
+        match self {
+            Self::QueueFull | Self::TooManyConnections => ServeError::QueueFull,
+            Self::UnknownModel => ServeError::UnknownModel(msg.to_string()),
+            Self::BadInput | Self::Malformed | Self::TooLarge => {
+                ServeError::BadInput(msg.to_string())
+            }
+            Self::DeadlineExceeded => ServeError::DeadlineExceeded,
+            Self::ShuttingDown => ServeError::ShuttingDown,
+            Self::WorkerLost => ServeError::WorkerLost,
+            Self::Internal => ServeError::Internal,
+        }
+    }
+}
+
+/// A request travelling client → server.
+#[derive(Clone, Debug)]
+pub struct RequestFrame {
+    /// Caller-chosen request id; echoed on the matching response or error
+    /// frame, and used server-side as the canary-routing key.
+    pub id: u64,
+    /// Model name ([`InferRequest::model`]); at most 255 bytes of UTF-8.
+    pub model: String,
+    /// Optional deadline, millisecond resolution on the wire.
+    pub deadline: Option<Duration>,
+    /// Input tensor.
+    pub input: Tensor,
+}
+
+impl RequestFrame {
+    /// Frame an [`InferRequest`] under the given wire id.
+    pub fn from_request(id: u64, req: InferRequest) -> Self {
+        Self { id, model: req.model, deadline: req.deadline, input: req.input }
+    }
+
+    /// The [`InferRequest`] this frame describes (id attached, so canary
+    /// routing sees the same key on every resubmission).
+    pub fn into_request(self) -> InferRequest {
+        let mut req = InferRequest::new(self.model, self.input).with_id(self.id);
+        req.deadline = self.deadline;
+        req
+    }
+}
+
+/// A successful response travelling server → client.
+#[derive(Clone, Debug)]
+pub struct ResponseFrame {
+    /// The request id this answers.
+    pub id: u64,
+    /// Timing breakdown, nanosecond resolution on the wire.
+    pub timing: RequestTiming,
+    /// Output tensor.
+    pub output: Tensor,
+}
+
+/// A typed failure travelling server → client.
+#[derive(Clone, Debug)]
+pub struct ErrorFrame {
+    /// The request id this answers, or [`NO_REQUEST_ID`] when the error
+    /// is fatal to the connection rather than to one request.
+    pub id: u64,
+    /// What went wrong.
+    pub code: WireErrorCode,
+    /// Human-readable detail (at most 64 KiB on the wire).
+    pub message: String,
+}
+
+/// Any decoded frame.
+#[derive(Clone, Debug)]
+pub enum Frame {
+    /// Client → server.
+    Request(RequestFrame),
+    /// Server → client, success.
+    Response(ResponseFrame),
+    /// Server → client, failure.
+    Error(ErrorFrame),
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn push_tensor(out: &mut Vec<u8>, t: &Tensor) -> Result<(), WireError> {
+    let dims = t.dims();
+    if dims.is_empty() || dims.len() > u8::MAX as usize {
+        return Err(WireError::Malformed(format!("unencodable tensor rank {}", dims.len())));
+    }
+    out.push(dims.len() as u8);
+    for &d in dims {
+        let d = u32::try_from(d)
+            .map_err(|_| WireError::Malformed(format!("dimension {d} exceeds u32")))?;
+        out.extend_from_slice(&d.to_le_bytes());
+    }
+    for v in t.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Ok(())
+}
+
+fn seal(kind: u8, body: Vec<u8>) -> Result<Vec<u8>, WireError> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| WireError::Malformed(format!("body of {} bytes exceeds u32", body.len())))?;
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(kind);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Encode a request frame (header included).
+pub fn encode_request(f: &RequestFrame) -> Result<Vec<u8>, WireError> {
+    if f.model.len() > u8::MAX as usize {
+        return Err(WireError::Malformed(format!(
+            "model name of {} bytes exceeds the 255-byte wire field",
+            f.model.len()
+        )));
+    }
+    let mut body = Vec::with_capacity(32 + f.model.len() + 4 * f.input.as_slice().len());
+    body.extend_from_slice(&f.id.to_le_bytes());
+    match f.deadline {
+        Some(d) => {
+            body.push(FLAG_DEADLINE);
+            body.extend_from_slice(&(d.as_millis().min(u64::MAX as u128) as u64).to_le_bytes());
+        }
+        None => body.push(0),
+    }
+    body.push(f.model.len() as u8);
+    body.extend_from_slice(f.model.as_bytes());
+    push_tensor(&mut body, &f.input)?;
+    seal(KIND_REQUEST, body)
+}
+
+/// Encode a response frame (header included).
+pub fn encode_response(f: &ResponseFrame) -> Result<Vec<u8>, WireError> {
+    let mut body = Vec::with_capacity(48 + 4 * f.output.as_slice().len());
+    body.extend_from_slice(&f.id.to_le_bytes());
+    let ns = |d: Duration| (d.as_nanos().min(u64::MAX as u128) as u64).to_le_bytes();
+    body.extend_from_slice(&ns(f.timing.queue_wait));
+    body.extend_from_slice(&ns(f.timing.service));
+    body.extend_from_slice(&ns(f.timing.total));
+    body.extend_from_slice(&(f.timing.batch_size.min(u32::MAX as usize) as u32).to_le_bytes());
+    push_tensor(&mut body, &f.output)?;
+    seal(KIND_RESPONSE, body)
+}
+
+/// Encode an error frame (header included). Infallible: the message is
+/// truncated to the 64 KiB wire field if needed.
+pub fn encode_error(f: &ErrorFrame) -> Vec<u8> {
+    let mut msg = f.message.as_bytes();
+    if msg.len() > u16::MAX as usize {
+        let mut cut = u16::MAX as usize;
+        while cut > 0 && !f.message.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        msg = &f.message.as_bytes()[..cut];
+    }
+    let mut body = Vec::with_capacity(12 + msg.len());
+    body.extend_from_slice(&f.id.to_le_bytes());
+    body.extend_from_slice(&(f.code as u16).to_le_bytes());
+    body.extend_from_slice(&(msg.len() as u16).to_le_bytes());
+    body.extend_from_slice(msg);
+    seal(KIND_ERROR, body).expect("error body is always small")
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// Bounds-checked reader over a frame body. Every overrun is a
+/// [`WireError::Malformed`], never a slice panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+            WireError::Malformed(format!(
+                "{what} needs {n} bytes but only {} remain",
+                self.buf.len() - self.pos
+            ))
+        })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() > 0 {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes after the last field",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    /// `ndims` + dims + f32 payload; the payload must exactly consume the
+    /// rest of the cursor.
+    fn tensor(&mut self, limits: &WireLimits) -> Result<Tensor, WireError> {
+        let ndims = self.u8("ndims")? as usize;
+        if ndims == 0 || ndims > limits.max_dims {
+            return Err(WireError::Malformed(format!(
+                "tensor rank {ndims} outside 1..={}",
+                limits.max_dims
+            )));
+        }
+        let mut dims = Vec::with_capacity(ndims);
+        let mut elems = 1usize;
+        for i in 0..ndims {
+            let d = self.u32("dimension")? as usize;
+            if d == 0 {
+                return Err(WireError::Malformed(format!("dimension {i} is zero")));
+            }
+            elems = elems
+                .checked_mul(d)
+                .ok_or_else(|| WireError::Malformed("dim product overflows".to_string()))?;
+            dims.push(d);
+        }
+        let want = elems
+            .checked_mul(4)
+            .ok_or_else(|| WireError::Malformed("payload size overflows".to_string()))?;
+        if self.remaining() != want {
+            return Err(WireError::Malformed(format!(
+                "shape {dims:?} needs {want} payload bytes, body carries {}",
+                self.remaining()
+            )));
+        }
+        // The payload length was validated against the (already
+        // max_body-bounded) body, so this allocation is bounded too.
+        let data: Vec<f32> = self
+            .take(want, "payload")?
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        Ok(Tensor::from_vec(dims, data))
+    }
+}
+
+fn decode_request(body: &[u8], limits: &WireLimits) -> Result<RequestFrame, WireError> {
+    let mut c = Cursor::new(body);
+    let id = c.u64("request id")?;
+    let flags = c.u8("flags")?;
+    if flags & !FLAG_DEADLINE != 0 {
+        return Err(WireError::Malformed(format!("unknown flag bits {flags:#04x}")));
+    }
+    let deadline = if flags & FLAG_DEADLINE != 0 {
+        Some(Duration::from_millis(c.u64("deadline")?))
+    } else {
+        None
+    };
+    let name_len = c.u8("name length")? as usize;
+    let model = std::str::from_utf8(c.take(name_len, "model name")?)
+        .map_err(|_| WireError::Malformed("model name is not UTF-8".to_string()))?
+        .to_string();
+    let input = c.tensor(limits)?;
+    c.finish()?;
+    Ok(RequestFrame { id, model, deadline, input })
+}
+
+fn decode_response(body: &[u8], limits: &WireLimits) -> Result<ResponseFrame, WireError> {
+    let mut c = Cursor::new(body);
+    let id = c.u64("request id")?;
+    let timing = RequestTiming {
+        queue_wait: Duration::from_nanos(c.u64("queue_wait_ns")?),
+        service: Duration::from_nanos(c.u64("service_ns")?),
+        total: Duration::from_nanos(c.u64("total_ns")?),
+        batch_size: c.u32("batch_size")? as usize,
+    };
+    let output = c.tensor(limits)?;
+    c.finish()?;
+    Ok(ResponseFrame { id, timing, output })
+}
+
+fn decode_error(body: &[u8]) -> Result<ErrorFrame, WireError> {
+    let mut c = Cursor::new(body);
+    let id = c.u64("request id")?;
+    let raw = c.u16("error code")?;
+    let code = WireErrorCode::from_u16(raw)
+        .ok_or_else(|| WireError::Malformed(format!("unknown error code {raw}")))?;
+    let msg_len = c.u16("message length")? as usize;
+    let message = std::str::from_utf8(c.take(msg_len, "message")?)
+        .map_err(|_| WireError::Malformed("message is not UTF-8".to_string()))?
+        .to_string();
+    c.finish()?;
+    Ok(ErrorFrame { id, code, message })
+}
+
+/// Read one frame. Returns the frame and its total wire size in bytes.
+///
+/// The header is validated — magic, kind, declared length against
+/// [`WireLimits::max_body`] — *before* the body is read or any buffer is
+/// allocated, so a hostile length prefix cannot balloon memory. An EOF
+/// mid-frame is [`WireError::Io`]; a clean EOF before any byte of a frame
+/// is an `Io` error of kind [`io::ErrorKind::UnexpectedEof`] too (the
+/// caller decides whether that boundary was expected).
+pub fn read_frame(r: &mut impl Read, limits: &WireLimits) -> Result<(Frame, usize), WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let magic: [u8; 4] = header[0..4].try_into().expect("4 bytes");
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let kind = header[4];
+    if !(KIND_REQUEST..=KIND_ERROR).contains(&kind) {
+        return Err(WireError::BadKind(kind));
+    }
+    let body_len = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes")) as usize;
+    if body_len > limits.max_body {
+        return Err(WireError::TooLarge { declared: body_len, max_body: limits.max_body });
+    }
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body)?;
+    let frame = match kind {
+        KIND_REQUEST => Frame::Request(decode_request(&body, limits)?),
+        KIND_RESPONSE => Frame::Response(decode_response(&body, limits)?),
+        _ => Frame::Error(decode_error(&body)?),
+    };
+    Ok((frame, HEADER_LEN + body_len))
+}
+
+/// Write pre-encoded frame bytes and flush them onto the wire.
+pub fn write_frame(w: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor() -> Tensor {
+        // Include a NaN and a negative zero: the wire must preserve bits.
+        Tensor::from_vec(vec![1, 2, 3], vec![0.5, -0.0, f32::NAN, 1e-38, -3.25, 97.0])
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn round_trip(bytes: Vec<u8>) -> (Frame, usize) {
+        read_frame(&mut bytes.as_slice(), &WireLimits::default()).expect("round trip")
+    }
+
+    #[test]
+    fn request_round_trips_bit_exactly() {
+        let f = RequestFrame {
+            id: 7,
+            model: "lenet".into(),
+            deadline: Some(Duration::from_millis(250)),
+            input: tensor(),
+        };
+        let bytes = encode_request(&f).unwrap();
+        let (frame, n) = round_trip(bytes.clone());
+        assert_eq!(n, bytes.len());
+        match frame {
+            Frame::Request(g) => {
+                assert_eq!(g.id, 7);
+                assert_eq!(g.model, "lenet");
+                assert_eq!(g.deadline, Some(Duration::from_millis(250)));
+                assert_eq!(g.input.dims(), f.input.dims());
+                assert_eq!(bits(&g.input), bits(&f.input));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_without_deadline_round_trips() {
+        let f = RequestFrame { id: 0, model: "m".into(), deadline: None, input: tensor() };
+        match round_trip(encode_request(&f).unwrap()).0 {
+            Frame::Request(g) => assert_eq!(g.deadline, None),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_round_trips_bit_exactly() {
+        let f = ResponseFrame {
+            id: u64::MAX - 1,
+            timing: RequestTiming {
+                queue_wait: Duration::from_nanos(123),
+                service: Duration::from_micros(456),
+                total: Duration::from_millis(789),
+                batch_size: 8,
+            },
+            output: tensor(),
+        };
+        match round_trip(encode_response(&f).unwrap()).0 {
+            Frame::Response(g) => {
+                assert_eq!(g.id, f.id);
+                assert_eq!(g.timing.queue_wait, f.timing.queue_wait);
+                assert_eq!(g.timing.service, f.timing.service);
+                assert_eq!(g.timing.total, f.timing.total);
+                assert_eq!(g.timing.batch_size, 8);
+                assert_eq!(bits(&g.output), bits(&f.output));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_round_trips_every_code() {
+        for raw in 1..=10u16 {
+            let code = WireErrorCode::from_u16(raw).unwrap();
+            let f = ErrorFrame { id: NO_REQUEST_ID, code, message: format!("code {raw}") };
+            match round_trip(encode_error(&f)).0 {
+                Frame::Error(g) => {
+                    assert_eq!(g.code, code);
+                    assert_eq!(g.id, NO_REQUEST_ID);
+                    assert_eq!(g.message, format!("code {raw}"));
+                }
+                other => panic!("wrong kind: {other:?}"),
+            }
+        }
+        assert!(WireErrorCode::from_u16(0).is_none());
+        assert!(WireErrorCode::from_u16(11).is_none());
+    }
+
+    #[test]
+    fn serve_error_codes_round_trip_through_the_wire_taxonomy() {
+        let cases = [
+            ServeError::QueueFull,
+            ServeError::UnknownModel("m".into()),
+            ServeError::BadInput("b".into()),
+            ServeError::DeadlineExceeded,
+            ServeError::ShuttingDown,
+            ServeError::WorkerLost,
+            ServeError::Internal,
+        ];
+        for e in cases {
+            let code = WireErrorCode::from_serve_error(&e);
+            let back = code.to_serve_error(match &e {
+                ServeError::UnknownModel(m) => m,
+                ServeError::BadInput(b) => b,
+                _ => "",
+            });
+            assert_eq!(back, e, "ServeError must survive the wire taxonomy");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_kind_are_typed_errors() {
+        let mut bytes = encode_error(&ErrorFrame {
+            id: 0,
+            code: WireErrorCode::Internal,
+            message: String::new(),
+        });
+        bytes[0] = b'X';
+        match read_frame(&mut bytes.as_slice(), &WireLimits::default()) {
+            Err(WireError::BadMagic(_)) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+        bytes[0] = b'O';
+        bytes[4] = 99;
+        match read_frame(&mut bytes.as_slice(), &WireLimits::default()) {
+            Err(WireError::BadKind(99)) => {}
+            other => panic!("expected BadKind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_declaration_is_rejected_before_the_body() {
+        // Header only: the declared 1 GiB body is never read, so a valid
+        // header alone must already produce the error.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(KIND_REQUEST);
+        bytes.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        match read_frame(&mut bytes.as_slice(), &WireLimits::default()) {
+            Err(WireError::TooLarge { declared, max_body }) => {
+                assert_eq!(declared, 1 << 30);
+                assert_eq!(max_body, 16 << 20);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_and_garbage_never_panic() {
+        let good = encode_request(&RequestFrame {
+            id: 3,
+            model: "m".into(),
+            deadline: Some(Duration::from_millis(1)),
+            input: tensor(),
+        })
+        .unwrap();
+        // Every prefix is an Io (truncated) or Malformed error, never a
+        // panic or an Ok.
+        for cut in 0..good.len() {
+            let r = read_frame(&mut &good[..cut], &WireLimits::default());
+            assert!(r.is_err(), "prefix of {cut} bytes must not decode");
+        }
+        // Flipping the payload length consistency: shape says 6 elems but
+        // the body carries one extra word.
+        let mut long = good.clone();
+        let len = (long.len() - HEADER_LEN + 4) as u32;
+        long[5..9].copy_from_slice(&len.to_le_bytes());
+        long.extend_from_slice(&1.0f32.to_le_bytes());
+        match read_frame(&mut long.as_slice(), &WireLimits::default()) {
+            Err(WireError::Malformed(_)) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_dims_unknown_flags_and_bad_utf8_are_malformed() {
+        let limits = WireLimits::default();
+        // Unknown flag bit.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.push(0b1000_0000);
+        let framed = seal(KIND_REQUEST, body).unwrap();
+        assert!(matches!(
+            read_frame(&mut framed.as_slice(), &limits),
+            Err(WireError::Malformed(_))
+        ));
+        // Zero dimension.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.push(0); // no deadline
+        body.push(1); // name_len
+        body.push(b'm');
+        body.push(1); // ndims
+        body.extend_from_slice(&0u32.to_le_bytes());
+        let framed = seal(KIND_REQUEST, body).unwrap();
+        assert!(matches!(
+            read_frame(&mut framed.as_slice(), &limits),
+            Err(WireError::Malformed(_))
+        ));
+        // Non-UTF-8 model name.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.push(0);
+        body.push(1);
+        body.push(0xFF);
+        let framed = seal(KIND_REQUEST, body).unwrap();
+        assert!(matches!(
+            read_frame(&mut framed.as_slice(), &limits),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn dim_product_overflow_is_malformed_not_oom() {
+        // Eight u32::MAX dims would overflow any product; the decoder must
+        // reject the declaration without attempting the allocation.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.push(0);
+        body.push(1);
+        body.push(b'm');
+        body.push(8);
+        for _ in 0..8 {
+            body.extend_from_slice(&u32::MAX.to_le_bytes());
+        }
+        let framed = seal(KIND_REQUEST, body).unwrap();
+        assert!(matches!(
+            read_frame(&mut framed.as_slice(), &WireLimits::default()),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_error_message_is_truncated_at_a_char_boundary() {
+        let f = ErrorFrame {
+            id: 1,
+            code: WireErrorCode::Internal,
+            message: "é".repeat(40_000), // 80 kB of 2-byte chars
+        };
+        match round_trip(encode_error(&f)).0 {
+            Frame::Error(g) => {
+                assert!(g.message.len() <= u16::MAX as usize);
+                assert!(g.message.chars().all(|c| c == 'é'));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+}

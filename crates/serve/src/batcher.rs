@@ -210,6 +210,42 @@ mod tests {
     }
 
     #[test]
+    fn deadline_shorter_than_max_wait_dispatches_immediately() {
+        // Regression for the `checked_sub(..).unwrap_or(now)` branch of
+        // `group_due`: a request whose whole deadline budget is shorter
+        // than the batching window must flush (effectively) immediately —
+        // through the real batcher loop, not just the due computation.
+        let cfg = ServeConfig {
+            max_wait: Duration::from_secs(5),
+            max_batch: 8,
+            ..ServeConfig::default()
+        };
+        let (tx, rx) = bounded::<Pending>(4);
+        let (batch_tx, batch_rx) = bounded::<Batch>(4);
+        let ledger = Arc::new(Mutex::new(Ledger::default()));
+        let b_ledger = Arc::clone(&ledger);
+        let batcher = std::thread::spawn(move || run(rx, batch_tx, cfg, b_ledger));
+
+        let now = Instant::now();
+        // Deadline (300 ms) far below max_wait (5 s): sitting out the
+        // window would expire it.
+        tx.send(pending(now, Some(now + Duration::from_millis(300)))).unwrap();
+        let batch = batch_rx
+            .recv_timeout(Duration::from_secs(2))
+            .expect("deadline-driven flush must dispatch well before max_wait");
+        assert!(
+            now.elapsed() < Duration::from_secs(2),
+            "dispatched after {:?}, not within the deadline budget",
+            now.elapsed()
+        );
+        assert_eq!(batch.items.len(), 1);
+        assert_eq!(lock_ledger(&ledger).rejected_deadline, 0, "dispatched, not expired");
+
+        drop(tx);
+        batcher.join().unwrap();
+    }
+
+    #[test]
     fn earliest_member_deadline_wins() {
         let now = Instant::now();
         let w = Duration::from_millis(5);

@@ -59,6 +59,13 @@
 //! ids ([`TrafficSplit`]) to a candidate version, with per-version
 //! completions and service latency split out in the stats ledger.
 //!
+//! The server itself is transport-agnostic — everything enters through
+//! [`Server::submit`]. The `odq-net` crate puts a TCP front-end on top
+//! (the `ODQ1` length-prefixed wire protocol), streaming its
+//! connection/byte/frame counters into this crate's ledger through
+//! [`NetTap`], and its load generators drive either side of the wire via
+//! [`LoadTarget`].
+//!
 //! Workers are *supervised*: a panic during batch execution is caught,
 //! every request in the panicked batch is answered with
 //! [`ServeError::Internal`], the panic and restart are counted in the
@@ -84,10 +91,12 @@ mod worker;
 pub use config::ServeConfig;
 pub use deploy::{DeployError, Deployment, TrafficSplit};
 pub use engine::{EngineKind, PolicyExecutor};
-pub use loadgen::{run_closed_loop, run_open_loop, LoadReport, LoadSpec};
-pub use request::{InferRequest, InferResponse, RequestTiming, ResponseHandle, ServeError};
+pub use loadgen::{run_closed_loop, run_open_loop, LoadReport, LoadSpec, LoadTarget};
+pub use request::{
+    InferRequest, InferResponse, RequestTiming, ResponseHandle, ResponseSender, ServeError,
+};
 pub use server::{Server, ServerBuilder};
 pub use stats::{
-    BatchRecord, BatchSim, LatencyStats, LogHistogram, ModelVersionStats, RouteSim, RouteStats,
-    StatsSummary,
+    BatchRecord, BatchSim, LatencyStats, LogHistogram, ModelVersionStats, NetStats, NetTap,
+    RouteSim, RouteStats, StatsSummary,
 };

@@ -11,6 +11,10 @@
 //!
 //! Both are deterministic given a seed (ChaCha8 streams), modulo thread
 //! scheduling on the serving side.
+//!
+//! Both run against any [`LoadTarget`]: the in-process [`Server`]
+//! directly, or a remote one through the `odq-net` TCP client — the same
+//! generator measures both sides of the wire.
 
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -19,10 +23,26 @@ use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::request::{InferRequest, ServeError};
+use crate::request::{InferRequest, ResponseHandle, ServeError};
 use crate::server::Server;
-use crate::stats::percentile;
+use crate::stats::LogHistogram;
 use odq_tensor::Tensor;
+
+/// Anything the load generators can drive: submit a request, get back a
+/// [`ResponseHandle`]. Implemented by the in-process [`Server`] and by
+/// `odq-net`'s TCP client, so one generator measures either side of the
+/// wire.
+pub trait LoadTarget {
+    /// Submit a request; errors are admission rejections (for a remote
+    /// target, transport-level refusals).
+    fn submit(&self, req: InferRequest) -> Result<ResponseHandle, ServeError>;
+}
+
+impl LoadTarget for Server {
+    fn submit(&self, req: InferRequest) -> Result<ResponseHandle, ServeError> {
+        Server::submit(self, req)
+    }
+}
 
 /// One model's share of the generated load.
 #[derive(Clone, Debug)]
@@ -59,8 +79,12 @@ pub struct LoadReport {
     pub completed: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
-    /// End-to-end latencies of completed requests.
-    pub latencies: Vec<Duration>,
+    /// End-to-end latency distribution of completed requests, streamed as
+    /// nanoseconds into a fixed-footprint [`LogHistogram`] — a long soak
+    /// run does not grow the report (the same O(1)-in-requests discipline
+    /// as the server's ledger). Quantiles carry the histogram's ≤12.5%
+    /// relative bucket error.
+    pub latencies: LogHistogram,
 }
 
 impl LoadReport {
@@ -72,21 +96,28 @@ impl LoadReport {
         self.completed as f64 / self.elapsed.as_secs_f64()
     }
 
-    /// Latency percentile over completed requests.
+    /// Latency percentile over completed requests, accurate to the
+    /// histogram's ≤12.5% relative bucket width (exact at the observed
+    /// minimum and maximum).
     pub fn latency_percentile(&self, q: f64) -> Duration {
-        percentile(&self.latencies, q)
+        Duration::from_nanos(self.latencies.value_at_quantile(q))
     }
 
     fn absorb(&mut self, outcome: Result<Duration, ServeError>) {
         match outcome {
             Ok(lat) => {
                 self.completed += 1;
-                self.latencies.push(lat);
+                self.latencies.record(lat.as_nanos() as u64);
             }
             Err(ServeError::DeadlineExceeded) => self.deadline_missed += 1,
+            // Over a network target, admission rejections arrive through
+            // the handle instead of at submit; classify them the same way.
+            Err(ServeError::QueueFull) => self.rejected += 1,
+            Err(ServeError::ShuttingDown) => self.shutdown_rejected += 1,
+            Err(ServeError::UnknownModel(_) | ServeError::BadInput(_)) => self.invalid += 1,
             // Every other in-flight failure (worker panic, lost channel,
             // drain) is a terminal outcome the generator must survive.
-            Err(_) => self.failed += 1,
+            Err(ServeError::WorkerLost | ServeError::Internal) => self.failed += 1,
         }
     }
 
@@ -137,9 +168,10 @@ fn make_request(
 }
 
 /// Closed-loop run: keep `concurrency` requests in flight until `total`
-/// have been submitted, then drain.
+/// have been submitted, then drain. Drives any [`LoadTarget`] — the
+/// in-process server or a remote one over TCP.
 pub fn run_closed_loop(
-    server: &Server,
+    server: &impl LoadTarget,
     specs: &[LoadSpec],
     total: usize,
     concurrency: usize,
@@ -187,8 +219,10 @@ pub fn run_closed_loop(
 /// Open-loop run: `total` requests offered at `rate_rps` (Poisson
 /// arrivals), each carrying `deadline` if given. Queue-full rejections
 /// are counted, not retried — exactly what an overloaded server sheds.
+/// Drives any [`LoadTarget`] — the in-process server or a remote one
+/// over TCP.
 pub fn run_open_loop(
-    server: &Server,
+    server: &impl LoadTarget,
     specs: &[LoadSpec],
     total: usize,
     rate_rps: f64,
@@ -264,6 +298,27 @@ mod tests {
         assert_eq!(r.deadline_missed, 1);
         assert!((r.throughput() - 2.0).abs() < 1e-9);
         assert_eq!(r.latency_percentile(1.0), Duration::from_millis(8));
+    }
+
+    #[test]
+    fn report_latencies_are_streaming_with_bounded_error() {
+        // Regression: `latencies` was an unbounded Vec<Duration>, so a
+        // long soak run grew the report without bound. It is now a
+        // fixed-footprint LogHistogram (no heap at all) whose quantiles
+        // carry the documented ≤12.5% relative bucket error.
+        let mut r = LoadReport::default();
+        for i in 1..=100_000u64 {
+            r.absorb(Ok(Duration::from_micros(i)));
+        }
+        assert_eq!(r.completed, 100_000);
+        for (q, exact_us) in [(0.5, 50_000.0), (0.95, 95_000.0), (0.99, 99_000.0)] {
+            let got = r.latency_percentile(q).as_micros() as f64;
+            let rel = (got - exact_us).abs() / exact_us;
+            assert!(rel <= 0.125, "q={q}: got {got} us, exact {exact_us} us, rel err {rel}");
+        }
+        // The extremes are exact.
+        assert_eq!(r.latency_percentile(1.0), Duration::from_micros(100_000));
+        assert_eq!(r.latency_percentile(0.0), Duration::from_micros(1));
     }
 
     #[test]

@@ -115,6 +115,17 @@ pub struct ResponseHandle {
 }
 
 impl ResponseHandle {
+    /// A fresh single-slot response channel: the sending half resolves the
+    /// handle exactly once. This is how an out-of-process front-end (the
+    /// `odq-net` client) hands out the same handle type the in-process
+    /// [`crate::Server::submit`] does — a dropped sender resolves the
+    /// handle to [`ServeError::WorkerLost`], exactly like a dropped
+    /// pipeline.
+    pub fn channel() -> (ResponseSender, ResponseHandle) {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        (ResponseSender { tx }, ResponseHandle { rx })
+    }
+
     /// Block until the response is ready.
     pub fn wait(self) -> Result<InferResponse, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
@@ -132,10 +143,41 @@ impl ResponseHandle {
     }
 }
 
+/// The sending half of a [`ResponseHandle::channel`] pair. Resolving is
+/// idempotent-safe: the slot holds one result, later sends are ignored.
+#[derive(Clone, Debug)]
+pub struct ResponseSender {
+    tx: crossbeam::channel::Sender<Result<InferResponse, ServeError>>,
+}
+
+impl ResponseSender {
+    /// Resolve the paired handle. Returns `false` when the result could
+    /// not be delivered (slot already filled, or the handle was dropped).
+    pub fn send(&self, result: Result<InferResponse, ServeError>) -> bool {
+        self.tx.try_send(result).is_ok()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crossbeam::channel::bounded;
+
+    #[test]
+    fn channel_pair_resolves_once() {
+        let (tx, h) = ResponseHandle::channel();
+        assert!(h.try_wait().is_none());
+        assert!(tx.send(Err(ServeError::QueueFull)));
+        assert!(!tx.send(Err(ServeError::Internal)), "slot holds exactly one result");
+        assert_eq!(h.wait().unwrap_err(), ServeError::QueueFull);
+    }
+
+    #[test]
+    fn dropped_response_sender_is_worker_lost() {
+        let (tx, h) = ResponseHandle::channel();
+        drop(tx);
+        assert_eq!(h.wait().unwrap_err(), ServeError::WorkerLost);
+    }
 
     #[test]
     fn handle_delivers_response() {

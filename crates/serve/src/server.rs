@@ -183,7 +183,11 @@ impl Server {
         let dep = match self.admit(&req, id) {
             Ok(dep) => dep,
             Err(e) => {
-                lock_ledger(&self.ledger).rejected_invalid += 1;
+                // Count under the counter the variant names: today `admit`
+                // only rejects as invalid (unknown model / bad shape), but
+                // a future non-invalid admit failure must not masquerade
+                // as one in the rejection taxonomy.
+                lock_ledger(&self.ledger).count_rejection(&e);
                 return Err(e);
             }
         };
@@ -318,6 +322,14 @@ impl Server {
         lock_ledger(&self.ledger).approx_bytes()
     }
 
+    /// A handle a network front-end uses to stream connection, byte, and
+    /// frame counters into this server's ledger, so transport telemetry
+    /// lands in the same [`StatsSummary`] / [`stats_json`](Self::stats_json)
+    /// snapshot as the serving pipeline's.
+    pub fn net_tap(&self) -> crate::stats::NetTap {
+        crate::stats::NetTap::new(Arc::clone(&self.ledger))
+    }
+
     /// Graceful shutdown: close admission, let the batcher drain and
     /// flush every admitted request, let workers finish all batches, join
     /// all threads. Returns the final ledger summary.
@@ -439,6 +451,12 @@ mod tests {
         assert!(matches!(e, ServeError::BadInput(_)));
         let sum = s.shutdown();
         assert_eq!(sum.rejected_invalid, 2);
+        // Pin the mapping: admission rejections land on the counter their
+        // variant names and nowhere else.
+        assert_eq!(sum.rejected_shutdown, 0);
+        assert_eq!(sum.rejected_queue_full, 0);
+        assert_eq!(sum.rejected_deadline, 0);
+        assert_eq!(sum.internal_errors, 0);
     }
 
     #[test]

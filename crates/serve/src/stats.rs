@@ -21,8 +21,11 @@
 //! serializes to JSON for dashboards and the `serve_bench` report.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use crate::request::ServeError;
+use crate::worker::lock_ledger;
 
 /// How many recently executed batches the ledger retains for inspection.
 pub const RECENT_BATCH_CAP: usize = 32;
@@ -44,12 +47,13 @@ pub struct LogHistogram {
     counts: [u64; BUCKETS],
     count: u64,
     sum: u128,
+    min: u64,
     max: u64,
 }
 
 impl Default for LogHistogram {
     fn default() -> Self {
-        Self { counts: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+        Self { counts: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
     }
 }
 
@@ -57,6 +61,7 @@ impl std::fmt::Debug for LogHistogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LogHistogram")
             .field("count", &self.count)
+            .field("min", &self.min())
             .field("max", &self.max)
             .finish_non_exhaustive()
     }
@@ -88,12 +93,22 @@ impl LogHistogram {
         self.counts[bucket_index(v)] += 1;
         self.count += 1;
         self.sum += v as u128;
+        self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
 
     /// Samples recorded.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Smallest sample recorded (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
     }
 
     /// Largest sample recorded.
@@ -117,14 +132,24 @@ impl LogHistogram {
             return 0;
         }
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme ranks are tracked exactly; answer them exactly.
+        if rank == 1 {
+            return self.min;
+        }
+        if rank == self.count {
+            return self.max;
+        }
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                // Bucket midpoint, clamped to the true observed maximum.
+                // Bucket midpoint, clamped two-sided to the true observed
+                // range: a midpoint can fall below every recorded sample
+                // (low quantiles) or above the maximum (high quantiles),
+                // and a reported quantile must never leave [min, max].
                 let lo = bucket_lower(i);
                 let width = if i < SUB { 1 } else { bucket_lower(i + 1) - lo };
-                return (lo + width / 2).min(self.max);
+                return (lo + width / 2).clamp(self.min, self.max);
             }
         }
         self.max
@@ -254,6 +279,92 @@ struct RouteAgg {
     energy_nj: f64,
 }
 
+/// Streaming counters for a network front-end sitting on top of the
+/// server (the `odq-net` TCP listener, or any other transport). All
+/// monotone except `active_connections`, which is a gauge. Fixed size, so
+/// the O(1)-in-requests ledger guarantee extends over the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted by the front-end.
+    pub connections_opened: u64,
+    /// Connections fully torn down (reader and writer exited).
+    pub connections_closed: u64,
+    /// Connections refused at accept time (connection cap reached).
+    pub connections_rejected: u64,
+    /// Connections currently live (opened − closed, maintained as a gauge).
+    pub active_connections: u64,
+    /// Wire bytes read from clients (frame headers + bodies).
+    pub bytes_in: u64,
+    /// Wire bytes written to clients.
+    pub bytes_out: u64,
+    /// Well-formed frames decoded from clients.
+    pub frames_in: u64,
+    /// Frames written to clients (responses and typed errors).
+    pub frames_out: u64,
+    /// Malformed, truncated, or oversized frames rejected at the wire.
+    pub protocol_errors: u64,
+}
+
+/// A front-end's handle into the server's streaming ledger: the `odq-net`
+/// listener clones one per connection and streams connection/byte/frame
+/// counters into the same [`StatsSummary`] the serving pipeline reports
+/// ([`crate::Server::stats_json`]'s `net` section). Cheap to clone; every
+/// method takes one short ledger lock.
+#[derive(Clone, Debug)]
+pub struct NetTap {
+    ledger: Arc<Mutex<Ledger>>,
+}
+
+impl NetTap {
+    pub(crate) fn new(ledger: Arc<Mutex<Ledger>>) -> Self {
+        Self { ledger }
+    }
+
+    /// A connection was accepted.
+    pub fn conn_opened(&self) {
+        let mut led = lock_ledger(&self.ledger);
+        led.net.connections_opened += 1;
+        led.net.active_connections += 1;
+    }
+
+    /// A connection fully tore down (counted once per opened connection).
+    pub fn conn_closed(&self) {
+        let mut led = lock_ledger(&self.ledger);
+        led.net.connections_closed += 1;
+        led.net.active_connections = led.net.active_connections.saturating_sub(1);
+    }
+
+    /// A connection was refused because the connection cap was reached.
+    pub fn conn_rejected(&self) {
+        lock_ledger(&self.ledger).net.connections_rejected += 1;
+    }
+
+    /// One well-formed frame arrived, `bytes` long on the wire.
+    pub fn frame_in(&self, bytes: u64) {
+        let mut led = lock_ledger(&self.ledger);
+        led.net.frames_in += 1;
+        led.net.bytes_in += bytes;
+    }
+
+    /// One frame was written to a client, `bytes` long on the wire.
+    pub fn frame_out(&self, bytes: u64) {
+        let mut led = lock_ledger(&self.ledger);
+        led.net.frames_out += 1;
+        led.net.bytes_out += bytes;
+    }
+
+    /// Bytes consumed from the wire that did not amount to a well-formed
+    /// frame (partial reads before a malformed/truncated reject).
+    pub fn bytes_in(&self, bytes: u64) {
+        lock_ledger(&self.ledger).net.bytes_in += bytes;
+    }
+
+    /// A malformed, truncated, or oversized frame was rejected.
+    pub fn protocol_error(&self) {
+        lock_ledger(&self.ledger).net.protocol_errors += 1;
+    }
+}
+
 /// Mutable streaming ledger shared by the admission path and the workers.
 /// Every field is a fixed-size aggregate: memory does not grow with the
 /// number of requests served.
@@ -279,6 +390,8 @@ pub(crate) struct Ledger {
     // Gauges.
     pub last_queue_depth: u64,
     pub max_queue_depth: u64,
+    // Network front-end counters (all zero when no front-end is attached).
+    pub net: NetStats,
     // Histograms (nanoseconds; batch_size in requests).
     queue_wait: LogHistogram,
     service: LogHistogram,
@@ -314,6 +427,7 @@ impl Default for Ledger {
             worker_restarts: 0,
             last_queue_depth: 0,
             max_queue_depth: 0,
+            net: NetStats::default(),
             queue_wait: LogHistogram::default(),
             service: LogHistogram::default(),
             total: LogHistogram::default(),
@@ -330,6 +444,22 @@ impl Default for Ledger {
 }
 
 impl Ledger {
+    /// Count one admission rejection under the counter its [`ServeError`]
+    /// variant names. Matching on the variant (instead of attributing
+    /// every admission failure to one counter) keeps the rejection
+    /// taxonomy honest as new admission failure modes appear: an
+    /// invalid-input reject and a shutting-down reject must never share a
+    /// counter.
+    pub fn count_rejection(&mut self, e: &ServeError) {
+        match e {
+            ServeError::UnknownModel(_) | ServeError::BadInput(_) => self.rejected_invalid += 1,
+            ServeError::QueueFull => self.rejected_queue_full += 1,
+            ServeError::ShuttingDown => self.rejected_shutdown += 1,
+            ServeError::DeadlineExceeded => self.rejected_deadline += 1,
+            ServeError::WorkerLost | ServeError::Internal => self.internal_errors += 1,
+        }
+    }
+
     /// Record the submission-queue depth observed at admission.
     pub fn note_queue_depth(&mut self, depth: usize) {
         self.last_queue_depth = depth as u64;
@@ -455,6 +585,7 @@ impl Ledger {
             worker_restarts: self.worker_restarts,
             mean_batch_size: self.batch_size.mean(),
             max_batch_size: self.batch_size.max(),
+            net: self.net,
             last_queue_depth: self.last_queue_depth,
             max_queue_depth: self.max_queue_depth,
             mean_queue_wait: Duration::from_nanos(self.queue_wait.mean() as u64),
@@ -540,6 +671,9 @@ pub struct StatsSummary {
     pub mean_batch_size: f64,
     /// Largest executed batch.
     pub max_batch_size: u64,
+    /// Network front-end counters (all zero when no front-end is
+    /// attached; populated by `odq-net` through [`NetTap`]).
+    pub net: NetStats,
     /// Submission-queue depth at the last admission.
     pub last_queue_depth: u64,
     /// Highest submission-queue depth observed at admission.
@@ -587,6 +721,17 @@ impl StatsSummary {
             ("max_batch_size".into(), Value::U64(self.max_batch_size)),
             ("last_queue_depth".into(), Value::U64(self.last_queue_depth)),
             ("max_queue_depth".into(), Value::U64(self.max_queue_depth)),
+        ]);
+        let net = Value::Object(vec![
+            ("connections_opened".into(), Value::U64(self.net.connections_opened)),
+            ("connections_closed".into(), Value::U64(self.net.connections_closed)),
+            ("connections_rejected".into(), Value::U64(self.net.connections_rejected)),
+            ("active_connections".into(), Value::U64(self.net.active_connections)),
+            ("bytes_in".into(), Value::U64(self.net.bytes_in)),
+            ("bytes_out".into(), Value::U64(self.net.bytes_out)),
+            ("frames_in".into(), Value::U64(self.net.frames_in)),
+            ("frames_out".into(), Value::U64(self.net.frames_out)),
+            ("protocol_errors".into(), Value::U64(self.net.protocol_errors)),
         ]);
         let latency = vec![
             ("queue_wait".into(), self.queue_wait.to_json()),
@@ -636,6 +781,7 @@ impl StatsSummary {
             ("uptime_ms".into(), Value::F64(self.uptime.as_secs_f64() * 1e3)),
             ("counters".into(), counters),
             ("gauges".into(), gauges),
+            ("net".into(), net),
             ("latency_ms".into(), Value::Object(latency)),
             ("simulated_accel".into(), Value::Object(sim)),
             ("models".into(), models),
@@ -651,8 +797,10 @@ impl serde::Serialize for StatsSummary {
 
 /// `q`-quantile (0.0..=1.0) of an unsorted sample by nearest-rank.
 ///
-/// Exact (sorts a copy); used by the load generators on their own bounded
-/// sample vectors. The server's ledger uses [`LogHistogram`] instead.
+/// Exact (sorts a copy); for callers that already hold a bounded sample
+/// vector. The server's ledger — and, since the ledger discipline extends
+/// to clients, [`crate::LoadReport`] — stream through [`LogHistogram`]
+/// instead.
 pub fn percentile(samples: &[Duration], q: f64) -> Duration {
     if samples.is_empty() {
         return Duration::ZERO;
@@ -706,6 +854,81 @@ mod tests {
             assert!(rel <= 0.125, "q={q}: got {got}, exact {exact}, rel err {rel}");
         }
         assert!((h.mean() - 50_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_equal_that_sample() {
+        // Regression: quantiles were clamped to `max` only, so a low
+        // quantile could report a bucket midpoint *below* every recorded
+        // sample. With a tracked minimum the clamp is two-sided: a
+        // one-sample histogram answers that sample at every quantile.
+        for v in [1u64, 9, 1000, 123_456_789, u64::MAX / 3] {
+            let mut h = LogHistogram::default();
+            h.record(v);
+            assert_eq!(h.min(), v);
+            assert_eq!(h.max(), v);
+            for q in [0.0, 0.01, 0.25, 0.5, 0.95, 0.99, 1.0] {
+                assert_eq!(h.value_at_quantile(q), v, "q={q} of single sample {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_never_leave_the_observed_range() {
+        let mut h = LogHistogram::default();
+        assert_eq!(h.min(), 0, "empty histogram reports 0");
+        // Two far-apart samples: every quantile lies within [min, max].
+        h.record(1000);
+        h.record(1_000_000);
+        for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            let v = h.value_at_quantile(q);
+            assert!((1000..=1_000_000).contains(&v), "q={q} gave {v}");
+        }
+        assert_eq!(h.value_at_quantile(0.01), 1000, "low quantile is the low sample");
+    }
+
+    #[test]
+    fn count_rejection_maps_every_variant_to_its_own_counter() {
+        let mut l = Ledger::default();
+        l.count_rejection(&ServeError::UnknownModel("x".into()));
+        l.count_rejection(&ServeError::BadInput("y".into()));
+        l.count_rejection(&ServeError::QueueFull);
+        l.count_rejection(&ServeError::ShuttingDown);
+        l.count_rejection(&ServeError::DeadlineExceeded);
+        l.count_rejection(&ServeError::WorkerLost);
+        l.count_rejection(&ServeError::Internal);
+        assert_eq!(l.rejected_invalid, 2, "only UnknownModel/BadInput are invalid");
+        assert_eq!(l.rejected_queue_full, 1);
+        assert_eq!(l.rejected_shutdown, 1);
+        assert_eq!(l.rejected_deadline, 1);
+        assert_eq!(l.internal_errors, 2);
+    }
+
+    #[test]
+    fn net_tap_streams_into_the_summary_and_json() {
+        let ledger = Arc::new(Mutex::new(Ledger::default()));
+        let tap = NetTap::new(Arc::clone(&ledger));
+        tap.conn_opened();
+        tap.conn_opened();
+        tap.frame_in(64);
+        tap.frame_out(128);
+        tap.bytes_in(9);
+        tap.protocol_error();
+        tap.conn_rejected();
+        tap.conn_closed();
+        let s = lock_ledger(&ledger).summary();
+        assert_eq!(s.net.connections_opened, 2);
+        assert_eq!(s.net.connections_closed, 1);
+        assert_eq!(s.net.active_connections, 1);
+        assert_eq!(s.net.connections_rejected, 1);
+        assert_eq!(s.net.bytes_in, 64 + 9);
+        assert_eq!(s.net.bytes_out, 128);
+        assert_eq!(s.net.frames_in, 1);
+        assert_eq!(s.net.frames_out, 1);
+        assert_eq!(s.net.protocol_errors, 1);
+        let v = s.to_json();
+        assert_eq!(v["net"]["connections_opened"], serde_json::Value::U64(2));
+        assert_eq!(v["net"]["bytes_out"], serde_json::Value::U64(128));
     }
 
     #[test]

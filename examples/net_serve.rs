@@ -1,0 +1,109 @@
+//! End-to-end tour of the odq-net TCP front-end.
+//!
+//! Publishes a model, puts the server on a loopback socket, infers
+//! remotely, hot-swaps to a retrained version **while remote connections
+//! are live and submitting**, rolls back (bit-exact against the original
+//! answers), and prints the final ledger — serving and transport counters
+//! in one JSON snapshot.
+//!
+//! ```sh
+//! cargo run --release --example net_serve
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use odq::net::{NetClient, NetConfig, NetServer};
+use odq::nn::models::{Model, ModelCfg};
+use odq::nn::Arch;
+use odq::serve::{EngineKind, InferRequest, ServeConfig, Server};
+use odq::tensor::Tensor;
+
+fn lenet(seed: u64) -> Model {
+    let mut cfg = ModelCfg::small(Arch::LeNet5, 10);
+    cfg.input_hw = 8;
+    cfg.in_channels = 1;
+    cfg.seed = seed;
+    Model::build(cfg)
+}
+
+fn image(seed: usize) -> Tensor {
+    let v: Vec<f32> = (0..64).map(|i| ((i * 13 + seed * 29) % 89) as f32 / 89.0).collect();
+    Tensor::from_vec(vec![1, 1, 8, 8], v)
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn main() {
+    // 1. Publish v1 and open the TCP front-end on an ephemeral port.
+    let server = Server::builder(ServeConfig {
+        max_wait: Duration::from_micros(300),
+        ..ServeConfig::default()
+    })
+    .engine(EngineKind::Odq { threshold: 0.3 })
+    .model("lenet", lenet(1))
+    .start();
+    let ns = NetServer::bind(server, "127.0.0.1:0", NetConfig::default()).expect("bind");
+    let addr = ns.local_addr();
+    println!("serving \"lenet\" v1 on {addr}");
+
+    // 2. Remote inference through a client connection.
+    let client = NetClient::connect(addr).expect("connect");
+    let v1 = client.infer(InferRequest::new("lenet", image(7))).expect("remote inference");
+    println!(
+        "remote infer: shape {:?}, batch {}, total {:?}",
+        v1.output.dims(),
+        v1.timing.batch_size,
+        v1.timing.total
+    );
+
+    // 3. Hot swap under live connections: a second client hammers the
+    //    server while v2 is published and deployed. Every response is
+    //    whole — served entirely by the version its request was admitted
+    //    under — and the connection never drops.
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammer_stop = Arc::clone(&stop);
+    let hammer = std::thread::spawn(move || {
+        let c = NetClient::connect(addr).expect("hammer connect");
+        let mut served = 0u64;
+        while !hammer_stop.load(Ordering::Relaxed) {
+            c.infer(InferRequest::new("lenet", image(served as usize % 5)))
+                .expect("requests keep completing across the swap");
+            served += 1;
+        }
+        c.close();
+        served
+    });
+
+    let v2 = ns.server().registry().publish("lenet", lenet(2), vec![]).expect("publish v2");
+    ns.server().deploy("lenet", v2).expect("hot swap");
+    println!("hot-swapped to v2 (version {v2}) under live traffic");
+    let swapped = client.infer(InferRequest::new("lenet", image(7))).expect("post-swap inference");
+    assert_ne!(bits(&v1.output), bits(&swapped.output), "v2 must answer differently");
+
+    // 4. Roll back: remote answers are bit-identical to v1's again.
+    ns.server().rollback("lenet").expect("rollback");
+    let back = client.infer(InferRequest::new("lenet", image(7))).expect("post-rollback inference");
+    assert_eq!(bits(&v1.output), bits(&back.output), "rollback must be bit-exact over the wire");
+    println!("rolled back to v1: remote answers bit-identical again");
+
+    stop.store(true, Ordering::Relaxed);
+    let served = hammer.join().expect("hammer thread");
+    println!("hammer connection served {served} requests across swap and rollback");
+    assert!(served > 0);
+
+    // 5. Graceful drain; the final ledger carries the transport counters.
+    client.close();
+    let sum = ns.shutdown();
+    assert!(sum.net.connections_opened >= 2);
+    assert_eq!(sum.net.connections_opened, sum.net.connections_closed);
+    assert_eq!(sum.net.protocol_errors, 0);
+    println!(
+        "\nfinal ledger: {} completed, {} connections, {} frames in, {} bytes out",
+        sum.completed, sum.net.connections_opened, sum.net.frames_in, sum.net.bytes_out
+    );
+    println!("{}", serde_json::to_string_pretty(&sum).expect("summary serializes"));
+}

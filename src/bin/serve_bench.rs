@@ -26,11 +26,17 @@
 //! ```sh
 //! cargo run --release --bin serve_bench -- \
 //!     [--engine odq|drq|int8|int16|float] [--workers N] [--requests N] \
-//!     [--max-batch N] [--rate RPS] [--seed S] [--json] [--out PATH]
+//!     [--max-batch N] [--rate RPS] [--seed S] [--json] [--out PATH] [--net]
 //! ```
+//!
+//! `--net` routes both phases through the odq-net TCP front-end on a
+//! loopback socket — the same load generator drives a `NetClient`
+//! instead of the in-process server, so the measured latencies include
+//! framing and the wire.
 
 use std::time::Duration;
 
+use odq::net::{NetClient, NetConfig, NetServer};
 use odq::nn::models::{Model, ModelCfg};
 use odq::nn::Arch;
 use odq::serve::{
@@ -48,6 +54,7 @@ struct Args {
     seed: u64,
     json: bool,
     out: String,
+    net: bool,
 }
 
 fn parse_args() -> Args {
@@ -60,6 +67,7 @@ fn parse_args() -> Args {
         seed: 42,
         json: false,
         out: "BENCH_serve.json".into(),
+        net: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -82,6 +90,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = val().parse().expect("--seed"),
             "--json" => args.json = true,
             "--out" => args.out = val(),
+            "--net" => args.net = true,
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -120,8 +129,41 @@ fn specs() -> Vec<LoadSpec> {
     ]
 }
 
-fn print_phase(name: &str, r: &LoadReport, server: &Server, json: bool) {
-    let s = server.stats();
+/// Closed-loop phase against the in-process server, or — with `--net` —
+/// against a loopback TCP front-end driven through a [`NetClient`]. Both
+/// paths end with a fully drained server, so the returned summary is
+/// final and complete.
+fn closed_phase(a: &Args, server: Server) -> (LoadReport, StatsSummary) {
+    if a.net {
+        let ns = NetServer::bind(server, "127.0.0.1:0", NetConfig::default())
+            .expect("bind loopback front-end");
+        let client = NetClient::connect(ns.local_addr()).expect("connect load client");
+        let r = run_closed_loop(&client, &specs(), a.requests, 4 * a.max_batch, a.seed);
+        client.close();
+        (r, ns.shutdown())
+    } else {
+        let r = run_closed_loop(&server, &specs(), a.requests, 4 * a.max_batch, a.seed);
+        (r, server.shutdown())
+    }
+}
+
+/// Open-loop phase; same local/TCP split as [`closed_phase`].
+fn open_phase(a: &Args, server: Server) -> (LoadReport, StatsSummary) {
+    let deadline = Some(Duration::from_millis(50));
+    if a.net {
+        let ns = NetServer::bind(server, "127.0.0.1:0", NetConfig::default())
+            .expect("bind loopback front-end");
+        let client = NetClient::connect(ns.local_addr()).expect("connect load client");
+        let r = run_open_loop(&client, &specs(), a.requests, a.rate, deadline, a.seed + 1);
+        client.close();
+        (r, ns.shutdown())
+    } else {
+        let r = run_open_loop(&server, &specs(), a.requests, a.rate, deadline, a.seed + 1);
+        (r, server.shutdown())
+    }
+}
+
+fn print_phase(name: &str, r: &LoadReport, s: &StatsSummary, json: bool) {
     println!("\n== {name} ==");
     println!(
         "{:<26} {:>10.1} req/s  ({} completed in {:.2}s)",
@@ -173,8 +215,17 @@ fn print_phase(name: &str, r: &LoadReport, server: &Server, json: bool) {
             s.sim_energy_nj / s.batches as f64 / 1e3
         );
     }
+    if s.net.connections_opened > 0 {
+        println!(
+            "{:<26} {:>10} frames in/out   {:>10}/{:<10} bytes in/out",
+            "net",
+            format!("{}/{}", s.net.frames_in, s.net.frames_out),
+            s.net.bytes_in,
+            s.net.bytes_out
+        );
+    }
     if json {
-        println!("{}", server.stats_json());
+        println!("{}", serde_json::to_string_pretty(s).expect("summary serializes"));
     }
 }
 
@@ -231,12 +282,13 @@ fn main() {
         a.seed
     );
     println!("models: resnet20 (3x16x16, 60% of load), lenet5 (1x16x16, 40% of load)");
+    if a.net {
+        println!("transport: loopback TCP through the odq-net front-end");
+    }
 
     // Phase 1: closed loop at 4x max_batch concurrency.
-    let server = start_server(&a);
-    let closed = run_closed_loop(&server, &specs(), a.requests, 4 * a.max_batch, a.seed);
-    print_phase("closed loop", &closed, &server, a.json);
-    let sum = server.shutdown();
+    let (closed, sum) = closed_phase(&a, start_server(&a));
+    print_phase("closed loop", &closed, &sum, a.json);
     assert_eq!(
         sum.completed + sum.rejected_deadline,
         closed.completed + closed.deadline_missed,
@@ -245,23 +297,14 @@ fn main() {
     let closed_json = phase_json(&closed, &sum);
 
     // Phase 2: open loop at the offered rate, 50 ms deadlines.
-    let server = start_server(&a);
-    let open = run_open_loop(
-        &server,
-        &specs(),
-        a.requests,
-        a.rate,
-        Some(Duration::from_millis(50)),
-        a.seed + 1,
-    );
-    print_phase(&format!("open loop @ {:.0} req/s", a.rate), &open, &server, a.json);
+    let (open, open_sum) = open_phase(&a, start_server(&a));
+    print_phase(&format!("open loop @ {:.0} req/s", a.rate), &open, &open_sum, a.json);
     if open.rejected > 0 || open.deadline_missed > 0 {
         println!(
             "{:<26} {:>10} rejected   {:>6} missed deadline",
             "load-shedding", open.rejected, open.deadline_missed
         );
     }
-    let open_sum = server.shutdown();
     let open_json = phase_json(&open, &open_sum);
 
     if a.out != "-" {

@@ -40,6 +40,7 @@ pub use odq_accel as accel;
 pub use odq_core as core;
 pub use odq_data as data;
 pub use odq_drq as drq;
+pub use odq_net as net;
 pub use odq_nn as nn;
 pub use odq_quant as quant;
 pub use odq_registry as registry;
