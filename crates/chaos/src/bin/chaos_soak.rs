@@ -1,0 +1,144 @@
+//! Soak the ODQ stack with chaos schedules for a time budget.
+//!
+//! Walks seeds derived from a root seed (so the whole soak is replayable
+//! from one number), alternating in-process and over-the-wire schedules,
+//! until the time budget runs out or an invariant fails. On failure it
+//! prints the schedule's seed and the exact replay command, then exits 1.
+//!
+//! ```text
+//! chaos_soak [--seed N] [--seconds N] [--ops N]      # soak mode
+//! chaos_soak --replay SEED [--net] [--ops N]         # replay one schedule
+//! ```
+
+use std::time::{Duration, Instant};
+
+use odq_chaos::{quiet_fault_panics, run_chaos, substream, ChaosConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: chaos_soak [--seed N] [--seconds N] [--ops N]");
+    eprintln!("       chaos_soak --replay SEED [--net] [--ops N]");
+    eprintln!("  --seed N     root seed (default 1); schedule k runs seed substream(N, k)");
+    eprintln!("  --seconds N  time budget in seconds (default 30)");
+    eprintln!("  --ops N      ops per schedule (default 120)");
+    eprintln!("  --replay S   run exactly one schedule with seed S, print its event log");
+    eprintln!("  --net        with --replay: drive it over TCP through the fault proxy");
+    std::process::exit(2)
+}
+
+struct Args {
+    seed: u64,
+    seconds: u64,
+    ops: usize,
+    replay: Option<u64>,
+    net: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args { seed: 1, seconds: 30, ops: 120, replay: None, net: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--net" {
+            parsed.net = true;
+            continue;
+        }
+        let Some(value) = args.next() else { usage() };
+        match flag.as_str() {
+            "--seed" => parsed.seed = parse_u64(&value),
+            "--seconds" => parsed.seconds = parse_u64(&value),
+            "--ops" => parsed.ops = parse_u64(&value) as usize,
+            "--replay" => parsed.replay = Some(parse_u64(&value)),
+            _ => usage(),
+        }
+    }
+    parsed
+}
+
+/// Accept decimal or `0x`-prefixed hex (the harness prints seeds in hex).
+fn parse_u64(s: &str) -> u64 {
+    let parsed = match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.unwrap_or_else(|_| usage())
+}
+
+fn main() {
+    let args = parse_args();
+    quiet_fault_panics();
+
+    if let Some(seed) = args.replay {
+        let mut cfg = ChaosConfig::new(seed);
+        cfg.ops = args.ops;
+        if args.net {
+            cfg = cfg.via_net();
+        }
+        println!(
+            "replaying seed 0x{seed:016x} ({}, {} ops)",
+            if cfg.via_net { "net" } else { "in-process" },
+            cfg.ops
+        );
+        let report = run_chaos(&cfg);
+        for line in &report.event_log {
+            println!("  {line}");
+        }
+        if report.all_pass() {
+            println!("replay PASSED: {} invariants held", report.verdicts.len());
+            return;
+        }
+        for v in report.failures() {
+            eprintln!("FAIL {}: {}", v.name, v.detail);
+        }
+        std::process::exit(1);
+    }
+
+    let (root_seed, seconds, ops) = (args.seed, args.seconds, args.ops);
+    println!("chaos_soak: root seed 0x{root_seed:016x}, budget {seconds}s, {ops} ops/schedule");
+
+    let deadline = Instant::now() + Duration::from_secs(seconds);
+    let mut schedule = 0u64;
+    let mut responses = 0usize;
+    while Instant::now() < deadline {
+        let seed = substream(root_seed, schedule);
+        // Alternate transports so both the in-process path and the wire
+        // (with its fault proxy) soak in one run.
+        let mut cfg = ChaosConfig::new(seed);
+        cfg.ops = ops;
+        if schedule % 2 == 1 {
+            cfg = cfg.via_net();
+        }
+        println!(
+            "schedule #{schedule}: seed 0x{seed:016x} ({})",
+            if cfg.via_net { "net" } else { "in-process" }
+        );
+        let report = run_chaos(&cfg);
+        responses += report.responses_checked;
+        if !report.all_pass() {
+            eprintln!("\nINVARIANT FAILURE in schedule #{schedule}, seed 0x{seed:016x}");
+            for v in report.failures() {
+                eprintln!("  FAIL {}: {}", v.name, v.detail);
+            }
+            eprintln!("\nevent log:");
+            for line in &report.event_log {
+                eprintln!("  {line}");
+            }
+            eprintln!(
+                "\nreplay: cargo run --release -p odq-chaos --bin chaos_soak -- \
+                 --replay 0x{seed:016x}{} --ops {ops}",
+                if cfg.via_net { " --net" } else { "" }
+            );
+            eprintln!(
+                "or in code: run_chaos(&ChaosConfig::new(0x{seed:016x}){})",
+                if cfg.via_net { ".via_net()" } else { "" }
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "  ok: engine={}, {} invariants, {} responses oracle-checked",
+            report.engine_label,
+            report.verdicts.len(),
+            report.responses_checked
+        );
+        schedule += 1;
+    }
+    println!("chaos_soak: {schedule} schedules passed, {responses} responses oracle-checked");
+}

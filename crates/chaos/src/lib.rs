@@ -1,0 +1,62 @@
+//! odq-chaos: seeded fault-schedule soak harness for the ODQ stack.
+//!
+//! The harness turns a single printed `u64` seed into a [`ChaosPlan`] — a
+//! deterministic interleaving of inference load (mixed deadlines),
+//! injected worker panics, connection-level wire faults through a
+//! [`FaultyTransport`](odq_net::FaultyTransport) proxy, and registry
+//! churn (deploy / canary / rollback / retire) — then runs it against the
+//! real stack (net → serve → registry → engine) and checks whole-stack
+//! invariants at every quiesce point:
+//!
+//! 1. every submitted request reaches exactly one terminal outcome;
+//! 2. the serve ledger reconciles (conservation of requests);
+//! 3. every completed tensor bit-matches the conformance oracle for
+//!    exactly one published version of its model;
+//! 4. admission and connection gauges return to zero at the end;
+//! 5. no aggregate contradicts another (quantile ordering, per-version
+//!    sums, connection round-trips).
+//!
+//! A failing run reports its seed; re-running [`run_chaos`] with the same
+//! [`ChaosConfig`] replays the identical schedule — the replay test in
+//! `tests/chaos.rs` asserts the full event log is bit-identical across
+//! two runs. `chaos_soak` (the bundled binary) walks seeds derived from a
+//! root seed for a time budget, for CI soaking and overnight runs.
+
+pub mod engine;
+pub mod invariants;
+pub mod plan;
+pub mod rng;
+
+pub use engine::{run_chaos, ChaosReport, OutcomeTally};
+pub use invariants::{InvariantVerdict, ObservedResponse, OracleCache, PublishedVersions};
+pub use plan::{ChaosConfig, ChaosOp, ChaosPlan, IMAGE_SEEDS, MODEL_NAMES};
+pub use rng::{mix, substream, SplitMix64};
+
+use std::panic;
+use std::sync::Once;
+
+/// Silence the default panic-hook backtrace for *injected* faults only.
+///
+/// Chaos schedules panic workers on purpose; the default hook would print
+/// one "thread panicked" header per injection and bury real output. This
+/// filters on the `"fault injection"` message marker every injected panic
+/// carries (see `odq_serve::fault`) and defers anything else — a genuine
+/// bug still reports normally. Install-once and process-global; safe to
+/// call from every test.
+pub fn quiet_fault_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("fault injection") {
+                default(info);
+            }
+        }));
+    });
+}

@@ -1,0 +1,97 @@
+//! The harness's own tiny deterministic RNG.
+//!
+//! Chaos schedules must replay bit-identically from a printed `u64` seed,
+//! with no dependence on global RNG state, thread timing, or crate
+//! versions — so the harness carries its own splitmix64 (the same
+//! finalizer `odq_serve::TrafficSplit` and `odq_serve::fault` use) rather
+//! than depending on an external RNG whose stream might shift.
+
+/// The splitmix64 finalizer: a bijective avalanche over `u64`.
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Derive an independent sub-seed from a root seed and a stream label.
+/// Pure, so every derived stream is a fixed function of the printed seed.
+pub fn substream(seed: u64, stream: u64) -> u64 {
+    mix(seed ^ mix(stream))
+}
+
+/// A splitmix64 sequence generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Start a stream at `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi)`. `hi` must exceed `lo`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo);
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits of the draw.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_distinct() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = SplitMix64::new(substream(42, 1));
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c, "substreams diverge from the root stream");
+    }
+
+    #[test]
+    fn ranges_and_chances_stay_in_bounds() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3, 9);
+            assert!((3..9).contains(&v));
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        let mut r = SplitMix64::new(8);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

@@ -11,12 +11,15 @@
 //! Failure semantics mirror the in-process contract: a request the
 //! transport loses (connection reset, server gone) resolves its handle to
 //! [`ServeError::WorkerLost`]; a request the server rejects resolves to
-//! the typed [`ServeError`] its error frame carried.
+//! the typed [`ServeError`] its error frame carried; a submit after the
+//! reader thread has died (connection torn down, stream corrupted) fails
+//! at the call with [`ServeError::ShuttingDown`]. In every case the
+//! waiter gets exactly one typed outcome — never a hang.
 
 use std::collections::HashMap;
 use std::io::{self, BufReader, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
@@ -38,6 +41,10 @@ pub struct NetClient {
     write: Mutex<TcpStream>,
     /// In-flight requests by wire id; the reader thread resolves them.
     pending: Arc<Mutex<HashMap<u64, ResponseSender>>>,
+    /// Cleared by the reader thread *before* it drops the pending map's
+    /// senders on exit, so `submit` can detect a dead connection instead
+    /// of registering a request nobody will ever resolve.
+    reader_alive: Arc<AtomicBool>,
     /// Wire ids for requests that do not bring their own.
     seq: AtomicU64,
     reader: Option<JoinHandle<()>>,
@@ -56,12 +63,21 @@ impl NetClient {
         stream.set_nodelay(true).ok();
         let write = Mutex::new(stream.try_clone()?);
         let pending: Arc<Mutex<HashMap<u64, ResponseSender>>> = Arc::default();
+        let reader_alive = Arc::new(AtomicBool::new(true));
         let read_half = stream.try_clone()?;
         let reader_pending = Arc::clone(&pending);
+        let reader_flag = Arc::clone(&reader_alive);
         let reader = std::thread::Builder::new()
             .name("odq-net-client-read".into())
-            .spawn(move || reader_loop(read_half, reader_pending, limits))?;
-        Ok(Self { stream, write, pending, seq: AtomicU64::new(0), reader: Some(reader) })
+            .spawn(move || reader_loop(read_half, reader_pending, reader_flag, limits))?;
+        Ok(Self {
+            stream,
+            write,
+            pending,
+            reader_alive,
+            seq: AtomicU64::new(0),
+            reader: Some(reader),
+        })
     }
 
     /// Submit a request over the wire. Returns immediately with a handle
@@ -99,6 +115,18 @@ impl NetClient {
         };
         if !write_ok {
             lock(&self.pending).remove(&id);
+            return Err(ServeError::ShuttingDown);
+        }
+        // The write can succeed into a socket whose reader has already
+        // exited (the OS buffers it; the death is only visible on the read
+        // half). The reader clears `reader_alive` *before* dropping the
+        // pending senders, so the ordering here is airtight: if the flag
+        // is still set after our insert, the reader was alive to see the
+        // registration and will resolve or drop it; if it is clear and our
+        // entry is still in the map, the reader exited before our insert
+        // and nobody will ever resolve it — take it back and fail typed,
+        // exactly like a failed write, so no waiter can hang.
+        if !self.reader_alive.load(Ordering::SeqCst) && lock(&self.pending).remove(&id).is_some() {
             return Err(ServeError::ShuttingDown);
         }
         Ok(handle)
@@ -145,6 +173,7 @@ impl LoadTarget for NetClient {
 fn reader_loop(
     stream: TcpStream,
     pending: Arc<Mutex<HashMap<u64, ResponseSender>>>,
+    alive: Arc<AtomicBool>,
     limits: WireLimits,
 ) {
     let mut r = BufReader::new(stream);
@@ -171,6 +200,11 @@ fn reader_loop(
             Ok((Frame::Request(_), _)) | Err(_) => break,
         }
     }
+    // Death is published *before* the pending senders drop: a submit that
+    // registers after this store will see the flag and withdraw; one that
+    // registered before is cleared here, resolving its handle to
+    // WorkerLost. Either way, no waiter is left behind.
+    alive.store(false, Ordering::SeqCst);
     // Dropping the senders resolves every still-pending handle to
     // WorkerLost — the same contract as a dropped in-process pipeline.
     lock(&pending).clear();

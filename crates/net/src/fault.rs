@@ -1,0 +1,298 @@
+//! A fault-injecting TCP proxy for the ODQ1 wire.
+//!
+//! [`FaultyTransport`] sits between a [`crate::NetClient`] and a
+//! [`crate::NetServer`] and sabotages the client→server byte stream
+//! according to a per-connection [`ConnFault`] plan, chosen by accept
+//! order — so a seeded chaos schedule that decides "connection 3 gets a
+//! corrupted header byte" replays exactly. The server→client direction is
+//! relayed untouched: the faults model a hostile or lossy *client side*,
+//! and the server's responses to surviving requests must still arrive
+//! bit-exact.
+//!
+//! Fault taxonomy (all client→server):
+//!
+//! * [`ConnFault::Pass`] — transparent relay (the control case).
+//! * [`ConnFault::CloseOnAccept`] — the connection dies before a byte
+//!   flows: the server must recycle its slot, the client's waiters must
+//!   resolve to the typed dead-connection error.
+//! * [`ConnFault::TruncateAfter`] — the stream is cut mid-frame after N
+//!   bytes: the server sees EOF inside a frame and must reject without
+//!   leaking its connection slot.
+//! * [`ConnFault::CorruptHeaderByte`] — one byte inside the *first
+//!   frame's 9-byte header* is XOR-flipped. Restricting corruption to
+//!   the header is deliberate: a flipped header can only produce a typed
+//!   decode failure (bad magic, bad kind, implausible length) and a
+//!   connection-fatal error frame — never a silently *different* valid
+//!   request, which would corrupt the chaos harness's oracle invariant
+//!   instead of exercising the error path.
+//! * [`ConnFault::StallAt`] — the relay sleeps once when byte offset N
+//!   crosses, modeling a client that wedges mid-frame; deadline and
+//!   drain behavior downstream must cope.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Wire header length the corruption fault may target (see
+/// [`crate::wire`]: 4 magic bytes, 1 kind byte, 4 length bytes).
+pub const HEADER_LEN: usize = 9;
+
+/// One connection's sabotage plan (client→server direction only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnFault {
+    /// Relay both directions untouched.
+    Pass,
+    /// Close both sides immediately on accept, before any byte flows.
+    CloseOnAccept,
+    /// Forward exactly `0` extra bytes after the first `n`, then close
+    /// both sides abruptly (cut mid-frame when `n` lands inside one).
+    TruncateAfter(usize),
+    /// XOR one byte of the first frame's header with `mask` (`offset <
+    /// [`HEADER_LEN`]`, `mask != 0` — enforced at relay time by clamping
+    /// the offset into the header and substituting mask 0 with 0xFF).
+    CorruptHeaderByte {
+        /// Byte offset into the stream, clamped to `0..HEADER_LEN`.
+        offset: usize,
+        /// XOR mask applied to that byte (0 is promoted to 0xFF).
+        mask: u8,
+    },
+    /// Sleep `millis` once when stream offset `at` is reached, then keep
+    /// relaying normally (a mid-frame write stall, not a disconnect).
+    StallAt {
+        /// Byte offset at which the relay pauses.
+        at: usize,
+        /// Pause length in milliseconds.
+        millis: u64,
+    },
+}
+
+/// A listening TCP proxy that applies one [`ConnFault`] per accepted
+/// connection, in accept order (connections beyond the plan get
+/// [`ConnFault::Pass`]).
+pub struct FaultyTransport {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    /// Every stream the proxy ever touched, so shutdown can hard-close
+    /// relays that are blocked in `read`.
+    streams: Arc<Mutex<Vec<TcpStream>>>,
+    relays: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl FaultyTransport {
+    /// Start a proxy on an ephemeral local port forwarding to `upstream`.
+    /// The `n`th accepted connection (0-based) gets `faults[n]`.
+    pub fn bind(upstream: SocketAddr, faults: Vec<ConnFault>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::default();
+        let relays: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+
+        let a_stop = Arc::clone(&stop);
+        let a_streams = Arc::clone(&streams);
+        let a_relays = Arc::clone(&relays);
+        let accept = std::thread::Builder::new()
+            .name("odq-chaos-proxy".into())
+            .spawn(move || {
+                for (accepted, conn) in listener.incoming().enumerate() {
+                    if a_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(client) = conn else { break };
+                    let fault = faults.get(accepted).copied().unwrap_or(ConnFault::Pass);
+                    if fault == ConnFault::CloseOnAccept {
+                        let _ = client.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                    let Ok(server) = TcpStream::connect(upstream) else {
+                        let _ = client.shutdown(Shutdown::Both);
+                        continue;
+                    };
+                    client.set_nodelay(true).ok();
+                    server.set_nodelay(true).ok();
+                    let (Ok(c2), Ok(s2)) = (client.try_clone(), server.try_clone()) else {
+                        continue;
+                    };
+                    {
+                        let mut st = a_streams.lock().unwrap_or_else(|p| p.into_inner());
+                        st.push(client.try_clone().expect("clone for registry"));
+                        st.push(server.try_clone().expect("clone for registry"));
+                    }
+                    let up = std::thread::Builder::new()
+                        .name("odq-chaos-proxy-up".into())
+                        .spawn(move || relay(client, server, fault))
+                        .expect("spawn relay");
+                    let down = std::thread::Builder::new()
+                        .name("odq-chaos-proxy-down".into())
+                        .spawn(move || relay(s2, c2, ConnFault::Pass))
+                        .expect("spawn relay");
+                    let mut r = a_relays.lock().unwrap_or_else(|p| p.into_inner());
+                    r.push(up);
+                    r.push(down);
+                }
+            })
+            .expect("spawn proxy accept loop");
+
+        Ok(Self { addr, stop, accept: Some(accept), streams, relays })
+    }
+
+    /// The proxy's listening address — point the client here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, hard-close every relayed stream, join all relay
+    /// threads. Idempotent via `Drop`.
+    pub fn shutdown(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        for s in self.streams.lock().unwrap_or_else(|p| p.into_inner()).drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        let relays: Vec<_> =
+            self.relays.lock().unwrap_or_else(|p| p.into_inner()).drain(..).collect();
+        for r in relays {
+            let _ = r.join();
+        }
+    }
+}
+
+impl Drop for FaultyTransport {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Pump bytes `from` → `to`, applying `fault` by stream offset. On EOF or
+/// error, propagate the half-close so the peer sees EOF rather than a
+/// wedge.
+fn relay(mut from: TcpStream, mut to: TcpStream, fault: ConnFault) {
+    let mut buf = [0u8; 4096];
+    let mut offset = 0usize; // Bytes already forwarded.
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let chunk = &mut buf[..n];
+        match fault {
+            ConnFault::Pass | ConnFault::CloseOnAccept => {}
+            ConnFault::CorruptHeaderByte { offset: o, mask } => {
+                let o = o.min(HEADER_LEN - 1);
+                if (offset..offset + n).contains(&o) {
+                    let mask = if mask == 0 { 0xFF } else { mask };
+                    chunk[o - offset] ^= mask;
+                }
+            }
+            ConnFault::StallAt { at, millis } => {
+                if (offset..offset + n).contains(&at) {
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+            }
+            ConnFault::TruncateAfter(limit) => {
+                if offset + n > limit {
+                    let keep = limit.saturating_sub(offset);
+                    if keep > 0 && to.write_all(&chunk[..keep]).is_err() {
+                        break;
+                    }
+                    // Abrupt cut: both directions die, mid-frame.
+                    let _ = to.shutdown(Shutdown::Both);
+                    let _ = from.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+        }
+        if to.write_all(chunk).is_err() {
+            break;
+        }
+        offset += n;
+    }
+    // Half-close forward: the destination sees EOF and can drain.
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// An echo upstream: whatever arrives goes straight back.
+    fn echo_upstream() -> SocketAddr {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for conn in l.incoming().take(4) {
+                let Ok(mut c) = conn else { break };
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 256];
+                    while let Ok(n) = c.read(&mut buf) {
+                        if n == 0 || c.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn pass_relays_bytes_both_ways() {
+        let proxy = FaultyTransport::bind(echo_upstream(), vec![ConnFault::Pass]).unwrap();
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        c.write_all(b"ODQ1-hello").unwrap();
+        let mut back = [0u8; 10];
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"ODQ1-hello");
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn corrupt_header_flips_exactly_one_byte() {
+        let proxy = FaultyTransport::bind(
+            echo_upstream(),
+            vec![ConnFault::CorruptHeaderByte { offset: 4, mask: 0x20 }],
+        )
+        .unwrap();
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        c.write_all(b"ODQ1\x01AAAA").unwrap();
+        let mut back = [0u8; 9];
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"ODQ1\x21AAAA", "kind byte XOR 0x20, everything else untouched");
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn truncate_cuts_the_stream_mid_message() {
+        let proxy =
+            FaultyTransport::bind(echo_upstream(), vec![ConnFault::TruncateAfter(4)]).unwrap();
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        c.write_all(b"ODQ1-and-much-more").unwrap();
+        let mut back = Vec::new();
+        let _ = c.read_to_end(&mut back);
+        assert!(back.len() <= 4, "at most 4 bytes may round-trip, got {}", back.len());
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn close_on_accept_yields_an_immediately_dead_connection() {
+        let proxy = FaultyTransport::bind(echo_upstream(), vec![ConnFault::CloseOnAccept]).unwrap();
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        let mut back = Vec::new();
+        let n = c.read_to_end(&mut back).unwrap_or(0);
+        assert_eq!(n, 0, "no bytes ever flow");
+        proxy.shutdown();
+    }
+}

@@ -30,14 +30,20 @@
 //!   returns the same [`odq_serve::ResponseHandle`] the in-process
 //!   server does, so the load generators and callers cannot tell local
 //!   from remote.
+//! * [`fault`] — a fault-injecting TCP proxy ([`FaultyTransport`]) that
+//!   sabotages the client→server stream per a deterministic
+//!   per-connection plan (truncation, header corruption, abrupt close,
+//!   write stalls), the `odq-chaos` harness's network leg.
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod wire;
 
 mod client;
 mod server;
 
 pub use client::NetClient;
+pub use fault::{ConnFault, FaultyTransport};
 pub use server::{NetConfig, NetServer};
 pub use wire::{WireError, WireErrorCode, WireLimits};

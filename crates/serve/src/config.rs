@@ -1,13 +1,16 @@
 //! Server configuration knobs.
 
+use std::sync::Arc;
 use std::time::Duration;
+
+use crate::fault::FaultHook;
 
 /// Tunables for [`crate::Server`].
 ///
 /// Defaults favor the test/bench workloads in this repository (small
 /// models, a handful of workers); production-shaped deployments would
 /// raise `queue_depth` and `max_batch`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Capacity of the bounded submission queue. When the queue is full,
     /// [`crate::Server::submit`] rejects with
@@ -33,7 +36,17 @@ pub struct ServeConfig {
     /// supervision path: the batch's requests must be answered with
     /// [`crate::ServeError::Internal`] and the worker must restart with a
     /// fresh engine. `None` (the default) injects nothing.
+    ///
+    /// Shim over the generalized [`FaultHook`] mechanism: setting this is
+    /// equivalent to installing an [`crate::fault::NthBatchFault`] in
+    /// [`fault_hook`](Self::fault_hook). Both may be set; either can trip
+    /// the panic.
     pub fault_panic_on_batch: Option<u64>,
+    /// Generalized fault injection (tests only): a [`FaultHook`] the
+    /// worker consults as each batch starts executing. `None` (the
+    /// default) injects nothing. See [`crate::fault`] for the bundled
+    /// deterministic triggers (nth-batch, per-model, seeded-probability).
+    pub fault_hook: Option<Arc<dyn FaultHook>>,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +59,7 @@ impl Default for ServeConfig {
             default_deadline: None,
             simulate_accel: true,
             fault_panic_on_batch: None,
+            fault_hook: None,
         }
     }
 }

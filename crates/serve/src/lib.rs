@@ -70,16 +70,27 @@
 //! every request in the panicked batch is answered with
 //! [`ServeError::Internal`], the panic and restart are counted in the
 //! ledger, and the worker restarts with fresh engines so capacity
-//! recovers ([`ServeConfig::fault_panic_on_batch`] injects such a panic
-//! on demand so the recovery path stays tested). Requests whose deadline
+//! recovers. The [`fault`] module injects such panics on demand — a
+//! [`FaultHook`] consulted at the top of every batch, with deterministic
+//! nth-batch, per-model, and seeded-probability triggers
+//! ([`ServeConfig::fault_panic_on_batch`] remains as an nth-batch shim) —
+//! so the recovery path stays tested, and the chaos harness
+//! (`odq-chaos`) can drive it under schedule. Requests whose deadline
 //! is shorter than the batching window are dispatched early by the
 //! deadline-aware batcher instead of expiring in it.
+//!
+//! The ledger's counters obey a checkable conservation law — every
+//! admitted request reaches exactly one terminal outcome —
+//! and [`Server::reconcile`] / [`StatsSummary::reconcile`] audit it,
+//! returning a typed [`ReconcileReport`] that also cross-checks the
+//! streaming aggregates against each other.
 
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod deploy;
 pub mod engine;
+pub mod fault;
 pub mod loadgen;
 pub mod request;
 pub mod server;
@@ -91,6 +102,7 @@ mod worker;
 pub use config::ServeConfig;
 pub use deploy::{DeployError, Deployment, TrafficSplit};
 pub use engine::{EngineKind, PolicyExecutor};
+pub use fault::{FaultHook, NthBatchFault, PerModelNthFault, SeededProbFault};
 pub use loadgen::{run_closed_loop, run_open_loop, LoadReport, LoadSpec, LoadTarget};
 pub use request::{
     InferRequest, InferResponse, RequestTiming, ResponseHandle, ResponseSender, ServeError,
@@ -98,5 +110,5 @@ pub use request::{
 pub use server::{Server, ServerBuilder};
 pub use stats::{
     BatchRecord, BatchSim, LatencyStats, LogHistogram, ModelVersionStats, NetStats, NetTap,
-    RouteSim, RouteStats, StatsSummary,
+    ReconcileReport, RouteSim, RouteStats, StatsSummary,
 };

@@ -107,9 +107,10 @@ impl ServerBuilder {
         let (batch_tx, batch_rx) = bounded::<Batch>(cfg.workers.max(1) * 2);
 
         let b_ledger = Arc::clone(&ledger);
+        let b_cfg = cfg.clone();
         let batcher = std::thread::Builder::new()
             .name("odq-serve-batcher".into())
-            .spawn(move || batcher::run(submit_rx, batch_tx, cfg, b_ledger))
+            .spawn(move || batcher::run(submit_rx, batch_tx, b_cfg, b_ledger))
             .expect("spawn batcher");
 
         let workers = (0..cfg.workers.max(1))
@@ -117,9 +118,10 @@ impl ServerBuilder {
                 let rx = batch_rx.clone();
                 let ledger = Arc::clone(&ledger);
                 let kind = self.engine.clone();
+                let w_cfg = cfg.clone();
                 std::thread::Builder::new()
                     .name(format!("odq-serve-worker-{i}"))
-                    .spawn(move || worker::run(rx, kind, cfg, ledger))
+                    .spawn(move || worker::run(rx, kind, w_cfg, ledger))
                     .expect("spawn worker")
             })
             .collect();
@@ -302,6 +304,22 @@ impl Server {
     /// streams everything into fixed-footprint histograms and counters.
     pub fn stats(&self) -> StatsSummary {
         lock_ledger(&self.ledger).summary()
+    }
+
+    /// Reconcile the live ledger against the conservation law every
+    /// admitted request must obey (see
+    /// [`ReconcileReport`](crate::stats::ReconcileReport)). The live
+    /// submission-queue depth counts as in-flight work, so the report
+    /// balances at any quiescent moment, not just after shutdown.
+    ///
+    /// Note the snapshot is not atomic with respect to in-flight batches:
+    /// a request can be mid-scatter (admitted but not yet recorded as
+    /// completed) when the ledger is read. Callers checking invariants
+    /// should quiesce first — wait out every outstanding response handle —
+    /// or retry briefly, as the chaos harness does.
+    pub fn reconcile(&self) -> crate::stats::ReconcileReport {
+        let in_queue = self.queue_len() as u64;
+        lock_ledger(&self.ledger).reconcile(in_queue)
     }
 
     /// Ledger snapshot as pretty-printed JSON (durations in ms),

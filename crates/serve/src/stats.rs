@@ -510,6 +510,34 @@ impl Ledger {
         self.internal_errors += batch_len as u64;
     }
 
+    /// Reconcile the live ledger: cross-check every streaming aggregate
+    /// against the conservation law and against each other. `in_queue` is
+    /// the submission queue's current depth (the ledger itself only sees
+    /// admissions and completions; the queue is the server's).
+    pub fn reconcile(&self, in_queue: u64) -> ReconcileReport {
+        ReconcileReport {
+            admitted: self.admitted,
+            completed: self.served,
+            rejected_deadline: self.rejected_deadline,
+            internal_errors: self.internal_errors,
+            in_queue,
+            rejected_queue_full: self.rejected_queue_full,
+            rejected_invalid: self.rejected_invalid,
+            rejected_shutdown: self.rejected_shutdown,
+            latency_samples: self.total.count(),
+            per_version_completed: self.per_model.values().map(|vl| vl.completed).sum(),
+            batches: self.batches,
+            batch_samples: self.batch_size.count(),
+            worker_panics: self.worker_panics,
+            worker_restarts: self.worker_restarts,
+            active_connections: self.net.active_connections,
+            net_open_minus_closed: self
+                .net
+                .connections_opened
+                .saturating_sub(self.net.connections_closed),
+        }
+    }
+
     /// Copy of the bounded recent-batches ring (newest last).
     pub fn recent_batches(&self) -> Vec<BatchRecord> {
         self.recent.iter().cloned().collect()
@@ -599,6 +627,121 @@ impl Ledger {
             mean_sensitive_fraction,
             routes,
         }
+    }
+}
+
+/// The serving pipeline's conservation law, checked: every request that
+/// passed admission must be accounted for by exactly one terminal
+/// outcome.
+///
+/// Post-admission, a request can end exactly three ways — completed,
+/// dropped on deadline (the batcher's expiry sweep or the worker's
+/// last-chance partition), or answered `Internal` after a worker panic —
+/// or still be in flight (queued or mid-batch). So at any quiescent
+/// moment:
+///
+/// ```text
+///   admitted == completed + rejected_deadline + internal_errors + in_queue
+/// ```
+///
+/// The pre-admission rejections (`queue_full`, `invalid`, `shutdown`) are
+/// carried for context but sit *outside* the equation: those requests
+/// never entered the pipeline. [`is_balanced`](Self::is_balanced) also
+/// cross-checks the streaming aggregates against each other (histogram
+/// sample counts vs counters, per-version completions vs the global
+/// counter), which is what catches a double-count or a dropped record
+/// that single counters cannot see.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReconcileReport {
+    /// Requests that passed admission into the queue.
+    pub admitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests dropped post-admission because their deadline passed.
+    pub rejected_deadline: u64,
+    /// Requests answered [`ServeError::Internal`] after a worker panic.
+    pub internal_errors: u64,
+    /// Requests still waiting in the submission queue at snapshot time
+    /// (always 0 for a post-shutdown report: shutdown drains the queue).
+    pub in_queue: u64,
+    /// Pre-admission: rejected because the queue was full.
+    pub rejected_queue_full: u64,
+    /// Pre-admission: unknown model or bad input shape.
+    pub rejected_invalid: u64,
+    /// Pre-admission: server shutting down.
+    pub rejected_shutdown: u64,
+    /// Samples in the end-to-end latency histogram (must equal
+    /// `completed`: exactly one sample is streamed per served request).
+    pub latency_samples: u64,
+    /// Sum of per-(model, version) completion counts (must equal
+    /// `completed`: every served request is attributed to exactly one
+    /// deployment).
+    pub per_version_completed: u64,
+    /// Batches executed to completion.
+    pub batches: u64,
+    /// Samples in the batch-size histogram (must equal `batches`).
+    pub batch_samples: u64,
+    /// Worker panics caught by the supervision shell.
+    pub worker_panics: u64,
+    /// Workers restarted after a panic. At most `worker_panics`: the
+    /// restart is counted after the replacement shift spins up, so a
+    /// snapshot can catch a panic whose restart hasn't landed yet.
+    pub worker_restarts: u64,
+    /// Live network connections (gauge; 0 when no front-end is attached
+    /// or every connection has torn down).
+    pub active_connections: u64,
+    /// Front-end connections opened minus closed (must equal
+    /// `active_connections`: the gauge is maintained alongside both
+    /// monotone counters and must never drift from them).
+    pub net_open_minus_closed: u64,
+}
+
+impl ReconcileReport {
+    /// Does every streaming aggregate agree with every other?
+    ///
+    /// Checks the conservation law plus the cross-aggregate equalities
+    /// documented on each field. `false` means the ledger lost, double-
+    /// counted, or mis-attributed at least one request or batch.
+    pub fn is_balanced(&self) -> bool {
+        self.admitted
+            == self.completed + self.rejected_deadline + self.internal_errors + self.in_queue
+            && self.latency_samples == self.completed
+            && self.per_version_completed == self.completed
+            && self.batch_samples == self.batches
+            && self.worker_restarts <= self.worker_panics
+            && self.net_open_minus_closed == self.active_connections
+    }
+
+    /// Have all in-flight gauges returned to zero (drained queue, no live
+    /// connections)? True quiesce is [`is_balanced`](Self::is_balanced)
+    /// *and* this.
+    pub fn gauges_clear(&self) -> bool {
+        self.in_queue == 0 && self.active_connections == 0
+    }
+}
+
+impl std::fmt::Display for ReconcileReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "admitted {} == completed {} + deadline {} + internal {} + in_queue {} \
+             (= {}); latency_samples {}, per_version {}, batches {}/{}, \
+             panics {}, restarts {}, active_conns {} (opened-closed {})",
+            self.admitted,
+            self.completed,
+            self.rejected_deadline,
+            self.internal_errors,
+            self.in_queue,
+            self.completed + self.rejected_deadline + self.internal_errors + self.in_queue,
+            self.latency_samples,
+            self.per_version_completed,
+            self.batch_samples,
+            self.batches,
+            self.worker_panics,
+            self.worker_restarts,
+            self.active_connections,
+            self.net_open_minus_closed,
+        )
     }
 }
 
@@ -701,6 +844,41 @@ pub struct StatsSummary {
 }
 
 impl StatsSummary {
+    /// Reconcile a snapshot, e.g. the final summary
+    /// [`crate::Server::shutdown`] returns. A summary carries no live
+    /// queue depth, so `in_queue` is 0 — valid for post-shutdown
+    /// summaries (shutdown drains the queue before returning) and for
+    /// any snapshot the caller knows was taken at quiesce. For a live
+    /// mid-flight check use [`crate::Server::reconcile`], which reads
+    /// the real queue depth.
+    ///
+    /// The summary does not retain raw histogram sample counts for the
+    /// batch-size histogram, so `batch_samples` mirrors `batches` here;
+    /// the end-to-end latency count is carried and checked for real.
+    pub fn reconcile(&self) -> ReconcileReport {
+        ReconcileReport {
+            admitted: self.admitted,
+            completed: self.completed,
+            rejected_deadline: self.rejected_deadline,
+            internal_errors: self.internal_errors,
+            in_queue: 0,
+            rejected_queue_full: self.rejected_queue_full,
+            rejected_invalid: self.rejected_invalid,
+            rejected_shutdown: self.rejected_shutdown,
+            latency_samples: self.latency.count,
+            per_version_completed: self.models.iter().map(|m| m.completed).sum(),
+            batches: self.batches,
+            batch_samples: self.batches,
+            worker_panics: self.worker_panics,
+            worker_restarts: self.worker_restarts,
+            active_connections: self.net.active_connections,
+            net_open_minus_closed: self
+                .net
+                .connections_opened
+                .saturating_sub(self.net.connections_closed),
+        }
+    }
+
     /// Snapshot as a JSON tree (durations in milliseconds).
     pub fn to_json(&self) -> serde_json::Value {
         use serde_json::Value;

@@ -128,8 +128,20 @@ fn serve_batch(
         led.batches_started += 1;
         let nth = led.batches_started;
         drop(led);
+        // Both fault mechanisms fire *before* any engine state is touched,
+        // so an injected panic never leaves a half-updated engine behind —
+        // the supervision shell discards the shift's engines anyway, but
+        // the injection point guarantees the shared plan cache is clean.
         if cfg.fault_panic_on_batch == Some(nth) {
             panic!("fault injection: panicking on batch {nth}");
+        }
+        if let Some(hook) = &cfg.fault_hook {
+            if hook.should_panic(nth, &batch.dep.name, batch.dep.version) {
+                panic!(
+                    "fault injection: hook tripped on batch {nth} ({} v{})",
+                    batch.dep.name, batch.dep.version
+                );
+            }
         }
     }
 

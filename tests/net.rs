@@ -349,3 +349,75 @@ fn client_maps_duplicate_ids_and_dead_connections() {
     client.close();
     ns.shutdown();
 }
+
+/// Kill the reader thread mid-request (a fake server answers with bytes
+/// that are not a frame): every in-flight waiter resolves to a typed
+/// `WorkerLost` — no waiter hangs — and a submit attempted after the
+/// death fails typed instead of silently registering a request nothing
+/// will ever answer. The fake server keeps its socket open throughout, so
+/// resolution cannot be riding on EOF.
+#[test]
+fn reader_death_resolves_every_waiter_typed_and_fails_later_submits() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().expect("client connects");
+        // Absorb one request frame header's worth, then poison the
+        // response stream: 16 bytes that decode as no known frame.
+        let mut sink = [0u8; 9];
+        let _ = s.read_exact(&mut sink);
+        s.write_all(b"XXXXXXXXXXXXXXXX").expect("write garbage");
+        s.flush().unwrap();
+        // Hold the connection open until the test is done with it.
+        let mut drain = [0u8; 1024];
+        while matches!(s.read(&mut drain), Ok(n) if n > 0) {}
+    });
+
+    let client = NetClient::connect(addr).expect("connect");
+    let handles: Vec<_> =
+        (0..4).filter_map(|i| client.submit(InferRequest::new("lenet", image(i))).ok()).collect();
+    assert!(!handles.is_empty(), "at least the first submit lands before the poison");
+
+    // Bounded polling, so a hang becomes a test failure, not a timeout.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut unresolved = handles;
+    while !unresolved.is_empty() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "{} waiter(s) still hanging after reader death",
+            unresolved.len()
+        );
+        unresolved.retain(|h| match h.try_wait() {
+            None => true,
+            Some(Err(ServeError::WorkerLost)) => false,
+            Some(other) => panic!("expected typed WorkerLost, got {other:?}"),
+        });
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // The death is published to submitters: eventually every new submit
+    // is refused typed (the first few may still win the race and enqueue,
+    // but their handles must then resolve WorkerLost, never hang).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match client.submit(InferRequest::new("lenet", image(9))) {
+            Err(ServeError::ShuttingDown) => break,
+            Err(other) => panic!("expected typed ShuttingDown, got {other:?}"),
+            Ok(h) => {
+                let start = std::time::Instant::now();
+                while h.try_wait().is_none() {
+                    assert!(
+                        start.elapsed() < Duration::from_secs(10),
+                        "post-death submit produced a hanging handle"
+                    );
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+        assert!(std::time::Instant::now() < deadline, "submit never saw the dead connection");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    client.close();
+    fake.join().unwrap();
+}

@@ -345,3 +345,62 @@ fn canary_split_is_deterministic_and_accounted_per_version() {
         assert_eq!(expected[&m.version], m.completed, "ledger splits traffic by version");
     }
 }
+
+/// The retention-window edge: the registry retires the warm-previous
+/// version (weights released) while a route still holds it for rollback.
+/// Re-*deploying* the retired version must fail typed — the registry no
+/// longer has the weights — and the failure must not tear the live route.
+/// *Rolling back* to it must still succeed bit-exactly: the route's warm
+/// `Arc` is the retention window, independent of the registry's.
+#[test]
+fn retiring_warm_previous_fails_redeploy_typed_but_rollback_stays_bit_exact() {
+    use odq::registry::RegistryError;
+    use odq::serve::DeployError;
+
+    let server = Server::builder(ServeConfig {
+        max_wait: Duration::from_micros(200),
+        ..ServeConfig::default()
+    })
+    .engine(EngineKind::Float)
+    .model("lenet", lenet(1))
+    .start();
+
+    let forward = |server: &Server, i: usize| {
+        bits(&server.submit(InferRequest::new("lenet", image(i))).unwrap().wait().unwrap().output)
+    };
+    let solo = |version_seed: u64, i: usize| {
+        let mut exec = solo_engine(&EngineKind::Float);
+        bits(&lenet(version_seed).forward_eval(&image(i), exec.as_mut()))
+    };
+
+    // v1 (seed 1) is current; publish + deploy v2 (seed 2): v1 becomes
+    // the warm previous.
+    let v2 = server.registry().publish("lenet", lenet(2), vec![]).unwrap();
+    server.deploy("lenet", v2).unwrap();
+    assert_eq!(server.current_version("lenet"), Some(v2));
+
+    // The registry retires v1: its weights are gone from the registry...
+    server.registry().retire("lenet", 1).unwrap();
+
+    // ...so re-deploying it fails typed — and the live route is untouched
+    // by the failed operation: still v2, still serving v2's exact bits.
+    match server.deploy("lenet", 1) {
+        Err(DeployError::Registry(RegistryError::VersionRetired(_, 1))) => {}
+        other => panic!("expected typed VersionRetired, got {other:?}"),
+    }
+    assert_eq!(server.current_version("lenet"), Some(v2));
+    assert_eq!(forward(&server, 3), solo(2, 3), "failed deploy must not tear the route");
+
+    // Rollback does not need the registry: the route kept v1 warm, and it
+    // serves the exact bits the original weights produced.
+    let rolled = server.rollback("lenet").expect("warm rollback survives registry retirement");
+    assert_eq!(rolled, 1);
+    assert_eq!(server.current_version("lenet"), Some(1));
+    assert_eq!(
+        forward(&server, 5),
+        solo(1, 5),
+        "rollback must serve the retired weights bit-exactly"
+    );
+
+    server.shutdown();
+}

@@ -129,6 +129,11 @@ fn ledger_memory_is_constant_over_100k_requests() {
         "ledger footprint grew during a 100k-request flood"
     );
 
+    // The ledger's own reconciliation agrees, with every gauge at zero.
+    let rec = sum.reconcile();
+    assert!(rec.is_balanced(), "final ledger does not reconcile: {rec}");
+    assert!(rec.gauges_clear(), "gauges not clear after shutdown: {rec}");
+
     // Counters: every admitted request is accounted for exactly once.
     assert_eq!(sum.admitted, SERVED + admitted_flood);
     assert_eq!(sum.completed, SERVED);
@@ -241,6 +246,9 @@ proptest! {
 
         let summary = server.shutdown();
         prop_assert_eq!(summary.completed, n_requests as u64, "ledger counts every request");
+        let rec = summary.reconcile();
+        prop_assert!(rec.is_balanced(), "final ledger does not reconcile: {}", rec);
+        prop_assert!(rec.gauges_clear(), "gauges not clear after shutdown: {}", rec);
 
         for h in handles {
             // Exactly one response per handle: the first wait succeeds...

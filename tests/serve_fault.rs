@@ -133,6 +133,7 @@ proptest! {
             default_deadline: None,
             simulate_accel: false,
             fault_panic_on_batch: (fault_batch > 0).then_some(fault_batch),
+            fault_hook: None,
         };
         let s = server(cfg);
 
