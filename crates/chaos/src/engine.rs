@@ -14,6 +14,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use odq_net::{FaultyTransport, NetClient, NetConfig, NetServer};
+use odq_obs::TraceBuffer;
 use odq_registry::ModelRegistry;
 use odq_serve::{
     FaultHook, InferRequest, ReconcileReport, ResponseHandle, SeededProbFault, ServeConfig,
@@ -21,8 +22,8 @@ use odq_serve::{
 };
 
 use crate::invariants::{
-    build_model, check_oracle, check_outcomes, check_reconcile, check_summary_sanity, image,
-    tensor_bits, InvariantVerdict, ObservedResponse, OracleCache, PublishedVersions,
+    build_model, check_oracle, check_outcomes, check_reconcile, check_summary_sanity, check_traces,
+    image, tensor_bits, InvariantVerdict, ObservedResponse, OracleCache, PublishedVersions,
 };
 use crate::plan::{ChaosConfig, ChaosOp, ChaosPlan, MODEL_NAMES};
 use crate::rng::substream;
@@ -182,6 +183,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         Arc::new(SeededProbFault::new(substream(cfg.seed, 0xFA), cfg.panic_prob))
             as Arc<dyn FaultHook>
     });
+    // Tracing rides along under chaos: sampling is a pure hash of the
+    // trace id, so turning it on cannot perturb the replayable event
+    // log, and the final trace-integrity invariant checks what it saw.
+    let traces = Arc::new(TraceBuffer::new(substream(cfg.seed, 0x0B5), 4, 4096));
     let serve_cfg = ServeConfig {
         queue_depth: cfg.queue_depth,
         max_batch: cfg.max_batch,
@@ -191,6 +196,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         simulate_accel: false,
         fault_panic_on_batch: None,
         fault_hook,
+        trace: Some(traces.clone()),
+        layer_profiling: true,
     };
     let mut builder =
         Server::builder(serve_cfg).engine(plan.engine.clone()).registry(Arc::clone(&registry));
@@ -335,6 +342,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         check_reconcile("final reconcile+gauges", &summary.reconcile(), true),
         check_summary_sanity("final summary-sanity", &summary, cfg.queue_depth as u64),
         check_oracle("final oracle", &observed, &published, &mut oracle),
+        check_traces("final trace-integrity", &traces),
     ];
     for v in finals {
         log.push(format!("invariant {}: {}", v.name, if v.pass { "PASS" } else { "FAIL" }));

@@ -24,13 +24,20 @@
 //!    counters are unsigned, so "no gauge goes negative" is enforced at
 //!    the type level; what *can* go wrong is drift between aggregates,
 //!    which is exactly what these equalities catch.)
+//! 6. **Trace integrity** — every trace the sampled [`TraceBuffer`]
+//!    collected is internally consistent: spans in pipeline-stage order
+//!    with non-decreasing timestamps, and (while nothing has been
+//!    evicted) any trace that reached response-scatter carries all five
+//!    stages. Which requests complete is timing-dependent, so only the
+//!    boolean verdict is log-worthy — the counts stay in `detail`.
 
 use std::collections::HashMap;
 
 use odq_conformance::{OracleExecutor, OracleKind};
 use odq_nn::models::{Model, ModelCfg};
 use odq_nn::Arch;
-use odq_serve::{LatencyStats, ReconcileReport, StatsSummary};
+use odq_obs::TraceBuffer;
+use odq_serve::{LatencyStats, ReconcileReport, SpanStage, StatsSummary};
 use odq_tensor::Tensor;
 
 use crate::plan::MODEL_NAMES;
@@ -169,6 +176,39 @@ pub fn check_oracle(
             "{} responses checked, {mismatched} matched no published version \
              ({ambiguous} collided onto more than one)",
             observed.len()
+        ),
+    )
+}
+
+/// Invariant 6: every sampled trace is internally consistent.
+///
+/// Monotonicity must hold unconditionally — the worker records each span
+/// with the timestamp of the pipeline step it marks, so a trace whose
+/// spans run backwards means the pipeline is mis-threaded. Completeness
+/// (scatter implies all five stages) is only checkable while the ring
+/// has evicted nothing; once eviction starts, early spans of a live
+/// trace may be legitimately gone.
+pub fn check_traces(name: impl Into<String>, traces: &TraceBuffer) -> InvariantVerdict {
+    let views = traces.traces(usize::MAX);
+    let mut non_monotone = 0usize;
+    let mut torn = 0usize;
+    for t in &views {
+        if !t.is_monotone() {
+            non_monotone += 1;
+        }
+        let scattered = t.spans.iter().any(|s| s.stage == SpanStage::ResponseScatter);
+        if traces.evicted() == 0 && scattered && !t.is_complete() {
+            torn += 1;
+        }
+    }
+    InvariantVerdict::new(
+        name,
+        non_monotone == 0 && torn == 0,
+        format!(
+            "{} traces sampled, {non_monotone} with non-monotone spans, \
+             {torn} scattered-but-incomplete ({} spans evicted)",
+            views.len(),
+            traces.evicted()
         ),
     )
 }

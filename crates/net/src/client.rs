@@ -181,7 +181,11 @@ fn reader_loop(
         match wire::read_frame(&mut r, &limits) {
             Ok((Frame::Response(rf), _)) => {
                 if let Some(tx) = lock(&pending).remove(&rf.id) {
-                    tx.send(Ok(InferResponse { output: rf.output, timing: rf.timing }));
+                    tx.send(Ok(InferResponse {
+                        output: rf.output,
+                        timing: rf.timing,
+                        trace: rf.trace,
+                    }));
                 }
             }
             Ok((Frame::Error(ef), _)) => {

@@ -66,8 +66,11 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// What a connection's reader hands its writer.
 enum Event {
-    /// A submitted request whose handle will resolve later.
-    Inflight(u64, ResponseHandle),
+    /// A submitted request whose handle will resolve later. The bool is
+    /// whether the request carried `FLAG_TRACE` — only then does the
+    /// response frame echo the trace id (v1 clients keep seeing v1
+    /// response bodies).
+    Inflight(u64, bool, ResponseHandle),
     /// A request rejected at admission: answer immediately.
     Reject(ErrorFrame),
     /// A connection-fatal protocol error: send it, finish the in-flight
@@ -287,8 +290,9 @@ fn reader_loop(stream: &TcpStream, shared: &Shared, ev_tx: &Sender<Event>) {
             Ok((Frame::Request(rf), n)) => {
                 shared.tap.frame_in(n as u64);
                 let id = rf.id;
+                let echo_trace = rf.trace.is_some();
                 let ev = match shared.server.submit(rf.into_request()) {
-                    Ok(handle) => Event::Inflight(id, handle),
+                    Ok(handle) => Event::Inflight(id, echo_trace, handle),
                     Err(e) => Event::Reject(ErrorFrame {
                         id,
                         code: WireErrorCode::from_serve_error(&e),
@@ -339,7 +343,8 @@ fn writer_loop(stream: TcpStream, ev_rx: Receiver<Event>, tap: NetTap) {
     let mut w = BufWriter::new(stream);
     // In-flight requests, answered in the order they FINISH: a slow
     // request never blocks a fast one behind it on the same connection.
-    let mut inflight: Vec<(u64, ResponseHandle)> = Vec::new();
+    // The bool is the request's trace-echo opt-in.
+    let mut inflight: Vec<(u64, bool, ResponseHandle)> = Vec::new();
     let mut open = true;
 
     let mut emit = |w: &mut BufWriter<TcpStream>, bytes: &[u8]| -> bool {
@@ -384,14 +389,18 @@ fn writer_loop(stream: TcpStream, ev_rx: Receiver<Event>, tap: NetTap) {
         let mut progressed = false;
         let mut i = 0;
         while i < inflight.len() {
-            match inflight[i].1.try_wait() {
+            match inflight[i].2.try_wait() {
                 Some(result) => {
-                    let (id, _) = inflight.swap_remove(i);
+                    let (id, echo_trace, _) = inflight.swap_remove(i);
                     progressed = true;
                     let bytes = match result {
                         Ok(resp) => {
-                            let frame =
-                                ResponseFrame { id, timing: resp.timing, output: resp.output };
+                            let frame = ResponseFrame {
+                                id,
+                                timing: resp.timing,
+                                output: resp.output,
+                                trace: if echo_trace { resp.trace } else { None },
+                            };
                             encode_response(&frame).unwrap_or_else(|e| {
                                 encode_error(&ErrorFrame {
                                     id,
@@ -425,13 +434,13 @@ fn writer_loop(stream: TcpStream, ev_rx: Receiver<Event>, tap: NetTap) {
 /// (write failure).
 fn dispatch(
     ev: Event,
-    inflight: &mut Vec<(u64, ResponseHandle)>,
+    inflight: &mut Vec<(u64, bool, ResponseHandle)>,
     w: &mut BufWriter<TcpStream>,
     emit: &mut impl FnMut(&mut BufWriter<TcpStream>, &[u8]) -> bool,
 ) -> bool {
     match ev {
-        Event::Inflight(id, handle) => {
-            inflight.push((id, handle));
+        Event::Inflight(id, echo_trace, handle) => {
+            inflight.push((id, echo_trace, handle));
             true
         }
         Event::Reject(frame) | Event::Fatal(frame) => emit(w, &encode_error(&frame)),

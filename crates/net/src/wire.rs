@@ -18,19 +18,26 @@
 //!
 //! ```text
 //!   id           u64    caller-chosen request id (the canary-routing key)
-//!   flags        u8     bit 0: deadline present; other bits must be zero
+//!   flags        u8     bit 0: deadline present; bit 1: trace id present;
+//!                       other bits must be zero
 //!   deadline_ms  u64    only when flags bit 0 is set
+//!   trace_id     u64    only when flags bit 1 is set
 //!   name_len     u8     model-name length in bytes
 //!   name         ..     UTF-8 model name
 //!   ndims        u8     number of tensor dimensions (1 ..= max_dims)
 //!   dims         u32×n  each dimension, all nonzero
 //!   payload      f32×k  k = product(dims); must exactly fill the body
+//!                       (up to the optional response trailer below)
 //! ```
 //!
 //! **Response** body (server → client): `id` u64, then the timing
 //! breakdown (`queue_wait_ns` u64, `service_ns` u64, `total_ns` u64,
 //! `batch_size` u32), then the output tensor in the same
-//! `ndims`/`dims`/payload layout.
+//! `ndims`/`dims`/payload layout, then — only when the request carried
+//! [`FLAG_TRACE`] — a trailing `trace_id` u64 echoing the trace identity
+//! the server used. Exactly 8 bytes after the tensor payload decode as
+//! the trace echo; zero bytes mean no echo (a v1 frame); any other
+//! trailing length is malformed.
 //!
 //! **Error** body (server → client): `id` u64 (`u64::MAX` when the error
 //! is not attributable to one request — a malformed frame, a refused
@@ -66,7 +73,12 @@ const KIND_REQUEST: u8 = 1;
 const KIND_RESPONSE: u8 = 2;
 const KIND_ERROR: u8 = 3;
 
-const FLAG_DEADLINE: u8 = 0b0000_0001;
+/// Request-flags bit 0: a `deadline_ms` u64 follows the flags byte.
+pub const FLAG_DEADLINE: u8 = 0b0000_0001;
+/// Request-flags bit 1: a `trace_id` u64 follows the (optional) deadline.
+/// A request carrying this flag gets the trace id echoed back as a
+/// trailing u64 on its response frame.
+pub const FLAG_TRACE: u8 = 0b0000_0010;
 
 /// Decoder hardening limits. Everything a peer declares is checked
 /// against these *before* any allocation happens on its behalf.
@@ -221,6 +233,9 @@ pub struct RequestFrame {
     pub model: String,
     /// Optional deadline, millisecond resolution on the wire.
     pub deadline: Option<Duration>,
+    /// Optional caller-chosen trace id ([`FLAG_TRACE`]). Propagated into
+    /// [`InferRequest::trace`] server-side and echoed on the response.
+    pub trace: Option<u64>,
     /// Input tensor.
     pub input: Tensor,
 }
@@ -228,7 +243,7 @@ pub struct RequestFrame {
 impl RequestFrame {
     /// Frame an [`InferRequest`] under the given wire id.
     pub fn from_request(id: u64, req: InferRequest) -> Self {
-        Self { id, model: req.model, deadline: req.deadline, input: req.input }
+        Self { id, model: req.model, deadline: req.deadline, trace: req.trace, input: req.input }
     }
 
     /// The [`InferRequest`] this frame describes (id attached, so canary
@@ -236,6 +251,7 @@ impl RequestFrame {
     pub fn into_request(self) -> InferRequest {
         let mut req = InferRequest::new(self.model, self.input).with_id(self.id);
         req.deadline = self.deadline;
+        req.trace = self.trace;
         req
     }
 }
@@ -249,6 +265,10 @@ pub struct ResponseFrame {
     pub timing: RequestTiming,
     /// Output tensor.
     pub output: Tensor,
+    /// Trace id echo, present iff the request carried [`FLAG_TRACE`] — a
+    /// trailing u64 after the tensor payload on the wire, so v1 response
+    /// frames (no trailer) still decode with `trace: None`.
+    pub trace: Option<u64>,
 }
 
 /// A typed failure travelling server → client.
@@ -314,14 +334,21 @@ pub fn encode_request(f: &RequestFrame) -> Result<Vec<u8>, WireError> {
             f.model.len()
         )));
     }
-    let mut body = Vec::with_capacity(32 + f.model.len() + 4 * f.input.as_slice().len());
+    let mut body = Vec::with_capacity(40 + f.model.len() + 4 * f.input.as_slice().len());
     body.extend_from_slice(&f.id.to_le_bytes());
-    match f.deadline {
-        Some(d) => {
-            body.push(FLAG_DEADLINE);
-            body.extend_from_slice(&(d.as_millis().min(u64::MAX as u128) as u64).to_le_bytes());
-        }
-        None => body.push(0),
+    let mut flags = 0u8;
+    if f.deadline.is_some() {
+        flags |= FLAG_DEADLINE;
+    }
+    if f.trace.is_some() {
+        flags |= FLAG_TRACE;
+    }
+    body.push(flags);
+    if let Some(d) = f.deadline {
+        body.extend_from_slice(&(d.as_millis().min(u64::MAX as u128) as u64).to_le_bytes());
+    }
+    if let Some(t) = f.trace {
+        body.extend_from_slice(&t.to_le_bytes());
     }
     body.push(f.model.len() as u8);
     body.extend_from_slice(f.model.as_bytes());
@@ -339,6 +366,9 @@ pub fn encode_response(f: &ResponseFrame) -> Result<Vec<u8>, WireError> {
     body.extend_from_slice(&ns(f.timing.total));
     body.extend_from_slice(&(f.timing.batch_size.min(u32::MAX as usize) as u32).to_le_bytes());
     push_tensor(&mut body, &f.output)?;
+    if let Some(t) = f.trace {
+        body.extend_from_slice(&t.to_le_bytes());
+    }
     seal(KIND_RESPONSE, body)
 }
 
@@ -419,8 +449,10 @@ impl<'a> Cursor<'a> {
         Ok(())
     }
 
-    /// `ndims` + dims + f32 payload; the payload must exactly consume the
-    /// rest of the cursor.
+    /// `ndims` + dims + f32 payload; consumes exactly the payload the
+    /// declared shape calls for. Callers decide what any remaining bytes
+    /// mean — request decoding rejects them via [`Cursor::finish`],
+    /// response decoding accepts exactly one trailing trace-echo u64.
     fn tensor(&mut self, limits: &WireLimits) -> Result<Tensor, WireError> {
         let ndims = self.u8("ndims")? as usize;
         if ndims == 0 || ndims > limits.max_dims {
@@ -444,7 +476,7 @@ impl<'a> Cursor<'a> {
         let want = elems
             .checked_mul(4)
             .ok_or_else(|| WireError::Malformed("payload size overflows".to_string()))?;
-        if self.remaining() != want {
+        if self.remaining() < want {
             return Err(WireError::Malformed(format!(
                 "shape {dims:?} needs {want} payload bytes, body carries {}",
                 self.remaining()
@@ -465,7 +497,7 @@ fn decode_request(body: &[u8], limits: &WireLimits) -> Result<RequestFrame, Wire
     let mut c = Cursor::new(body);
     let id = c.u64("request id")?;
     let flags = c.u8("flags")?;
-    if flags & !FLAG_DEADLINE != 0 {
+    if flags & !(FLAG_DEADLINE | FLAG_TRACE) != 0 {
         return Err(WireError::Malformed(format!("unknown flag bits {flags:#04x}")));
     }
     let deadline = if flags & FLAG_DEADLINE != 0 {
@@ -473,13 +505,14 @@ fn decode_request(body: &[u8], limits: &WireLimits) -> Result<RequestFrame, Wire
     } else {
         None
     };
+    let trace = if flags & FLAG_TRACE != 0 { Some(c.u64("trace id")?) } else { None };
     let name_len = c.u8("name length")? as usize;
     let model = std::str::from_utf8(c.take(name_len, "model name")?)
         .map_err(|_| WireError::Malformed("model name is not UTF-8".to_string()))?
         .to_string();
     let input = c.tensor(limits)?;
     c.finish()?;
-    Ok(RequestFrame { id, model, deadline, input })
+    Ok(RequestFrame { id, model, deadline, trace, input })
 }
 
 fn decode_response(body: &[u8], limits: &WireLimits) -> Result<ResponseFrame, WireError> {
@@ -492,8 +525,18 @@ fn decode_response(body: &[u8], limits: &WireLimits) -> Result<ResponseFrame, Wi
         batch_size: c.u32("batch_size")? as usize,
     };
     let output = c.tensor(limits)?;
+    // Trailing trace echo: exactly one u64, or nothing (a v1 frame).
+    let trace = match c.remaining() {
+        0 => None,
+        8 => Some(c.u64("trace echo")?),
+        n => {
+            return Err(WireError::Malformed(format!(
+                "{n} trailing bytes after the tensor (trace echo is exactly 8)"
+            )))
+        }
+    };
     c.finish()?;
-    Ok(ResponseFrame { id, timing, output })
+    Ok(ResponseFrame { id, timing, output, trace })
 }
 
 fn decode_error(body: &[u8]) -> Result<ErrorFrame, WireError> {
@@ -572,6 +615,7 @@ mod tests {
             id: 7,
             model: "lenet".into(),
             deadline: Some(Duration::from_millis(250)),
+            trace: Some(0xDEAD_BEEF_F00D_CAFE),
             input: tensor(),
         };
         let bytes = encode_request(&f).unwrap();
@@ -582,6 +626,7 @@ mod tests {
                 assert_eq!(g.id, 7);
                 assert_eq!(g.model, "lenet");
                 assert_eq!(g.deadline, Some(Duration::from_millis(250)));
+                assert_eq!(g.trace, Some(0xDEAD_BEEF_F00D_CAFE));
                 assert_eq!(g.input.dims(), f.input.dims());
                 assert_eq!(bits(&g.input), bits(&f.input));
             }
@@ -591,9 +636,13 @@ mod tests {
 
     #[test]
     fn request_without_deadline_round_trips() {
-        let f = RequestFrame { id: 0, model: "m".into(), deadline: None, input: tensor() };
+        let f =
+            RequestFrame { id: 0, model: "m".into(), deadline: None, trace: None, input: tensor() };
         match round_trip(encode_request(&f).unwrap()).0 {
-            Frame::Request(g) => assert_eq!(g.deadline, None),
+            Frame::Request(g) => {
+                assert_eq!(g.deadline, None);
+                assert_eq!(g.trace, None);
+            }
             other => panic!("wrong kind: {other:?}"),
         }
     }
@@ -609,6 +658,7 @@ mod tests {
                 batch_size: 8,
             },
             output: tensor(),
+            trace: Some(41),
         };
         match round_trip(encode_response(&f).unwrap()).0 {
             Frame::Response(g) => {
@@ -618,6 +668,7 @@ mod tests {
                 assert_eq!(g.timing.total, f.timing.total);
                 assert_eq!(g.timing.batch_size, 8);
                 assert_eq!(bits(&g.output), bits(&f.output));
+                assert_eq!(g.trace, Some(41));
             }
             other => panic!("wrong kind: {other:?}"),
         }
@@ -706,6 +757,7 @@ mod tests {
             id: 3,
             model: "m".into(),
             deadline: Some(Duration::from_millis(1)),
+            trace: None,
             input: tensor(),
         })
         .unwrap();

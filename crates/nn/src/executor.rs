@@ -8,6 +8,7 @@
 
 use std::borrow::Cow;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use odq_quant::plan::{PlanCache, PlanSpec};
 use odq_tensor::{ConvGeom, Tensor};
@@ -123,6 +124,99 @@ impl ConvExecutor for StaticQuantExecutor {
     }
 }
 
+/// One observed conv-layer execution, as reported to a [`LayerProbe`].
+///
+/// Borrowed views into the executing layer's context: probes copy out
+/// whatever they aggregate and must not assume the borrows outlive the
+/// call.
+pub struct LayerObservation<'a> {
+    /// Layer name (paper numbering, e.g. `"C3"`).
+    pub name: &'a str,
+    /// Geometry the layer executed with.
+    pub geom: &'a ConvGeom,
+    /// Batch size of the input this layer just processed.
+    pub batch: usize,
+    /// Wall time of this layer's execution (the inner executor's `conv`
+    /// call only — probe overhead is excluded by construction).
+    pub wall: Duration,
+}
+
+/// Observes per-layer execution during inference.
+///
+/// This is the profiling seam the serving stack threads through every
+/// engine: a probe sees each conv layer exactly once per forward pass, in
+/// execution order, with its measured wall time. Implementations should be
+/// cheap — they run on the inference hot path.
+pub trait LayerProbe {
+    /// Called when the wrapped executor begins a forward pass, before any
+    /// layer is observed.
+    fn begin_pass(&mut self) {}
+
+    /// Called after each conv layer executes.
+    fn observe(&mut self, obs: &LayerObservation<'_>);
+}
+
+/// A probe that records `(layer name, batch, wall)` per pass — the
+/// simplest useful [`LayerProbe`], and the one the tests pin behavior
+/// with.
+#[derive(Default)]
+pub struct CollectingProbe {
+    /// Observations of the current (or last completed) pass, in execution
+    /// order.
+    pub layers: Vec<(String, usize, Duration)>,
+    /// Forward passes begun.
+    pub passes: u64,
+}
+
+impl LayerProbe for CollectingProbe {
+    fn begin_pass(&mut self) {
+        self.layers.clear();
+        self.passes += 1;
+    }
+
+    fn observe(&mut self, obs: &LayerObservation<'_>) {
+        self.layers.push((obs.name.to_string(), obs.batch, obs.wall));
+    }
+}
+
+/// Wraps any [`ConvExecutor`], timing each layer and reporting it to a
+/// [`LayerProbe`]. The wrapper is itself a `ConvExecutor`, so probing
+/// composes with every engine behind the seam — float, static INT-k, DRQ,
+/// ODQ, or a policy router — without the engine knowing it is observed.
+pub struct ProbedExecutor<E, P> {
+    /// The executor actually running the layers.
+    pub inner: E,
+    /// The probe observing them.
+    pub probe: P,
+}
+
+impl<E, P> ProbedExecutor<E, P> {
+    /// Probe `inner` with `probe`.
+    pub fn new(inner: E, probe: P) -> Self {
+        Self { inner, probe }
+    }
+}
+
+impl<E: ConvExecutor, P: LayerProbe> ConvExecutor for ProbedExecutor<E, P> {
+    fn begin_pass(&mut self) {
+        self.probe.begin_pass();
+        self.inner.begin_pass();
+    }
+
+    fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
+        let t0 = Instant::now();
+        let y = self.inner.conv(ctx, x);
+        let obs = LayerObservation {
+            name: ctx.name,
+            geom: &ctx.geom,
+            batch: x.dims()[0],
+            wall: t0.elapsed(),
+        };
+        self.probe.observe(&obs);
+        y
+    }
+}
+
 /// Add a per-output-channel bias to a `[N, Co, OH, OW]` tensor.
 pub fn add_bias(y: &mut Tensor, bias: &[f32], g: &ConvGeom) {
     let n = y.dims()[0];
@@ -182,6 +276,32 @@ mod tests {
         let e2 = y2.mean_abs_diff(&want);
         assert!(e8 < e2, "8-bit should be more accurate: {e8} vs {e2}");
         assert!(e8 < 0.05);
+    }
+
+    #[test]
+    fn probed_executor_is_transparent_and_observes_each_layer() {
+        let g = ConvGeom::new(2, 3, 4, 4, 3, 1, 1);
+        let x = Tensor::from_vec(
+            g.input_shape(1),
+            (0..32).map(|i| i as f32 / 32.0).collect::<Vec<_>>(),
+        );
+        let w = Tensor::from_vec(
+            g.weight_shape(),
+            (0..54).map(|i| (i as f32 - 27.0) / 54.0).collect::<Vec<_>>(),
+        );
+        let mut probed = ProbedExecutor::new(FloatConvExecutor, CollectingProbe::default());
+        probed.begin_pass();
+        let y = probed.conv(&ctx(&w, g, None), &x);
+        let want = FloatConvExecutor.conv(&ctx(&w, g, None), &x);
+        assert_eq!(y.as_slice(), want.as_slice(), "probing must not change the math");
+        assert_eq!(probed.probe.passes, 1);
+        assert_eq!(probed.probe.layers.len(), 1);
+        assert_eq!(probed.probe.layers[0].0, "C1");
+        assert_eq!(probed.probe.layers[0].1, 1, "batch size observed");
+        // Second pass resets the per-pass observations.
+        probed.begin_pass();
+        assert_eq!(probed.probe.passes, 2);
+        assert!(probed.probe.layers.is_empty());
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! A deliberately tiny HTTP/1.0 exposition endpoint — `std::net` only.
+//!
+//! [`MetricsServer`] binds a listener and answers exactly two routes:
+//!
+//! * `GET /metrics` — the Prometheus text exposition of the current
+//!   ledger snapshot ([`crate::prom::render_summary`]).
+//! * `GET /traces/recent` — the trace buffer's recent traces as JSON
+//!   (`{"evicted": n, "traces": [...]}`), when a buffer is attached.
+//!
+//! Requests are handled serially on one thread: a scrape is a read-only
+//! snapshot, responses are small, and `Connection: close` keeps the state
+//! machine trivial. Hardening over correctness tricks: a slow or hostile
+//! client hits a read timeout and is dropped without wedging the
+//! endpoint.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use odq_serve::{StatsHandle, StatsSummary};
+
+use crate::prom::render_summary;
+use crate::trace::TraceBuffer;
+
+/// How many recent traces `/traces/recent` returns.
+const RECENT_TRACES: usize = 32;
+
+/// Per-connection socket timeout: a client that cannot deliver a request
+/// line or absorb a response this fast is dropped.
+const CLIENT_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Where the endpoint reads its snapshots. Implemented for
+/// [`StatsHandle`] (the usual wiring: outlives the server, locks only for
+/// the snapshot) and for plain closures in tests.
+pub trait StatsSource: Send + Sync {
+    /// A point-in-time ledger snapshot.
+    fn summary(&self) -> StatsSummary;
+}
+
+impl StatsSource for StatsHandle {
+    fn summary(&self) -> StatsSummary {
+        StatsHandle::summary(self)
+    }
+}
+
+/// The metrics endpoint: a bound listener plus its serving thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (port 0 for ephemeral) and serve `source`'s snapshots,
+    /// with `traces` backing `/traces/recent` when given.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        source: Arc<dyn StatsSource>,
+        traces: Option<Arc<TraceBuffer>>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("odq-obs-metrics".into())
+            .spawn(move || serve_loop(listener, source, traces, stop_flag))?;
+        Ok(Self { addr, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the endpoint and join its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_loop(
+    listener: TcpListener,
+    source: Arc<dyn StatsSource>,
+    traces: Option<Arc<TraceBuffer>>,
+    stop: Arc<AtomicBool>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let _ = handle(stream, source.as_ref(), traces.as_deref());
+    }
+}
+
+fn handle(
+    mut stream: TcpStream,
+    source: &dyn StatsSource,
+    traces: Option<&TraceBuffer>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT)).ok();
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT)).ok();
+    let path = match read_request_path(&mut stream)? {
+        Some(p) => p,
+        None => return Ok(()), // not a GET / garbage: drop silently
+    };
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4", render_summary(&source.summary())),
+        "/traces/recent" => {
+            let json = match traces {
+                Some(t) => t.to_json(RECENT_TRACES),
+                None => serde_json::Value::Object(vec![
+                    ("evicted".to_string(), serde_json::Value::U64(0)),
+                    ("traces".to_string(), serde_json::Value::Array(Vec::new())),
+                ]),
+            };
+            ("200 OK", "application/json", serde_json::to_string_pretty(&json).expect("json"))
+        }
+        _ => ("404 Not Found", "text/plain", "not found: try /metrics or /traces/recent\n".into()),
+    };
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let _ = stream.shutdown(Shutdown::Both);
+    Ok(())
+}
+
+/// Read up to the end of the request head and return the path of a `GET`
+/// request line, or `None` for anything else.
+fn read_request_path(stream: &mut TcpStream) -> io::Result<Option<String>> {
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 256];
+    // Read until the first CRLF (the request line is all we act on) or a
+    // hard cap, whichever comes first.
+    while !buf.windows(2).any(|w| w == b"\r\n") && buf.len() < 4096 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        }
+    }
+    let line = match buf.split(|&b| b == b'\n').next() {
+        Some(l) => String::from_utf8_lossy(l).trim_end().to_string(),
+        None => return Ok(None),
+    };
+    let mut parts = line.split(' ');
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Ok(Some(path.to_string())),
+        _ => Ok(None),
+    }
+}
+
+/// Minimal HTTP GET for tests, benches, and examples: returns
+/// `(status code, body)`.
+pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: odq\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let mut head_and_body = raw.splitn(2, "\r\n\r\n");
+    let head = head_and_body.next().unwrap_or("");
+    let body = head_and_body.next().unwrap_or("").to_string();
+    let status = head
+        .lines()
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|c| c.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no status line"))?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Empty;
+    impl StatsSource for Empty {
+        fn summary(&self) -> StatsSummary {
+            StatsSummary::default()
+        }
+    }
+
+    fn empty_source() -> Arc<dyn StatsSource> {
+        Arc::new(Empty)
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_parseable_exposition() {
+        let srv = MetricsServer::bind("127.0.0.1:0", empty_source(), None).unwrap();
+        let (status, body) = http_get(srv.local_addr(), "/metrics").unwrap();
+        assert_eq!(status, 200);
+        let parsed = crate::prom::parse(&body).expect("served exposition must parse");
+        assert!(parsed.get("odq_uptime_milliseconds", &[]).is_some());
+        srv.shutdown();
+    }
+
+    #[test]
+    fn traces_route_answers_empty_without_a_buffer() {
+        let srv = MetricsServer::bind("127.0.0.1:0", empty_source(), None).unwrap();
+        let (status, body) = http_get(srv.local_addr(), "/traces/recent").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"traces\""), "{body}");
+        let (status, _) = http_get(srv.local_addr(), "/nope").unwrap();
+        assert_eq!(status, 404);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn hostile_clients_do_not_wedge_the_endpoint() {
+        let srv = MetricsServer::bind("127.0.0.1:0", empty_source(), None).unwrap();
+        // Garbage, then a half request with no CRLF, then silence.
+        let mut s1 = TcpStream::connect(srv.local_addr()).unwrap();
+        s1.write_all(b"\x00\x01\x02garbage").unwrap();
+        let mut s2 = TcpStream::connect(srv.local_addr()).unwrap();
+        s2.write_all(b"GET /metrics").unwrap(); // never finishes the line
+                                                // A well-formed scrape still succeeds afterwards.
+        let (status, _) = http_get(srv.local_addr(), "/metrics").unwrap();
+        assert_eq!(status, 200);
+        srv.shutdown();
+    }
+}

@@ -1,0 +1,584 @@
+//! Prometheus text-format exposition of the serving ledger, plus a strict
+//! parser so tests can assert the output is well-formed without a real
+//! Prometheus in the loop.
+//!
+//! [`render_summary`] turns a [`StatsSummary`] snapshot into the
+//! `text/plain; version=0.0.4` exposition format: every family gets a
+//! `# HELP` and `# TYPE` line, label values are escaped, and names are
+//! stable — dashboards can depend on them. [`parse`] is the inverse
+//! direction's gatekeeper: it validates comment lines, metric names,
+//! label syntax, and float values, and hands back typed samples for
+//! golden-file and end-to-end tests to query.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use odq_serve::{LatencyStats, StatsSummary};
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float the exposition way: integral values without a trailing
+/// `.0` is fine either way, but `NaN`/infinities must use the spec
+/// spellings.
+fn num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        }
+    } else {
+        format!("{v}")
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Incremental exposition writer: `family` emits the HELP/TYPE header,
+/// `sample` appends one line.
+struct Exposer {
+    out: String,
+}
+
+impl Exposer {
+    fn family(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, String)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape(v));
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {}", num(value));
+    }
+}
+
+fn latency_family(
+    e: &mut Exposer,
+    name: &str,
+    help: &str,
+    series: &[(&str, &LatencyStats)],
+    label: &str,
+) {
+    e.family(name, "summary", help);
+    for (val, stats) in series {
+        for (q, d) in [("0.5", stats.p50), ("0.95", stats.p95), ("0.99", stats.p99)] {
+            e.sample(name, &[(label, val.to_string()), ("quantile", q.to_string())], ms(d));
+        }
+    }
+    let count = format!("{name}_count");
+    for (val, stats) in series {
+        e.sample(&count, &[(label, val.to_string())], stats.count as f64);
+    }
+}
+
+/// Render a ledger snapshot as the Prometheus text exposition format.
+///
+/// Series names are stable API. The core families:
+///
+/// * `odq_uptime_milliseconds` — gauge, server uptime.
+/// * `odq_requests_admitted_total` / `odq_requests_completed_total` /
+///   `odq_requests_rejected_total{reason}` / `odq_internal_errors_total`
+///   — the admission conservation law, as counters.
+/// * `odq_queue_depth{kind="last"|"max"}` — submission-queue gauges.
+/// * `odq_latency_milliseconds{stage,quantile}` — queue-wait / service /
+///   total latency summaries.
+/// * `odq_net_*` — transport counters (zero without a front-end).
+/// * `odq_sim_cycles_total`, `odq_route_sim_cycles_total{route}` — the
+///   accelerator-simulator cost model.
+/// * `odq_model_info{model,version,fingerprint}` — one constant `1` per
+///   deployed (model, version), fingerprint as 16 hex digits.
+/// * `odq_layer_mask_density{model,version,layer,route}` and friends —
+///   the per-layer profile (wall-time summary, passes, simulated
+///   cycles), present when layer profiling is on.
+pub fn render_summary(s: &StatsSummary) -> String {
+    let mut e = Exposer { out: String::with_capacity(4096) };
+
+    e.family("odq_uptime_milliseconds", "gauge", "Server uptime in milliseconds.");
+    e.sample("odq_uptime_milliseconds", &[], ms(s.uptime));
+
+    e.family(
+        "odq_requests_admitted_total",
+        "counter",
+        "Requests that passed admission into the bounded queue.",
+    );
+    e.sample("odq_requests_admitted_total", &[], s.admitted as f64);
+    e.family("odq_requests_completed_total", "counter", "Requests answered successfully.");
+    e.sample("odq_requests_completed_total", &[], s.completed as f64);
+    e.family(
+        "odq_requests_rejected_total",
+        "counter",
+        "Requests rejected, by terminal reason (queue_full, deadline, invalid, shutdown).",
+    );
+    for (reason, v) in [
+        ("queue_full", s.rejected_queue_full),
+        ("deadline", s.rejected_deadline),
+        ("invalid", s.rejected_invalid),
+        ("shutdown", s.rejected_shutdown),
+    ] {
+        e.sample("odq_requests_rejected_total", &[("reason", reason.to_string())], v as f64);
+    }
+    e.family(
+        "odq_internal_errors_total",
+        "counter",
+        "Requests answered Internal after a worker panic.",
+    );
+    e.sample("odq_internal_errors_total", &[], s.internal_errors as f64);
+    e.family("odq_batches_total", "counter", "Batches executed to completion.");
+    e.sample("odq_batches_total", &[], s.batches as f64);
+    e.family("odq_worker_panics_total", "counter", "Worker panics caught by supervision.");
+    e.sample("odq_worker_panics_total", &[], s.worker_panics as f64);
+    e.family("odq_worker_restarts_total", "counter", "Workers restarted after a panic.");
+    e.sample("odq_worker_restarts_total", &[], s.worker_restarts as f64);
+
+    e.family(
+        "odq_queue_depth",
+        "gauge",
+        "Submission-queue depth observed at admission (last and max).",
+    );
+    e.sample("odq_queue_depth", &[("kind", "last".into())], s.last_queue_depth as f64);
+    e.sample("odq_queue_depth", &[("kind", "max".into())], s.max_queue_depth as f64);
+    e.family("odq_batch_size_mean", "gauge", "Mean executed batch size.");
+    e.sample("odq_batch_size_mean", &[], s.mean_batch_size);
+    e.family("odq_batch_size_max", "gauge", "Largest executed batch.");
+    e.sample("odq_batch_size_max", &[], s.max_batch_size as f64);
+
+    latency_family(
+        &mut e,
+        "odq_latency_milliseconds",
+        "Request latency quantiles in milliseconds, by pipeline stage.",
+        &[("queue_wait", &s.queue_wait), ("service", &s.service), ("total", &s.latency)],
+        "stage",
+    );
+
+    e.family(
+        "odq_net_connections_total",
+        "counter",
+        "Front-end connections, by lifecycle event (opened, closed, rejected).",
+    );
+    for (event, v) in [
+        ("opened", s.net.connections_opened),
+        ("closed", s.net.connections_closed),
+        ("rejected", s.net.connections_rejected),
+    ] {
+        e.sample("odq_net_connections_total", &[("event", event.to_string())], v as f64);
+    }
+    e.family("odq_net_active_connections", "gauge", "Currently open front-end connections.");
+    e.sample("odq_net_active_connections", &[], s.net.active_connections as f64);
+    e.family("odq_net_bytes_total", "counter", "Wire bytes, by direction.");
+    e.sample("odq_net_bytes_total", &[("direction", "in".into())], s.net.bytes_in as f64);
+    e.sample("odq_net_bytes_total", &[("direction", "out".into())], s.net.bytes_out as f64);
+    e.family("odq_net_frames_total", "counter", "Wire frames, by direction.");
+    e.sample("odq_net_frames_total", &[("direction", "in".into())], s.net.frames_in as f64);
+    e.sample("odq_net_frames_total", &[("direction", "out".into())], s.net.frames_out as f64);
+    e.family("odq_net_protocol_errors_total", "counter", "Malformed or oversized inbound frames.");
+    e.sample("odq_net_protocol_errors_total", &[], s.net.protocol_errors as f64);
+
+    e.family(
+        "odq_sim_cycles_total",
+        "counter",
+        "Simulated accelerator cycles across all executed batches.",
+    );
+    e.sample("odq_sim_cycles_total", &[], s.sim_cycles);
+    e.family(
+        "odq_sim_energy_nanojoules_total",
+        "counter",
+        "Simulated accelerator energy across all executed batches.",
+    );
+    e.sample("odq_sim_energy_nanojoules_total", &[], s.sim_energy_nj);
+    if let Some(f) = s.mean_sensitive_fraction {
+        e.family(
+            "odq_sensitive_fraction_mean",
+            "gauge",
+            "Output-weighted mean ODQ sensitive-output fraction.",
+        );
+        e.sample("odq_sensitive_fraction_mean", &[], f);
+    }
+    if !s.routes.is_empty() {
+        e.family(
+            "odq_route_sim_cycles_total",
+            "counter",
+            "Simulated cycles split by precision route.",
+        );
+        for r in &s.routes {
+            e.sample("odq_route_sim_cycles_total", &[("route", r.route.clone())], r.cycles);
+        }
+        e.family(
+            "odq_route_energy_nanojoules_total",
+            "counter",
+            "Simulated energy split by precision route.",
+        );
+        for r in &s.routes {
+            e.sample(
+                "odq_route_energy_nanojoules_total",
+                &[("route", r.route.clone())],
+                r.energy_nj,
+            );
+        }
+        e.family(
+            "odq_route_layers_total",
+            "counter",
+            "Conv-layer executions attributed to each precision route.",
+        );
+        for r in &s.routes {
+            e.sample("odq_route_layers_total", &[("route", r.route.clone())], r.layers as f64);
+        }
+    }
+
+    if !s.models.is_empty() {
+        e.family(
+            "odq_model_info",
+            "gauge",
+            "One series per deployed (model, version); fingerprint is the registry weight fingerprint.",
+        );
+        for m in &s.models {
+            e.sample(
+                "odq_model_info",
+                &[
+                    ("model", m.model.clone()),
+                    ("version", m.version.to_string()),
+                    ("fingerprint", format!("{:016x}", m.fingerprint)),
+                ],
+                1.0,
+            );
+        }
+        e.family(
+            "odq_model_completed_total",
+            "counter",
+            "Requests answered, split by (model, version).",
+        );
+        for m in &s.models {
+            e.sample(
+                "odq_model_completed_total",
+                &[("model", m.model.clone()), ("version", m.version.to_string())],
+                m.completed as f64,
+            );
+        }
+    }
+
+    if !s.layers.is_empty() {
+        let layer_labels = |l: &odq_serve::LayerRuntimeStats| {
+            vec![
+                ("model", l.model.clone()),
+                ("version", l.version.to_string()),
+                ("layer", l.layer.clone()),
+                ("route", l.route.clone()),
+            ]
+        };
+        e.family(
+            "odq_layer_passes_total",
+            "counter",
+            "Batched forward passes each conv layer has executed.",
+        );
+        for l in &s.layers {
+            e.sample("odq_layer_passes_total", &layer_labels(l), l.passes as f64);
+        }
+        e.family(
+            "odq_layer_wall_milliseconds",
+            "summary",
+            "Per-pass conv wall time quantiles, per (model, version, layer).",
+        );
+        for l in &s.layers {
+            let mut labels = layer_labels(l);
+            labels.push(("quantile", "0.5".into()));
+            e.sample("odq_layer_wall_milliseconds", &labels, ms(l.wall.p50));
+            labels.last_mut().expect("just pushed").1 = "0.99".into();
+            e.sample("odq_layer_wall_milliseconds", &labels, ms(l.wall.p99));
+        }
+        e.family(
+            "odq_layer_sim_cycles_total",
+            "counter",
+            "Simulated accelerator cycles attributed to each conv layer.",
+        );
+        for l in &s.layers {
+            e.sample("odq_layer_sim_cycles_total", &layer_labels(l), l.sim_cycles);
+        }
+        e.family(
+            "odq_layer_mask_density",
+            "gauge",
+            "Mean measured mask density per layer: the ODQ sensitive-output fraction (or DRQ high-precision fraction) its route observed.",
+        );
+        for l in &s.layers {
+            if let Some(d) = l.mask_density {
+                e.sample("odq_layer_mask_density", &layer_labels(l), d);
+            }
+        }
+    }
+
+    e.out
+}
+
+// ---------------------------------------------------------------------
+// Parsing (the test-side validator)
+// ---------------------------------------------------------------------
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// Labels, in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// Parsed value.
+    pub value: f64,
+}
+
+/// A parsed exposition: declared families and every sample.
+#[derive(Clone, Debug, Default)]
+pub struct Exposition {
+    /// `# TYPE` declarations: family name → type.
+    pub families: BTreeMap<String, String>,
+    /// All samples, in document order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// The first sample with this exact name whose labels include every
+    /// `(key, value)` pair in `labels`.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Sample> {
+        self.samples.iter().find(|s| {
+            s.name == name
+                && labels.iter().all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+        })
+    }
+
+    /// All samples of one family (exact name match).
+    pub fn series(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+}
+
+fn valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        s => s.parse::<f64>().map_err(|_| format!("bad value {s:?}")),
+    }
+}
+
+/// Parse label pairs from the text between `{` and `}`.
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let key = &rest[..eq];
+        if !valid_label_name(key) {
+            return Err(format!("bad label name {key:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(format!("label value must be quoted: {rest:?}"));
+        }
+        rest = &rest[1..];
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, e @ ('\\' | '"'))) => value.push(e),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| "unterminated label value".to_string())?;
+        labels.push((key.to_string(), value));
+        rest = &rest[end + 1..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value: {rest:?}"));
+        }
+    }
+    Ok(labels)
+}
+
+/// Parse and validate a Prometheus text exposition. Returns the declared
+/// families and samples, or the first syntax error found.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut out = Exposition::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut it = rest.splitn(2, ' ');
+                let name = it.next().unwrap_or("");
+                let kind = it.next().ok_or(format!("line {n}: TYPE without a type"))?;
+                if !valid_name(name) {
+                    return Err(format!("line {n}: bad family name {name:?}"));
+                }
+                if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                    return Err(format!("line {n}: unknown metric type {kind:?}"));
+                }
+                if out.families.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(format!("line {n}: duplicate TYPE for {name}"));
+                }
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split(' ').next().unwrap_or("");
+                if !valid_name(name) {
+                    return Err(format!("line {n}: bad family name {name:?}"));
+                }
+            }
+            // Other comments are legal and ignored.
+            continue;
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let (name_part, rest) = match line.find('{') {
+            Some(brace) => {
+                let close = line.rfind('}').ok_or(format!("line {n}: unterminated labels"))?;
+                if close < brace {
+                    return Err(format!("line {n}: '}}' before '{{'"));
+                }
+                let labels =
+                    parse_labels(&line[brace + 1..close]).map_err(|e| format!("line {n}: {e}"))?;
+                ((&line[..brace], labels), &line[close + 1..])
+            }
+            None => {
+                let sp = line.find(' ').ok_or(format!("line {n}: no value"))?;
+                ((&line[..sp], Vec::new()), &line[sp..])
+            }
+        };
+        let (name, labels) = name_part;
+        if !valid_name(name) {
+            return Err(format!("line {n}: bad metric name {name:?}"));
+        }
+        let mut fields = rest.split_whitespace();
+        let value = parse_value(fields.next().ok_or(format!("line {n}: no value"))?)
+            .map_err(|e| format!("line {n}: {e}"))?;
+        if let Some(ts) = fields.next() {
+            ts.parse::<i64>().map_err(|_| format!("line {n}: bad timestamp {ts:?}"))?;
+        }
+        if fields.next().is_some() {
+            return Err(format!("line {n}: trailing fields"));
+        }
+        out.samples.push(Sample { name: name.to_string(), labels, value });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips_through_the_parser() {
+        let mut e = Exposer { out: String::new() };
+        e.family("m_total", "counter", "help text");
+        e.sample("m_total", &[("k", "a\"b\\c\nd".into())], 3.0);
+        let parsed = parse(&e.out).unwrap();
+        assert_eq!(parsed.families.get("m_total").map(String::as_str), Some("counter"));
+        let s = &parsed.samples[0];
+        assert_eq!(s.labels[0], ("k".to_string(), "a\"b\\c\nd".to_string()));
+        assert_eq!(s.value, 3.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse("1bad_name 3").is_err());
+        assert!(parse("m{unterminated=\"x 3").is_err());
+        assert!(parse("m{k=unquoted} 3").is_err());
+        assert!(parse("m notanumber").is_err());
+        assert!(parse("# TYPE m sometype").is_err());
+        assert!(parse("# TYPE m counter\n# TYPE m counter").is_err());
+        assert!(parse("m 3 12 extra").is_err());
+    }
+
+    #[test]
+    fn parser_accepts_specials_and_timestamps() {
+        let p = parse("m +Inf\nn{a=\"b\"} -Inf 1712345678\no NaN\n").unwrap();
+        assert_eq!(p.samples.len(), 3);
+        assert!(p.samples[0].value.is_infinite());
+        assert!(p.samples[2].value.is_nan());
+    }
+
+    #[test]
+    fn render_of_a_default_summary_parses_and_has_core_series() {
+        let s = default_summary();
+        let text = render_summary(&s);
+        let p = parse(&text).expect("exposition must parse");
+        assert!(p.get("odq_uptime_milliseconds", &[]).is_some());
+        assert!(p.get("odq_queue_depth", &[("kind", "last")]).is_some());
+        assert!(p.get("odq_queue_depth", &[("kind", "max")]).is_some());
+        assert!(p.get("odq_requests_admitted_total", &[]).is_some());
+        assert!(p
+            .get("odq_latency_milliseconds", &[("stage", "total"), ("quantile", "0.99")])
+            .is_some());
+        assert_eq!(p.families.get("odq_queue_depth").map(String::as_str), Some("gauge"));
+        assert_eq!(
+            p.families.get("odq_requests_admitted_total").map(String::as_str),
+            Some("counter")
+        );
+        // Every sample's family is declared.
+        for sample in &p.samples {
+            let fam = sample.name.strip_suffix("_count").unwrap_or(&sample.name);
+            assert!(
+                p.families.contains_key(fam) || p.families.contains_key(&sample.name),
+                "sample {} has no TYPE declaration",
+                sample.name
+            );
+        }
+    }
+
+    /// An all-zero snapshot, as an idle just-started server would report.
+    fn default_summary() -> StatsSummary {
+        StatsSummary::default()
+    }
+}

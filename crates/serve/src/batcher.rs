@@ -22,6 +22,7 @@ use crate::config::ServeConfig;
 use crate::deploy::Deployment;
 use crate::request::{InferRequest, InferResponse, ServeError};
 use crate::stats::Ledger;
+use crate::trace::{SpanRecord, SpanStage};
 use crate::worker::lock_ledger;
 
 /// An admitted request travelling through the pipeline, pinned to the
@@ -34,6 +35,36 @@ pub(crate) struct Pending {
     pub resp: Sender<Result<InferResponse, ServeError>>,
     pub enqueued: Instant,
     pub deadline: Option<Instant>,
+    /// The request id admission resolved (caller-chosen or assigned).
+    pub id: u64,
+    /// The request's trace id (caller-chosen or the request id).
+    pub trace: u64,
+    /// Whether the configured [`crate::trace::TraceSink`] sampled this
+    /// trace — decided exactly once, at admission.
+    pub traced: bool,
+}
+
+/// Report one pipeline stage for every traced member of `items` to the
+/// configured sink. No-op (and no per-item work) without a sink.
+pub(crate) fn record_spans(
+    cfg: &ServeConfig,
+    items: &[Pending],
+    stage: SpanStage,
+    at: Instant,
+    dur: Option<Duration>,
+) {
+    let Some(sink) = &cfg.trace else { return };
+    for p in items.iter().filter(|p| p.traced) {
+        sink.record(SpanRecord {
+            trace: p.trace,
+            request: p.id,
+            model: p.dep.name.clone(),
+            version: p.dep.version,
+            stage,
+            at,
+            dur,
+        });
+    }
 }
 
 impl Pending {
@@ -102,7 +133,7 @@ pub(crate) fn run(
                     group.push(p);
                     if group.len() >= cfg.max_batch {
                         let items = groups.remove(&key).expect("group just filled");
-                        flush(items, &batch_tx, &ledger);
+                        flush(items, &batch_tx, &cfg, &ledger);
                     }
                 }
             }
@@ -120,14 +151,14 @@ pub(crate) fn run(
             .collect();
         for key in due {
             let items = groups.remove(&key).expect("key just listed");
-            flush(items, &batch_tx, &ledger);
+            flush(items, &batch_tx, &cfg, &ledger);
         }
     }
 
     // Shutdown drain: the submission side is gone; flush everything that
     // was admitted so no response is lost.
     for (_, items) in groups.drain() {
-        flush(items, &batch_tx, &ledger);
+        flush(items, &batch_tx, &cfg, &ledger);
     }
 }
 
@@ -136,7 +167,12 @@ fn reject_expired(p: Pending, ledger: &Arc<Mutex<Ledger>>) {
     let _ = p.resp.send(Err(ServeError::DeadlineExceeded));
 }
 
-fn flush(items: Vec<Pending>, batch_tx: &Sender<Batch>, ledger: &Arc<Mutex<Ledger>>) {
+fn flush(
+    items: Vec<Pending>,
+    batch_tx: &Sender<Batch>,
+    cfg: &ServeConfig,
+    ledger: &Arc<Mutex<Ledger>>,
+) {
     let now = Instant::now();
     let (live, expired): (Vec<Pending>, Vec<Pending>) =
         items.into_iter().partition(|p| !p.expired(now));
@@ -146,6 +182,7 @@ fn flush(items: Vec<Pending>, batch_tx: &Sender<Batch>, ledger: &Arc<Mutex<Ledge
     if live.is_empty() {
         return;
     }
+    record_spans(cfg, &live, SpanStage::BatchForm, now, None);
     let dep = Arc::clone(&live[0].dep);
     // A worker-side disconnect can only happen after the pool stopped;
     // answer the items as lost rather than panicking.
@@ -181,6 +218,9 @@ mod tests {
             resp: tx,
             enqueued,
             deadline,
+            id: 0,
+            trace: 0,
+            traced: false,
         }
     }
 

@@ -4,6 +4,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::fault::FaultHook;
+use crate::trace::TraceSink;
 
 /// Tunables for [`crate::Server`].
 ///
@@ -47,6 +48,16 @@ pub struct ServeConfig {
     /// default) injects nothing. See [`crate::fault`] for the bundled
     /// deterministic triggers (nth-batch, per-model, seeded-probability).
     pub fault_hook: Option<Arc<dyn FaultHook>>,
+    /// Per-request span tracing sink ([`crate::trace`]). Requests whose
+    /// trace id the sink samples report a span at each of the five
+    /// pipeline stages. `None` (the default) traces nothing and costs
+    /// nothing on the hot path.
+    pub trace: Option<Arc<dyn TraceSink>>,
+    /// Record per-layer wall time, route, mask density, and simulated
+    /// cycles into the ledger's per-(model, version, layer) aggregates on
+    /// every batch. On by default; the cost is one `Instant::now` pair
+    /// per conv layer plus O(layers) ledger work per batch.
+    pub layer_profiling: bool,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +71,8 @@ impl Default for ServeConfig {
             simulate_accel: true,
             fault_panic_on_batch: None,
             fault_hook: None,
+            trace: None,
+            layer_profiling: true,
         }
     }
 }

@@ -14,8 +14,9 @@
 //! per layer and routing adds no thrash.
 
 use std::borrow::Cow;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use odq_accel::{AccelConfig, LayerWorkload};
 use odq_core::engine::OdqEngine;
@@ -339,35 +340,57 @@ impl ConvExecutor for EngineExec {
 
 /// Wraps an engine for one forward pass, recording each conv layer's
 /// `(name, geometry)` in execution order — the uniform-workload fallback
-/// for engines that do not collect their own per-layer profile.
+/// for engines that do not collect their own per-layer profile — and,
+/// when timing is enabled, each layer's accumulated wall time (the
+/// serving-side half of the per-layer probes; see
+/// [`crate::ServeConfig::layer_profiling`]).
 pub(crate) struct Profiled<'a> {
     inner: &'a mut EngineExec,
     /// Conv layers seen this pass, in first-encounter order.
     pub layers: Vec<(String, ConvGeom)>,
-    /// O(1) duplicate check for `layers` (a deep model would otherwise
-    /// pay a linear scan on every conv call).
-    seen: HashSet<String>,
+    /// Wall time per entry of `layers` (all zero when timing is off).
+    /// A layer invoked more than once per pass accumulates.
+    pub walls: Vec<Duration>,
+    /// Whether conv calls are individually timed.
+    timed: bool,
+    /// O(1) layer-name → index lookup (a deep model would otherwise pay
+    /// a linear scan on every conv call).
+    seen: HashMap<String, usize>,
 }
 
 impl<'a> Profiled<'a> {
-    pub fn new(inner: &'a mut EngineExec) -> Self {
-        Self { inner, layers: Vec::new(), seen: HashSet::new() }
+    pub fn new(inner: &'a mut EngineExec, timed: bool) -> Self {
+        Self { inner, layers: Vec::new(), walls: Vec::new(), timed, seen: HashMap::new() }
     }
 }
 
 impl ConvExecutor for Profiled<'_> {
     fn begin_pass(&mut self) {
         self.layers.clear();
+        self.walls.clear();
         self.seen.clear();
         self.inner.begin_pass();
     }
 
     fn conv(&mut self, ctx: &ConvCtx<'_>, x: &Tensor) -> Tensor {
-        if !self.seen.contains(ctx.name) {
-            self.seen.insert(ctx.name.to_string());
-            self.layers.push((ctx.name.to_string(), ctx.geom));
+        let i = match self.seen.get(ctx.name) {
+            Some(&i) => i,
+            None => {
+                let i = self.layers.len();
+                self.seen.insert(ctx.name.to_string(), i);
+                self.layers.push((ctx.name.to_string(), ctx.geom));
+                self.walls.push(Duration::ZERO);
+                i
+            }
+        };
+        if self.timed {
+            let t0 = Instant::now();
+            let y = self.inner.conv(ctx, x);
+            self.walls[i] += t0.elapsed();
+            y
+        } else {
+            self.inner.conv(ctx, x)
         }
-        self.inner.conv(ctx, x)
     }
 }
 
@@ -397,7 +420,7 @@ mod tests {
     #[test]
     fn profiled_records_each_layer_once() {
         let mut exec = EngineKind::Float.build(Arc::new(PlanCache::new()));
-        let mut prof = Profiled::new(&mut exec);
+        let mut prof = Profiled::new(&mut exec, true);
         let g = ConvGeom::new(1, 2, 4, 4, 3, 1, 1);
         let x = Tensor::from_vec(g.input_shape(1), vec![0.5; 16]);
         let w = Tensor::from_vec(g.weight_shape(), vec![0.1; 2 * 9]);
@@ -407,6 +430,8 @@ mod tests {
         let _ = prof.conv(&ctx, &x);
         assert_eq!(prof.layers.len(), 1);
         assert_eq!(prof.layers[0].0, "C1");
+        assert_eq!(prof.walls.len(), 1, "one wall-time slot per recorded layer");
+        assert!(prof.walls[0] > Duration::ZERO, "both calls accumulate into the slot");
     }
 
     #[test]

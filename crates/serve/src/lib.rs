@@ -95,6 +95,7 @@ pub mod loadgen;
 pub mod request;
 pub mod server;
 pub mod stats;
+pub mod trace;
 
 mod batcher;
 mod worker;
@@ -109,6 +110,8 @@ pub use request::{
 };
 pub use server::{Server, ServerBuilder};
 pub use stats::{
-    BatchRecord, BatchSim, LatencyStats, LogHistogram, ModelVersionStats, NetStats, NetTap,
-    ReconcileReport, RouteSim, RouteStats, StatsSummary,
+    BatchRecord, BatchSim, LatencyStats, LayerProfile, LayerRuntimeStats, LogHistogram,
+    ModelVersionStats, NetStats, NetTap, ReconcileReport, RouteSim, RouteStats, StatsHandle,
+    StatsSummary,
 };
+pub use trace::{SpanRecord, SpanStage, TraceSink};

@@ -23,12 +23,17 @@ pub struct InferRequest {
     /// with the same id lands on the same version. When `None` the server
     /// assigns the next value of an internal sequence.
     pub id: Option<u64>,
+    /// Optional caller-chosen trace id for distributed tracing
+    /// ([`crate::trace`]). Carried over the wire by `odq-net`'s
+    /// `FLAG_TRACE` and echoed back in [`InferResponse::trace`]. When
+    /// `None` the server uses the request id as the trace id.
+    pub trace: Option<u64>,
 }
 
 impl InferRequest {
     /// Request without a deadline.
     pub fn new(model: impl Into<String>, input: Tensor) -> Self {
-        Self { model: model.into(), input, deadline: None, id: None }
+        Self { model: model.into(), input, deadline: None, id: None, trace: None }
     }
 
     /// Attach a deadline.
@@ -40,6 +45,12 @@ impl InferRequest {
     /// Attach an explicit request id (the canary-routing key).
     pub fn with_id(mut self, id: u64) -> Self {
         self.id = Some(id);
+        self
+    }
+
+    /// Attach an explicit trace id (propagated and echoed end to end).
+    pub fn with_trace(mut self, trace: u64) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -64,6 +75,10 @@ pub struct InferResponse {
     pub output: Tensor,
     /// Timing breakdown.
     pub timing: RequestTiming,
+    /// The request's trace id, echoed back: the id the caller attached
+    /// ([`InferRequest::with_trace`]), or the server-assigned one. `None`
+    /// only when an older transport did not echo it.
+    pub trace: Option<u64>,
 }
 
 /// Why a request was rejected or failed.

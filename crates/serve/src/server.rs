@@ -15,7 +15,8 @@ use crate::config::ServeConfig;
 use crate::deploy::{DeployError, Deployment, ModelRoute, TrafficSplit};
 use crate::engine::EngineKind;
 use crate::request::{InferRequest, ResponseHandle, ServeError};
-use crate::stats::{BatchRecord, Ledger, StatsSummary};
+use crate::stats::{BatchRecord, Ledger, StatsHandle, StatsSummary};
+use crate::trace::{SpanRecord, SpanStage};
 use crate::worker::{self, lock_ledger};
 
 /// Builder for [`Server`]: register models, pick an engine, start.
@@ -202,10 +203,34 @@ impl Server {
         };
         let now = Instant::now();
         let deadline = req.deadline.or(self.cfg.default_deadline).map(|d| now + d);
+        // Trace identity is decided here, exactly once: the caller's trace
+        // id if supplied, else a fresh server-unique id. The request id is
+        // NOT a safe default — callers (the net front-end included) may
+        // supply connection-scoped ids that repeat across connections, and
+        // a trace id aliasing two requests would interleave their spans.
+        // Whether this trace is sampled is a pure function of the sink and
+        // the id (see [`crate::trace::TraceSink`]), so replays with a
+        // deterministic submission order sample the same requests.
+        let trace = req.trace.unwrap_or_else(|| self.seq.fetch_add(1, Ordering::Relaxed));
+        let traced = self.cfg.trace.as_ref().is_some_and(|s| s.sample(trace));
         let (resp_tx, resp_rx) = bounded(1);
-        let pending = Pending { req, dep, resp: resp_tx, enqueued: now, deadline };
+        let pending =
+            Pending { req, dep, resp: resp_tx, enqueued: now, deadline, id, trace, traced };
+        // The submit span's metadata must outlive the move into try_send.
+        let span_meta = traced.then(|| (pending.dep.name.clone(), pending.dep.version));
         match tx.try_send(pending) {
             Ok(()) => {
+                if let (Some(sink), Some((model, version))) = (&self.cfg.trace, span_meta) {
+                    sink.record(SpanRecord {
+                        trace,
+                        request: id,
+                        model,
+                        version,
+                        stage: SpanStage::Submit,
+                        at: now,
+                        dur: None,
+                    });
+                }
                 let mut led = lock_ledger(&self.ledger);
                 led.admitted += 1;
                 led.note_queue_depth(tx.len());
@@ -346,6 +371,15 @@ impl Server {
     /// snapshot as the serving pipeline's.
     pub fn net_tap(&self) -> crate::stats::NetTap {
         crate::stats::NetTap::new(Arc::clone(&self.ledger))
+    }
+
+    /// A cloneable, read-only handle to this server's live stats ledger,
+    /// for exporters (the `odq-obs` metrics endpoint) that snapshot the
+    /// ledger from their own threads while the server keeps serving. The
+    /// handle stays valid after the `Server` is dropped; it then reports
+    /// the final, frozen ledger.
+    pub fn stats_handle(&self) -> StatsHandle {
+        StatsHandle::new(Arc::clone(&self.ledger))
     }
 
     /// Graceful shutdown: close admission, let the batcher drain and

@@ -42,7 +42,7 @@ const BUCKETS: usize = SUB + (64 - SUB_BITS) * SUB;
 ///
 /// Recording is O(1); quantiles are O(buckets); memory is a constant
 /// ~4 KB regardless of how many samples are recorded.
-#[derive(Clone)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct LogHistogram {
     counts: [u64; BUCKETS],
     count: u64,
@@ -123,6 +123,32 @@ impl LogHistogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Fold another histogram into this one.
+    ///
+    /// Exactly equivalent to having recorded the other histogram's samples
+    /// here (bucket for bucket — the proptest in `tests/proptests.rs` pins
+    /// this), so per-shard histograms can be kept lock-cheap and merged at
+    /// snapshot time.
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs, in increasing
+    /// value order. The exposition layer and the merge proptest read the
+    /// bucket structure through this without widening field visibility.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (bucket_lower(i), c))
     }
 
     /// Nearest-rank `q`-quantile (`0.0..=1.0`), accurate to the bucket's
@@ -244,6 +270,11 @@ pub struct BatchRecord {
     /// trail a hot swap leaves behind: the ring shows exactly which
     /// batches ran on which version around the swap point.
     pub version: u64,
+    /// The registry's full-content weight fingerprint for that version
+    /// ([`crate::Deployment::fingerprint`]), carried into the per-version
+    /// aggregates so dashboards can pin *which weights* a version label
+    /// actually meant.
+    pub fingerprint: u64,
     /// Engine label ([`crate::EngineKind::label`]); shared, not cloned,
     /// across every record a worker writes.
     pub engine: Arc<str>,
@@ -265,7 +296,40 @@ pub struct BatchRecord {
 struct VersionLedger {
     completed: u64,
     batches: u64,
+    fingerprint: u64,
     service: LogHistogram,
+}
+
+/// One conv layer's measured slice of a single forward pass, handed to
+/// the ledger's `record_layers` by the worker. Everything here is
+/// per-batch (the wall time covers the whole `[N, ...]` batched conv).
+#[derive(Clone, Debug)]
+pub struct LayerProfile {
+    /// Layer name (paper numbering, e.g. `"C3"`).
+    pub layer: String,
+    /// Precision route that executed the layer (`"odq"`, `"int8"`, ...).
+    pub route: String,
+    /// Wall time of the layer's conv across the batch.
+    pub wall: Duration,
+    /// ODQ sensitive-output mask density (or DRQ high-precision input
+    /// fraction) measured during the pass, when the route reports one.
+    pub mask_density: Option<f64>,
+    /// Simulated accelerator cycles attributed to this layer for the
+    /// batch (0 when simulation is off).
+    pub sim_cycles: f64,
+}
+
+/// Per-(model, version, layer) streaming aggregates. One entry per layer
+/// of each deployment ever executed — grows with topology and swaps,
+/// never with requests.
+#[derive(Clone, Debug, Default)]
+struct LayerAgg {
+    route: String,
+    passes: u64,
+    wall: LogHistogram,
+    density_sum: f64,
+    density_count: u64,
+    sim_cycles: f64,
 }
 
 /// Per-route streaming aggregates. One entry per distinct route label ever
@@ -365,6 +429,27 @@ impl NetTap {
     }
 }
 
+/// A read-only handle onto a server's streaming ledger, detachable from
+/// the [`crate::Server`] itself: the observability layer (`odq-obs`)
+/// holds one so its `/metrics` listener can snapshot the ledger from its
+/// own threads without owning or borrowing the server. Cheap to clone;
+/// every call takes one short ledger lock.
+#[derive(Clone, Debug)]
+pub struct StatsHandle {
+    ledger: Arc<Mutex<Ledger>>,
+}
+
+impl StatsHandle {
+    pub(crate) fn new(ledger: Arc<Mutex<Ledger>>) -> Self {
+        Self { ledger }
+    }
+
+    /// Snapshot the ledger (same data as [`crate::Server::stats`]).
+    pub fn summary(&self) -> StatsSummary {
+        lock_ledger(&self.ledger).summary()
+    }
+}
+
 /// Mutable streaming ledger shared by the admission path and the workers.
 /// Every field is a fixed-size aggregate: memory does not grow with the
 /// number of requests served.
@@ -408,6 +493,9 @@ pub(crate) struct Ledger {
     per_model: BTreeMap<(String, u64), VersionLedger>,
     // Per-route aggregates (grows with distinct route labels).
     per_route: BTreeMap<String, RouteAgg>,
+    // Per-(model, version, layer) aggregates (grows with topology and
+    // swaps, not requests).
+    per_layer: BTreeMap<(String, u64, String), LayerAgg>,
 }
 
 impl Default for Ledger {
@@ -439,6 +527,7 @@ impl Default for Ledger {
             recent: VecDeque::new(),
             per_model: BTreeMap::new(),
             per_route: BTreeMap::new(),
+            per_layer: BTreeMap::new(),
         }
     }
 }
@@ -481,6 +570,7 @@ impl Ledger {
         let vl = self.per_model.entry((rec.model.clone(), rec.version)).or_default();
         vl.completed += rec.size as u64;
         vl.batches += 1;
+        vl.fingerprint = rec.fingerprint;
         vl.service.record(rec.service.as_nanos() as u64);
         if let Some(sim) = &rec.sim {
             self.sim_cycles += sim.batch_cycles;
@@ -501,6 +591,24 @@ impl Ledger {
             self.recent.pop_front();
         }
         self.recent.push_back(rec);
+    }
+
+    /// Stream one batch's per-layer profiles into the per-(model,
+    /// version, layer) aggregates. O(layers) per batch; the map itself is
+    /// bounded by topology × deployments, never by request count.
+    pub fn record_layers(&mut self, model: &str, version: u64, profiles: &[LayerProfile]) {
+        for p in profiles {
+            let agg =
+                self.per_layer.entry((model.to_string(), version, p.layer.clone())).or_default();
+            agg.route = p.route.clone();
+            agg.passes += 1;
+            agg.wall.record(p.wall.as_nanos() as u64);
+            if let Some(d) = p.mask_density {
+                agg.density_sum += d;
+                agg.density_count += 1;
+            }
+            agg.sim_cycles += p.sim_cycles;
+        }
     }
 
     /// A worker panicked while serving `batch_len` requests: count the
@@ -569,7 +677,17 @@ impl Ledger {
             .keys()
             .map(|route| route.capacity() + std::mem::size_of::<(String, RouteAgg)>())
             .sum();
-        std::mem::size_of::<Self>() + ring_heap + per_model_heap + per_route_heap
+        let per_layer_heap: usize = self
+            .per_layer
+            .iter()
+            .map(|((model, _, layer), agg)| {
+                model.capacity()
+                    + layer.capacity()
+                    + agg.route.capacity()
+                    + std::mem::size_of::<((String, u64, String), LayerAgg)>()
+            })
+            .sum();
+        std::mem::size_of::<Self>() + ring_heap + per_model_heap + per_route_heap + per_layer_heap
     }
 
     pub fn summary(&self) -> StatsSummary {
@@ -582,9 +700,25 @@ impl Ledger {
             .map(|((model, version), vl)| ModelVersionStats {
                 model: model.clone(),
                 version: *version,
+                fingerprint: vl.fingerprint,
                 completed: vl.completed,
                 batches: vl.batches,
                 service: LatencyStats::from_nanos_histogram(&vl.service),
+            })
+            .collect();
+        let layers = self
+            .per_layer
+            .iter()
+            .map(|((model, version, layer), agg)| LayerRuntimeStats {
+                model: model.clone(),
+                version: *version,
+                layer: layer.clone(),
+                route: agg.route.clone(),
+                passes: agg.passes,
+                wall: LatencyStats::from_nanos_histogram(&agg.wall),
+                mask_density: (agg.density_count > 0)
+                    .then(|| agg.density_sum / agg.density_count as f64),
+                sim_cycles: agg.sim_cycles,
             })
             .collect();
         let routes = self
@@ -601,6 +735,7 @@ impl Ledger {
         StatsSummary {
             uptime: self.started.elapsed(),
             models,
+            layers,
             admitted: self.admitted,
             completed: self.served,
             batches: self.batches,
@@ -774,6 +909,8 @@ pub struct ModelVersionStats {
     pub model: String,
     /// Deployment version.
     pub version: u64,
+    /// The registry's weight fingerprint this version was pinned with.
+    pub fingerprint: u64,
     /// Requests answered by this version.
     pub completed: u64,
     /// Batches executed by this version.
@@ -782,14 +919,48 @@ pub struct ModelVersionStats {
     pub service: LatencyStats,
 }
 
-/// Point-in-time snapshot of the streaming ledger.
+/// Per-(model, version, layer) slice of the snapshot: where each forward
+/// pass spent its wall time, which precision route executed the layer,
+/// the mean measured ODQ mask density, and the layer's share of simulated
+/// accelerator cycles. This is the serving-scale view of the paper's core
+/// claim — per-layer, per-output-region cost — as actually observed.
 #[derive(Clone, Debug)]
+pub struct LayerRuntimeStats {
+    /// Model name.
+    pub model: String,
+    /// Deployment version.
+    pub version: u64,
+    /// Layer name (paper numbering, e.g. `"C3"`).
+    pub layer: String,
+    /// Precision route that executed this layer (last observed).
+    pub route: String,
+    /// Batched forward passes the layer has executed.
+    pub passes: u64,
+    /// Per-pass wall-time distribution for this layer's conv.
+    pub wall: LatencyStats,
+    /// Mean measured mask density (ODQ sensitive-output fraction, or DRQ
+    /// high-precision input fraction), when the route reports one.
+    pub mask_density: Option<f64>,
+    /// Total simulated accelerator cycles attributed to this layer.
+    pub sim_cycles: f64,
+}
+
+/// Point-in-time snapshot of the streaming ledger.
+///
+/// `Default` is the all-zero snapshot an idle, just-started server would
+/// report — what exporters render before any traffic arrives.
+#[derive(Clone, Debug, Default)]
 pub struct StatsSummary {
     /// How long the server has been up.
     pub uptime: Duration,
     /// Per-(model, version) completions and service latency, sorted by
     /// name then version.
     pub models: Vec<ModelVersionStats>,
+    /// Per-(model, version, layer) wall time, route, mask density, and
+    /// simulated cycles, sorted by model, version, then layer name.
+    /// Empty when layer profiling is disabled
+    /// ([`crate::ServeConfig::layer_profiling`]).
+    pub layers: Vec<LayerRuntimeStats>,
     /// Requests that passed admission into the queue.
     pub admitted: u64,
     /// Requests answered successfully.
@@ -948,10 +1119,31 @@ impl StatsSummary {
                     Value::Object(vec![
                         ("model".into(), Value::String(m.model.clone())),
                         ("version".into(), Value::U64(m.version)),
+                        ("fingerprint".into(), Value::U64(m.fingerprint)),
                         ("completed".into(), Value::U64(m.completed)),
                         ("batches".into(), Value::U64(m.batches)),
                         ("service_ms".into(), m.service.to_json()),
                     ])
+                })
+                .collect(),
+        );
+        let layers = Value::Array(
+            self.layers
+                .iter()
+                .map(|l| {
+                    let mut fields = vec![
+                        ("model".into(), Value::String(l.model.clone())),
+                        ("version".into(), Value::U64(l.version)),
+                        ("layer".into(), Value::String(l.layer.clone())),
+                        ("route".into(), Value::String(l.route.clone())),
+                        ("passes".into(), Value::U64(l.passes)),
+                        ("wall_ms".into(), l.wall.to_json()),
+                        ("sim_cycles".into(), Value::F64(l.sim_cycles)),
+                    ];
+                    if let Some(d) = l.mask_density {
+                        fields.push(("mask_density".into(), Value::F64(d)));
+                    }
+                    Value::Object(fields)
                 })
                 .collect(),
         );
@@ -963,6 +1155,7 @@ impl StatsSummary {
             ("latency_ms".into(), Value::Object(latency)),
             ("simulated_accel".into(), Value::Object(sim)),
             ("models".into(), models),
+            ("layers".into(), layers),
         ])
     }
 }
@@ -1133,6 +1326,7 @@ mod tests {
         l.record_batch(BatchRecord {
             model: "m".into(),
             version: 1,
+            fingerprint: 0xFEED,
             engine: "odq".into(),
             size: 2,
             service: Duration::from_millis(10),
@@ -1155,6 +1349,7 @@ mod tests {
         l.record_batch(BatchRecord {
             model: "m".into(),
             version: 2,
+            fingerprint: 0xBEEF,
             engine: "odq".into(),
             size: 2,
             service: Duration::from_millis(10),
@@ -1192,6 +1387,7 @@ mod tests {
             l.record_batch(BatchRecord {
                 model: format!("model-{}", i % 3),
                 version: 1,
+                fingerprint: 7,
                 engine: "float".into(),
                 size: 4,
                 service: Duration::from_micros(i),
@@ -1202,6 +1398,87 @@ mod tests {
         assert_eq!(l.batches, 10_000);
         assert_eq!(l.recent_batches().len(), RECENT_BATCH_CAP);
         assert!(l.approx_bytes() < 64 * 1024, "ledger footprint {} bytes", l.approx_bytes());
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording() {
+        let mut all = LogHistogram::default();
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        for v in [0u64, 1, 7, 8, 100, 12345, u64::MAX / 5, u64::MAX] {
+            all.record(v);
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, all, "merged shards must equal one histogram of all samples");
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        // Merging an empty histogram is the identity, both ways.
+        let before = a.clone();
+        a.merge(&LogHistogram::default());
+        assert_eq!(a, before);
+        let mut empty = LogHistogram::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn per_layer_aggregates_stream_and_serialize() {
+        let mut l = Ledger::default();
+        for pass in 0..3u64 {
+            l.record_layers(
+                "m",
+                1,
+                &[
+                    LayerProfile {
+                        layer: "C1".into(),
+                        route: "odq".into(),
+                        wall: Duration::from_micros(100 + pass),
+                        mask_density: Some(0.25),
+                        sim_cycles: 1000.0,
+                    },
+                    LayerProfile {
+                        layer: "C2".into(),
+                        route: "int8".into(),
+                        wall: Duration::from_micros(50),
+                        mask_density: None,
+                        sim_cycles: 500.0,
+                    },
+                ],
+            );
+        }
+        let s = l.summary();
+        assert_eq!(s.layers.len(), 2);
+        let c1 = &s.layers[0];
+        assert_eq!((c1.layer.as_str(), c1.route.as_str()), ("C1", "odq"));
+        assert_eq!(c1.passes, 3);
+        assert!((c1.mask_density.unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(c1.sim_cycles, 3000.0);
+        assert!(c1.wall.max >= Duration::from_micros(100));
+        assert_eq!(s.layers[1].mask_density, None);
+        let json = s.to_json();
+        assert_eq!(json["layers"][0]["layer"], serde_json::Value::String("C1".into()));
+        assert_eq!(json["layers"][0]["mask_density"], serde_json::Value::F64(0.25));
+        // Aggregates are keyed by deployment: the footprint tracks
+        // topology, not request count.
+        let before = l.approx_bytes();
+        l.record_layers(
+            "m",
+            1,
+            &[LayerProfile {
+                layer: "C1".into(),
+                route: "odq".into(),
+                wall: Duration::from_micros(101),
+                mask_density: Some(0.5),
+                sim_cycles: 1.0,
+            }],
+        );
+        assert_eq!(l.approx_bytes(), before, "re-recording a known layer must not grow");
     }
 
     #[test]

@@ -35,11 +35,12 @@ use crossbeam::channel::Receiver;
 use odq_accel::{simulate_network, EnergyModel, LayerWorkload};
 use odq_tensor::Tensor;
 
-use crate::batcher::Batch;
+use crate::batcher::{record_spans, Batch};
 use crate::config::ServeConfig;
 use crate::engine::{EngineExec, EngineKind, Profiled, RouteProfile};
 use crate::request::{InferResponse, RequestTiming, ServeError};
-use crate::stats::{BatchRecord, BatchSim, Ledger, RouteSim};
+use crate::stats::{BatchRecord, BatchSim, LayerProfile, Ledger, RouteSim};
+use crate::trace::SpanStage;
 
 /// Lock the ledger even if a previous holder panicked: the streaming
 /// counters stay individually consistent, and refusing to record after
@@ -160,6 +161,7 @@ fn serve_batch(
         return;
     }
     let batch = Batch { dep: batch.dep, items: live };
+    record_spans(cfg, &batch.items, SpanStage::WorkerDequeue, dequeued, None);
 
     let n = batch.items.len();
     let dep = &batch.dep;
@@ -196,15 +198,19 @@ fn serve_batch(
     exec.reset_batch_stats();
 
     let start = Instant::now();
-    let mut prof = Profiled::new(exec);
+    let mut prof = Profiled::new(exec, cfg.layer_profiling);
     let y = model.forward_eval(&x, &mut prof);
     let service = start.elapsed();
     let layer_geoms = std::mem::take(&mut prof.layers);
+    let layer_walls = std::mem::take(&mut prof.walls);
+    record_spans(cfg, &batch.items, SpanStage::EngineExecute, start, Some(service));
 
     // Extract the batch's measured profile before responding. A policy
     // engine yields one group per route, each costed on its own
     // accelerator configuration; single-engine kinds yield one group.
     let (sensitive_fraction, groups) = profile(exec, kind, &layer_geoms);
+    // Per-layer simulated cycles (whole batch), filled by the sim loop.
+    let mut layer_cycles: HashMap<String, f64> = HashMap::new();
     let sim = if cfg.simulate_accel && !groups.is_empty() {
         let mut cycles = 0.0f64;
         let mut time_s = 0.0f64;
@@ -215,6 +221,12 @@ fn serve_batch(
             cycles += r.total_cycles;
             time_s += r.time_s;
             energy_nj += r.energy.total_nj();
+            if cfg.layer_profiling {
+                for lr in &r.layers {
+                    *layer_cycles.entry(lr.name.clone()).or_insert(0.0) +=
+                        lr.total_cycles * n as f64;
+                }
+            }
             routes.push(RouteSim {
                 route: rp.label.clone(),
                 config: rp.accel.name.clone(),
@@ -235,6 +247,45 @@ fn serve_batch(
         })
     } else {
         None
+    };
+
+    // Per-layer probes: pair each layer's measured wall time with the
+    // route that executed it, the mask density that route measured for
+    // it, and its share of the simulated cycles. The route groups are
+    // already built (for the simulator) whether or not simulation ran.
+    let layer_profiles: Vec<LayerProfile> = if cfg.layer_profiling {
+        let mut meta: HashMap<&str, (&str, Option<f64>)> = HashMap::new();
+        for rp in &groups {
+            for w in &rp.workloads {
+                let density = if rp.label.starts_with("odq") {
+                    Some(w.odq_sensitive_fraction)
+                } else if rp.label.starts_with("drq") {
+                    Some(w.drq_hi_fraction)
+                } else {
+                    None
+                };
+                meta.insert(w.name.as_str(), (rp.label.as_str(), density));
+            }
+        }
+        layer_geoms
+            .iter()
+            .zip(&layer_walls)
+            .map(|((name, _), wall)| {
+                let (route, mask_density) = match meta.get(name.as_str()) {
+                    Some(&(r, d)) => (r.to_string(), d),
+                    None => (label.to_string(), None),
+                };
+                LayerProfile {
+                    layer: name.clone(),
+                    route,
+                    wall: *wall,
+                    mask_density,
+                    sim_cycles: layer_cycles.get(name.as_str()).copied().unwrap_or(0.0),
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
     };
 
     // Record the batch in the ledger *before* scattering responses: a
@@ -262,20 +313,30 @@ fn serve_batch(
         led.record_batch(BatchRecord {
             model: dep.name.clone(),
             version: dep.version,
+            fingerprint: dep.fingerprint,
             engine: Arc::clone(label),
             size: n,
             service,
             sensitive_fraction,
             sim,
         });
+        if !layer_profiles.is_empty() {
+            led.record_layers(&dep.name, dep.version, &layer_profiles);
+        }
     }
 
-    // Scatter output rows back to the requesters.
+    // Scatter output rows back to the requesters. The scatter span is
+    // recorded first, so a traced client that has seen its response is
+    // guaranteed the full five-stage trace is already in the sink — the
+    // same barrier discipline as the ledger above.
+    record_spans(cfg, &batch.items, SpanStage::ResponseScatter, done, None);
     for ((i, p), timing) in batch.items.into_iter().enumerate().zip(timings) {
         let row = ys[i * classes..(i + 1) * classes].to_vec();
-        let _ = p
-            .resp
-            .send(Ok(InferResponse { output: Tensor::from_vec(vec![1, classes], row), timing }));
+        let _ = p.resp.send(Ok(InferResponse {
+            output: Tensor::from_vec(vec![1, classes], row),
+            timing,
+            trace: Some(p.trace),
+        }));
     }
 }
 

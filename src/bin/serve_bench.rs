@@ -26,24 +26,42 @@
 //! ```sh
 //! cargo run --release --bin serve_bench -- \
 //!     [--engine odq|drq|int8|int16|float] [--workers N] [--requests N] \
-//!     [--max-batch N] [--rate RPS] [--seed S] [--json] [--out PATH] [--net]
+//!     [--max-batch N] [--rate RPS] [--seed S] [--json] [--out PATH] [--net] \
+//!     [--metrics-addr HOST:PORT]
 //! ```
 //!
 //! `--net` routes both phases through the odq-net TCP front-end on a
 //! loopback socket — the same load generator drives a `NetClient`
 //! instead of the in-process server, so the measured latencies include
 //! framing and the wire.
+//!
+//! Both load phases run with observability on (a sampled trace buffer at
+//! 1-in-16 plus per-layer engine probes); a third phase re-runs the
+//! closed loop with observability fully off and records the throughput
+//! delta under `observability` in the snapshot. `--metrics-addr` binds
+//! the odq-obs Prometheus endpoint during phase 1 and self-scrapes
+//! `/metrics` and `/traces/recent` after the load drains, asserting both
+//! parse.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use odq::net::{NetClient, NetConfig, NetServer};
 use odq::nn::models::{Model, ModelCfg};
 use odq::nn::Arch;
+use odq::obs::{http_get, MetricsServer, TraceBuffer};
 use odq::serve::{
     run_closed_loop, run_open_loop, EngineKind, LoadReport, LoadSpec, ServeConfig, Server,
-    StatsSummary,
+    StatsSummary, TraceSink,
 };
 use serde_json::Value;
+
+/// Default trace sampling: 1 in 16 requests, matching what a production
+/// deployment would leave on permanently.
+const TRACE_ONE_IN: u64 = 16;
+
+/// Trace ring capacity across shards.
+const TRACE_CAP: usize = 4096;
 
 struct Args {
     engine: EngineKind,
@@ -55,6 +73,7 @@ struct Args {
     json: bool,
     out: String,
     net: bool,
+    metrics_addr: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -68,6 +87,7 @@ fn parse_args() -> Args {
         json: false,
         out: "BENCH_serve.json".into(),
         net: false,
+        metrics_addr: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -91,6 +111,7 @@ fn parse_args() -> Args {
             "--json" => args.json = true,
             "--out" => args.out = val(),
             "--net" => args.net = true,
+            "--metrics-addr" => args.metrics_addr = Some(val()),
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -105,13 +126,19 @@ fn build_models() -> (Model, Model) {
     (resnet, lenet)
 }
 
-fn start_server(a: &Args) -> Server {
+/// Start the bench server. `traces: Some(_)` runs the full observability
+/// stack (span tracing plus per-layer probes); `None` turns both off for
+/// the overhead comparison.
+fn start_server(a: &Args, traces: Option<Arc<TraceBuffer>>) -> Server {
+    let layer_profiling = traces.is_some();
     let cfg = ServeConfig {
         queue_depth: 64,
         max_batch: a.max_batch,
         max_wait: Duration::from_millis(2),
         workers: a.workers,
         simulate_accel: true,
+        trace: traces.map(|t| t as Arc<dyn TraceSink>),
+        layer_profiling,
         ..ServeConfig::default()
     };
     let (resnet, lenet) = build_models();
@@ -248,7 +275,7 @@ fn phase_json(r: &LoadReport, sum: &StatsSummary) -> Value {
     ])
 }
 
-fn write_snapshot(path: &str, a: &Args, closed: Value, open: Value) {
+fn write_snapshot(path: &str, a: &Args, closed: Value, open: Value, obs: Value) {
     let snapshot = Value::Object(vec![
         (
             "config".into(),
@@ -263,6 +290,7 @@ fn write_snapshot(path: &str, a: &Args, closed: Value, open: Value) {
         ),
         ("closed_loop".into(), closed),
         ("open_loop".into(), open),
+        ("observability".into(), obs),
     ]);
     let mut text = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
     text.push('\n');
@@ -286,18 +314,45 @@ fn main() {
         println!("transport: loopback TCP through the odq-net front-end");
     }
 
-    // Phase 1: closed loop at 4x max_batch concurrency.
-    let (closed, sum) = closed_phase(&a, start_server(&a));
+    // Phase 1: closed loop at 4x max_batch concurrency, observability on.
+    let traces = Arc::new(TraceBuffer::new(a.seed, TRACE_ONE_IN, TRACE_CAP));
+    let server = start_server(&a, Some(Arc::clone(&traces)));
+    // The stats handle outlives the server, so the endpoint can still be
+    // scraped after the phase drains and shuts the pipeline down.
+    let metrics = a.metrics_addr.as_deref().map(|addr| {
+        MetricsServer::bind(addr, Arc::new(server.stats_handle()), Some(Arc::clone(&traces)))
+            .unwrap_or_else(|e| panic!("bind metrics endpoint on {addr}: {e}"))
+    });
+    if let Some(m) = &metrics {
+        println!("metrics: http://{0}/metrics and http://{0}/traces/recent", m.local_addr());
+    }
+    let (closed, sum) = closed_phase(&a, server);
     print_phase("closed loop", &closed, &sum, a.json);
     assert_eq!(
         sum.completed + sum.rejected_deadline,
         closed.completed + closed.deadline_missed,
         "ledger and load report must agree"
     );
+    let sampled_traces = traces.traces(usize::MAX).len();
+    println!("{:<26} {:>10} sampled (1 in {TRACE_ONE_IN})", "traces", sampled_traces);
+    if let Some(m) = &metrics {
+        let (status, body) = http_get(m.local_addr(), "/metrics").expect("self-scrape /metrics");
+        assert_eq!(status, 200, "metrics scrape status");
+        let exp = odq::obs::parse(&body).expect("served exposition must parse");
+        let (tstatus, _tbody) =
+            http_get(m.local_addr(), "/traces/recent").expect("self-scrape /traces/recent");
+        assert_eq!(tstatus, 200, "traces scrape status");
+        println!(
+            "metrics scrape ok: {} series across {} families",
+            exp.samples.len(),
+            exp.families.len()
+        );
+    }
     let closed_json = phase_json(&closed, &sum);
 
     // Phase 2: open loop at the offered rate, 50 ms deadlines.
-    let (open, open_sum) = open_phase(&a, start_server(&a));
+    let open_traces = Arc::new(TraceBuffer::new(a.seed + 1, TRACE_ONE_IN, TRACE_CAP));
+    let (open, open_sum) = open_phase(&a, start_server(&a, Some(open_traces)));
     print_phase(&format!("open loop @ {:.0} req/s", a.rate), &open, &open_sum, a.json);
     if open.rejected > 0 || open.deadline_missed > 0 {
         println!(
@@ -307,8 +362,34 @@ fn main() {
     }
     let open_json = phase_json(&open, &open_sum);
 
+    // Phase 3: the cost of watching. Re-run the closed loop with tracing
+    // and layer probes on and fully off, alternating, and compare the
+    // best run of each arm (best-of damps scheduler noise at this scale).
+    let mut best_on = closed.throughput();
+    let mut best_off = 0.0f64;
+    for rep in 0..2u64 {
+        let tr = Arc::new(TraceBuffer::new(a.seed ^ rep, TRACE_ONE_IN, TRACE_CAP));
+        let (r_on, _) = closed_phase(&a, start_server(&a, Some(tr)));
+        let (r_off, _) = closed_phase(&a, start_server(&a, None));
+        best_on = best_on.max(r_on.throughput());
+        best_off = best_off.max(r_off.throughput());
+    }
+    let overhead = 1.0 - best_on / best_off;
+    println!(
+        "\n== observability overhead ==\non  {best_on:.1} req/s   off {best_off:.1} req/s   \
+         overhead {:.2}%",
+        overhead * 1e2
+    );
+    let obs_json = Value::Object(vec![
+        ("trace_one_in".into(), Value::U64(TRACE_ONE_IN)),
+        ("sampled_traces".into(), Value::U64(sampled_traces as u64)),
+        ("closed_loop_on_rps".into(), Value::F64(best_on)),
+        ("closed_loop_off_rps".into(), Value::F64(best_off)),
+        ("overhead_fraction".into(), Value::F64(overhead)),
+    ]);
+
     if a.out != "-" {
-        write_snapshot(&a.out, &a, closed_json, open_json);
+        write_snapshot(&a.out, &a, closed_json, open_json, obs_json);
     }
 
     println!(

@@ -42,6 +42,7 @@ pub use odq_data as data;
 pub use odq_drq as drq;
 pub use odq_net as net;
 pub use odq_nn as nn;
+pub use odq_obs as obs;
 pub use odq_quant as quant;
 pub use odq_registry as registry;
 pub use odq_serve as serve;

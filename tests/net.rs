@@ -127,6 +127,53 @@ fn typed_errors_cross_the_wire() {
     assert_eq!(sum.net.protocol_errors, 0, "typed rejections are not protocol errors");
 }
 
+/// FLAG_TRACE end to end: a client-supplied trace id crosses the wire
+/// and comes back bit-exact in the response; a request without the flag
+/// (the v1 frame layout) still decodes, and its response body carries no
+/// trailing trace echo — v1 clients keep v1 responses.
+#[test]
+fn trace_flag_round_trips_bit_exactly_and_v1_frames_still_decode() {
+    let ns = start_net(EngineKind::Float, fast_cfg(), NetConfig::default());
+    let client = NetClient::connect(ns.local_addr()).expect("connect");
+
+    // Every bit of the u64 matters, including the top one.
+    for t in [0u64, 1, 0x0123_4567_89AB_CDEF, u64::MAX] {
+        let r = client.infer(InferRequest::new("lenet", image(0)).with_trace(t)).unwrap();
+        assert_eq!(r.trace, Some(t), "trace id must round-trip bit-exactly");
+    }
+    // No flag → no echo, even on the same connection.
+    let r = client.infer(InferRequest::new("lenet", image(1))).unwrap();
+    assert_eq!(r.trace, None, "untraced wire responses must keep the v1 body");
+    client.close();
+
+    // Raw v1 frame (trace: None encodes without FLAG_TRACE): the server
+    // decodes it and answers with a response frame whose trailing trace
+    // echo is absent.
+    let mut raw = TcpStream::connect(ns.local_addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let bytes = encode_request(&RequestFrame {
+        id: 7,
+        model: "lenet".into(),
+        deadline: None,
+        trace: None,
+        input: image(2),
+    })
+    .unwrap();
+    raw.write_all(&bytes).unwrap();
+    raw.flush().unwrap();
+    let (frame, _) = wire::read_frame(&mut raw, &WireLimits::default()).expect("response frame");
+    match frame {
+        Frame::Response(rf) => {
+            assert_eq!(rf.id, 7);
+            assert_eq!(rf.trace, None, "v1 request must get a v1 response body");
+        }
+        other => panic!("expected a response frame, got {other:?}"),
+    }
+    drop(raw);
+    await_all_closed(ns.server());
+    ns.shutdown();
+}
+
 /// Wait (bounded) for the server to account all connections closed.
 /// Teardown is asynchronous: the client's socket close and the server's
 /// reader/writer joins race the assertion.
@@ -153,7 +200,11 @@ proptest! {
         mode in 0u8..3,
         garbage in prop::collection::vec(0u8..=255, 1..256),
         cut in 0usize..64,
+        trace_seed in 0u64..u64::MAX,
     ) {
+        // The vendored proptest has no Option strategy; derive one.
+        let trace = (trace_seed % 2 == 0)
+            .then(|| trace_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let ns = start_net(EngineKind::Float, fast_cfg(), NetConfig::default());
         let addr = ns.local_addr();
 
@@ -173,12 +224,15 @@ proptest! {
                 g[0] = b'X';
                 g
             }
-            // A well-formed request truncated mid-frame, then EOF.
+            // A well-formed request truncated mid-frame, then EOF — with
+            // and without the FLAG_TRACE extension, so the cut can land
+            // inside the trailing trace id too.
             1 => {
                 let full = encode_request(&RequestFrame {
                     id: 1,
                     model: "lenet".into(),
                     deadline: None,
+                    trace,
                     input: image(0),
                 }).unwrap();
                 let keep = cut.min(full.len().saturating_sub(1)).max(1);

@@ -372,3 +372,48 @@ proptest! {
         prop_assert_eq!(y_seed.as_slice(), y_planned.as_slice());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram merge is exact sharding: merging per-shard histograms is
+    /// indistinguishable from one histogram that saw every sample — the
+    /// property the serve ledger relies on when per-worker shards are
+    /// folded into one summary.
+    #[test]
+    fn log_histogram_merge_equals_concatenation(
+        shards in prop::collection::vec(
+            prop::collection::vec(0u64..1_000_000_000, 0..64),
+            1..6,
+        ),
+    ) {
+        use odq::serve::LogHistogram;
+
+        let mut merged = LogHistogram::default();
+        for shard in &shards {
+            let mut h = LogHistogram::default();
+            for &v in shard {
+                h.record(v);
+            }
+            merged.merge(&h);
+        }
+
+        let mut whole = LogHistogram::default();
+        for &v in shards.iter().flatten() {
+            whole.record(v);
+        }
+
+        prop_assert_eq!(&merged, &whole, "bucket layouts diverged");
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        prop_assert!((merged.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs() + 1e-9);
+        prop_assert_eq!(
+            merged.buckets().collect::<Vec<_>>(),
+            whole.buckets().collect::<Vec<_>>()
+        );
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.value_at_quantile(q), whole.value_at_quantile(q));
+        }
+    }
+}

@@ -134,6 +134,8 @@ proptest! {
             simulate_accel: false,
             fault_panic_on_batch: (fault_batch > 0).then_some(fault_batch),
             fault_hook: None,
+            trace: None,
+            layer_profiling: true,
         };
         let s = server(cfg);
 
